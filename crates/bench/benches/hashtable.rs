@@ -1,0 +1,90 @@
+//! Concurrent-table micro-benchmarks: the state-transfer table vs the
+//! full-locking ablation vs a single-threaded `HashMap`, at 1–8 threads
+//! (the micro-scale companion to Fig 9 and the §III-C claim).
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use dna::Kmer;
+use hashgraph::{ConcurrentDbgTable, MutexDbgTable, VertexTable};
+
+const K: usize = 27;
+
+/// Canonical kmers of a 10×-coverage read set: ~90 % update operations,
+/// like real Step-2 traffic.
+fn keys() -> Vec<Kmer> {
+    let genome = GenomeSpec::new(5_000).seed(9).generate();
+    let reads = Sequencer::new(SequencingSpec {
+        read_len: 101,
+        coverage: 10.0,
+        seed: 9,
+        ..Default::default()
+    })
+    .sequence(&genome);
+    let mut keys = Vec::new();
+    for r in &reads {
+        for kmer in r.seq().kmers(K) {
+            keys.push(kmer.canonical().0);
+        }
+    }
+    keys
+}
+
+fn record_all<T: VertexTable>(table: &T, keys: &[Kmer], threads: usize) {
+    let chunk = keys.len().div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        for chunk in keys.chunks(chunk) {
+            s.spawn(move || {
+                for (i, k) in chunk.iter().enumerate() {
+                    table.record(k, [Some((i % 8) as u8), None]).expect("capacity ok");
+                }
+            });
+        }
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let keys = keys();
+    let capacity = keys.len();
+    let mut g = c.benchmark_group("vertex_table");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(keys.len() as u64));
+
+    g.bench_function("hashmap_single_thread", |b| {
+        b.iter(|| {
+            let mut map: HashMap<Kmer, [u32; 9]> = HashMap::with_capacity(capacity);
+            for (i, k) in keys.iter().enumerate() {
+                let e = map.entry(*k).or_insert([0; 9]);
+                e[0] += 1;
+                e[1 + i % 8] += 1;
+            }
+            map.len()
+        })
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("state_transfer", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let table = ConcurrentDbgTable::new(capacity, K);
+                    record_all(&table, &keys, threads);
+                    table.distinct()
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("full_lock", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let table = MutexDbgTable::new(capacity, K);
+                record_all(&table, &keys, threads);
+                table.distinct()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

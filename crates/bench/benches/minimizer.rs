@@ -1,0 +1,57 @@
+//! Ablation bench: O(L) sliding-window minimizer scan vs the paper's
+//! O(L·K·P) brute force (§III-D counts minimizer identification among
+//! Step 1's dominant costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use msp::MinimizerScanner;
+
+fn reads() -> Vec<dna::PackedSeq> {
+    let genome = GenomeSpec::new(20_000).seed(5).generate();
+    Sequencer::new(SequencingSpec { read_len: 101, coverage: 2.0, seed: 5, ..Default::default() })
+        .sequence(&genome)
+        .into_iter()
+        .map(|r| r.into_seq())
+        .collect()
+}
+
+fn bench_minimizer(c: &mut Criterion) {
+    let reads = reads();
+    let total_bases: u64 = reads.iter().map(|r| r.len() as u64).sum();
+    let mut g = c.benchmark_group("minimizer_scan");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total_bases));
+    for (k, p) in [(27, 11), (27, 19), (55, 11)] {
+        let scanner = MinimizerScanner::new(k, p).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("sliding_window", format!("k{k}_p{p}")),
+            &reads,
+            |b, reads| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for r in reads {
+                        n += scanner.scan(r).len();
+                    }
+                    n
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("naive", format!("k{k}_p{p}")),
+            &reads,
+            |b, reads| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for r in reads {
+                        n += scanner.scan_naive(r).len();
+                    }
+                    n
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_minimizer);
+criterion_main!(benches);

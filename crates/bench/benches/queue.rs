@@ -1,0 +1,58 @@
+//! Shared-counter queue micro-benchmarks: the srv/cns–style queue that
+//! synchronises the three pipeline stages (§III-E).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pipeline::SharedCounterQueue;
+
+fn bench_queue(c: &mut Criterion) {
+    let n = 10_000usize;
+    let mut g = c.benchmark_group("shared_counter_queue");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_function("spsc", |b| {
+        b.iter(|| {
+            let q = Arc::new(SharedCounterQueue::new(n));
+            let prod = Arc::clone(&q);
+            let producer = std::thread::spawn(move || {
+                for i in 0..n {
+                    prod.push(i);
+                }
+            });
+            let mut got = 0usize;
+            while let Some(_v) = q.pop() {
+                got += 1;
+            }
+            producer.join().unwrap();
+            got
+        })
+    });
+
+    for consumers in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("mpmc", consumers), &consumers, |b, &consumers| {
+            b.iter(|| {
+                let q = Arc::new(SharedCounterQueue::new(n));
+                std::thread::scope(|s| {
+                    for p in 0..2 {
+                        let q = Arc::clone(&q);
+                        s.spawn(move || {
+                            for i in 0..n / 2 {
+                                q.push(p * (n / 2) + i);
+                            }
+                        });
+                    }
+                    for _ in 0..consumers {
+                        let q = Arc::clone(&q);
+                        s.spawn(move || while q.pop().is_some() {});
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Step-1 kernel micro-benchmarks: superkmer scanning and the encoded
+//! partition record format (the 2-bit encoding that cuts I/O 4×).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use msp::{decode_superkmer, encode_superkmer, SuperkmerScanner};
+
+fn reads() -> Vec<dna::PackedSeq> {
+    let genome = GenomeSpec::new(20_000).seed(3).generate();
+    Sequencer::new(SequencingSpec { read_len: 101, coverage: 3.0, seed: 3, ..Default::default() })
+        .sequence(&genome)
+        .into_iter()
+        .map(|r| r.into_seq())
+        .collect()
+}
+
+fn bench_superkmer(c: &mut Criterion) {
+    let reads = reads();
+    let scanner = SuperkmerScanner::new(27, 11).unwrap();
+    let total_bases: u64 = reads.iter().map(|r| r.len() as u64).sum();
+
+    let mut g = c.benchmark_group("superkmer");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total_bases));
+
+    g.bench_function("scan", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &reads {
+                n += scanner.scan(r).len();
+            }
+            n
+        })
+    });
+
+    let superkmers: Vec<msp::Superkmer> = reads.iter().flat_map(|r| scanner.scan(r)).collect();
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            for sk in &superkmers {
+                encode_superkmer(sk, &mut buf);
+            }
+            buf.len()
+        })
+    });
+
+    let mut encoded = Vec::new();
+    for sk in &superkmers {
+        encode_superkmer(sk, &mut encoded);
+    }
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut offset = 0usize;
+            let mut n = 0usize;
+            while offset < encoded.len() {
+                let (sk, used) = decode_superkmer(&encoded[offset..], 27, 11).unwrap();
+                n += sk.kmer_count();
+                offset += used;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_superkmer);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! `dbg` — a small end-user CLI over the ParaHash library:
+//!
+//! ```text
+//! dbg build <reads.fastq> --out <graph.dbg> [-k 27] [-p 11] [--partitions 64]
+//!           [--gpus n] [--work-dir dir]
+//!     Construct the De Bruijn graph of a FASTQ file and store it.
+//!
+//! dbg stats <graph.dbg> [--spectrum]
+//!     Print graph statistics (and the multiplicity spectrum).
+//!
+//! dbg unitigs <graph.dbg> --out <contigs.fasta> [--min-count c] [--clean]
+//!     Error-filter, optionally tip-clip/bubble-pop, compact unitigs, and
+//!     write them as FASTA contigs.
+//!
+//! dbg diff <a.dbg> <b.dbg>
+//!     Compare two stored graphs; exit 0 when identical, 1 when they
+//!     differ (printing a summary of the differences).
+//! ```
+
+use std::io::BufWriter;
+
+use dna::{FastaWriter, SeqRead};
+use hashgraph::{clip_tips, load_graph, pop_bubbles, save_graph, unitigs_with, Spectrum};
+use parahash::{ParaHash, ParaHashConfig};
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+fn parse_args(takes_value: &[&str]) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut switches = std::collections::HashSet::new();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+            if takes_value.contains(&name) {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| die(&format!("--{name} needs a value")));
+                flags.insert(name.to_string(), v.clone());
+            } else {
+                switches.insert(name.to_string());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Args { positional, flags, switches }
+}
+
+fn main() {
+    let args = parse_args(&["out", "k", "p", "partitions", "gpus", "work-dir", "min-count"]);
+    match args.positional.first().map(String::as_str) {
+        Some("build") => build(&args),
+        Some("stats") => stats(&args),
+        Some("unitigs") => unitigs_cmd(&args),
+        Some("diff") => diff(&args),
+        _ => die("usage: dbg <build|stats|unitigs|diff> ... (see the binary's doc comment)"),
+    }
+}
+
+fn num<T: std::str::FromStr>(args: &Args, name: &str, default: T) -> T {
+    match args.flags.get(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| die(&format!("--{name}: cannot parse {v:?}"))),
+    }
+}
+
+fn build(args: &Args) {
+    let input = args.positional.get(1).unwrap_or_else(|| die("build: missing <reads.fastq>"));
+    let out = args.flags.get("out").unwrap_or_else(|| die("build: --out <graph.dbg> required"));
+    let k = num(args, "k", 27usize);
+    let p = num(args, "p", 11usize);
+    let partitions = num(args, "partitions", 64usize);
+    let gpus = num(args, "gpus", 0usize);
+    let work_dir = args
+        .flags
+        .get("work-dir")
+        .cloned()
+        .unwrap_or_else(|| std::env::temp_dir().join("parahash-dbg-cli").display().to_string());
+
+    let mut builder = ParaHashConfig::builder().k(k).p(p).partitions(partitions).work_dir(&work_dir);
+    for _ in 0..gpus {
+        builder = builder.sim_gpu(hetsim::SimGpuConfig::default());
+    }
+    let config = builder.build().unwrap_or_else(|e| die(&format!("bad configuration: {e}")));
+    let ph = ParaHash::new(config).unwrap_or_else(|e| die(&format!("cannot start: {e}")));
+    eprintln!("building k={k} p={p} partitions={partitions} gpus={gpus} from {input}");
+    let outcome = ph
+        .run_fastq_streaming(input)
+        .unwrap_or_else(|e| die(&format!("construction failed: {e}")));
+    eprintln!("{}", outcome.report.summary());
+    save_graph(&outcome.graph, out).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    eprintln!("graph stored in {out}");
+    let _ = std::fs::remove_dir_all(&work_dir);
+}
+
+fn stats(args: &Args) {
+    let path = args.positional.get(1).unwrap_or_else(|| die("stats: missing <graph.dbg>"));
+    let graph = load_graph(path).unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
+    println!("k                  : {}", graph.k());
+    println!("distinct vertices  : {}", graph.distinct_vertices());
+    println!("kmer occurrences   : {}", graph.total_kmer_occurrences());
+    println!("duplicate vertices : {}", graph.duplicate_vertices());
+    println!("edge multiplicity  : {}", graph.total_edge_multiplicity());
+    println!("approx memory      : {} bytes", graph.approx_bytes());
+    let spectrum = Spectrum::of(&graph);
+    if let Some(peak) = spectrum.coverage_peak() {
+        println!("coverage peak      : {peak}");
+    }
+    if let Some(th) = spectrum.error_threshold() {
+        println!(
+            "error threshold    : {th} ({:.1}% of vertices below)",
+            100.0 * spectrum.error_fraction()
+        );
+    }
+    if args.switches.contains("spectrum") {
+        println!("\nmultiplicity  vertices");
+        for (m, &n) in spectrum.histogram().iter().enumerate() {
+            if n > 0 {
+                println!("{m:>12}  {n}");
+            }
+        }
+    }
+}
+
+fn unitigs_cmd(args: &Args) {
+    let path = args.positional.get(1).unwrap_or_else(|| die("unitigs: missing <graph.dbg>"));
+    let out = args.flags.get("out").unwrap_or_else(|| die("unitigs: --out <contigs.fasta> required"));
+    let mut graph = load_graph(path).unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
+    let k = graph.k();
+
+    let min_count = match args.flags.get("min-count") {
+        Some(v) => v.parse().unwrap_or_else(|_| die("--min-count: not a number")),
+        None => Spectrum::of(&graph).error_threshold().unwrap_or(1),
+    };
+    let removed = graph.filter_min_count(min_count);
+    eprintln!("multiplicity filter (>= {min_count}) removed {removed} vertices");
+
+    if args.switches.contains("clean") {
+        let tips = clip_tips(&mut graph, 2 * k);
+        let bubbles = pop_bubbles(&mut graph, 3 * k);
+        eprintln!("cleaning removed {tips} tip vertices, {bubbles} bubble vertices");
+    }
+
+    let mut contigs = unitigs_with(&graph, min_count);
+    contigs.sort_by_key(|u| std::cmp::Reverse(u.len()));
+    let file = std::fs::File::create(out).unwrap_or_else(|e| die(&format!("cannot create {out}: {e}")));
+    let mut w = FastaWriter::new(BufWriter::new(file));
+    for (i, u) in contigs.iter().enumerate() {
+        let id = format!("unitig_{i} len={} kmers={} mean_cov={:.1}", u.len(), u.vertices(), u.mean_count());
+        w.write_record(&SeqRead::new(id, u.seq().clone()))
+            .unwrap_or_else(|e| die(&format!("write failed: {e}")));
+    }
+    w.into_inner().unwrap_or_else(|e| die(&format!("flush failed: {e}")));
+    let total: usize = contigs.iter().map(|u| u.len()).sum();
+    eprintln!("wrote {} unitigs ({} bp) to {out}", contigs.len(), total);
+}
+
+fn diff(args: &Args) {
+    let (pa, pb) = match (&args.positional.get(1), &args.positional.get(2)) {
+        (Some(a), Some(b)) => (a.as_str(), b.as_str()),
+        _ => die("diff: expected <a.dbg> <b.dbg>"),
+    };
+    let a = load_graph(pa).unwrap_or_else(|e| die(&format!("cannot load {pa}: {e}")));
+    let b = load_graph(pb).unwrap_or_else(|e| die(&format!("cannot load {pb}: {e}")));
+    if a.k() != b.k() {
+        println!("k differs: {} vs {}", a.k(), b.k());
+        std::process::exit(1);
+    }
+    if a == b {
+        println!("graphs are identical ({} vertices)", a.distinct_vertices());
+        return;
+    }
+    let only_a = a.iter().filter(|(k, _)| b.get(k).is_none()).count();
+    let only_b = b.iter().filter(|(k, _)| a.get(k).is_none()).count();
+    let differing = a
+        .iter()
+        .filter(|(k, v)| b.get(k).is_some_and(|w| w != *v))
+        .count();
+    println!("graphs differ:");
+    println!("  vertices only in {pa}: {only_a}");
+    println!("  vertices only in {pb}: {only_b}");
+    println!("  shared vertices with different counts/edges: {differing}");
+    std::process::exit(1);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

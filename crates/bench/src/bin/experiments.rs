@@ -1,0 +1,70 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <id> [--scale <f>]
+//!
+//! ids: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!      fig13 fig14 lockstats encoding counting ablation checks all
+//! --scale multiplies the mini-dataset genome sizes (default 1.0;
+//!         use e.g. 0.1 for a quick smoke run, 10 for a longer one).
+//! ```
+
+use parahash_bench::exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive number"));
+                if scale <= 0.0 {
+                    die("--scale needs a positive number");
+                }
+            }
+            other if id.is_none() && !other.starts_with('-') => id = Some(other.to_string()),
+            other => die(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let id = id.unwrap_or_else(|| die("missing experiment id"));
+    println!("parahash experiments — scale {scale}");
+    match id.as_str() {
+        "table1" => exp::table1(scale),
+        "table2" => exp::table2(scale),
+        "table3" => exp::table3(scale),
+        "fig6" => exp::fig6(scale),
+        "fig7" => exp::fig7(scale),
+        "fig8" => exp::fig8(scale),
+        "fig9" => exp::fig9(scale),
+        "fig10" => exp::fig10(scale),
+        "fig11" => exp::fig11(scale),
+        "fig12" => exp::fig12(scale),
+        "fig13" => exp::fig13(scale),
+        "fig14" => exp::fig14(scale),
+        "fig5" => exp::fig5(scale),
+        "counting" => exp::counting(scale),
+        "ablation" => exp::ablation(scale),
+        "checks" => std::process::exit(exp::checks(scale)),
+        "lockstats" => exp::lockstats(scale),
+        "encoding" => exp::encoding(scale),
+        "all" => exp::all(scale),
+        other => die(&format!("unknown experiment {other:?}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: experiments <table1|table2|table3|fig5..fig14|lockstats|encoding|counting|all> [--scale f]"
+    );
+    std::process::exit(2);
+}

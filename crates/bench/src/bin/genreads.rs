@@ -1,0 +1,77 @@
+//! Dataset generator: writes a profile's simulated reads to a FASTQ file
+//! (and optionally the reference genome to FASTA), so the `dbg` tool and
+//! external programs can consume the same inputs the experiments use.
+//!
+//! ```text
+//! genreads <chr14|bumblebee|tiny> <out.fastq> [--scale f] [--genome out.fasta]
+//! ```
+
+use std::io::BufWriter;
+
+use datagen::DatasetProfile;
+use dna::{FastaWriter, FastqWriter, SeqRead};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut scale = 1.0f64;
+    let mut genome_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| die("--scale needs a positive number"));
+            }
+            "--genome" => {
+                i += 1;
+                genome_out = Some(args.get(i).cloned().unwrap_or_else(|| die("--genome needs a path")));
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => die(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if positional.len() != 2 || scale <= 0.0 {
+        die("expected: genreads <chr14|bumblebee|tiny> <out.fastq> [--scale f] [--genome out.fasta]");
+    }
+    let profile = match positional[0].as_str() {
+        "chr14" => DatasetProfile::human_chr14_mini(),
+        "bumblebee" => DatasetProfile::bumblebee_mini(),
+        "tiny" => DatasetProfile::tiny(),
+        other => die(&format!("unknown profile {other:?} (chr14|bumblebee|tiny)")),
+    }
+    .scale(scale);
+
+    eprintln!(
+        "generating {}: Ge={} bp, L={} bp, ~{} reads (λ={})",
+        profile.name,
+        profile.genome_size,
+        profile.read_len,
+        profile.read_count(),
+        profile.lambda
+    );
+    let data = profile.materialize();
+
+    let file = std::fs::File::create(&positional[1]).unwrap_or_else(|e| die(&format!("cannot create {}: {e}", positional[1])));
+    let mut w = FastqWriter::new(BufWriter::new(file));
+    for read in &data.reads {
+        w.write_record(read).unwrap_or_else(|e| die(&format!("write failed: {e}")));
+    }
+    w.into_inner().unwrap_or_else(|e| die(&format!("flush failed: {e}")));
+    eprintln!("wrote {} reads to {}", data.reads.len(), positional[1]);
+
+    if let Some(path) = genome_out {
+        let file = std::fs::File::create(&path).unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+        let mut w = FastaWriter::new(BufWriter::new(file));
+        w.write_record(&SeqRead::new(data.profile.name, data.genome.clone()))
+            .unwrap_or_else(|e| die(&format!("write failed: {e}")));
+        w.into_inner().unwrap_or_else(|e| die(&format!("flush failed: {e}")));
+        eprintln!("wrote reference genome to {path}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

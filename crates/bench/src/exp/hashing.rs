@@ -1,0 +1,229 @@
+//! Step-2 (concurrent hashing) studies: Figs 7–10 and the §III-C lock
+//! statistics.
+
+use std::time::Instant;
+
+use dna::Kmer;
+use hashgraph::{
+    build_subgraph_with, ConcurrentDbgTable, ContentionStats, MutexDbgTable, VertexTable,
+};
+use parahash::{run_step1, run_step2};
+use pipeline::{IoMode, ThrottledIo};
+
+use crate::exp::{header, paper_note};
+use crate::fmt::{count, loglog_slope, secs, Table};
+use crate::workloads::{self, Setup, K};
+
+/// Shared harness: run Step 1 once per partition count, then time Step 2
+/// under `setup`, returning (elapsed, the Step-2 report, gpu metrics).
+fn step2_time(
+    data: &datagen::ProfileData,
+    partitions: usize,
+    setup: Setup,
+    tag: &str,
+) -> (std::time::Duration, parahash::StepReport, Vec<hetsim::DeviceMetrics>) {
+    let ph = workloads::runner(tag, setup, partitions, IoMode::Unthrottled);
+    let io = ThrottledIo::new(IoMode::Unthrottled);
+    let (manifest, _) = run_step1(ph.config(), &data.reads, &io).expect("step1 runs");
+    let t0 = Instant::now();
+    let (_, report) = run_step2(ph.config(), &manifest, &io).expect("step2 runs");
+    let elapsed = t0.elapsed();
+    let metrics = ph.config().devices().iter().map(|d| d.metrics()).collect();
+    workloads::cleanup(&ph);
+    (elapsed, report, metrics)
+}
+
+/// Fig 7: CPU hashing vs GPU hashing time as the number of partitions
+/// (and therefore the hash table size) varies.
+pub fn fig7(scale: f64) {
+    header("Fig 7", "CPU hashing vs GPU hashing time vs number of partitions");
+    let data = workloads::chr14(scale);
+    let mut t = Table::new(&["# partitions", "CPU hashing (s)", "GPU hashing (s)"]);
+    for n in [16usize, 32, 64, 128, 256] {
+        let (cpu_t, _, _) = step2_time(&data, n, Setup::CpuOnly, &format!("f7c{n}"));
+        let (gpu_t, _, _) = step2_time(&data, n, Setup::OneGpu, &format!("f7g{n}"));
+        t.row_owned(vec![n.to_string(), secs(cpu_t), secs(gpu_t)]);
+    }
+    print!("{}", t.render());
+    paper_note(
+        "Both CPU and GPU hashing get faster as partitions increase (smaller tables = \
+         better locality); the gap between them approaches the host-device transfer time \
+         beyond 16 partitions — a 20-core CPU and one K40 are comparable on random-access \
+         hashing.",
+    );
+}
+
+/// Fig 8: GPU hashing time broken into compute and host↔device transfer.
+pub fn fig8(scale: f64) {
+    header("Fig 8", "GPU hashing time breakdown (compute vs transfer)");
+    let data = workloads::chr14(scale);
+    let mut t = Table::new(&["# partitions", "GPU total (s)", "kernel (s)", "transfer (s)"]);
+    for n in [16usize, 32, 64, 128, 256] {
+        let (elapsed, _, metrics) = step2_time(&data, n, Setup::OneGpu, &format!("f8-{n}"));
+        let m = &metrics[0];
+        t.row_owned(vec![
+            n.to_string(),
+            secs(elapsed),
+            secs(m.busy),
+            secs(m.transfer_time),
+        ]);
+    }
+    print!("{}", t.render());
+    paper_note(
+        "Transfer time stays ~constant across partition counts (total bytes moved is \
+         fixed) while kernel time falls with smaller tables; at many partitions the \
+         CPU-GPU gap in Fig 7 is roughly this transfer time.",
+    );
+}
+
+/// Fig 9: concurrent CPU hashing scalability with thread count.
+pub fn fig9(scale: f64) {
+    header("Fig 9", "CPU hashing scalability vs threads (log-log fit)");
+    let data = workloads::chr14(scale);
+    // One partitioning pass, reused for every thread count.
+    let seqs: Vec<dna::PackedSeq> = data.reads.iter().map(|r| r.seq().clone()).collect();
+    let parts = msp::partition_in_memory(&seqs, K, workloads::P, 64).expect("valid params");
+    let mut t = Table::new(&["threads", "hashing time (s)"]);
+    let mut points = Vec::new();
+    for threads in [1usize, 2, 4, 6, 8, 12, 16, 20] {
+        let t0 = Instant::now();
+        for part in &parts {
+            let n_kmers: usize = part.iter().map(|s| s.kmer_count()).sum();
+            let table = ConcurrentDbgTable::new(n_kmers + n_kmers / 4 + 16, K);
+            build_subgraph_with(&table, part, threads).expect("build succeeds");
+        }
+        let elapsed = t0.elapsed();
+        points.push((threads as f64, elapsed.as_secs_f64()));
+        t.row_owned(vec![threads.to_string(), secs(elapsed)]);
+    }
+    print!("{}", t.render());
+    let slope = loglog_slope(&points[1..]).unwrap_or(f64::NAN);
+    println!("log-log slope (threads >= 2): {slope:.3}");
+    let cores = workloads::cpu_threads();
+    println!("(this machine has {cores} core(s); ideal slope −1 needs >= 20 cores)");
+    paper_note(
+        "On the 20-core host the fitted slope a ≈ −1 (x·y constant): near-linear \
+         scalability despite shared-table contention. On a machine with fewer cores the \
+         curve flattens once threads exceed cores.",
+    );
+}
+
+/// Fig 10: CPU hashing vs the SOAP strategy with time breakdown
+/// (read data vs insertion/update); 20 partitions, P = K.
+pub fn fig10(scale: f64) {
+    header("Fig 10", "CPU hashing vs SOAP, phase breakdown (20 partitions, P=K)");
+    let data = workloads::chr14(scale);
+    let threads = workloads::cpu_threads();
+    let seqs: Vec<dna::PackedSeq> = data.reads.iter().map(|r| r.seq().clone()).collect();
+    // P = K: superkmer runs carry single canonical kmers, so partitions
+    // hold (nearly) raw kmers — the apples-to-apples setting vs SOAP.
+    let parts = msp::partition_in_memory(&seqs, K, K, 20).expect("valid params");
+
+    // ParaHash side, phased like SOAP: materialise <vertex, slots> pairs
+    // ("Read data"), then concurrent-table inserts ("Insertion/Update").
+    let t0 = Instant::now();
+    let mut pairs_per_part: Vec<Vec<(Kmer, [Option<u8>; 2])>> = Vec::with_capacity(parts.len());
+    for part in &parts {
+        let mut pairs = Vec::new();
+        for sk in part {
+            let core = sk.core();
+            let last = core.len() - K;
+            for (i, kmer) in core.kmers(K).enumerate() {
+                let left = if i > 0 { Some(core.base(i - 1)) } else { sk.left_ext() };
+                let right = if i < last { Some(core.base(i + K)) } else { sk.right_ext() };
+                let (canon, orient) = kmer.canonical();
+                pairs.push((canon, hashgraph::edge_slots_for(orient, left, right)));
+            }
+        }
+        pairs_per_part.push(pairs);
+    }
+    let read_data = t0.elapsed();
+
+    let t0 = Instant::now();
+    for pairs in &pairs_per_part {
+        let table = ConcurrentDbgTable::new(pairs.len() + pairs.len() / 4 + 16, K);
+        let chunk_size = pairs.len().div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for chunk in pairs.chunks(chunk_size) {
+                let table = &table;
+                s.spawn(move || {
+                    for (canon, slots) in chunk {
+                        table.record(canon, *slots).expect("capacity sufficient");
+                    }
+                });
+            }
+        });
+    }
+    let insert = t0.elapsed();
+
+    // SOAP side.
+    use baselines::DbgBuilder as _;
+    let (_, soap_report) = baselines::SoapBuilder::new(K, threads)
+        .build(&data.reads)
+        .expect("soap builds");
+
+    let mut t = Table::new(&["system", "read data (s)", "insertion/update (s)", "total (s)"]);
+    t.row_owned(vec![
+        "ParaHash concurrent hashing".into(),
+        secs(read_data),
+        secs(insert),
+        secs(read_data + insert),
+    ]);
+    t.row_owned(vec![
+        "SOAP local tables".into(),
+        secs(soap_report.phases[0].1),
+        secs(soap_report.phases[1].1),
+        secs(soap_report.elapsed),
+    ]);
+    print!("{}", t.render());
+    paper_note(
+        "ParaHash is faster on both phases: accessing <vertex, edge> pairs (partitioned, \
+         cache-friendly reads vs SOAP's every-thread-scans-all-kmers) and insert/update \
+         (one shared table with partial locks vs per-thread tables).",
+    );
+}
+
+/// §III-C lock statistics: the state-transfer mechanism locks only
+/// insertions, ~20 % of operations.
+pub fn lockstats(scale: f64) {
+    header("lockstats", "state-transfer partial locking vs full locking (§III-C)");
+    let mut t = Table::new(&[
+        "dataset",
+        "operations",
+        "insertions (locked)",
+        "updates (lock-free)",
+        "locked fraction",
+        "reduction",
+        "full-lock acquisitions",
+    ]);
+    for data in workloads::datasets(scale) {
+        let seqs: Vec<dna::PackedSeq> = data.reads.iter().map(|r| r.seq().clone()).collect();
+        let parts = msp::partition_in_memory(&seqs, K, workloads::P, 16).expect("valid params");
+        let mut stats = ContentionStats::default();
+        let mut full_locks = 0u64;
+        for part in &parts {
+            let n_kmers: usize = part.iter().map(|s| s.kmer_count()).sum();
+            let table = ConcurrentDbgTable::new(n_kmers + n_kmers / 4 + 16, K);
+            build_subgraph_with(&table, part, 4).expect("build succeeds");
+            stats.merge(&table.contention());
+            let mutex_table = MutexDbgTable::new(n_kmers + n_kmers / 4 + 16, K);
+            build_subgraph_with(&mutex_table, part, 4).expect("build succeeds");
+            full_locks += mutex_table.contention().lock_waits;
+        }
+        t.row_owned(vec![
+            data.profile.name.into(),
+            count(stats.operations()),
+            count(stats.insertions),
+            count(stats.updates),
+            format!("{:.1}%", 100.0 * stats.locked_fraction()),
+            format!("{:.1}%", 100.0 * stats.lock_reduction()),
+            count(full_locks),
+        ]);
+    }
+    print!("{}", t.render());
+    paper_note(
+        "Distinct vertices are ~1/5 of all kmer occurrences, so state transfer locks only \
+         ~20% of operations — an ~80% reduction versus locking every access (the \
+         full-lock column counts what a lock-everything table actually acquires).",
+    );
+}

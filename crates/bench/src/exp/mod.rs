@@ -1,0 +1,47 @@
+//! One function per table/figure of the paper's evaluation. Each prints
+//! its rows/series to stdout together with the shape the paper observed.
+
+mod checks;
+mod coproc;
+mod hashing;
+mod partitioning;
+mod tables;
+mod timeline;
+
+pub use checks::checks;
+pub use coproc::{fig11, fig12, fig13, fig14};
+pub use hashing::{fig10, fig7, fig8, fig9, lockstats};
+pub use partitioning::{encoding, fig6, table2};
+pub use tables::{table1, table3};
+pub use timeline::{ablation, counting, fig5};
+
+/// Runs every experiment in paper order.
+pub fn all(scale: f64) {
+    table1(scale);
+    fig5(scale);
+    table2(scale);
+    fig6(scale);
+    fig7(scale);
+    fig8(scale);
+    fig9(scale);
+    fig10(scale);
+    fig11(scale);
+    fig12(scale);
+    table3(scale);
+    fig13(scale);
+    fig14(scale);
+    lockstats(scale);
+    encoding(scale);
+    counting(scale);
+    ablation(scale);
+}
+
+/// Prints an experiment header.
+pub(crate) fn header(id: &str, what: &str) {
+    println!("\n=== {id}: {what} ===");
+}
+
+/// Prints the paper's observed shape for comparison.
+pub(crate) fn paper_note(note: &str) {
+    println!("[paper] {note}\n");
+}

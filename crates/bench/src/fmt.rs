@@ -1,0 +1,205 @@
+//! Plain-text table and series rendering for experiment output.
+
+use std::time::Duration;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use parahash_bench::fmt::Table;
+///
+/// let mut t = Table::new(&["system", "time (s)"]);
+/// t.row(&["soap", "1.23"]);
+/// t.row(&["parahash", "0.41"]);
+/// let text = t.render();
+/// assert!(text.contains("parahash"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends one row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Table {
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a byte count as a human-readable quantity.
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+/// Formats a count with thousands separators.
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the paper's Fig 9
+/// scalability fit (`a ≈ −1` means linear scaling).
+///
+/// Returns `None` with fewer than two valid points or non-positive values.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = Table::new(&["a", "longer"]);
+        t.row(&["x"]);
+        t.row_owned(vec!["yy".into(), "zz".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.00 KiB");
+        assert_eq!(bytes(3 << 20), "3.00 MiB");
+    }
+
+    #[test]
+    fn count_separators() {
+        assert_eq!(count(1), "1");
+        assert_eq!(count(1234), "1,234");
+        assert_eq!(count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+
+    #[test]
+    fn loglog_slope_of_perfect_scaling_is_minus_one() {
+        let pts: Vec<(f64, f64)> = (1..=16).map(|t| (t as f64, 100.0 / t as f64)).collect();
+        let slope = loglog_slope(&pts).unwrap();
+        assert!((slope + 1.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn loglog_slope_of_flat_line_is_zero() {
+        let pts = vec![(1.0, 5.0), (2.0, 5.0), (4.0, 5.0)];
+        assert!(loglog_slope(&pts).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_slope_degenerate_inputs() {
+        assert!(loglog_slope(&[]).is_none());
+        assert!(loglog_slope(&[(1.0, 1.0)]).is_none());
+        assert!(loglog_slope(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+        assert!(loglog_slope(&[(2.0, 1.0), (2.0, 3.0)]).is_none(), "vertical line");
+    }
+}

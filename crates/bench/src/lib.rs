@@ -1,0 +1,12 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§V) against the scaled synthetic datasets.
+//!
+//! Run `cargo run -p parahash-bench --release --bin experiments -- all`
+//! (or a single experiment id such as `table3` or `fig9`). Each
+//! experiment prints the same rows/series the paper reports, next to a
+//! note describing the shape the paper observed; `EXPERIMENTS.md` records
+//! a full paper-vs-measured comparison.
+
+pub mod exp;
+pub mod fmt;
+pub mod workloads;

@@ -1,0 +1,39 @@
+//! Synthetic genome and read-set generation.
+//!
+//! The paper evaluates on two GAGE datasets (Human Chr14, 9.4 GB fastq, and
+//! Bumblebee, 92 GB fastq) that are impractical to ship or to process in a
+//! test environment. This crate is the documented substitution (see
+//! `DESIGN.md` §2): a seeded random genome plus an Illumina-like *read
+//! simulator* whose knobs — genome size `Ge`, read length `L`, coverage
+//! `c = LN/Ge`, and average errors per read `λ` (Poisson, following the
+//! paper's Property 1 model) — reproduce the *ratios* the evaluation
+//! depends on at any scale.
+//!
+//! # Examples
+//!
+//! ```
+//! use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+//!
+//! let genome = GenomeSpec::new(10_000).seed(7).generate();
+//! assert_eq!(genome.len(), 10_000);
+//!
+//! let reads = Sequencer::new(SequencingSpec {
+//!     read_len: 100,
+//!     coverage: 5.0,
+//!     lambda: 1.0,
+//!     seed: 7,
+//!     ..Default::default()
+//! })
+//! .sequence(&genome);
+//! // N = c·Ge/L reads
+//! assert_eq!(reads.len(), 500);
+//! assert!(reads.iter().all(|r| r.len() == 100));
+//! ```
+
+mod genome;
+mod profiles;
+mod sequencer;
+
+pub use genome::GenomeSpec;
+pub use profiles::{DatasetProfile, ProfileData};
+pub use sequencer::{Sequencer, SequencingSpec};

@@ -1,0 +1,265 @@
+use dna::{Base, PackedSeq, SeqRead};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the read simulator.
+///
+/// Defaults mirror a generic short-read run: 100 bp reads, 30× coverage,
+/// λ = 1 error per read, both strands sampled.
+#[derive(Debug, Clone)]
+pub struct SequencingSpec {
+    /// Read length `L` in base pairs.
+    pub read_len: usize,
+    /// Target coverage `c`; the simulator emits `N = ⌊c·Ge/L⌋` reads.
+    pub coverage: f64,
+    /// Average number of sequencing errors per read. Error counts are
+    /// sampled per read from a Poisson(λ) distribution — exactly the model
+    /// behind the paper's Property 1 (expected distinct vertices
+    /// `Θ(λ/4·LN + Ge)`).
+    pub lambda: f64,
+    /// Probability that a read is taken from the reverse strand. The
+    /// canonical-kmer machinery only gets exercised when this is non-zero.
+    pub reverse_strand_prob: f64,
+    /// RNG seed; simulation is fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for SequencingSpec {
+    fn default() -> SequencingSpec {
+        SequencingSpec {
+            read_len: 100,
+            coverage: 30.0,
+            lambda: 1.0,
+            reverse_strand_prob: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Illumina-like read simulator over a reference genome.
+///
+/// # Examples
+///
+/// ```
+/// use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+///
+/// let genome = GenomeSpec::new(2_000).seed(1).generate();
+/// let spec = SequencingSpec { read_len: 50, coverage: 10.0, seed: 1, ..Default::default() };
+/// let reads = Sequencer::new(spec).sequence(&genome);
+/// assert_eq!(reads.len(), 400); // 10 × 2000 / 50
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sequencer {
+    spec: SequencingSpec,
+}
+
+impl Sequencer {
+    /// Creates a simulator with the given parameters.
+    pub fn new(spec: SequencingSpec) -> Sequencer {
+        Sequencer { spec }
+    }
+
+    /// The configured parameters.
+    pub fn spec(&self) -> &SequencingSpec {
+        &self.spec
+    }
+
+    /// Number of reads that [`Sequencer::sequence`] will produce for a
+    /// genome of `genome_len` base pairs.
+    pub fn read_count(&self, genome_len: usize) -> usize {
+        if self.spec.read_len == 0 || genome_len < self.spec.read_len {
+            return 0;
+        }
+        ((self.spec.coverage * genome_len as f64) / self.spec.read_len as f64) as usize
+    }
+
+    /// Simulates a full read set over `genome`.
+    ///
+    /// Each read starts at a uniform position, may come from either strand,
+    /// and receives `Poisson(λ)` substitution errors at uniform positions
+    /// (an erroneous base is replaced by a *different* uniform base, so
+    /// every injected error really changes the read).
+    pub fn sequence(&self, genome: &PackedSeq) -> Vec<SeqRead> {
+        let n = self.read_count(genome.len());
+        let mut rng = StdRng::seed_from_u64(self.spec.seed ^ 0x5EC_0DE5);
+        let mut reads = Vec::with_capacity(n);
+        for i in 0..n {
+            reads.push(self.one_read(genome, i, &mut rng));
+        }
+        reads
+    }
+
+    /// Streaming variant of [`Sequencer::sequence`]: calls `sink` once per
+    /// read without materialising the whole read set. Useful when writing
+    /// large FASTQ files.
+    pub fn sequence_into<F>(&self, genome: &PackedSeq, mut sink: F)
+    where
+        F: FnMut(SeqRead),
+    {
+        let n = self.read_count(genome.len());
+        let mut rng = StdRng::seed_from_u64(self.spec.seed ^ 0x5EC_0DE5);
+        for i in 0..n {
+            sink(self.one_read(genome, i, &mut rng));
+        }
+    }
+
+    fn one_read(&self, genome: &PackedSeq, index: usize, rng: &mut StdRng) -> SeqRead {
+        let l = self.spec.read_len;
+        let start = rng.gen_range(0..=genome.len() - l);
+        let mut seq = genome.slice(start, l);
+        if self.spec.reverse_strand_prob > 0.0 && rng.gen_bool(self.spec.reverse_strand_prob) {
+            seq = seq.revcomp();
+        }
+        let errors = sample_poisson(self.spec.lambda, rng);
+        if errors > 0 {
+            let mut bases: Vec<Base> = seq.bases().collect();
+            for _ in 0..errors {
+                let pos = rng.gen_range(0..l);
+                let old = bases[pos];
+                let new = Base::from_code((old.code() + rng.gen_range(1..4u8)) & 3);
+                bases[pos] = new;
+            }
+            seq = bases.into_iter().collect();
+        }
+        // Quality consistent with the error model: per-base error
+        // probability λ/L, so Property-1 consumers can recover λ from the
+        // FASTQ (dna::quality::estimate_lambda).
+        let q = dna::quality::score_for_probability(self.spec.lambda / l as f64);
+        SeqRead::new(format!("sim.{index}"), seq)
+            .with_quality(vec![dna::quality::phred_char(q); l])
+    }
+}
+
+/// Samples a Poisson(λ)-distributed count with Knuth's multiplication
+/// method, adequate for the small λ (1–2) the paper cites from short-read
+/// error-rate studies.
+fn sample_poisson(lambda: f64, rng: &mut StdRng) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // λ is small here; guard against pathological inputs anyway.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GenomeSpec;
+
+    fn genome(len: usize) -> PackedSeq {
+        GenomeSpec::new(len).seed(11).generate()
+    }
+
+    #[test]
+    fn read_count_formula() {
+        let s = Sequencer::new(SequencingSpec { read_len: 100, coverage: 30.0, ..Default::default() });
+        assert_eq!(s.read_count(10_000), 3000);
+        assert_eq!(s.read_count(50), 0, "genome shorter than a read");
+    }
+
+    #[test]
+    fn reads_are_deterministic_per_seed() {
+        let g = genome(3000);
+        let spec = SequencingSpec { read_len: 80, coverage: 3.0, seed: 5, ..Default::default() };
+        let a = Sequencer::new(spec.clone()).sequence(&g);
+        let b = Sequencer::new(spec).sequence(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_free_reads_match_genome_or_revcomp() {
+        let g = genome(2000);
+        let spec = SequencingSpec {
+            read_len: 60,
+            coverage: 5.0,
+            lambda: 0.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let reads = Sequencer::new(spec).sequence(&g);
+        let text = g.to_string();
+        for r in &reads {
+            let fwd = r.seq().to_string();
+            let rev = r.seq().revcomp().to_string();
+            assert!(
+                text.contains(&fwd) || text.contains(&rev),
+                "error-free read must be a substring of a strand"
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_controls_average_error_count() {
+        let g = genome(5000);
+        let count_mismatches = |lambda: f64| -> usize {
+            let spec = SequencingSpec {
+                read_len: 100,
+                coverage: 20.0,
+                lambda,
+                reverse_strand_prob: 0.0,
+                seed: 8,
+            };
+            let reads = Sequencer::new(spec).sequence(&g);
+            let text = g.to_string();
+            reads.iter().filter(|r| !text.contains(&r.seq().to_string())).count()
+        };
+        // With λ=2 nearly every read is erroneous; with λ=0 none are.
+        assert_eq!(count_mismatches(0.0), 0);
+        let errs = count_mismatches(2.0);
+        assert!(errs > 500, "λ=2 should corrupt most of the 1000 reads, got {errs}");
+    }
+
+    #[test]
+    fn sequence_into_matches_sequence() {
+        let g = genome(1500);
+        let spec = SequencingSpec { read_len: 70, coverage: 4.0, seed: 2, ..Default::default() };
+        let direct = Sequencer::new(spec.clone()).sequence(&g);
+        let mut streamed = Vec::new();
+        Sequencer::new(spec).sequence_into(&g, |r| streamed.push(r));
+        assert_eq!(direct, streamed);
+    }
+
+    #[test]
+    fn quality_strings_encode_lambda() {
+        let g = genome(4000);
+        for lambda in [0.5, 1.0, 2.0] {
+            let spec = SequencingSpec { read_len: 100, coverage: 3.0, lambda, seed: 6, ..Default::default() };
+            let reads = Sequencer::new(spec).sequence(&g);
+            assert!(reads.iter().all(|r| r.quality().is_some()));
+            let est = dna::quality::estimate_lambda(&reads, 50).unwrap();
+            // Phred rounding quantises the per-base probability.
+            assert!(
+                (est - lambda).abs() / lambda < 0.2,
+                "λ={lambda}, estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        for lambda in [0.5, 1.0, 2.0] {
+            let total: usize = (0..n).map(|_| sample_poisson(lambda, &mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "poisson mean {mean} too far from λ={lambda}"
+            );
+        }
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        assert_eq!(sample_poisson(-1.0, &mut rng), 0);
+    }
+}

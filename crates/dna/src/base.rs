@@ -1,0 +1,174 @@
+use std::fmt;
+
+/// A single DNA base over the alphabet Σ = {A, C, G, T}.
+///
+/// The discriminants are the 2-bit codes used by every packed
+/// representation in this workspace; their numeric order matches the
+/// lexicographical order of the corresponding characters, so comparing
+/// packed words compares the underlying strings.
+///
+/// # Examples
+///
+/// ```
+/// use dna::Base;
+///
+/// assert_eq!(Base::from_ascii(b'G'), Base::G);
+/// assert_eq!(Base::G.complement(), Base::C);
+/// assert!(Base::A < Base::T);
+/// // Unknown characters normalise to A, as in mainstream assemblers.
+/// assert_eq!(Base::from_ascii(b'N'), Base::A);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
+#[derive(Default)]
+pub enum Base {
+    /// Adenine, code `0b00`.
+    #[default]
+    A = 0,
+    /// Cytosine, code `0b01`.
+    C = 1,
+    /// Guanine, code `0b10`.
+    G = 2,
+    /// Thymine, code `0b11`.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in lexicographic order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Decodes a 2-bit code. Only the low two bits are inspected.
+    ///
+    /// ```
+    /// use dna::Base;
+    /// assert_eq!(Base::from_code(2), Base::G);
+    /// assert_eq!(Base::from_code(0b111), Base::T); // high bits ignored
+    /// ```
+    #[inline]
+    pub const fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// The 2-bit code of this base.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Converts an ASCII character to a base.
+    ///
+    /// Lower- and upper-case `acgt` map to their base; every other byte
+    /// (including `N` for an unresolved read position) maps to [`Base::A`],
+    /// the convention the paper adopts from mainstream assemblers.
+    #[inline]
+    pub const fn from_ascii(ch: u8) -> Base {
+        match ch {
+            b'C' | b'c' => Base::C,
+            b'G' | b'g' => Base::G,
+            b'T' | b't' => Base::T,
+            _ => Base::A,
+        }
+    }
+
+    /// The upper-case ASCII character for this base.
+    #[inline]
+    pub const fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Watson–Crick complement (A↔T, C↔G).
+    ///
+    /// With the 2-bit encoding this is a bitwise NOT of the code:
+    /// `0b00↔0b11`, `0b01↔0b10`.
+    #[inline]
+    pub const fn complement(self) -> Base {
+        Base::from_code(!(self as u8))
+    }
+}
+
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl From<Base> for char {
+    fn from(b: Base) -> char {
+        b.to_ascii() as char
+    }
+}
+
+impl From<Base> for u8 {
+    fn from(b: Base) -> u8 {
+        b.code()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_lexicographic_order() {
+        for w in Base::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].code() < w[1].code());
+            assert!(w[0].to_ascii() < w[1].to_ascii());
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_ascii(b.to_ascii()), b);
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), b);
+        }
+    }
+
+    #[test]
+    fn unknown_characters_normalise_to_a() {
+        for ch in [b'N', b'n', b'X', b'-', b' ', 0u8, 255u8] {
+            assert_eq!(Base::from_ascii(ch), Base::A);
+        }
+    }
+
+    #[test]
+    fn from_code_masks_high_bits() {
+        for code in 0u8..=255 {
+            assert_eq!(Base::from_code(code), Base::from_code(code & 3));
+        }
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        assert_eq!(Base::G.to_string(), "G");
+        assert_eq!(char::from(Base::T), 'T');
+        assert_eq!(u8::from(Base::C), 1);
+    }
+
+    #[test]
+    fn default_is_a() {
+        assert_eq!(Base::default(), Base::A);
+    }
+}

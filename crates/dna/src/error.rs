@@ -1,0 +1,99 @@
+use std::fmt;
+use std::io;
+
+/// Errors produced while parsing, encoding or manipulating DNA data.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DnaError {
+    /// The requested k-mer length is zero or exceeds [`crate::MAX_K`].
+    InvalidK {
+        /// The offending length.
+        k: usize,
+    },
+    /// A sequence was shorter than required for the requested operation.
+    SequenceTooShort {
+        /// Length of the sequence that was provided.
+        len: usize,
+        /// Minimum length the operation needed.
+        needed: usize,
+    },
+    /// An index was out of bounds for the sequence.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Length of the sequence.
+        len: usize,
+    },
+    /// A FASTA/FASTQ record was structurally malformed.
+    MalformedRecord {
+        /// 1-based line number where the problem was detected.
+        line: u64,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for DnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnaError::InvalidK { k } => {
+                write!(f, "invalid k-mer length {k} (must be in 1..={})", crate::MAX_K)
+            }
+            DnaError::SequenceTooShort { len, needed } => {
+                write!(f, "sequence of length {len} is shorter than required {needed}")
+            }
+            DnaError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for sequence of length {len}")
+            }
+            DnaError::MalformedRecord { line, reason } => {
+                write!(f, "malformed record at line {line}: {reason}")
+            }
+            DnaError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DnaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DnaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DnaError {
+    fn from(e: io::Error) -> Self {
+        DnaError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DnaError::InvalidK { k: 0 };
+        let s = e.to_string();
+        assert!(s.contains("invalid k-mer length 0"));
+        let e = DnaError::SequenceTooShort { len: 3, needed: 5 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn io_error_roundtrip_preserves_source() {
+        let e: DnaError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, DnaError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnaError>();
+    }
+}

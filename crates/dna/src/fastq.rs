@@ -1,0 +1,228 @@
+use std::io::{BufRead, Write};
+
+use crate::{DnaError, SeqRead};
+
+/// Streaming FASTQ parser.
+///
+/// Yields one [`SeqRead`] per four-line record. The parser is strict about
+/// structure (`@` header, sequence, `+` separator, quality of equal
+/// length) but lenient about sequence content: non-ACGT characters
+/// normalise to `A`.
+///
+/// A shared or mutable reference to a reader can be passed wherever
+/// `R: BufRead` is required (e.g. `FastqReader::new(&mut file)`).
+///
+/// # Examples
+///
+/// ```
+/// use dna::FastqReader;
+///
+/// # fn main() -> Result<(), dna::DnaError> {
+/// let text = "@r1\nACGT\n+\nIIII\n@r2\nGGCA\n+\nJJJJ\n";
+/// let reads: Result<Vec<_>, _> = FastqReader::new(text.as_bytes()).collect();
+/// let reads = reads?;
+/// assert_eq!(reads.len(), 2);
+/// assert_eq!(reads[1].seq().to_string(), "GGCA");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FastqReader<R> {
+    reader: R,
+    line: u64,
+    buf: String,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> FastqReader<R> {
+        FastqReader { reader, line: 0, buf: String::new() }
+    }
+
+    /// Reads the next line into the internal buffer; `Ok(None)` at EOF.
+    fn next_line(&mut self) -> Result<Option<&str>, DnaError> {
+        self.buf.clear();
+        let n = self.reader.read_line(&mut self.buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        Ok(Some(self.buf.trim_end_matches(['\n', '\r'])))
+    }
+
+    fn malformed(&self, reason: impl Into<String>) -> DnaError {
+        DnaError::MalformedRecord { line: self.line, reason: reason.into() }
+    }
+
+    /// Parses one record; `Ok(None)` at a clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::MalformedRecord`] on structural problems
+    /// (missing `@`, truncated record, quality/sequence length mismatch)
+    /// and [`DnaError::Io`] on read failures.
+    pub fn read_record(&mut self) -> Result<Option<SeqRead>, DnaError> {
+        let header = loop {
+            match self.next_line()? {
+                None => return Ok(None),
+                Some("") => continue, // tolerate blank separator lines
+                Some(l) => break l.to_owned(),
+            }
+        };
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| self.malformed(format!("expected '@' header, got {header:?}")))?
+            .to_owned();
+        let seq = match self.next_line()? {
+            Some(l) => l.as_bytes().to_vec(),
+            None => return Err(self.malformed("record truncated before sequence line")),
+        };
+        let sep = self.next_line()?.map(str::to_owned);
+        match sep {
+            Some(l) if l.starts_with('+') => {}
+            Some(l) => return Err(self.malformed(format!("expected '+' separator, got {l:?}"))),
+            None => return Err(self.malformed("record truncated before '+' separator")),
+        }
+        let qual = match self.next_line()? {
+            Some(l) => l.as_bytes().to_vec(),
+            None => return Err(self.malformed("record truncated before quality line")),
+        };
+        if qual.len() != seq.len() {
+            return Err(self.malformed(format!(
+                "quality length {} does not match sequence length {}",
+                qual.len(),
+                seq.len()
+            )));
+        }
+        Ok(Some(SeqRead::from_ascii(id, &seq).with_quality(qual)))
+    }
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = Result<SeqRead, DnaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
+}
+
+/// FASTQ writer, the inverse of [`FastqReader`].
+///
+/// Reads without a stored quality string are written with a constant
+/// placeholder quality (`I`, Phred 40).
+#[derive(Debug)]
+pub struct FastqWriter<W> {
+    writer: W,
+}
+
+impl<W: Write> FastqWriter<W> {
+    /// Wraps a writer. Pass `&mut w` to keep ownership at the call site.
+    pub fn new(writer: W) -> FastqWriter<W> {
+        FastqWriter { writer }
+    }
+
+    /// Writes one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    pub fn write_record(&mut self, read: &SeqRead) -> Result<(), DnaError> {
+        let seq = read.seq().to_ascii();
+        writeln!(self.writer, "@{}", read.id())?;
+        self.writer.write_all(&seq)?;
+        self.writer.write_all(b"\n+\n")?;
+        match read.quality() {
+            Some(q) => self.writer.write_all(q)?,
+            None => self.writer.write_all(&vec![b'I'; seq.len()])?,
+        }
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn into_inner(mut self) -> Result<W, DnaError> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Vec<SeqRead>, DnaError> {
+        FastqReader::new(text.as_bytes()).collect()
+    }
+
+    #[test]
+    fn parses_multiple_records() {
+        let reads = parse("@a\nACGT\n+\n!!!!\n@b\nGG\n+anything\nII\n").unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].id(), "a");
+        assert_eq!(reads[0].quality(), Some(&b"!!!!"[..]));
+        assert_eq!(reads[1].seq().to_string(), "GG");
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn crlf_line_endings_are_trimmed() {
+        let reads = parse("@a\r\nACGT\r\n+\r\nIIII\r\n").unwrap();
+        assert_eq!(reads[0].seq().to_string(), "ACGT");
+        assert_eq!(reads[0].quality().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn missing_at_header_is_rejected() {
+        let err = parse(">a\nACGT\n+\nIIII\n").unwrap_err();
+        assert!(matches!(err, DnaError::MalformedRecord { line: 1, .. }));
+    }
+
+    #[test]
+    fn truncated_record_is_rejected() {
+        assert!(parse("@a\nACGT\n").is_err());
+        assert!(parse("@a\nACGT\n+\n").is_err());
+        assert!(parse("@a\n").is_err());
+    }
+
+    #[test]
+    fn quality_length_mismatch_is_rejected() {
+        let err = parse("@a\nACGT\n+\nII\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("quality length 2"), "{msg}");
+    }
+
+    #[test]
+    fn n_bases_normalise_to_a() {
+        let reads = parse("@a\nANNT\n+\nIIII\n").unwrap();
+        assert_eq!(reads[0].seq().to_string(), "AAAT");
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let original = parse("@a\nACGT\n+\nABCD\n@b\nGGTTA\n+\nIIIII\n").unwrap();
+        let mut buf = Vec::new();
+        let mut w = FastqWriter::new(&mut buf);
+        for r in &original {
+            w.write_record(r).unwrap();
+        }
+        w.into_inner().unwrap();
+        let reparsed = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn writer_synthesises_quality_when_absent() {
+        let mut buf = Vec::new();
+        FastqWriter::new(&mut buf).write_record(&SeqRead::from_ascii("x", b"ACG")).unwrap();
+        assert_eq!(std::str::from_utf8(&buf).unwrap(), "@x\nACG\n+\nIII\n");
+    }
+}

@@ -1,0 +1,548 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Base, DnaError};
+
+/// Maximum supported k-mer length in base pairs.
+///
+/// A [`Kmer`] stores its bases in four 64-bit words (the paper's
+/// "multi-word" hash keys), so k may range from 1 to 128. The paper's
+/// experiments use K = 27; 128 leaves ample headroom for long-k assembly.
+pub const MAX_K: usize = 128;
+
+const WORDS: usize = 4;
+const BASES_PER_WORD: usize = 32;
+
+/// Orientation of a k-mer relative to its canonical representative.
+///
+/// A DNA sequence has a reverse complement; the *canonical* k-mer is the
+/// lexicographically smaller of a k-mer and its reverse complement, and it
+/// is the vertex identity in the bi-directed De Bruijn graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Orientation {
+    /// The k-mer itself is canonical.
+    Forward,
+    /// The reverse complement is canonical.
+    Reverse,
+}
+
+impl Orientation {
+    /// Flips the orientation.
+    #[inline]
+    pub fn flip(self) -> Orientation {
+        match self {
+            Orientation::Forward => Orientation::Reverse,
+            Orientation::Reverse => Orientation::Forward,
+        }
+    }
+}
+
+/// A fixed-length DNA string of up to [`MAX_K`] bases, 2-bit packed.
+///
+/// Bases are packed *left-aligned, most-significant first*: base 0 lives in
+/// the top two bits of the first word and unused trailing bits are zero.
+/// Because the 2-bit codes follow character order (A<C<G<T), comparing the
+/// word arrays numerically compares the underlying strings
+/// lexicographically — the property minimizer selection relies on.
+///
+/// # Examples
+///
+/// ```
+/// use dna::Kmer;
+///
+/// # fn main() -> Result<(), dna::DnaError> {
+/// let k = Kmer::from_ascii(b"TGATG")?;
+/// assert_eq!(k.to_string(), "TGATG");
+/// assert_eq!(k.revcomp().to_string(), "CATCA");
+/// // CATCA < TGATG, so the canonical form is the reverse complement:
+/// let (canon, orient) = k.canonical();
+/// assert_eq!(canon.to_string(), "CATCA");
+/// assert_eq!(orient, dna::Orientation::Reverse);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Kmer {
+    words: [u64; WORDS],
+    k: u8,
+}
+
+impl Kmer {
+    /// Builds a k-mer of length `k` from an iterator of bases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidK`] if `k` is 0 or exceeds [`MAX_K`], and
+    /// [`DnaError::SequenceTooShort`] if the iterator yields fewer than `k`
+    /// bases. Extra bases beyond `k` are ignored.
+    pub fn from_bases<I>(k: usize, bases: I) -> Result<Kmer, DnaError>
+    where
+        I: IntoIterator<Item = Base>,
+    {
+        if k == 0 || k > MAX_K {
+            return Err(DnaError::InvalidK { k });
+        }
+        let mut kmer = Kmer { words: [0; WORDS], k: k as u8 };
+        let mut n = 0;
+        for b in bases.into_iter().take(k) {
+            kmer.set(n, b);
+            n += 1;
+        }
+        if n < k {
+            return Err(DnaError::SequenceTooShort { len: n, needed: k });
+        }
+        Ok(kmer)
+    }
+
+    /// Builds a k-mer from ASCII characters; `k` is the slice length.
+    ///
+    /// Unknown characters normalise to `A` (see [`Base::from_ascii`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidK`] if the slice is empty or longer than
+    /// [`MAX_K`].
+    pub fn from_ascii(ascii: &[u8]) -> Result<Kmer, DnaError> {
+        Kmer::from_bases(ascii.len(), ascii.iter().map(|&c| Base::from_ascii(c)))
+    }
+
+    /// The length of this k-mer in base pairs.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// The base at position `index` (0 is the leftmost/5′ base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.k()`.
+    #[inline]
+    pub fn base(&self, index: usize) -> Base {
+        assert!(index < self.k(), "base index {index} out of range for k={}", self.k);
+        let word = self.words[index / BASES_PER_WORD];
+        let shift = 62 - 2 * (index % BASES_PER_WORD);
+        Base::from_code((word >> shift) as u8)
+    }
+
+    /// The leftmost (5′) base.
+    #[inline]
+    pub fn first_base(&self) -> Base {
+        self.base(0)
+    }
+
+    /// The rightmost (3′) base.
+    #[inline]
+    pub fn last_base(&self) -> Base {
+        self.base(self.k() - 1)
+    }
+
+    /// Iterates over the bases from left to right.
+    pub fn bases(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.k()).map(move |i| self.base(i))
+    }
+
+    /// The packed words backing this k-mer (left-aligned, trailing zeros).
+    #[inline]
+    pub fn words(&self) -> &[u64; WORDS] {
+        &self.words
+    }
+
+    /// Reassembles a k-mer from raw packed words, the inverse of
+    /// [`Kmer::words`]. Used by hash tables that store keys as bare word
+    /// arrays.
+    ///
+    /// Bits beyond the 2·k used ones are cleared, so any garbage in the
+    /// tail of `words` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidK`] if `k` is 0 or exceeds [`MAX_K`].
+    pub fn from_words(words: [u64; WORDS], k: usize) -> Result<Kmer, DnaError> {
+        if k == 0 || k > MAX_K {
+            return Err(DnaError::InvalidK { k });
+        }
+        let mut kmer = Kmer { words, k: k as u8 };
+        kmer.clear_tail();
+        Ok(kmer)
+    }
+
+    /// Appends `base` on the right and drops the leftmost base, keeping k
+    /// constant. This is the rolling step when scanning a read.
+    ///
+    /// ```
+    /// use dna::Kmer;
+    /// # fn main() -> Result<(), dna::DnaError> {
+    /// let k = Kmer::from_ascii(b"ACGT")?;
+    /// assert_eq!(k.push_right(dna::Base::G).to_string(), "CGTG");
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[inline]
+    pub fn push_right(&self, base: Base) -> Kmer {
+        let mut out = *self;
+        out.shl2();
+        out.set(self.k() - 1, base);
+        out
+    }
+
+    /// Prepends `base` on the left and drops the rightmost base, keeping k
+    /// constant.
+    #[inline]
+    pub fn push_left(&self, base: Base) -> Kmer {
+        let mut out = *self;
+        out.shr2();
+        out.clear_tail();
+        out.set(0, base);
+        out
+    }
+
+    /// The (k−1)-mer prefix, i.e. all bases except the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 1` (a 0-mer is not representable).
+    pub fn prefix(&self) -> Kmer {
+        assert!(self.k > 1, "prefix of a 1-mer is empty");
+        let mut out = *self;
+        out.k -= 1;
+        out.clear_tail();
+        out
+    }
+
+    /// The (k−1)-mer suffix, i.e. all bases except the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 1` (a 0-mer is not representable).
+    pub fn suffix(&self) -> Kmer {
+        assert!(self.k > 1, "suffix of a 1-mer is empty");
+        let mut out = *self;
+        out.shl2();
+        out.k -= 1;
+        out.clear_tail();
+        out
+    }
+
+    /// The contiguous sub-k-mer of length `len` starting at `start`.
+    ///
+    /// This is how minimizer candidates (`P`-minimum-substrings) are
+    /// extracted from a k-mer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.k()` or `len == 0`.
+    pub fn sub(&self, start: usize, len: usize) -> Kmer {
+        assert!(len > 0 && start + len <= self.k(), "sub({start}, {len}) out of range for k={}", self.k);
+        let mut out = Kmer { words: [0; WORDS], k: len as u8 };
+        for i in 0..len {
+            out.set(i, self.base(start + i));
+        }
+        out
+    }
+
+    /// The reverse complement of this k-mer.
+    pub fn revcomp(&self) -> Kmer {
+        let k = self.k();
+        let mut out = Kmer { words: [0; WORDS], k: self.k };
+        for i in 0..k {
+            out.set(i, self.base(k - 1 - i).complement());
+        }
+        out
+    }
+
+    /// The canonical form: the lexicographically smaller of `self` and its
+    /// reverse complement, plus which orientation was chosen.
+    pub fn canonical(&self) -> (Kmer, Orientation) {
+        let rc = self.revcomp();
+        if *self <= rc {
+            (*self, Orientation::Forward)
+        } else {
+            (rc, Orientation::Reverse)
+        }
+    }
+
+    /// Whether this k-mer is its own canonical representative.
+    pub fn is_canonical(&self) -> bool {
+        *self <= self.revcomp()
+    }
+
+    /// The k-mer packed into a single `u64` (valid only when `k ≤ 32`),
+    /// right-aligned so that it is the number whose base-4 digits are the
+    /// bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 32`.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.k() <= 32, "to_u64 requires k <= 32, got {}", self.k);
+        self.words[0] >> (64 - 2 * self.k() as u32)
+    }
+
+    /// A well-mixed 64-bit hash of the k-mer, used for partition routing
+    /// and hash-table indexing.
+    ///
+    /// Uses a splitmix64-style finalizer over the packed words, seeded by
+    /// `k` so that e.g. `A` and `AA` hash differently.
+    pub fn hash64(&self) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (self.k as u64);
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        }
+        h
+    }
+
+    /// Sets base `index` without bounds checks against `k` (internal).
+    #[inline]
+    fn set(&mut self, index: usize, base: Base) {
+        let w = index / BASES_PER_WORD;
+        let shift = 62 - 2 * (index % BASES_PER_WORD);
+        self.words[w] = (self.words[w] & !(0b11u64 << shift)) | ((base.code() as u64) << shift);
+    }
+
+    /// Shifts the packed bases one position toward the front (base 0 is
+    /// discarded); zeros enter at the tail.
+    #[inline]
+    fn shl2(&mut self) {
+        for i in 0..WORDS {
+            let carry = if i + 1 < WORDS { self.words[i + 1] >> 62 } else { 0 };
+            self.words[i] = (self.words[i] << 2) | carry;
+        }
+    }
+
+    /// Shifts the packed bases one position toward the back; zeros enter at
+    /// the front. The caller must re-mask the tail.
+    #[inline]
+    fn shr2(&mut self) {
+        for i in (0..WORDS).rev() {
+            let carry = if i > 0 { self.words[i - 1] << 62 } else { 0 };
+            self.words[i] = (self.words[i] >> 2) | carry;
+        }
+    }
+
+    /// Zeroes every bit beyond the 2k bases of this k-mer, restoring the
+    /// trailing-zeros invariant that `Eq`/`Ord` rely on.
+    #[inline]
+    fn clear_tail(&mut self) {
+        let k = self.k();
+        for i in 0..WORDS {
+            let kept = k.saturating_sub(i * BASES_PER_WORD).min(BASES_PER_WORD);
+            self.words[i] &= if kept == 0 {
+                0
+            } else if kept == BASES_PER_WORD {
+                u64::MAX
+            } else {
+                u64::MAX << (64 - 2 * kept)
+            };
+        }
+    }
+}
+
+impl PartialOrd for Kmer {
+    fn partial_cmp(&self, other: &Kmer) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Kmer {
+    /// Lexicographic string order: word-wise numeric comparison (valid
+    /// because bases are left-aligned with zero padding, and `A = 0` pads
+    /// exactly like the shorter string being a prefix), with length as the
+    /// tie-breaker.
+    fn cmp(&self, other: &Kmer) -> Ordering {
+        self.words.cmp(&other.words).then(self.k.cmp(&other.k))
+    }
+}
+
+impl fmt::Display for Kmer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.bases() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Kmer {
+    type Err = DnaError;
+
+    fn from_str(s: &str) -> Result<Kmer, DnaError> {
+        Kmer::from_ascii(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn km(s: &str) -> Kmer {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_ascii() {
+        for s in ["A", "ACGT", "TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT", "GATTACA"] {
+            assert_eq!(km(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(matches!(Kmer::from_ascii(b""), Err(DnaError::InvalidK { k: 0 })));
+        let long = vec![b'A'; MAX_K + 1];
+        assert!(matches!(Kmer::from_ascii(&long), Err(DnaError::InvalidK { .. })));
+        let max = vec![b'G'; MAX_K];
+        assert_eq!(Kmer::from_ascii(&max).unwrap().k(), MAX_K);
+    }
+
+    #[test]
+    fn too_few_bases_rejected() {
+        let r = Kmer::from_bases(5, [Base::A, Base::C]);
+        assert!(matches!(r, Err(DnaError::SequenceTooShort { len: 2, needed: 5 })));
+    }
+
+    #[test]
+    fn base_accessors() {
+        let k = km("GATC");
+        assert_eq!(k.first_base(), Base::G);
+        assert_eq!(k.last_base(), Base::C);
+        assert_eq!(k.base(1), Base::A);
+        let v: String = k.bases().map(char::from).collect();
+        assert_eq!(v, "GATC");
+    }
+
+    #[test]
+    fn push_right_rolls_window() {
+        let k = km("ACGTA");
+        assert_eq!(k.push_right(Base::T).to_string(), "CGTAT");
+        // Rolling across a word boundary (k > 32).
+        let long = "ACGTACGTACGTACGTACGTACGTACGTACGTAC"; // 34 bases
+        let k = km(long);
+        assert_eq!(k.push_right(Base::G).to_string(), format!("{}G", &long[1..]));
+    }
+
+    #[test]
+    fn push_left_rolls_window() {
+        let k = km("ACGTA");
+        assert_eq!(k.push_left(Base::T).to_string(), "TACGT");
+        let long = "ACGTACGTACGTACGTACGTACGTACGTACGTAC";
+        let k = km(long);
+        assert_eq!(k.push_left(Base::T).to_string(), format!("T{}", &long[..33]));
+    }
+
+    #[test]
+    fn prefix_suffix() {
+        let k = km("TGATG");
+        assert_eq!(k.prefix().to_string(), "TGAT");
+        assert_eq!(k.suffix().to_string(), "GATG");
+        // The De Bruijn adjacency property: u → v iff suffix(u) == prefix(v).
+        let u = km("TGATG");
+        let v = km("GATGG");
+        assert_eq!(u.suffix(), v.prefix());
+    }
+
+    #[test]
+    fn sub_extracts_minimizer_candidates() {
+        let k = km("GATTACA");
+        assert_eq!(k.sub(0, 3).to_string(), "GAT");
+        assert_eq!(k.sub(4, 3).to_string(), "ACA");
+        assert_eq!(k.sub(0, 7), k);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sub_out_of_range_panics() {
+        km("ACGT").sub(2, 3);
+    }
+
+    #[test]
+    fn revcomp_matches_manual() {
+        assert_eq!(km("ACGT").revcomp().to_string(), "ACGT"); // palindrome
+        assert_eq!(km("AAAA").revcomp().to_string(), "TTTT");
+        assert_eq!(km("GATTACA").revcomp().to_string(), "TGTAATC");
+    }
+
+    #[test]
+    fn revcomp_is_involution_across_word_boundary() {
+        let s = "ACGTTGCAACGTTGCAACGTTGCAACGTTGCAGGCTA"; // 37 bases
+        let k = km(s);
+        assert_eq!(k.revcomp().revcomp(), k);
+    }
+
+    #[test]
+    fn canonical_picks_smaller() {
+        let (c, o) = km("TGATG").canonical();
+        assert_eq!(c.to_string(), "CATCA");
+        assert_eq!(o, Orientation::Reverse);
+        let (c, o) = km("AAAAC").canonical();
+        assert_eq!(c.to_string(), "AAAAC");
+        assert_eq!(o, Orientation::Forward);
+        assert!(c.is_canonical());
+    }
+
+    #[test]
+    fn canonical_of_pair_agree() {
+        let k = km("GGGTC");
+        let rc = k.revcomp();
+        assert_eq!(k.canonical().0, rc.canonical().0);
+        assert_eq!(k.canonical().1, rc.canonical().1.flip());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(km("AAA") < km("AAC"));
+        assert!(km("AA") < km("AAA")); // prefix sorts first
+        assert!(km("ACGT") < km("ACTT"));
+        assert!(km("T") > km("GGGGGGGG"));
+        let mut v = [km("TGA"), km("AAA"), km("GAT"), km("ACG")];
+        v.sort();
+        let s: Vec<String> = v.iter().map(|k| k.to_string()).collect();
+        assert_eq!(s, ["AAA", "ACG", "GAT", "TGA"]);
+    }
+
+    #[test]
+    fn to_u64_is_base4_number() {
+        assert_eq!(km("A").to_u64(), 0);
+        assert_eq!(km("T").to_u64(), 3);
+        assert_eq!(km("CA").to_u64(), 4); // C=1, A=0 → 1*4 + 0
+        assert_eq!(km("ACGT").to_u64(), 0b00_01_10_11);
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_masks_tail() {
+        let k = km("GATTACAGATTACAGATTACAGATTACAGATTACA");
+        assert_eq!(Kmer::from_words(*k.words(), k.k()).unwrap(), k);
+        // Garbage in the unused tail is cleared.
+        let mut dirty = *k.words();
+        dirty[3] |= 0xFFFF;
+        assert_eq!(Kmer::from_words(dirty, k.k()).unwrap(), k);
+        assert!(Kmer::from_words([0; 4], 0).is_err());
+        assert!(Kmer::from_words([0; 4], MAX_K + 1).is_err());
+    }
+
+    #[test]
+    fn hash64_distinguishes_length() {
+        assert_ne!(km("A").hash64(), km("AA").hash64());
+        assert_eq!(km("ACGT").hash64(), km("ACGT").hash64());
+        assert_ne!(km("ACGT").hash64(), km("ACGA").hash64());
+    }
+
+    #[test]
+    fn orientation_flip() {
+        assert_eq!(Orientation::Forward.flip(), Orientation::Reverse);
+        assert_eq!(Orientation::Reverse.flip().flip(), Orientation::Reverse);
+    }
+
+    #[test]
+    fn kmer_is_send_sync_copy() {
+        fn assert_traits<T: Send + Sync + Copy>() {}
+        assert_traits::<Kmer>();
+    }
+}

@@ -1,0 +1,45 @@
+//! DNA sequence primitives for De Bruijn graph construction.
+//!
+//! This crate is the bottom substrate of the ParaHash reproduction. It
+//! provides:
+//!
+//! * [`Base`] — the four-letter alphabet Σ = {A, C, G, T} with the
+//!   2-bit encoding used throughout the system (unknown input characters
+//!   normalise to `A`, following the convention the paper adopts from
+//!   mainstream assemblers).
+//! * [`PackedSeq`] — an arbitrary-length 2-bit packed sequence.
+//! * [`Kmer`] — a fixed-length (≤ [`MAX_K`]) multi-word k-mer with
+//!   reverse-complement, canonical form and neighbour operations.
+//! * [`SeqRead`] plus streaming FASTA/FASTQ parsers and writers.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna::{Kmer, PackedSeq};
+//!
+//! let seq = PackedSeq::from_ascii(b"ACGTTGCA");
+//! let kmers: Vec<Kmer> = seq.kmers(5).collect();
+//! assert_eq!(kmers.len(), 4);
+//! assert_eq!(kmers[0].to_string(), "ACGTT");
+//! assert_eq!(kmers[0].revcomp().to_string(), "AACGT");
+//! ```
+
+mod base;
+mod error;
+mod fasta;
+mod fastq;
+mod kmer;
+mod packed;
+pub mod quality;
+mod read;
+
+pub use base::Base;
+pub use error::DnaError;
+pub use fasta::{FastaReader, FastaWriter};
+pub use fastq::{FastqReader, FastqWriter};
+pub use kmer::{Kmer, Orientation, MAX_K};
+pub use packed::{Bases, Kmers, PackedSeq};
+pub use read::SeqRead;
+
+/// Result alias used by every fallible API in this crate.
+pub type Result<T> = std::result::Result<T, DnaError>;

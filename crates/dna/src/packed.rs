@@ -1,0 +1,370 @@
+use std::fmt;
+
+use crate::{Base, DnaError, Kmer};
+
+const BASES_PER_WORD: usize = 32;
+
+/// An arbitrary-length DNA sequence, 2-bit packed into 64-bit words.
+///
+/// This is the in-memory representation of reads and superkmers throughout
+/// the workspace: four bases per byte, an 8–16× reduction over the ASCII
+/// FASTQ text, which is the encoding optimisation the paper uses to cut
+/// both disk I/O and host↔device transfer volume.
+///
+/// Unlike [`Kmer`], a `PackedSeq` heap-allocates and has no length limit.
+/// Bases are packed LSB-first within each word (base `i` occupies bits
+/// `2(i mod 32)..` of word `i / 32`).
+///
+/// # Examples
+///
+/// ```
+/// use dna::{Base, PackedSeq};
+///
+/// let mut s = PackedSeq::from_ascii(b"ACGT");
+/// s.push(Base::G);
+/// assert_eq!(s.to_string(), "ACGTG");
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.get(2), Some(Base::G));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PackedSeq {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> PackedSeq {
+        PackedSeq::default()
+    }
+
+    /// Creates an empty sequence with room for `bases` bases before
+    /// reallocating.
+    pub fn with_capacity(bases: usize) -> PackedSeq {
+        PackedSeq { words: Vec::with_capacity(bases.div_ceil(BASES_PER_WORD)), len: 0 }
+    }
+
+    /// Builds a sequence from ASCII characters; unknown characters
+    /// normalise to `A` (see [`Base::from_ascii`]).
+    pub fn from_ascii(ascii: &[u8]) -> PackedSeq {
+        let mut s = PackedSeq::with_capacity(ascii.len());
+        for &ch in ascii {
+            s.push(Base::from_ascii(ch));
+        }
+        s
+    }
+
+    /// Number of bases in the sequence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence contains no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one base.
+    #[inline]
+    pub fn push(&mut self, base: Base) {
+        let w = self.len / BASES_PER_WORD;
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        let shift = 2 * (self.len % BASES_PER_WORD);
+        self.words[w] |= (base.code() as u64) << shift;
+        self.len += 1;
+    }
+
+    /// The base at `index`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<Base> {
+        if index >= self.len {
+            return None;
+        }
+        Some(self.base(index))
+    }
+
+    /// The base at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn base(&self, index: usize) -> Base {
+        assert!(index < self.len, "index {index} out of bounds for length {}", self.len);
+        let word = self.words[index / BASES_PER_WORD];
+        Base::from_code((word >> (2 * (index % BASES_PER_WORD))) as u8)
+    }
+
+    /// Iterates over the bases from left to right.
+    pub fn bases(&self) -> Bases<'_> {
+        Bases { seq: self, index: 0 }
+    }
+
+    /// Iterates over every k-mer of the sequence with a rolling window.
+    ///
+    /// Yields `len − k + 1` k-mers, or nothing if the sequence is shorter
+    /// than `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds [`crate::MAX_K`].
+    pub fn kmers(&self, k: usize) -> Kmers<'_> {
+        assert!((1..=crate::MAX_K).contains(&k), "invalid k {k}");
+        Kmers { seq: self, k, next: 0, current: None }
+    }
+
+    /// Extracts the k-mer of length `k` starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidK`] for an out-of-range `k` and
+    /// [`DnaError::SequenceTooShort`] if the window does not fit.
+    pub fn kmer_at(&self, start: usize, k: usize) -> Result<Kmer, DnaError> {
+        if start + k > self.len {
+            return Err(DnaError::SequenceTooShort { len: self.len, needed: start + k });
+        }
+        Kmer::from_bases(k, (start..start + k).map(|i| self.base(i)))
+    }
+
+    /// The reverse complement of the whole sequence.
+    pub fn revcomp(&self) -> PackedSeq {
+        let mut out = PackedSeq::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            out.push(self.base(i).complement());
+        }
+        out
+    }
+
+    /// A contiguous subsequence `[start, start+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit.
+    pub fn slice(&self, start: usize, len: usize) -> PackedSeq {
+        assert!(start + len <= self.len, "slice({start}, {len}) out of bounds for length {}", self.len);
+        let mut out = PackedSeq::with_capacity(len);
+        for i in start..start + len {
+            out.push(self.base(i));
+        }
+        out
+    }
+
+    /// Converts to upper-case ASCII.
+    pub fn to_ascii(&self) -> Vec<u8> {
+        self.bases().map(Base::to_ascii).collect()
+    }
+
+    /// The packed words backing this sequence (LSB-first layout; the last
+    /// word's unused high bits are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Display for PackedSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.bases() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Base> for PackedSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> PackedSeq {
+        let mut s = PackedSeq::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<Base> for PackedSeq {
+    fn extend<I: IntoIterator<Item = Base>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl PartialOrd for PackedSeq {
+    fn partial_cmp(&self, other: &PackedSeq) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PackedSeq {
+    /// Lexicographic base-by-base order (the packing is LSB-first, so word
+    /// comparison would be wrong; we walk the bases).
+    fn cmp(&self, other: &PackedSeq) -> std::cmp::Ordering {
+        self.bases().cmp(other.bases())
+    }
+}
+
+/// Iterator over the bases of a [`PackedSeq`], created by
+/// [`PackedSeq::bases`].
+#[derive(Debug, Clone)]
+pub struct Bases<'a> {
+    seq: &'a PackedSeq,
+    index: usize,
+}
+
+impl Iterator for Bases<'_> {
+    type Item = Base;
+
+    fn next(&mut self) -> Option<Base> {
+        let b = self.seq.get(self.index)?;
+        self.index += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.seq.len().saturating_sub(self.index);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Bases<'_> {}
+
+/// Rolling-window iterator over the k-mers of a [`PackedSeq`], created by
+/// [`PackedSeq::kmers`]. Each step is O(1): one shift plus one base fetch.
+#[derive(Debug, Clone)]
+pub struct Kmers<'a> {
+    seq: &'a PackedSeq,
+    k: usize,
+    next: usize,
+    current: Option<Kmer>,
+}
+
+impl Iterator for Kmers<'_> {
+    type Item = Kmer;
+
+    fn next(&mut self) -> Option<Kmer> {
+        if self.next + self.k > self.seq.len() {
+            return None;
+        }
+        let kmer = match self.current {
+            None => self.seq.kmer_at(0, self.k).ok()?,
+            Some(prev) => prev.push_right(self.seq.base(self.next + self.k - 1)),
+        };
+        self.current = Some(kmer);
+        self.next += 1;
+        Some(kmer)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.seq.len() + 1).saturating_sub(self.k).saturating_sub(self.next);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Kmers<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_roundtrip() {
+        for s in ["", "A", "ACGT", "GATTACAGATTACAGATTACAGATTACAGATTACAGATTACA"] {
+            let p = PackedSeq::from_ascii(s.as_bytes());
+            assert_eq!(p.to_string(), s);
+            assert_eq!(p.to_ascii(), s.as_bytes());
+            assert_eq!(p.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn unknown_bases_become_a() {
+        assert_eq!(PackedSeq::from_ascii(b"ANNGT-").to_string(), "AAAGTA");
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut s = PackedSeq::new();
+        assert!(s.is_empty());
+        for (i, b) in [Base::T, Base::G, Base::A].into_iter().enumerate() {
+            s.push(b);
+            assert_eq!(s.get(i), Some(b));
+        }
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn kmers_rolling_equals_direct_extraction() {
+        let s = PackedSeq::from_ascii(b"ACGTTGCATTGACCAGTTACGGATCAGTTACGGATCA");
+        for k in [1, 2, 5, 31, 32, 33, 37] {
+            let rolled: Vec<Kmer> = s.kmers(k).collect();
+            let direct: Vec<Kmer> =
+                (0..=s.len() - k).map(|i| s.kmer_at(i, k).unwrap()).collect();
+            assert_eq!(rolled, direct, "k={k}");
+            assert_eq!(rolled.len(), s.len() - k + 1);
+        }
+    }
+
+    #[test]
+    fn kmers_shorter_than_k_is_empty() {
+        let s = PackedSeq::from_ascii(b"ACG");
+        assert_eq!(s.kmers(4).count(), 0);
+        assert_eq!(s.kmers(4).size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn kmer_at_bounds() {
+        let s = PackedSeq::from_ascii(b"ACGTA");
+        assert!(s.kmer_at(3, 3).is_err());
+        assert_eq!(s.kmer_at(2, 3).unwrap().to_string(), "GTA");
+    }
+
+    #[test]
+    fn revcomp_involution() {
+        let s = PackedSeq::from_ascii(b"ACGTTGCATTGACCAGT");
+        assert_eq!(s.revcomp().revcomp(), s);
+        assert_eq!(PackedSeq::from_ascii(b"AACG").revcomp().to_string(), "CGTT");
+    }
+
+    #[test]
+    fn slice_extracts_window() {
+        let s = PackedSeq::from_ascii(b"ACGTTGCA");
+        assert_eq!(s.slice(2, 4).to_string(), "GTTG");
+        assert_eq!(s.slice(0, 0).len(), 0);
+        assert_eq!(s.slice(8, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        PackedSeq::from_ascii(b"ACGT").slice(2, 3);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mk = |s: &str| PackedSeq::from_ascii(s.as_bytes());
+        assert!(mk("AAA") < mk("AAC"));
+        assert!(mk("AA") < mk("AAA"));
+        assert!(mk("T") > mk("GGGG"));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: PackedSeq = [Base::G, Base::A, Base::T].into_iter().collect();
+        assert_eq!(s.to_string(), "GAT");
+        let mut s2 = s.clone();
+        s2.extend([Base::C]);
+        assert_eq!(s2.to_string(), "GATC");
+    }
+
+    #[test]
+    fn bases_iterator_is_exact_size() {
+        let s = PackedSeq::from_ascii(b"ACGTACGT");
+        let mut it = s.bases();
+        assert_eq!(it.len(), 8);
+        it.next();
+        assert_eq!(it.len(), 7);
+    }
+}

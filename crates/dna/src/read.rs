@@ -1,0 +1,126 @@
+use std::fmt;
+
+use crate::PackedSeq;
+
+/// One sequencing read: an identifier plus a 2-bit packed sequence and an
+/// optional FASTQ quality string.
+///
+/// Reads are the unit of input to Step 1 (MSP partitioning). The sequence
+/// is normalised at parse time — unknown bases become `A` — so downstream
+/// code never sees anything outside Σ = {A, C, G, T}.
+///
+/// # Examples
+///
+/// ```
+/// use dna::SeqRead;
+///
+/// let r = SeqRead::from_ascii("read/1", b"ACGTNACGT");
+/// assert_eq!(r.len(), 9);
+/// assert_eq!(r.seq().to_string(), "ACGTAACGT");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SeqRead {
+    id: String,
+    seq: PackedSeq,
+    qual: Option<Vec<u8>>,
+}
+
+impl SeqRead {
+    /// Creates a read from an already-packed sequence.
+    pub fn new(id: impl Into<String>, seq: PackedSeq) -> SeqRead {
+        SeqRead { id: id.into(), seq, qual: None }
+    }
+
+    /// Creates a read from ASCII sequence text, normalising unknown bases.
+    pub fn from_ascii(id: impl Into<String>, seq: &[u8]) -> SeqRead {
+        SeqRead::new(id, PackedSeq::from_ascii(seq))
+    }
+
+    /// Attaches a FASTQ quality string (must match the sequence length; a
+    /// mismatch is the parser's responsibility to reject).
+    pub fn with_quality(mut self, qual: Vec<u8>) -> SeqRead {
+        self.qual = Some(qual);
+        self
+    }
+
+    /// The read identifier (without the leading `@`/`>` marker).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The packed sequence.
+    pub fn seq(&self) -> &PackedSeq {
+        &self.seq
+    }
+
+    /// The FASTQ quality string, if the read came from FASTQ.
+    pub fn quality(&self) -> Option<&[u8]> {
+        self.qual.as_deref()
+    }
+
+    /// Read length in base pairs.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the read has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Consumes the read, returning its packed sequence.
+    pub fn into_seq(self) -> PackedSeq {
+        self.seq
+    }
+
+    /// Approximate heap footprint in bytes, used by batch readers to cut
+    /// input into equal-size partitions.
+    pub fn approx_bytes(&self) -> usize {
+        self.id.len()
+            + self.seq.words().len() * 8
+            + self.qual.as_ref().map_or(0, Vec::len)
+    }
+}
+
+impl fmt::Display for SeqRead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ">{}\n{}", self.id, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = SeqRead::from_ascii("r1", b"ACGT").with_quality(b"IIII".to_vec());
+        assert_eq!(r.id(), "r1");
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.quality(), Some(&b"IIII"[..]));
+        assert_eq!(r.seq().to_string(), "ACGT");
+        assert_eq!(r.into_seq().to_string(), "ACGT");
+    }
+
+    #[test]
+    fn empty_read() {
+        let r = SeqRead::from_ascii("empty", b"");
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.quality().is_none());
+    }
+
+    #[test]
+    fn display_is_fasta_shaped() {
+        let r = SeqRead::from_ascii("r2", b"GAT");
+        assert_eq!(r.to_string(), ">r2\nGAT");
+    }
+
+    #[test]
+    fn approx_bytes_counts_all_parts() {
+        let r = SeqRead::from_ascii("ab", b"ACGT").with_quality(vec![b'I'; 4]);
+        assert_eq!(r.approx_bytes(), 2 + 8 + 4);
+    }
+}

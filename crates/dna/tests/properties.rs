@@ -1,0 +1,142 @@
+//! Property-based tests for the DNA substrate.
+
+use dna::{Base, FastaReader, FastaWriter, FastqReader, FastqWriter, Kmer, PackedSeq, SeqRead};
+use proptest::prelude::*;
+
+fn base_strategy() -> impl Strategy<Value = Base> {
+    prop_oneof![
+        Just(Base::A),
+        Just(Base::C),
+        Just(Base::G),
+        Just(Base::T),
+    ]
+}
+
+fn seq_strategy(max: usize) -> impl Strategy<Value = Vec<Base>> {
+    prop::collection::vec(base_strategy(), 0..max)
+}
+
+fn ascii_of(bases: &[Base]) -> Vec<u8> {
+    bases.iter().map(|b| b.to_ascii()).collect()
+}
+
+proptest! {
+    #[test]
+    fn packed_seq_roundtrips_ascii(bases in seq_strategy(300)) {
+        let ascii = ascii_of(&bases);
+        let packed = PackedSeq::from_ascii(&ascii);
+        prop_assert_eq!(packed.to_ascii(), ascii);
+        prop_assert_eq!(packed.len(), bases.len());
+    }
+
+    #[test]
+    fn packed_seq_revcomp_is_involution(bases in seq_strategy(200)) {
+        let packed: PackedSeq = bases.into_iter().collect();
+        prop_assert_eq!(packed.revcomp().revcomp(), packed);
+    }
+
+    #[test]
+    fn packed_ordering_matches_string_ordering(a in seq_strategy(64), b in seq_strategy(64)) {
+        let (pa, pb): (PackedSeq, PackedSeq) = (a.iter().copied().collect(), b.iter().copied().collect());
+        let (sa, sb) = (ascii_of(&a), ascii_of(&b));
+        prop_assert_eq!(pa.cmp(&pb), sa.cmp(&sb));
+    }
+
+    #[test]
+    fn kmer_roundtrips_and_orders_like_strings(a in seq_strategy(129), b in seq_strategy(129)) {
+        prop_assume!(!a.is_empty() && a.len() <= 128 && !b.is_empty() && b.len() <= 128);
+        let ka = Kmer::from_bases(a.len(), a.iter().copied()).unwrap();
+        let kb = Kmer::from_bases(b.len(), b.iter().copied()).unwrap();
+        prop_assert_eq!(ka.to_string().into_bytes(), ascii_of(&a));
+        prop_assert_eq!(ka.cmp(&kb), ascii_of(&a).cmp(&ascii_of(&b)));
+    }
+
+    #[test]
+    fn kmer_revcomp_involution_and_canonical_agreement(a in seq_strategy(129)) {
+        prop_assume!(!a.is_empty() && a.len() <= 128);
+        let k = Kmer::from_bases(a.len(), a.iter().copied()).unwrap();
+        prop_assert_eq!(k.revcomp().revcomp(), k);
+        // A kmer and its revcomp share one canonical representative.
+        let rc = k.revcomp();
+        prop_assert_eq!(k.canonical().0, rc.canonical().0);
+        prop_assert!(k.canonical().0 <= k);
+        prop_assert!(k.canonical().0.is_canonical());
+    }
+
+    #[test]
+    fn rolling_kmers_match_direct_extraction(bases in seq_strategy(200), k in 1usize..64) {
+        let seq: PackedSeq = bases.into_iter().collect();
+        let rolled: Vec<Kmer> = seq.kmers(k).collect();
+        if seq.len() < k {
+            prop_assert!(rolled.is_empty());
+        } else {
+            prop_assert_eq!(rolled.len(), seq.len() - k + 1);
+            for (i, kmer) in rolled.iter().enumerate() {
+                prop_assert_eq!(*kmer, seq.kmer_at(i, k).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn push_right_left_are_inverse_windows(a in seq_strategy(80), extra in base_strategy()) {
+        prop_assume!(a.len() >= 2 && a.len() <= 80);
+        let k = Kmer::from_bases(a.len(), a.iter().copied()).unwrap();
+        // push_right then push_left with the discarded bases restores k.
+        let right = k.push_right(extra);
+        prop_assert_eq!(right.push_left(k.first_base()), k);
+        let left = k.push_left(extra);
+        prop_assert_eq!(left.push_right(k.last_base()), k);
+    }
+
+    #[test]
+    fn adjacency_overlap_property(a in seq_strategy(80), extra in base_strategy()) {
+        prop_assume!(a.len() >= 2 && a.len() <= 80);
+        let u = Kmer::from_bases(a.len(), a.iter().copied()).unwrap();
+        let v = u.push_right(extra);
+        // u → v is a De Bruijn edge: (k−1)-suffix of u equals (k−1)-prefix of v.
+        prop_assert_eq!(u.suffix(), v.prefix());
+    }
+
+    #[test]
+    fn fastq_roundtrip(reads in prop::collection::vec((seq_strategy(100), "[a-zA-Z0-9/_.]{1,20}"), 0..20)) {
+        let records: Vec<SeqRead> = reads
+            .iter()
+            .map(|(bases, id)| {
+                SeqRead::from_ascii(id.clone(), &ascii_of(bases))
+                    .with_quality(vec![b'I'; bases.len()])
+            })
+            .collect();
+        let mut buf = Vec::new();
+        let mut w = FastqWriter::new(&mut buf);
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        w.into_inner().unwrap();
+        let parsed: Result<Vec<_>, _> = FastqReader::new(&buf[..]).collect();
+        prop_assert_eq!(parsed.unwrap(), records);
+    }
+
+    #[test]
+    fn fasta_roundtrip(reads in prop::collection::vec((seq_strategy(150), "[a-zA-Z0-9 ]{1,20}"), 0..10)) {
+        let records: Vec<SeqRead> = reads
+            .iter()
+            .map(|(bases, id)| SeqRead::from_ascii(id.trim().to_owned(), &ascii_of(bases)))
+            .filter(|r| !r.id().is_empty())
+            .collect();
+        let mut buf = Vec::new();
+        let mut w = FastaWriter::with_width(&mut buf, 13);
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        w.into_inner().unwrap();
+        let parsed: Result<Vec<_>, _> = FastaReader::new(&buf[..]).collect();
+        prop_assert_eq!(parsed.unwrap(), records);
+    }
+
+    #[test]
+    fn hash64_is_deterministic_and_spreads(a in seq_strategy(64)) {
+        prop_assume!(!a.is_empty());
+        let k = Kmer::from_bases(a.len(), a.iter().copied()).unwrap();
+        prop_assert_eq!(k.hash64(), k.hash64());
+    }
+}

@@ -1,0 +1,341 @@
+use dna::{Base, Orientation};
+use msp::Superkmer;
+
+use crate::{
+    table_capacity_for, ConcurrentDbgTable, ContentionStats, EdgeDir, HashGraphError, Result,
+    SizingParams, SubGraph, VertexTable,
+};
+
+/// Maps an observed occurrence's read-text neighbours onto the canonical
+/// vertex's edge slots.
+///
+/// In the read, the k-mer `u` is preceded by base `left` and followed by
+/// base `right`. If `u`'s canonical form is `u` itself, those are an
+/// `In(left)` and an `Out(right)` edge; if the canonical form is the
+/// reverse complement, sides swap and bases complement.
+///
+/// Public so that every builder in the workspace — ParaHash, the SOAP and
+/// sort-merge baselines, reference implementations in tests — shares one
+/// definition of edge semantics and their outputs are directly comparable.
+pub fn edge_slots_for(
+    orient: Orientation,
+    left: Option<Base>,
+    right: Option<Base>,
+) -> [Option<u8>; 2] {
+    let left_slot = left.map(|b| match orient {
+        Orientation::Forward => EdgeDir::In.slot(b),
+        Orientation::Reverse => EdgeDir::Out.slot(b.complement()),
+    } as u8);
+    let right_slot = right.map(|b| match orient {
+        Orientation::Forward => EdgeDir::Out.slot(b),
+        Orientation::Reverse => EdgeDir::In.slot(b.complement()),
+    } as u8);
+    [left_slot, right_slot]
+}
+
+/// Replays one superkmer into a vertex table: each of its k-mers becomes a
+/// `record` of the canonical vertex with up to two edge increments (its
+/// neighbours inside the core, or the adjacency-extension bases at the
+/// boundaries). This is the `<kmer, edge>` pair generation of §III-C.2.
+///
+/// # Errors
+///
+/// Propagates table errors ([`HashGraphError::CapacityExhausted`],
+/// [`HashGraphError::WrongK`]).
+pub fn record_superkmer<T: VertexTable + ?Sized>(table: &T, sk: &Superkmer) -> Result<()> {
+    let k = sk.k();
+    let core = sk.core();
+    let last = core.len() - k;
+    for (i, kmer) in core.kmers(k).enumerate() {
+        let left = if i > 0 { Some(core.base(i - 1)) } else { sk.left_ext() };
+        let right = if i < last { Some(core.base(i + k)) } else { sk.right_ext() };
+        let (canon, orient) = kmer.canonical();
+        table.record(&canon, edge_slots_for(orient, left, right))?;
+    }
+    Ok(())
+}
+
+/// Drives a prepared table over a partition with `threads` workers
+/// (superkmers are split into contiguous chunks; the shared table is the
+/// only point of synchronisation). The generic engine behind both the
+/// production build and the ablation baselines.
+///
+/// # Errors
+///
+/// Returns the first table error any worker hit.
+pub fn build_subgraph_with<T: VertexTable + ?Sized>(
+    table: &T,
+    superkmers: &[Superkmer],
+    threads: usize,
+) -> Result<()> {
+    let threads = threads.max(1);
+    if threads == 1 || superkmers.len() < 2 {
+        for sk in superkmers {
+            record_superkmer(table, sk)?;
+        }
+        return Ok(());
+    }
+    let chunk = superkmers.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = superkmers
+            .chunks(chunk)
+            .map(|chunk| {
+                s.spawn(move || -> Result<()> {
+                    for sk in chunk {
+                        record_superkmer(table, sk)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// Outcome of a sized, parallel subgraph construction.
+#[derive(Debug)]
+pub struct BuildOutput {
+    /// The constructed subgraph.
+    pub subgraph: SubGraph,
+    /// Concurrency counters from the table.
+    pub contention: ContentionStats,
+    /// How many times the table had to be rebuilt bigger because the
+    /// Property-1 estimate was too low (0 in the intended regime — the
+    /// estimate exists to avoid exactly this).
+    pub resizes: usize,
+    /// Final table capacity.
+    pub capacity: usize,
+}
+
+/// Builds one partition's subgraph with the production configuration:
+/// a [`ConcurrentDbgTable`] sized by the Property-1 rule
+/// ([`table_capacity_for`]), filled by `threads` workers. If the estimate
+/// proves too low the table is rebuilt at double capacity (counted in
+/// [`BuildOutput::resizes`]).
+///
+/// # Errors
+///
+/// Returns [`HashGraphError::WrongK`] if the partition contains superkmers
+/// cut for a different `k`.
+///
+/// # Examples
+///
+/// ```
+/// use dna::PackedSeq;
+/// use hashgraph::SizingParams;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let parts = msp::partition_in_memory(
+///     &[PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCA")], 7, 4, 1)?;
+/// let out = hashgraph::build_subgraph(&parts[0], 7, 4, SizingParams::default())?;
+/// assert!(out.subgraph.len() > 0);
+/// assert_eq!(out.contention.operations(), 20); // 26 − 7 + 1 kmers
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_subgraph(
+    superkmers: &[Superkmer],
+    k: usize,
+    threads: usize,
+    params: SizingParams,
+) -> Result<BuildOutput> {
+    let n_kmers: u64 = superkmers.iter().map(|s| s.kmer_count() as u64).sum();
+    let mut capacity = table_capacity_for(n_kmers, params);
+    let mut resizes = 0;
+    loop {
+        let table = ConcurrentDbgTable::new(capacity, k);
+        match build_subgraph_with(&table, superkmers, threads) {
+            Ok(()) => {
+                return Ok(BuildOutput {
+                    subgraph: table.snapshot(),
+                    contention: table.contention(),
+                    resizes,
+                    capacity: table.capacity(),
+                })
+            }
+            Err(HashGraphError::CapacityExhausted { .. }) => {
+                resizes += 1;
+                capacity = capacity.saturating_mul(2).max(32);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Single-threaded build with a capacity that can never be exhausted
+/// (one slot per k-mer occurrence plus headroom). The convenient form for
+/// tests, examples and reference comparisons.
+///
+/// # Errors
+///
+/// Returns [`HashGraphError::WrongK`] if the partition contains superkmers
+/// cut for a different `k`.
+pub fn build_subgraph_serial(superkmers: &[Superkmer], k: usize) -> Result<SubGraph> {
+    let n_kmers: usize = superkmers.iter().map(Superkmer::kmer_count).sum();
+    let table = ConcurrentDbgTable::new(n_kmers + n_kmers / 4 + 16, k);
+    build_subgraph_with(&table, superkmers, 1)?;
+    Ok(table.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeBruijnGraph, VertexData};
+    use dna::{Kmer, PackedSeq};
+    use std::collections::HashMap;
+
+    /// Ground truth: replay raw reads into a HashMap with the same edge
+    /// semantics, without any MSP or concurrency.
+    fn reference_graph(reads: &[PackedSeq], k: usize) -> HashMap<Kmer, VertexData> {
+        let mut map: HashMap<Kmer, VertexData> = HashMap::new();
+        for read in reads {
+            if read.len() < k {
+                continue;
+            }
+            for (i, kmer) in read.kmers(k).enumerate() {
+                let left = (i > 0).then(|| read.base(i - 1));
+                let right = (i + k < read.len()).then(|| read.base(i + k));
+                let (canon, orient) = kmer.canonical();
+                let slots = edge_slots_for(orient, left, right);
+                let v = map.entry(canon).or_default();
+                v.count += 1;
+                for s in slots.into_iter().flatten() {
+                    v.edges[s as usize] += 1;
+                }
+            }
+        }
+        map
+    }
+
+    fn graph_from_partitions(reads: &[PackedSeq], k: usize, p: usize, n: usize, threads: usize) -> DeBruijnGraph {
+        let parts = msp::partition_in_memory(reads, k, p, n).unwrap();
+        let mut g = DeBruijnGraph::new(k);
+        for part in &parts {
+            let out = build_subgraph(part, k, threads, SizingParams { lambda: 2.0, alpha: 0.6 }).unwrap();
+            g.absorb(out.subgraph);
+        }
+        g
+    }
+
+    fn test_reads() -> Vec<PackedSeq> {
+        [
+            "ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT",
+            "TGATGGATGATGGATGGTAGCATACGTTGCATGGACCAG",
+            "GGCATTAGCCAGTACGGATCACCGTATGCAATGCCGGAT",
+        ]
+        .iter()
+        .map(|s| PackedSeq::from_ascii(s.as_bytes()))
+        .collect()
+    }
+
+    #[test]
+    fn partitioned_build_matches_reference() {
+        let reads = test_reads();
+        for (k, p, n, threads) in [(5, 3, 4, 1), (7, 4, 8, 2), (15, 11, 3, 4)] {
+            let reference = reference_graph(&reads, k);
+            let g = graph_from_partitions(&reads, k, p, n, threads);
+            assert_eq!(g.distinct_vertices(), reference.len(), "k={k} p={p} n={n}");
+            for (kmer, data) in reference {
+                assert_eq!(g.get(&kmer), Some(&data), "vertex {kmer} differs (k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_complement_reads_merge_into_same_graph() {
+        // A read and its reverse complement describe the same molecule;
+        // their graphs must coincide (with doubled counts).
+        let fwd = vec![PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCA")];
+        let both = vec![fwd[0].clone(), fwd[0].revcomp()];
+        let g1 = graph_from_partitions(&fwd, 7, 4, 4, 1);
+        let g2 = graph_from_partitions(&both, 7, 4, 4, 1);
+        assert_eq!(g1.distinct_vertices(), g2.distinct_vertices());
+        for (kmer, data) in g1.iter() {
+            let d2 = g2.get(kmer).expect("vertex must exist in doubled graph");
+            assert_eq!(d2.count, 2 * data.count);
+        }
+    }
+
+    #[test]
+    fn edge_slots_match_figure_one() {
+        // Paper Fig 1: TGATG → GATGG observed twice, TGATG → GATGA once.
+        let reads = vec![
+            PackedSeq::from_ascii(b"TGATGG"),
+            PackedSeq::from_ascii(b"TGATGG"),
+            PackedSeq::from_ascii(b"TGATGA"),
+        ];
+        let g = graph_from_partitions(&reads, 5, 3, 2, 1);
+        let (canon, _) = "TGATG".parse::<Kmer>().unwrap().canonical();
+        let v = g.get(&canon).unwrap();
+        assert_eq!(v.count, 3, "TGATG seen three times");
+        // Walking TGATG forward = canonical CATCA in Reverse orientation.
+        let succ = g.successors(&canon, Orientation::Reverse);
+        let mut mults: Vec<(String, u32)> = succ
+            .iter()
+            .map(|(kmer, _, m)| (kmer.to_string(), *m))
+            .collect();
+        mults.sort();
+        let gatgg = "GATGG".parse::<Kmer>().unwrap().canonical().0.to_string();
+        let gatga = "GATGA".parse::<Kmer>().unwrap().canonical().0.to_string();
+        let mut expected = vec![(gatgg, 2u32), (gatga, 1u32)];
+        expected.sort();
+        assert_eq!(mults, expected);
+    }
+
+    #[test]
+    fn build_resizes_when_estimate_too_low() {
+        // λ=0 yields a floor-sized table; a diverse read overflows it.
+        let reads = vec![PackedSeq::from_ascii(
+            b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCACCGTATGCAATGCCGGATTAACGG",
+        )];
+        let parts = msp::partition_in_memory(&reads, 9, 3, 1).unwrap();
+        let out = build_subgraph(&parts[0], 9, 1, SizingParams { lambda: 0.001, alpha: 1.0 }).unwrap();
+        assert!(out.resizes > 0, "expected at least one resize");
+        let reference = reference_graph(&reads, 9);
+        assert_eq!(out.subgraph.len(), reference.len());
+    }
+
+    #[test]
+    fn multithreaded_build_is_deterministic_up_to_order() {
+        let reads = test_reads();
+        let a = graph_from_partitions(&reads, 7, 4, 2, 1);
+        let b = graph_from_partitions(&reads, 7, 4, 2, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contention_reflects_duplicate_ratio() {
+        // High-coverage duplicated reads: updates should dwarf insertions.
+        let read = PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCAGGCATT");
+        let reads: Vec<PackedSeq> = (0..10).map(|_| read.clone()).collect();
+        let parts = msp::partition_in_memory(&reads, 7, 4, 1).unwrap();
+        let out = build_subgraph(&parts[0], 7, 2, SizingParams::default()).unwrap();
+        let c = out.contention;
+        assert!(c.lock_reduction() > 0.85, "10× coverage should reduce locks ~90%, got {}", c.lock_reduction());
+        assert_eq!(c.operations(), 10 * (read.len() as u64 - 7 + 1));
+    }
+
+    #[test]
+    fn empty_partition_builds_empty_subgraph() {
+        let out = build_subgraph(&[], 7, 4, SizingParams::default()).unwrap();
+        assert!(out.subgraph.is_empty());
+        assert_eq!(out.resizes, 0);
+        assert!(build_subgraph_serial(&[], 7).unwrap().is_empty());
+    }
+
+    #[test]
+    fn serial_matches_parallel() {
+        let reads = test_reads();
+        let parts = msp::partition_in_memory(&reads, 7, 4, 1).unwrap();
+        let serial = build_subgraph_serial(&parts[0], 7).unwrap();
+        let parallel = build_subgraph(&parts[0], 7, 4, SizingParams::default()).unwrap().subgraph;
+        let mut a = serial.into_entries();
+        let mut b = parallel.into_entries();
+        a.sort_by_key(|x| x.0);
+        b.sort_by_key(|x| x.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,444 @@
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+use dna::Kmer;
+
+use crate::{ContentionStats, HashGraphError, Result, SubGraph, VertexData};
+
+/// Occupancy states of a hash slot (the paper's Fig 4: white / gray /
+/// black).
+const EMPTY: u8 = 0;
+const LOCKED: u8 = 1;
+const OCCUPIED: u8 = 2;
+
+/// How many spins on a `locked` slot before yielding the CPU. Keeps the
+/// wait cheap on real contention but avoids livelock when the locking
+/// thread is descheduled (important on machines with few cores).
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// Abstraction over vertex tables so builders, baselines and the
+/// full-locking ablation share one construction path.
+///
+/// Implementations must be safe for concurrent `record` calls from many
+/// threads.
+pub trait VertexTable: Sync {
+    /// The k-mer length this table stores.
+    fn k(&self) -> usize;
+
+    /// Records one occurrence of canonical vertex `key`: increments its
+    /// duplicity count and each listed edge slot
+    /// (see [`crate::EdgeDir::slot`]).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`HashGraphError::CapacityExhausted`] when
+    /// they cannot accept new distinct vertices, and
+    /// [`HashGraphError::WrongK`] for a key of the wrong length.
+    fn record(&self, key: &Kmer, edge_slots: [Option<u8>; 2]) -> Result<()>;
+
+    /// Copies the current contents out as a subgraph.
+    fn snapshot(&self) -> SubGraph;
+
+    /// Number of distinct vertices currently stored.
+    fn distinct(&self) -> usize;
+
+    /// Concurrency-behaviour counters accumulated so far.
+    fn contention(&self) -> ContentionStats;
+}
+
+/// Key storage cell: written exactly once while the slot is `locked`,
+/// immutable (and therefore safely shared) once the slot is `occupied`.
+struct KeyCell(UnsafeCell<[u64; 4]>);
+
+// SAFETY: the state-transfer protocol guarantees a single writer (the
+// CAS winner, while the slot is LOCKED) and readers only after the
+// Release store of OCCUPIED, which the writer performs after the write.
+unsafe impl Sync for KeyCell {}
+
+/// The paper's concurrent open-addressing De Bruijn hash table.
+///
+/// One table is shared by every thread working on a partition. Each slot
+/// holds a one-byte occupancy flag, the multi-word k-mer key, a duplicity
+/// counter and eight edge-multiplicity counters. Concurrency control is
+/// **state-transfer partial locking**:
+///
+/// * a thread that finds `empty` CASes it to `locked`, writes the key
+///   (the only multi-word write the slot will ever see), and publishes
+///   with a release-store of `occupied`;
+/// * a thread that finds `locked` spins until the key is published;
+/// * a thread that finds `occupied` compares keys lock-free — the key can
+///   never change again — and on a match bumps counters with atomic adds,
+///   otherwise probes the next slot linearly.
+///
+/// Capacity is fixed at construction (sized via Property 1 — see
+/// [`crate::table_capacity_for`]); exceeding it returns
+/// [`HashGraphError::CapacityExhausted`] rather than resizing.
+///
+/// # Examples
+///
+/// ```
+/// use dna::Kmer;
+/// use hashgraph::{ConcurrentDbgTable, VertexTable};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let table = ConcurrentDbgTable::new(16, 5);
+/// let v: Kmer = "ACGTA".parse()?;
+/// let (canon, _) = v.canonical();
+/// table.record(&canon, [Some(0), None])?; // out-edge by A
+/// table.record(&canon, [Some(0), None])?;
+/// let sub = table.snapshot();
+/// assert_eq!(sub.len(), 1);
+/// assert_eq!(sub.entries()[0].1.count, 2);
+/// assert_eq!(sub.entries()[0].1.edges[0], 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ConcurrentDbgTable {
+    k: usize,
+    capacity: usize,
+    states: Box<[AtomicU8]>,
+    keys: Box<[KeyCell]>,
+    counts: Box<[AtomicU32]>,
+    /// `capacity × 8` edge counters, slot-major.
+    edges: Box<[AtomicU32]>,
+    stats: Counters,
+}
+
+#[derive(Default)]
+struct Counters {
+    insertions: std::sync::atomic::AtomicU64,
+    updates: std::sync::atomic::AtomicU64,
+    cas_failures: std::sync::atomic::AtomicU64,
+    lock_waits: std::sync::atomic::AtomicU64,
+    probe_steps: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for ConcurrentDbgTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentDbgTable")
+            .field("k", &self.k)
+            .field("capacity", &self.capacity)
+            .field("distinct", &self.distinct())
+            .finish()
+    }
+}
+
+impl ConcurrentDbgTable {
+    /// Allocates a table with room for `capacity` distinct `k`-mers.
+    ///
+    /// A minimum capacity of 16 is enforced so tiny partitions still
+    /// leave probe headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds [`dna::MAX_K`].
+    pub fn new(capacity: usize, k: usize) -> ConcurrentDbgTable {
+        assert!((1..=dna::MAX_K).contains(&k), "invalid k {k}");
+        let capacity = capacity.max(16);
+        ConcurrentDbgTable {
+            k,
+            capacity,
+            states: (0..capacity).map(|_| AtomicU8::new(EMPTY)).collect(),
+            keys: (0..capacity).map(|_| KeyCell(UnsafeCell::new([0; 4]))).collect(),
+            counts: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            edges: (0..capacity * 8).map(|_| AtomicU32::new(0)).collect(),
+            stats: Counters::default(),
+        }
+    }
+
+    /// The slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current load factor (distinct vertices / capacity).
+    pub fn load_factor(&self) -> f64 {
+        self.distinct() as f64 / self.capacity as f64
+    }
+
+    /// Approximate allocation size in bytes, for memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.capacity * (1 + 32 + 4 + 32)
+    }
+
+    /// Reads the key in `slot`; caller must have observed `OCCUPIED` with
+    /// acquire ordering.
+    #[inline]
+    fn read_key(&self, slot: usize) -> [u64; 4] {
+        // SAFETY: key cells are written only between the EMPTY→LOCKED CAS
+        // and the Release store of OCCUPIED; after our Acquire load of
+        // OCCUPIED the cell is immutable.
+        unsafe { *self.keys[slot].0.get() }
+    }
+
+    #[inline]
+    fn bump(&self, slot: usize, edge_slots: [Option<u8>; 2]) {
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        for e in edge_slots.into_iter().flatten() {
+            debug_assert!(e < 8, "edge slot {e} out of range");
+            self.edges[slot * 8 + e as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl VertexTable for ConcurrentDbgTable {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn record(&self, key: &Kmer, edge_slots: [Option<u8>; 2]) -> Result<()> {
+        if key.k() != self.k {
+            return Err(HashGraphError::WrongK { expected: self.k, got: key.k() });
+        }
+        let words = *key.words();
+        let mut slot = (key.hash64() % self.capacity as u64) as usize;
+        let relaxed = Ordering::Relaxed;
+        for _probe in 0..self.capacity {
+            let mut spins = 0u32;
+            loop {
+                match self.states[slot].load(Ordering::Acquire) {
+                    OCCUPIED => {
+                        if self.read_key(slot) == words {
+                            self.bump(slot, edge_slots);
+                            self.stats.updates.fetch_add(1, relaxed);
+                            return Ok(());
+                        }
+                        break; // different key: probe onwards
+                    }
+                    EMPTY => {
+                        match self.states[slot].compare_exchange(
+                            EMPTY,
+                            LOCKED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => {
+                                // We own the slot: the single multi-word
+                                // write of its lifetime.
+                                // SAFETY: see KeyCell — we hold the lock.
+                                unsafe { *self.keys[slot].0.get() = words };
+                                self.states[slot].store(OCCUPIED, Ordering::Release);
+                                self.bump(slot, edge_slots);
+                                self.stats.insertions.fetch_add(1, relaxed);
+                                return Ok(());
+                            }
+                            Err(_) => {
+                                // Someone else claimed it between our load
+                                // and CAS; re-examine the same slot.
+                                self.stats.cas_failures.fetch_add(1, relaxed);
+                                continue;
+                            }
+                        }
+                    }
+                    _locked => {
+                        // Writer is publishing the key; wait for it.
+                        self.stats.lock_waits.fetch_add(1, relaxed);
+                        spins += 1;
+                        if spins.is_multiple_of(SPINS_BEFORE_YIELD) {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                        continue;
+                    }
+                }
+            }
+            slot = (slot + 1) % self.capacity;
+            self.stats.probe_steps.fetch_add(1, relaxed);
+        }
+        Err(HashGraphError::CapacityExhausted { capacity: self.capacity })
+    }
+
+    fn snapshot(&self) -> SubGraph {
+        let mut entries = Vec::new();
+        for slot in 0..self.capacity {
+            if self.states[slot].load(Ordering::Acquire) != OCCUPIED {
+                continue;
+            }
+            let kmer = Kmer::from_words(self.read_key(slot), self.k)
+                .expect("stored keys are valid k-mers");
+            let mut edges = [0u32; 8];
+            for (e, out) in edges.iter_mut().enumerate() {
+                *out = self.edges[slot * 8 + e].load(Ordering::Relaxed);
+            }
+            entries.push((
+                kmer,
+                VertexData { count: self.counts[slot].load(Ordering::Relaxed), edges },
+            ));
+        }
+        SubGraph::new(self.k, entries)
+    }
+
+    fn distinct(&self) -> usize {
+        (0..self.capacity)
+            .filter(|&s| self.states[s].load(Ordering::Relaxed) == OCCUPIED)
+            .count()
+    }
+
+    fn contention(&self) -> ContentionStats {
+        let r = Ordering::Relaxed;
+        ContentionStats {
+            insertions: self.stats.insertions.load(r),
+            updates: self.stats.updates.load(r),
+            cas_failures: self.stats.cas_failures.load(r),
+            lock_waits: self.stats.lock_waits.load(r),
+            probe_steps: self.stats.probe_steps.load(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna::PackedSeq;
+
+    fn canon(s: &str) -> Kmer {
+        s.parse::<Kmer>().unwrap().canonical().0
+    }
+
+    #[test]
+    fn insert_then_update_counts() {
+        let t = ConcurrentDbgTable::new(16, 5);
+        let v = canon("ACGTA");
+        t.record(&v, [Some(2), None]).unwrap();
+        t.record(&v, [Some(2), Some(5)]).unwrap();
+        t.record(&v, [None, None]).unwrap();
+        let sub = t.snapshot();
+        assert_eq!(sub.len(), 1);
+        let (k, d) = &sub.entries()[0];
+        assert_eq!(k, &v);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.edges[2], 2);
+        assert_eq!(d.edges[5], 1);
+        let c = t.contention();
+        assert_eq!(c.insertions, 1);
+        assert_eq!(c.updates, 2);
+    }
+
+    #[test]
+    fn distinct_keys_occupy_distinct_slots() {
+        let t = ConcurrentDbgTable::new(64, 4);
+        let seq = PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAG");
+        let mut expected = std::collections::HashMap::new();
+        for kmer in seq.kmers(4) {
+            let c = kmer.canonical().0;
+            t.record(&c, [None, None]).unwrap();
+            *expected.entry(c).or_insert(0u32) += 1;
+        }
+        let sub = t.snapshot();
+        assert_eq!(sub.len(), expected.len());
+        for (k, d) in sub.entries() {
+            assert_eq!(d.count, expected[k], "count mismatch for {k}");
+        }
+        assert_eq!(t.distinct(), expected.len());
+    }
+
+    #[test]
+    fn wrong_k_rejected() {
+        let t = ConcurrentDbgTable::new(16, 5);
+        let err = t.record(&canon("ACG"), [None, None]).unwrap_err();
+        assert!(matches!(err, HashGraphError::WrongK { expected: 5, got: 3 }));
+    }
+
+    #[test]
+    fn capacity_exhaustion_reported() {
+        let t = ConcurrentDbgTable::new(16, 6); // min capacity is 16
+        let seq = PackedSeq::from_ascii(
+            b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCACCGTATGCAATGCCGGATTAAC",
+        );
+        let mut result = Ok(());
+        let mut distinct = std::collections::HashSet::new();
+        for kmer in seq.kmers(6) {
+            let c = kmer.canonical().0;
+            distinct.insert(c);
+            result = t.record(&c, [None, None]);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(distinct.len() > 16, "test needs more distinct kmers than capacity");
+        assert!(matches!(result, Err(HashGraphError::CapacityExhausted { capacity: 16 })));
+    }
+
+    #[test]
+    fn collisions_probe_linearly() {
+        // Fill a tiny table almost full; all entries must still be found.
+        let t = ConcurrentDbgTable::new(16, 8);
+        let seq = PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACG");
+        let kmers: Vec<Kmer> = seq.kmers(8).map(|k| k.canonical().0).collect();
+        let distinct: std::collections::HashSet<_> = kmers.iter().collect();
+        assert!(distinct.len() <= 16);
+        for c in &kmers {
+            t.record(c, [None, None]).unwrap();
+        }
+        // Second pass: every record is an update, no new insertions.
+        let before = t.contention().insertions;
+        for c in &kmers {
+            t.record(c, [None, None]).unwrap();
+        }
+        assert_eq!(t.contention().insertions, before);
+        assert_eq!(t.snapshot().len(), distinct.len());
+    }
+
+    #[test]
+    fn concurrent_records_are_linearizable() {
+        use std::sync::Arc;
+        let t = Arc::new(ConcurrentDbgTable::new(4096, 9));
+        let seq = PackedSeq::from_ascii(
+            &"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCACCGTATGCAATG"
+                .repeat(4)
+                .into_bytes(),
+        );
+        let kmers: Vec<Kmer> = seq.kmers(9).map(|k| k.canonical().0).collect();
+        let threads = 8;
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = Arc::clone(&t);
+                let kmers = &kmers;
+                s.spawn(move || {
+                    // Each thread records every kmer, rotated to create
+                    // maximal same-slot contention.
+                    for i in 0..kmers.len() {
+                        let c = &kmers[(i + tid * 7) % kmers.len()];
+                        t.record(c, [Some((i % 8) as u8), None]).unwrap();
+                    }
+                });
+            }
+        });
+        let mut expected = std::collections::HashMap::new();
+        for c in &kmers {
+            *expected.entry(*c).or_insert(0u64) += threads as u64;
+        }
+        let sub = t.snapshot();
+        assert_eq!(sub.len(), expected.len());
+        let mut total_edges = 0u64;
+        for (k, d) in sub.entries() {
+            assert_eq!(d.count as u64, expected[k], "lost updates for {k}");
+            total_edges += d.total_edge_multiplicity();
+        }
+        assert_eq!(total_edges, (threads * kmers.len()) as u64);
+        let c = t.contention();
+        assert_eq!(c.insertions, expected.len() as u64);
+        assert_eq!(c.updates, (threads * kmers.len()) as u64 - expected.len() as u64);
+    }
+
+    #[test]
+    fn minimum_capacity_is_enforced() {
+        let t = ConcurrentDbgTable::new(0, 3);
+        assert_eq!(t.capacity(), 16);
+        assert_eq!(t.load_factor(), 0.0);
+        assert!(t.approx_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid k")]
+    fn zero_k_panics() {
+        ConcurrentDbgTable::new(16, 0);
+    }
+
+    #[test]
+    fn table_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<ConcurrentDbgTable>();
+    }
+}

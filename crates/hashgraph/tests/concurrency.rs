@@ -1,0 +1,142 @@
+//! Concurrency stress and model-equivalence tests for the state-transfer
+//! table — the invariants that make the paper's single-shared-table
+//! design safe.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dna::{Base, Kmer, PackedSeq};
+use hashgraph::{ConcurrentDbgTable, MutexDbgTable, VertexTable};
+use proptest::prelude::*;
+
+fn base() -> impl Strategy<Value = Base> {
+    prop_oneof![Just(Base::A), Just(Base::C), Just(Base::G), Just(Base::T)]
+}
+
+/// A random workload: keys with per-key operation counts and edge slots.
+fn workload() -> impl Strategy<Value = Vec<(Kmer, u8)>> {
+    prop::collection::vec(
+        (prop::collection::vec(base(), 7..8), 0u8..8),
+        1..200,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(bases, slot)| {
+                (Kmer::from_bases(7, bases).unwrap().canonical().0, slot)
+            })
+            .collect()
+    })
+}
+
+fn model(ops: &[(Kmer, u8)]) -> HashMap<Kmer, (u32, [u32; 8])> {
+    let mut m: HashMap<Kmer, (u32, [u32; 8])> = HashMap::new();
+    for (k, slot) in ops {
+        let e = m.entry(*k).or_insert((0, [0; 8]));
+        e.0 += 1;
+        e.1[*slot as usize] += 1;
+    }
+    m
+}
+
+fn check_table<T: VertexTable>(table: &T, ops: &[(Kmer, u8)]) {
+    let expected = model(ops);
+    let snap = table.snapshot();
+    assert_eq!(snap.len(), expected.len());
+    for (k, data) in snap.entries() {
+        let (count, edges) = expected[k];
+        assert_eq!(data.count, count, "count mismatch for {k}");
+        assert_eq!(data.edges, edges, "edges mismatch for {k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn single_threaded_table_equals_hashmap_model(ops in workload()) {
+        let table = ConcurrentDbgTable::new(ops.len() * 2, 7);
+        for (k, slot) in &ops {
+            table.record(k, [Some(*slot), None]).unwrap();
+        }
+        check_table(&table, &ops);
+    }
+
+    #[test]
+    fn concurrent_table_equals_hashmap_model(ops in workload(), threads in 2usize..6) {
+        let table = Arc::new(ConcurrentDbgTable::new(ops.len() * 2, 7));
+        let chunk = ops.len().div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for chunk in ops.chunks(chunk) {
+                let table = Arc::clone(&table);
+                s.spawn(move || {
+                    for (k, slot) in chunk {
+                        table.record(k, [Some(*slot), None]).unwrap();
+                    }
+                });
+            }
+        });
+        check_table(table.as_ref(), &ops);
+    }
+
+    #[test]
+    fn mutex_and_lockfree_tables_agree(ops in workload()) {
+        let a = ConcurrentDbgTable::new(ops.len() * 2, 7);
+        let b = MutexDbgTable::new(ops.len() * 2, 7);
+        for (k, slot) in &ops {
+            a.record(k, [Some(*slot), None]).unwrap();
+            b.record(k, [Some(*slot), None]).unwrap();
+        }
+        let mut sa = a.snapshot().into_entries();
+        let mut sb = b.snapshot().into_entries();
+        sa.sort_by_key(|x| x.0);
+        sb.sort_by_key(|x| x.0);
+        prop_assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn graph_store_roundtrips_random_graphs(reads in prop::collection::vec(prop::collection::vec(base(), 0..80), 0..8)) {
+        let seqs: Vec<PackedSeq> = reads.into_iter().map(|v| v.into_iter().collect()).collect();
+        let parts = msp::partition_in_memory(&seqs, 9, 5, 2).unwrap();
+        let mut g = hashgraph::DeBruijnGraph::new(9);
+        for p in &parts {
+            g.absorb(hashgraph::build_subgraph_serial(p, 9).unwrap());
+        }
+        let mut buf = Vec::new();
+        hashgraph::write_graph(&g, &mut buf).unwrap();
+        prop_assert_eq!(hashgraph::read_graph(&buf[..]).unwrap(), g);
+    }
+}
+
+/// Deterministic high-contention hammer: all threads fight over very few
+/// slots to maximise CAS races and lock waits.
+#[test]
+fn hammer_few_keys_many_threads() {
+    let keys: Vec<Kmer> = ["AACCGGT", "ACGTACG", "TTGGCCA", "GATTACA"]
+        .iter()
+        .map(|s| s.parse::<Kmer>().unwrap().canonical().0)
+        .collect();
+    let table = Arc::new(ConcurrentDbgTable::new(64, 7));
+    let per_thread = 20_000usize;
+    let threads = 8;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let table = Arc::clone(&table);
+            let keys = keys.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let k = &keys[(i + t) % keys.len()];
+                    table.record(k, [Some((i % 8) as u8), None]).unwrap();
+                }
+            });
+        }
+    });
+    let snap = table.snapshot();
+    let distinct: std::collections::HashSet<_> = keys.iter().collect();
+    assert_eq!(snap.len(), distinct.len());
+    let total: u64 = snap.entries().iter().map(|(_, d)| d.count as u64).sum();
+    assert_eq!(total, (threads * per_thread) as u64, "no update may be lost");
+    let c = table.contention();
+    assert_eq!(c.operations(), (threads * per_thread) as u64);
+    assert_eq!(c.insertions, distinct.len() as u64);
+}

@@ -1,0 +1,143 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Cumulative activity counters for one device, filled in by its
+/// [`crate::Device`] implementation and read by experiment harnesses
+/// (Fig 8's transfer/compute breakdown, Fig 11's workload distribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceMetrics {
+    /// Kernel launches completed.
+    pub kernels: u64,
+    /// Data-parallel items processed across all kernels.
+    pub items: u64,
+    /// Total wall-clock time spent inside kernels.
+    pub busy: Duration,
+    /// Bytes moved host → device.
+    pub bytes_to_device: u64,
+    /// Bytes moved device → host.
+    pub bytes_from_device: u64,
+    /// Total metered transfer time (both directions).
+    pub transfer_time: Duration,
+    /// Warps executed (simulated GPUs only).
+    pub warps: u64,
+    /// Peak device-memory reservation observed.
+    pub peak_memory: u64,
+}
+
+impl DeviceMetrics {
+    /// Busy + transfer time: the device's total occupied wall-clock.
+    pub fn occupied(&self) -> Duration {
+        self.busy + self.transfer_time
+    }
+
+    /// Items per second of busy time (0.0 if never busy).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.items as f64 / secs
+        }
+    }
+}
+
+/// Interior-mutable accumulator behind each device's metrics.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsCell {
+    kernels: AtomicU64,
+    items: AtomicU64,
+    busy_nanos: AtomicU64,
+    bytes_to: AtomicU64,
+    bytes_from: AtomicU64,
+    transfer_nanos: AtomicU64,
+    warps: AtomicU64,
+    mem_used: AtomicU64,
+    mem_peak: AtomicU64,
+}
+
+impl MetricsCell {
+    pub fn record_kernel(&self, items: usize, duration: Duration, warps: u64) {
+        self.kernels.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items as u64, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+        self.warps.fetch_add(warps, Ordering::Relaxed);
+    }
+
+    pub fn record_transfer(&self, bytes: u64, duration: Duration, to_device: bool) {
+        if to_device {
+            self.bytes_to.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.bytes_from.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.transfer_nanos.fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds a reservation; returns the new in-use total.
+    pub fn reserve(&self, bytes: u64) -> u64 {
+        let used = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.mem_peak.fetch_max(used, Ordering::Relaxed);
+        used
+    }
+
+    pub fn release(&self, bytes: u64) {
+        self.mem_used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub fn in_use(&self) -> u64 {
+        self.mem_used.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> DeviceMetrics {
+        let r = Ordering::Relaxed;
+        DeviceMetrics {
+            kernels: self.kernels.load(r),
+            items: self.items.load(r),
+            busy: Duration::from_nanos(self.busy_nanos.load(r)),
+            bytes_to_device: self.bytes_to.load(r),
+            bytes_from_device: self.bytes_from.load(r),
+            transfer_time: Duration::from_nanos(self.transfer_nanos.load(r)),
+            warps: self.warps.load(r),
+            peak_memory: self.mem_peak.load(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_and_transfer_accumulate() {
+        let c = MetricsCell::default();
+        c.record_kernel(10, Duration::from_millis(5), 2);
+        c.record_kernel(20, Duration::from_millis(5), 3);
+        c.record_transfer(100, Duration::from_millis(1), true);
+        c.record_transfer(50, Duration::from_millis(1), false);
+        let m = c.snapshot();
+        assert_eq!(m.kernels, 2);
+        assert_eq!(m.items, 30);
+        assert_eq!(m.busy, Duration::from_millis(10));
+        assert_eq!(m.bytes_to_device, 100);
+        assert_eq!(m.bytes_from_device, 50);
+        assert_eq!(m.transfer_time, Duration::from_millis(2));
+        assert_eq!(m.warps, 5);
+        assert_eq!(m.occupied(), Duration::from_millis(12));
+        assert!((m.throughput() - 3000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn memory_reservation_tracks_peak() {
+        let c = MetricsCell::default();
+        c.reserve(100);
+        c.reserve(200);
+        c.release(100);
+        c.reserve(50);
+        assert_eq!(c.in_use(), 250);
+        assert_eq!(c.snapshot().peak_memory, 300);
+    }
+
+    #[test]
+    fn zero_busy_throughput_is_zero() {
+        assert_eq!(DeviceMetrics::default().throughput(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+use std::time::Duration;
+
+/// Bandwidth/latency model for host↔device transfers.
+///
+/// The simulated GPU charges `latency + bytes / bandwidth` per transfer and
+/// *enforces* the charge with a real sleep, so pipelining experiments see
+/// genuine wall-clock overlap opportunities — exactly the term
+/// `T_DH_transfer` in the paper's Eq. 1.
+///
+/// # Examples
+///
+/// ```
+/// use hetsim::TransferModel;
+/// use std::time::Duration;
+///
+/// // A PCIe-3-like link: 10 GB/s, 10 µs setup.
+/// let m = TransferModel::new(10_000_000_000, Duration::from_micros(10));
+/// let d = m.delay(1_000_000); // 1 MB
+/// assert_eq!(d, Duration::from_micros(10) + Duration::from_micros(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferModel {
+    bandwidth_bytes_per_sec: u64,
+    latency: Duration,
+}
+
+impl TransferModel {
+    /// A link with the given bandwidth (bytes/second) and fixed per-call
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_sec` is zero.
+    pub fn new(bandwidth_bytes_per_sec: u64, latency: Duration) -> TransferModel {
+        assert!(bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+        TransferModel { bandwidth_bytes_per_sec, latency }
+    }
+
+    /// An effectively free link (for tests and the CPU device).
+    pub fn instant() -> TransferModel {
+        TransferModel { bandwidth_bytes_per_sec: u64::MAX, latency: Duration::ZERO }
+    }
+
+    /// A PCIe-3-x16-like default: ~10 GB/s with 10 µs setup latency
+    /// (about the K40m's measured effective host↔device throughput).
+    pub fn pcie3() -> TransferModel {
+        TransferModel::new(10_000_000_000, Duration::from_micros(10))
+    }
+
+    /// The configured bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth_bytes_per_sec
+    }
+
+    /// The configured per-call latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Time this link charges for `bytes`.
+    pub fn delay(&self, bytes: u64) -> Duration {
+        if self.bandwidth_bytes_per_sec == u64::MAX {
+            return Duration::ZERO;
+        }
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> TransferModel {
+        TransferModel::pcie3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_latency_plus_linear_term() {
+        let m = TransferModel::new(1_000_000, Duration::from_millis(1));
+        assert_eq!(m.delay(0), Duration::from_millis(1));
+        assert_eq!(m.delay(1_000_000), Duration::from_millis(1) + Duration::from_secs(1));
+        assert_eq!(m.bandwidth(), 1_000_000);
+        assert_eq!(m.latency(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn instant_link_is_free() {
+        assert_eq!(TransferModel::instant().delay(u64::MAX / 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn bigger_transfers_cost_more() {
+        let m = TransferModel::pcie3();
+        assert!(m.delay(1 << 30) > m.delay(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        TransferModel::new(0, Duration::ZERO);
+    }
+}

@@ -1,0 +1,251 @@
+use std::collections::VecDeque;
+
+use dna::{Kmer, PackedSeq};
+
+use crate::{MspError, Result};
+
+/// Computes the minimizer of a single k-mer: the lexicographically minimal
+/// length-`p` substring over the k-mer **and its reverse complement** (the
+/// canonical pair — see the crate docs for why both strands are needed).
+///
+/// This is the O(K·P) brute force the paper describes; the sliding-window
+/// [`MinimizerScanner`] produces identical results in O(L) per read and is
+/// what the system uses. Keep this around as the reference for tests and
+/// the ablation bench.
+///
+/// # Examples
+///
+/// ```
+/// use dna::Kmer;
+/// use msp::minimizer_of_kmer;
+///
+/// # fn main() -> Result<(), dna::DnaError> {
+/// let k: Kmer = "TGATG".parse()?;
+/// // Substrings of TGATG: TGA, GAT, ATG; of CATCA: CAT, ATC, TCA.
+/// assert_eq!(minimizer_of_kmer(&k, 3).to_string(), "ATC");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is 0 or exceeds the k-mer length.
+pub fn minimizer_of_kmer(kmer: &Kmer, p: usize) -> Kmer {
+    assert!(p >= 1 && p <= kmer.k(), "invalid minimizer length {p} for k={}", kmer.k());
+    let strand_min = |km: &Kmer| (0..=km.k() - p).map(|i| km.sub(i, p)).min().expect("k >= p");
+    strand_min(kmer).min(strand_min(&kmer.revcomp()))
+}
+
+/// O(L) sliding-window minimizer scanner for whole reads.
+///
+/// For a read of length `L` it reports, for each of the `L−K+1` k-mer
+/// positions, that k-mer's canonical minimizer. Internally it runs a
+/// monotone-deque window minimum over the read's p-mers on both strands —
+/// each p-mer enters and leaves the deque at most once, so the whole scan
+/// is linear regardless of `K` or `P`.
+///
+/// # Examples
+///
+/// ```
+/// use dna::PackedSeq;
+/// use msp::{minimizer_of_kmer, MinimizerScanner};
+///
+/// # fn main() -> msp::Result<()> {
+/// let read = PackedSeq::from_ascii(b"ACGTTGCATGGA");
+/// let scanner = MinimizerScanner::new(5, 3)?;
+/// let mins = scanner.scan(&read);
+/// assert_eq!(mins.len(), read.len() - 5 + 1);
+/// // Matches the brute force at every position:
+/// for (i, m) in mins.iter().enumerate() {
+///     let kmer = read.kmer_at(i, 5).unwrap();
+///     assert_eq!(*m, minimizer_of_kmer(&kmer, 3));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinimizerScanner {
+    k: usize,
+    p: usize,
+}
+
+impl MinimizerScanner {
+    /// Creates a scanner for k-mers of length `k` and minimizers of
+    /// length `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::InvalidParams`] unless `1 ≤ p ≤ k ≤ MAX_K`.
+    pub fn new(k: usize, p: usize) -> Result<MinimizerScanner> {
+        if p < 1 || p > k || k > dna::MAX_K {
+            return Err(MspError::InvalidParams { k, p });
+        }
+        Ok(MinimizerScanner { k, p })
+    }
+
+    /// The k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The minimizer length.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Scans a read, returning one canonical minimizer per k-mer position
+    /// (empty if the read is shorter than `k`).
+    pub fn scan(&self, read: &PackedSeq) -> Vec<Kmer> {
+        if read.len() < self.k {
+            return Vec::new();
+        }
+        let window = self.k - self.p + 1;
+        let fwd = window_minima(read, self.p, window);
+        let rc = window_minima(&read.revcomp(), self.p, window);
+        let n = read.len() - self.k + 1;
+        debug_assert_eq!(fwd.len(), n);
+        debug_assert_eq!(rc.len(), n);
+        (0..n).map(|i| fwd[i].min(rc[n - 1 - i])).collect()
+    }
+
+    /// Brute-force scan: per-position [`minimizer_of_kmer`]. Identical
+    /// output, O(L·K·P) cost; exists for testing and the ablation bench.
+    pub fn scan_naive(&self, read: &PackedSeq) -> Vec<Kmer> {
+        if read.len() < self.k {
+            return Vec::new();
+        }
+        (0..=read.len() - self.k)
+            .map(|i| minimizer_of_kmer(&read.kmer_at(i, self.k).expect("in range"), self.p))
+            .collect()
+    }
+}
+
+/// Minimum p-mer in every length-`window` window of p-mer positions, via a
+/// monotone deque. Returns one entry per window, i.e.
+/// `len − p + 1 − window + 1` values.
+fn window_minima(seq: &PackedSeq, p: usize, window: usize) -> Vec<Kmer> {
+    let n_pmers = seq.len() + 1 - p;
+    let mut out = Vec::with_capacity(n_pmers + 1 - window);
+    // Deque of (position, pmer); values increase from front to back.
+    let mut deque: VecDeque<(usize, Kmer)> = VecDeque::new();
+    for (i, pmer) in seq.kmers(p).enumerate() {
+        while deque.back().is_some_and(|&(_, back)| back > pmer) {
+            deque.pop_back();
+        }
+        deque.push_back((i, pmer));
+        // Window covering p-mer positions [i + 1 − window, i].
+        if i + 1 >= window {
+            let start = i + 1 - window;
+            while deque.front().is_some_and(|&(pos, _)| pos < start) {
+                deque.pop_front();
+            }
+            out.push(deque.front().expect("deque non-empty").1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes())
+    }
+
+    #[test]
+    fn brute_force_on_known_example() {
+        let k: Kmer = "GATTACA".parse().unwrap();
+        // fwd 2-mers: GA AT TT TA AC CA ; rc = TGTAATC: TG GT TA AA AT TC.
+        assert_eq!(minimizer_of_kmer(&k, 2).to_string(), "AA");
+        assert_eq!(minimizer_of_kmer(&k, 7).to_string(), "GATTACA");
+        assert_eq!(minimizer_of_kmer(&k, 1).to_string(), "A");
+    }
+
+    #[test]
+    fn minimizer_is_strand_invariant() {
+        for s in ["ACGTTGCA", "TGATGGATG", "CCCCCGGGG"] {
+            let k: Kmer = s.parse().unwrap();
+            for p in 1..=s.len() {
+                assert_eq!(
+                    minimizer_of_kmer(&k, p),
+                    minimizer_of_kmer(&k.revcomp(), p),
+                    "s={s} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scanner_matches_naive() {
+        let reads = [
+            "ACGTTGCATGGACCAGTTACGGA",
+            "AAAAAAAAAAAAAAA",
+            "TGATGGATGATGGATGGTAGCAT",
+            "ACGT",
+        ];
+        for r in reads {
+            let read = seq(r);
+            for (k, p) in [(4, 1), (4, 4), (5, 3), (7, 4), (15, 11)] {
+                if read.len() < k {
+                    continue;
+                }
+                let sc = MinimizerScanner::new(k, p).unwrap();
+                assert_eq!(sc.scan(&read), sc.scan_naive(&read), "read={r} k={k} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_read_yields_nothing() {
+        let sc = MinimizerScanner::new(10, 4).unwrap();
+        assert!(sc.scan(&seq("ACGT")).is_empty());
+        assert!(sc.scan_naive(&seq("ACGT")).is_empty());
+    }
+
+    #[test]
+    fn read_of_exactly_k() {
+        let sc = MinimizerScanner::new(6, 3).unwrap();
+        let read = seq("GATTAC");
+        let mins = sc.scan(&read);
+        assert_eq!(mins.len(), 1);
+        assert_eq!(mins[0], minimizer_of_kmer(&read.kmer_at(0, 6).unwrap(), 3));
+    }
+
+    #[test]
+    fn p_equal_k_minimizer_is_canonical_kmer() {
+        let sc = MinimizerScanner::new(5, 5).unwrap();
+        let read = seq("TGATGGA");
+        let mins = sc.scan(&read);
+        for (i, m) in mins.iter().enumerate() {
+            let kmer = read.kmer_at(i, 5).unwrap();
+            assert_eq!(*m, kmer.canonical().0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(matches!(MinimizerScanner::new(5, 0), Err(MspError::InvalidParams { .. })));
+        assert!(matches!(MinimizerScanner::new(5, 6), Err(MspError::InvalidParams { .. })));
+        assert!(matches!(MinimizerScanner::new(dna::MAX_K + 1, 3), Err(MspError::InvalidParams { .. })));
+        assert!(MinimizerScanner::new(1, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid minimizer length")]
+    fn brute_force_rejects_p_zero() {
+        minimizer_of_kmer(&"ACGT".parse().unwrap(), 0);
+    }
+
+    #[test]
+    fn larger_p_fragments_runs_more() {
+        // The paper's Fig 6 observation: larger P ⇒ more, shorter superkmer
+        // runs. Here: more distinct adjacent-minimizer changes.
+        let read = seq(&"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT".repeat(4));
+        let changes = |p: usize| {
+            let mins = MinimizerScanner::new(15, p).unwrap().scan(&read);
+            mins.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        assert!(changes(13) >= changes(5), "larger P should fragment at least as much");
+    }
+}

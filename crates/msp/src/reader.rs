@@ -1,0 +1,219 @@
+use std::fs;
+use std::path::Path;
+
+use crate::{decode_superkmer, MspError, PartitionManifest, Result, Superkmer};
+
+/// Reads one encoded superkmer partition file back into [`Superkmer`]s.
+///
+/// The whole file is slurped at open time — partitions are sized (via the
+/// partition count) to fit comfortably in memory; that is the point of
+/// partitioning — and records are decoded lazily by the iterator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use msp::{PartitionManifest, PartitionReader};
+///
+/// # fn main() -> msp::Result<()> {
+/// let manifest = PartitionManifest::load("/tmp/parts")?;
+/// let reader = PartitionReader::open(&manifest, 3)?;
+/// for sk in reader {
+///     let sk = sk?;
+///     println!("{} kmers", sk.kmer_count());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PartitionReader {
+    bytes: Vec<u8>,
+    offset: usize,
+    k: usize,
+    p: usize,
+    failed: bool,
+}
+
+impl PartitionReader {
+    /// Opens partition `index` of a manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::Io`] if the partition file cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the manifest.
+    pub fn open(manifest: &PartitionManifest, index: usize) -> Result<PartitionReader> {
+        Self::from_path(manifest.partition_path(index), manifest.k(), manifest.p())
+    }
+
+    /// Opens an arbitrary partition file written with parameters `k`, `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::InvalidParams`] for bad parameters or
+    /// [`MspError::Io`] if the file cannot be read.
+    pub fn from_path(path: impl AsRef<Path>, k: usize, p: usize) -> Result<PartitionReader> {
+        if p < 1 || p > k || k > dna::MAX_K {
+            return Err(MspError::InvalidParams { k, p });
+        }
+        Ok(PartitionReader { bytes: fs::read(path)?, offset: 0, k, p, failed: false })
+    }
+
+    /// Decodes a partition already held in memory (the pipeline hands
+    /// byte buffers between its input stage and the compute stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::InvalidParams`] for bad parameters.
+    pub fn from_bytes(bytes: Vec<u8>, k: usize, p: usize) -> Result<PartitionReader> {
+        if p < 1 || p > k || k > dna::MAX_K {
+            return Err(MspError::InvalidParams { k, p });
+        }
+        Ok(PartitionReader { bytes, offset: 0, k, p, failed: false })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.offset
+    }
+
+    /// Decodes every remaining record into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode error (e.g. a truncated final record).
+    pub fn read_all(self) -> Result<Vec<Superkmer>> {
+        self.collect()
+    }
+}
+
+impl Iterator for PartitionReader {
+    type Item = Result<Superkmer>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.offset >= self.bytes.len() {
+            return None;
+        }
+        match decode_superkmer(&self.bytes[self.offset..], self.k, self.p) {
+            Ok((sk, used)) => {
+                self.offset += used;
+                Some(Ok(sk))
+            }
+            Err(MspError::CorruptRecord { offset, reason }) => {
+                self.failed = true;
+                Some(Err(MspError::CorruptRecord {
+                    offset: offset + self.offset as u64,
+                    reason,
+                }))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionWriter, SuperkmerScanner};
+    use dna::PackedSeq;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("msp-reader-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn write_then_read_recovers_superkmers_per_partition() {
+        let dir = tmpdir("rw");
+        let scanner = SuperkmerScanner::new(7, 4).unwrap();
+        let reads: Vec<PackedSeq> = [
+            "ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT",
+            "TTTTGGGGCCCCAAAATTTTGGGGCCCCAAAA",
+        ]
+        .iter()
+        .map(|s| PackedSeq::from_ascii(s.as_bytes()))
+        .collect();
+
+        let n = 6;
+        let mut w = PartitionWriter::create(&dir, n, 7, 4).unwrap();
+        let mut expected: Vec<Vec<Superkmer>> = vec![Vec::new(); n];
+        let router = crate::PartitionRouter::new(n).unwrap();
+        for r in &reads {
+            for sk in scanner.scan(r) {
+                expected[router.route(&sk)].push(sk.clone());
+                w.write(&sk).unwrap();
+            }
+        }
+        let manifest = w.finish().unwrap();
+        for (i, want) in expected.iter().enumerate() {
+            let got = PartitionReader::open(&manifest, i).unwrap().read_all().unwrap();
+            assert_eq!(&got, want, "partition {i}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_reports_corrupt_record() {
+        let dir = tmpdir("trunc");
+        let scanner = SuperkmerScanner::new(5, 3).unwrap();
+        let mut w = PartitionWriter::create(&dir, 1, 5, 3).unwrap();
+        for sk in scanner.scan(&PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTT")) {
+            w.write(&sk).unwrap();
+        }
+        let manifest = w.finish().unwrap();
+        let path = manifest.partition_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        fs::write(&path, &bytes).unwrap();
+
+        let results: Vec<_> = PartitionReader::open(&manifest, 0).unwrap().collect();
+        assert!(results.last().unwrap().is_err(), "final record must fail");
+        // Iterator fuses after the error.
+        let mut r = PartitionReader::open(&manifest, 0).unwrap();
+        while let Some(item) = r.next() {
+            if item.is_err() {
+                assert!(r.next().is_none(), "reader must fuse after an error");
+                break;
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_bytes_matches_from_path() {
+        let dir = tmpdir("bytes");
+        let scanner = SuperkmerScanner::new(5, 2).unwrap();
+        let mut w = PartitionWriter::create(&dir, 1, 5, 2).unwrap();
+        for sk in scanner.scan(&PackedSeq::from_ascii(b"GGCATTAGCCAGTACG")) {
+            w.write(&sk).unwrap();
+        }
+        let manifest = w.finish().unwrap();
+        let path = manifest.partition_path(0);
+        let via_path = PartitionReader::from_path(&path, 5, 2).unwrap().read_all().unwrap();
+        let via_bytes = PartitionReader::from_bytes(fs::read(&path).unwrap(), 5, 2)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(via_path, via_bytes);
+        assert!(!via_path.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_partition_iterates_nothing() {
+        let r = PartitionReader::from_bytes(Vec::new(), 5, 3).unwrap();
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(PartitionReader::from_bytes(Vec::new(), 3, 5).is_err());
+        assert!(PartitionReader::from_path("/nonexistent", 3, 5).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+use dna::{Base, PackedSeq};
+
+use crate::{minimizer_of_kmer, MspError, Result, Superkmer};
+
+/// Number of bytes [`encode_superkmer`] produces for a core of
+/// `core_len` bases: a 3-byte header plus 2-bit packed bases.
+///
+/// The 2-bit packing is the paper's I/O optimisation: roughly ¼ of the
+/// byte-per-base representation, which shrinks both the partition files on
+/// disk and the host↔device transfers.
+pub fn encoded_len(core_len: usize) -> usize {
+    3 + core_len.div_ceil(4)
+}
+
+/// Serialises a superkmer into `out` (appending) in the compact partition
+/// file format:
+///
+/// | bytes | content |
+/// |---|---|
+/// | 0–1 | core length in bases, little-endian `u16` |
+/// | 2 | flags: bit 0 = has left ext, bit 1 = has right ext, bits 2–3 = left base code, bits 4–5 = right base code |
+/// | 3… | core bases, 2-bit packed, 4 per byte, LSB-first |
+///
+/// The minimizer is *not* stored: every k-mer of the superkmer shares it,
+/// so the decoder recomputes it from the first k-mer, and partition
+/// membership is implied by the file the record lives in.
+///
+/// # Panics
+///
+/// Panics if the core exceeds 65 535 bases (no realistic read is close).
+pub fn encode_superkmer(sk: &Superkmer, out: &mut Vec<u8>) {
+    let core = sk.core();
+    let len = u16::try_from(core.len()).expect("superkmer core exceeds u16 length");
+    out.extend_from_slice(&len.to_le_bytes());
+    let mut flags = 0u8;
+    if let Some(b) = sk.left_ext() {
+        flags |= 1 | (b.code() << 2);
+    }
+    if let Some(b) = sk.right_ext() {
+        flags |= 2 | (b.code() << 4);
+    }
+    out.push(flags);
+    let mut byte = 0u8;
+    for (i, b) in core.bases().enumerate() {
+        byte |= b.code() << (2 * (i % 4));
+        if i % 4 == 3 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !core.len().is_multiple_of(4) {
+        out.push(byte);
+    }
+}
+
+/// Deserialises one superkmer from the front of `bytes`, returning it and
+/// the number of bytes consumed. `k` and `p` are the partitioning
+/// parameters the file was written with (recorded in the manifest).
+///
+/// # Errors
+///
+/// Returns [`MspError::CorruptRecord`] if `bytes` is too short for the
+/// header or the declared payload, or if the core cannot hold one k-mer.
+/// `offset` is reported relative to the start of `bytes`; callers add
+/// their own file offset.
+pub fn decode_superkmer(bytes: &[u8], k: usize, p: usize) -> Result<(Superkmer, usize)> {
+    if bytes.len() < 3 {
+        return Err(MspError::CorruptRecord {
+            offset: 0,
+            reason: format!("{} bytes left, header needs 3", bytes.len()),
+        });
+    }
+    let core_len = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    let flags = bytes[2];
+    let payload = core_len.div_ceil(4);
+    let total = 3 + payload;
+    if bytes.len() < total {
+        return Err(MspError::CorruptRecord {
+            offset: 0,
+            reason: format!("payload of {payload} bytes truncated to {}", bytes.len() - 3),
+        });
+    }
+    if core_len < k {
+        return Err(MspError::CorruptRecord {
+            offset: 0,
+            reason: format!("core of {core_len} bases cannot hold a {k}-mer"),
+        });
+    }
+    let mut core = PackedSeq::with_capacity(core_len);
+    for i in 0..core_len {
+        let b = bytes[3 + i / 4] >> (2 * (i % 4));
+        core.push(Base::from_code(b));
+    }
+    let left_ext = (flags & 1 != 0).then(|| Base::from_code(flags >> 2));
+    let right_ext = (flags & 2 != 0).then(|| Base::from_code(flags >> 4));
+    let minimizer = minimizer_of_kmer(&core.kmer_at(0, k).expect("core_len >= k"), p);
+    Ok((Superkmer::new(core, minimizer, k, left_ext, right_ext), total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuperkmerScanner;
+
+    fn superkmers(read: &str, k: usize, p: usize) -> Vec<Superkmer> {
+        SuperkmerScanner::new(k, p).unwrap().scan(&PackedSeq::from_ascii(read.as_bytes()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let sks = superkmers("TGATGGATGAACCAGTTTGAGGCATTAGGCAT", 5, 3);
+        assert!(sks.len() >= 2);
+        for sk in &sks {
+            let mut buf = Vec::new();
+            encode_superkmer(sk, &mut buf);
+            assert_eq!(buf.len(), encoded_len(sk.core().len()));
+            let (back, used) = decode_superkmer(&buf, 5, 3).unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(&back, sk);
+        }
+    }
+
+    #[test]
+    fn roundtrip_concatenated_stream() {
+        let sks = superkmers("ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT", 7, 4);
+        let mut buf = Vec::new();
+        for sk in &sks {
+            encode_superkmer(sk, &mut buf);
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while offset < buf.len() {
+            let (sk, used) = decode_superkmer(&buf[offset..], 7, 4).unwrap();
+            decoded.push(sk);
+            offset += used;
+        }
+        assert_eq!(decoded, sks);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // ~¼ of byte-per-base, the paper's claim for the encoded output.
+        let sks = superkmers(&"ACGT".repeat(64), 21, 11);
+        for sk in &sks {
+            let text_size = sk.core().len() + 2;
+            assert!(encoded_len(sk.core().len()) <= text_size / 3, "encoding not compact enough");
+        }
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(matches!(
+            decode_superkmer(&[5, 0], 3, 2),
+            Err(MspError::CorruptRecord { .. })
+        ));
+        assert!(decode_superkmer(&[], 3, 2).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let sks = superkmers("GATTACAGATTACA", 5, 3);
+        let mut buf = Vec::new();
+        encode_superkmer(&sks[0], &mut buf);
+        let err = decode_superkmer(&buf[..buf.len() - 1], 5, 3).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn core_shorter_than_k_rejected() {
+        // Hand-craft a record whose core (4 bases) is shorter than k=5.
+        let buf = [4u8, 0, 0, 0b00011011];
+        let err = decode_superkmer(&buf, 5, 3).unwrap_err();
+        assert!(err.to_string().contains("cannot hold"), "{err}");
+    }
+
+    #[test]
+    fn flags_encode_extensions_independently() {
+        for (l, r) in [(None, None), (Some(Base::G), None), (None, Some(Base::T)), (Some(Base::C), Some(Base::A))] {
+            let sk = Superkmer::new(PackedSeq::from_ascii(b"ACGTA"), "AC".parse().unwrap(), 5, l, r);
+            let mut buf = Vec::new();
+            encode_superkmer(&sk, &mut buf);
+            let (back, _) = decode_superkmer(&buf, 5, 2).unwrap();
+            assert_eq!(back.left_ext(), l);
+            assert_eq!(back.right_ext(), r);
+        }
+    }
+}

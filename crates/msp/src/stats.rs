@@ -1,0 +1,121 @@
+/// Per-partition accounting collected while writing superkmer partitions.
+///
+/// The kmer count per partition (`N_kmer^i` in the paper's §IV-A) is what
+/// sizes the Step-2 hash table for that partition, and the distribution of
+/// these counts across partitions is Fig 6 / Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartitionStats {
+    /// Superkmers written to this partition.
+    pub superkmers: u64,
+    /// K-mers contained in those superkmers (Σ core_len − K + 1).
+    pub kmers: u64,
+    /// Encoded bytes written.
+    pub bytes: u64,
+}
+
+impl PartitionStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &PartitionStats) {
+        self.superkmers += other.superkmers;
+        self.kmers += other.kmers;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Five-number-ish summary of a per-partition count distribution, used to
+/// reproduce Fig 6 (partition size variance vs. minimizer length `P`) and
+/// Table II (max hash table size vs. number of partitions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionSummary {
+    /// Number of partitions summarised.
+    pub count: usize,
+    /// Sum over all partitions.
+    pub total: u64,
+    /// Smallest partition.
+    pub min: u64,
+    /// Largest partition.
+    pub max: u64,
+    /// Mean partition size.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl DistributionSummary {
+    /// Summarises a slice of per-partition counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn from_counts(counts: &[u64]) -> DistributionSummary {
+        assert!(!counts.is_empty(), "cannot summarise zero partitions");
+        let total: u64 = counts.iter().sum();
+        let mean = total as f64 / counts.len() as f64;
+        let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>()
+            / counts.len() as f64;
+        DistributionSummary {
+            count: counts.len(),
+            total,
+            min: *counts.iter().min().expect("non-empty"),
+            max: *counts.iter().max().expect("non-empty"),
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Coefficient of variation (σ/μ); the balance metric Fig 6 tracks as
+    /// `P` grows. Zero for perfectly balanced partitions; 0 when the mean
+    /// is 0.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PartitionStats { superkmers: 1, kmers: 10, bytes: 100 };
+        a.merge(&PartitionStats { superkmers: 2, kmers: 20, bytes: 200 });
+        assert_eq!(a, PartitionStats { superkmers: 3, kmers: 30, bytes: 300 });
+    }
+
+    #[test]
+    fn summary_of_uniform_counts() {
+        let s = DistributionSummary::from_counts(&[5, 5, 5, 5]);
+        assert_eq!(s.total, 20);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_skewed_counts() {
+        let s = DistributionSummary::from_counts(&[0, 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 5.0);
+        assert_eq!(s.coefficient_of_variation(), 1.0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 10);
+    }
+
+    #[test]
+    fn zero_mean_cv_is_zero() {
+        let s = DistributionSummary::from_counts(&[0, 0, 0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero partitions")]
+    fn empty_counts_panic() {
+        DistributionSummary::from_counts(&[]);
+    }
+}

@@ -1,0 +1,392 @@
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::{encode_superkmer, MspError, PartitionRouter, PartitionStats, Result, Superkmer};
+
+/// Writes superkmers into a directory of encoded partition files
+/// (`part-00000.skm` …) plus a `manifest.txt` describing them.
+///
+/// One writer owns all `n` partition files — the paper notes the OS
+/// file-handle cap (1000 on their platform) as the practical limit on `n`.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dna::PackedSeq;
+/// use msp::{PartitionWriter, SuperkmerScanner};
+///
+/// # fn main() -> msp::Result<()> {
+/// let scanner = SuperkmerScanner::new(27, 11)?;
+/// let mut writer = PartitionWriter::create("/tmp/parts", 64, 27, 11)?;
+/// let read = PackedSeq::from_ascii(b"...");
+/// for sk in scanner.scan(&read) {
+///     writer.write(&sk)?;
+/// }
+/// let manifest = writer.finish()?;
+/// assert_eq!(manifest.num_partitions(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PartitionWriter {
+    dir: PathBuf,
+    k: usize,
+    p: usize,
+    router: PartitionRouter,
+    files: Vec<BufWriter<File>>,
+    stats: Vec<PartitionStats>,
+    buf: Vec<u8>,
+}
+
+impl PartitionWriter {
+    /// Creates the directory (if needed) and opens `num_partitions` fresh
+    /// partition files inside it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::NoPartitions`] for `num_partitions == 0`,
+    /// [`MspError::InvalidParams`] for bad `k`/`p`, or an I/O error if the
+    /// directory or files cannot be created.
+    pub fn create(dir: impl AsRef<Path>, num_partitions: usize, k: usize, p: usize) -> Result<PartitionWriter> {
+        if p < 1 || p > k || k > dna::MAX_K {
+            return Err(MspError::InvalidParams { k, p });
+        }
+        let router = PartitionRouter::new(num_partitions)?;
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut files = Vec::with_capacity(num_partitions);
+        for i in 0..num_partitions {
+            files.push(BufWriter::new(File::create(partition_path(&dir, i))?));
+        }
+        Ok(PartitionWriter {
+            dir,
+            k,
+            p,
+            router,
+            files,
+            stats: vec![PartitionStats::default(); num_partitions],
+            buf: Vec::with_capacity(256),
+        })
+    }
+
+    /// Routes one superkmer by its minimizer and appends it to that
+    /// partition's file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write(&mut self, sk: &Superkmer) -> Result<()> {
+        let idx = self.router.route(sk);
+        self.write_to(idx, sk)
+    }
+
+    /// Appends a superkmer to an explicit partition — used by the pipeline
+    /// when routing happened on another processor (e.g. the simulated GPU
+    /// computed superkmer IDs in bulk).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn write_to(&mut self, partition: usize, sk: &Superkmer) -> Result<()> {
+        self.buf.clear();
+        encode_superkmer(sk, &mut self.buf);
+        self.files[partition].write_all(&self.buf)?;
+        let s = &mut self.stats[partition];
+        s.superkmers += 1;
+        s.kmers += sk.kmer_count() as u64;
+        s.bytes += self.buf.len() as u64;
+        Ok(())
+    }
+
+    /// Appends already-encoded superkmer records to a partition file. The
+    /// pipeline's compute stage encodes on whichever processor ran the
+    /// scan; the output stage only appends bytes. `superkmers` and `kmers`
+    /// are the record counts the caller tallied while encoding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn append_encoded(
+        &mut self,
+        partition: usize,
+        bytes: &[u8],
+        superkmers: u64,
+        kmers: u64,
+    ) -> Result<()> {
+        self.files[partition].write_all(bytes)?;
+        let s = &mut self.stats[partition];
+        s.superkmers += superkmers;
+        s.kmers += kmers;
+        s.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes every file, writes `manifest.txt`, and returns the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/write failures.
+    pub fn finish(mut self) -> Result<PartitionManifest> {
+        for f in &mut self.files {
+            f.flush()?;
+        }
+        let manifest = PartitionManifest {
+            dir: self.dir.clone(),
+            k: self.k,
+            p: self.p,
+            stats: std::mem::take(&mut self.stats),
+        };
+        manifest.save()?;
+        Ok(manifest)
+    }
+}
+
+/// Metadata for a directory of superkmer partitions: the `k`/`p`
+/// parameters and per-partition statistics. Persisted as a small text
+/// file so Step 2 (possibly a different process) can size its hash tables
+/// from the kmer counts without rescanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionManifest {
+    dir: PathBuf,
+    k: usize,
+    p: usize,
+    stats: Vec<PartitionStats>,
+}
+
+impl PartitionManifest {
+    /// The directory holding the partition files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// K-mer length the partitions were cut for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Minimizer length used for routing.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Per-partition statistics.
+    pub fn stats(&self) -> &[PartitionStats] {
+        &self.stats
+    }
+
+    /// Path of partition `index`'s file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn partition_path(&self, index: usize) -> PathBuf {
+        assert!(index < self.stats.len(), "partition {index} out of range");
+        partition_path(&self.dir, index)
+    }
+
+    /// Total kmers across all partitions.
+    pub fn total_kmers(&self) -> u64 {
+        self.stats.iter().map(|s| s.kmers).sum()
+    }
+
+    /// Total superkmers across all partitions.
+    pub fn total_superkmers(&self) -> u64 {
+        self.stats.iter().map(|s| s.superkmers).sum()
+    }
+
+    /// Total encoded bytes across all partitions.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes).sum()
+    }
+
+    fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join("manifest.txt")
+    }
+
+    /// Writes `manifest.txt` into the partition directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self) -> Result<()> {
+        let mut f = BufWriter::new(File::create(Self::manifest_path(&self.dir))?);
+        writeln!(f, "parahash-msp-manifest v1")?;
+        writeln!(f, "k {}", self.k)?;
+        writeln!(f, "p {}", self.p)?;
+        writeln!(f, "partitions {}", self.stats.len())?;
+        for (i, s) in self.stats.iter().enumerate() {
+            writeln!(f, "part {i} {} {} {}", s.superkmers, s.kmers, s.bytes)?;
+        }
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Loads the manifest from a partition directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::CorruptRecord`] on a malformed manifest and
+    /// [`MspError::Io`] if the file cannot be read.
+    pub fn load(dir: impl AsRef<Path>) -> Result<PartitionManifest> {
+        let dir = dir.as_ref().to_path_buf();
+        let file = BufReader::new(File::open(Self::manifest_path(&dir))?);
+        let corrupt = |line: u64, reason: String| MspError::CorruptRecord { offset: line, reason };
+        let mut lines = file.lines();
+        let mut next = |n: u64| -> Result<String> {
+            lines
+                .next()
+                .transpose()?
+                .ok_or_else(|| corrupt(n, "manifest truncated".into()))
+        };
+        let magic = next(0)?;
+        if magic != "parahash-msp-manifest v1" {
+            return Err(corrupt(0, format!("bad magic {magic:?}")));
+        }
+        let field = |line: String, n: u64, name: &str| -> Result<usize> {
+            let rest = line
+                .strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .ok_or_else(|| corrupt(n, format!("expected '{name} <value>', got {line:?}")))?;
+            rest.trim().parse().map_err(|e| corrupt(n, format!("bad {name}: {e}")))
+        };
+        let k = field(next(1)?, 1, "k")?;
+        let p = field(next(2)?, 2, "p")?;
+        let n = field(next(3)?, 3, "partitions")?;
+        let mut stats = Vec::with_capacity(n);
+        for i in 0..n {
+            let line = next(4 + i as u64)?;
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 5 || parts[0] != "part" || parts[1] != i.to_string() {
+                return Err(corrupt(4 + i as u64, format!("bad partition line {line:?}")));
+            }
+            let parse = |s: &str| -> Result<u64> {
+                s.parse().map_err(|e| corrupt(4 + i as u64, format!("bad count: {e}")))
+            };
+            stats.push(PartitionStats {
+                superkmers: parse(parts[2])?,
+                kmers: parse(parts[3])?,
+                bytes: parse(parts[4])?,
+            });
+        }
+        Ok(PartitionManifest { dir, k, p, stats })
+    }
+}
+
+fn partition_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("part-{index:05}.skm"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuperkmerScanner;
+    use dna::PackedSeq;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("msp-writer-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn write_finish_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let scanner = SuperkmerScanner::new(7, 4).unwrap();
+        let mut w = PartitionWriter::create(&dir, 8, 7, 4).unwrap();
+        let read = PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT");
+        let sks = scanner.scan(&read);
+        for sk in &sks {
+            w.write(sk).unwrap();
+        }
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.total_superkmers(), sks.len() as u64);
+        assert_eq!(manifest.total_kmers(), (read.len() - 7 + 1) as u64);
+        assert!(manifest.total_bytes() > 0);
+
+        let loaded = PartitionManifest::load(&dir).unwrap();
+        assert_eq!(loaded, manifest);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_encoded_matches_write() {
+        let dir_a = tmpdir("enc-a");
+        let dir_b = tmpdir("enc-b");
+        let scanner = SuperkmerScanner::new(5, 3).unwrap();
+        let read = PackedSeq::from_ascii(b"TGATGGATGAACCAGTTTGA");
+        let sks = scanner.scan(&read);
+
+        let mut direct = PartitionWriter::create(&dir_a, 2, 5, 3).unwrap();
+        let mut raw = PartitionWriter::create(&dir_b, 2, 5, 3).unwrap();
+        let router = crate::PartitionRouter::new(2).unwrap();
+        for sk in &sks {
+            direct.write(sk).unwrap();
+            let mut buf = Vec::new();
+            crate::encode_superkmer(sk, &mut buf);
+            raw.append_encoded(router.route(sk), &buf, 1, sk.kmer_count() as u64).unwrap();
+        }
+        let ma = direct.finish().unwrap();
+        let mb = raw.finish().unwrap();
+        assert_eq!(ma.stats(), mb.stats());
+        for i in 0..2 {
+            assert_eq!(fs::read(ma.partition_path(i)).unwrap(), fs::read(mb.partition_path(i)).unwrap());
+        }
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn empty_partitions_produce_empty_files() {
+        let dir = tmpdir("empty");
+        let w = PartitionWriter::create(&dir, 4, 5, 3).unwrap();
+        let manifest = w.finish().unwrap();
+        for i in 0..4 {
+            let meta = fs::metadata(manifest.partition_path(i)).unwrap();
+            assert_eq!(meta.len(), 0);
+        }
+        assert_eq!(manifest.total_kmers(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let dir = tmpdir("invalid");
+        assert!(matches!(PartitionWriter::create(&dir, 0, 5, 3), Err(MspError::NoPartitions)));
+        assert!(matches!(PartitionWriter::create(&dir, 4, 3, 5), Err(MspError::InvalidParams { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_manifest_is_rejected() {
+        let dir = tmpdir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("manifest.txt"), "not a manifest\n").unwrap();
+        assert!(matches!(PartitionManifest::load(&dir), Err(MspError::CorruptRecord { .. })));
+        fs::write(dir.join("manifest.txt"), "parahash-msp-manifest v1\nk 27\np 11\npartitions 2\npart 0 1 2 3\n").unwrap();
+        let err = PartitionManifest::load(&dir).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_io_error() {
+        let dir = tmpdir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(PartitionManifest::load(&dir), Err(MspError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the MSP invariants the paper's correctness rests on.
+
+use dna::{Base, PackedSeq};
+use msp::{
+    decode_superkmer, encode_superkmer, minimizer_of_kmer, partition_in_memory, MinimizerScanner,
+    PartitionRouter, SuperkmerScanner,
+};
+use proptest::prelude::*;
+
+fn base() -> impl Strategy<Value = Base> {
+    prop_oneof![Just(Base::A), Just(Base::C), Just(Base::G), Just(Base::T)]
+}
+
+fn seq(max: usize) -> impl Strategy<Value = PackedSeq> {
+    prop::collection::vec(base(), 0..max).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sliding_window_equals_brute_force(read in seq(200), k in 2usize..24, p_frac in 1usize..100) {
+        let p = 1 + (p_frac * (k - 1)) / 100;
+        let sc = MinimizerScanner::new(k, p).unwrap();
+        prop_assert_eq!(sc.scan(&read), sc.scan_naive(&read));
+    }
+
+    #[test]
+    fn minimizer_is_strand_invariant(read in seq(60), p in 1usize..8) {
+        for kmer in read.kmers(p.max(6) + 3) {
+            prop_assert_eq!(
+                minimizer_of_kmer(&kmer, p),
+                minimizer_of_kmer(&kmer.revcomp(), p)
+            );
+        }
+    }
+
+    #[test]
+    fn superkmers_cover_every_kmer_exactly_once(read in seq(250), k in 2usize..28, p_frac in 1usize..100) {
+        let p = 1 + (p_frac * (k - 1)) / 100;
+        let sks = SuperkmerScanner::new(k, p).unwrap().scan(&read);
+        let covered: usize = sks.iter().map(|s| s.kmer_count()).sum();
+        prop_assert_eq!(covered, (read.len() + 1).saturating_sub(k));
+        // Reassembling consecutive cores (K−1 overlap) restores the read.
+        if !sks.is_empty() {
+            let mut rebuilt: Vec<Base> = sks[0].core().bases().collect();
+            for s in &sks[1..] {
+                rebuilt.extend(s.core().bases().skip(k - 1));
+            }
+            let original: Vec<Base> = read.bases().collect();
+            prop_assert_eq!(rebuilt, original);
+        }
+    }
+
+    #[test]
+    fn every_kmer_in_a_superkmer_shares_the_minimizer(read in seq(120), k in 3usize..16) {
+        let p = (k / 2).max(1);
+        for sk in SuperkmerScanner::new(k, p).unwrap().scan(&read) {
+            for kmer in sk.kmers() {
+                prop_assert_eq!(&minimizer_of_kmer(&kmer, p), sk.minimizer());
+            }
+        }
+    }
+
+    #[test]
+    fn record_roundtrip(read in seq(200), k in 2usize..20) {
+        let p = (k / 2).max(1);
+        let sks = SuperkmerScanner::new(k, p).unwrap().scan(&read);
+        let mut buf = Vec::new();
+        for sk in &sks {
+            encode_superkmer(sk, &mut buf);
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while offset < buf.len() {
+            let (sk, used) = decode_superkmer(&buf[offset..], k, p).unwrap();
+            decoded.push(sk);
+            offset += used;
+        }
+        prop_assert_eq!(decoded, sks);
+    }
+
+    #[test]
+    fn routing_is_reverse_complement_stable(read in seq(150), n in 1usize..12) {
+        // Each canonical kmer must land in one partition, whichever strand
+        // the read came in on.
+        let k = 9;
+        let p = 5;
+        prop_assume!(read.len() >= k);
+        let router = PartitionRouter::new(n).unwrap();
+        let scanner = SuperkmerScanner::new(k, p).unwrap();
+        let mut home: std::collections::HashMap<dna::Kmer, usize> = Default::default();
+        for strand in [read.clone(), read.revcomp()] {
+            for sk in scanner.scan(&strand) {
+                let part = router.route(&sk);
+                for kmer in sk.kmers() {
+                    let canon = kmer.canonical().0;
+                    if let Some(&prev) = home.get(&canon) {
+                        prop_assert_eq!(prev, part, "vertex {} split across partitions", canon);
+                    } else {
+                        home.insert(canon, part);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_in_memory_is_strand_union_consistent(reads in prop::collection::vec(seq(100), 0..6)) {
+        let (k, p, n) = (7, 4, 5);
+        let parts = partition_in_memory(&reads, k, p, n).unwrap();
+        let total: usize = parts.iter().flatten().map(|s| s.kmer_count()).sum();
+        let expected: usize = reads.iter().map(|r| (r.len() + 1).saturating_sub(k)).sum();
+        prop_assert_eq!(total, expected);
+    }
+}

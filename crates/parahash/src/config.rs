@@ -1,0 +1,331 @@
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hashgraph::SizingParams;
+use hetsim::{CpuDevice, Device, SimGpuConfig, SimGpuDevice};
+use pipeline::IoMode;
+
+use crate::{ParaHashError, Result};
+
+/// Complete configuration of a ParaHash run. Construct through
+/// [`ParaHashConfig::builder`].
+#[derive(Clone)]
+pub struct ParaHashConfig {
+    pub(crate) k: usize,
+    pub(crate) p: usize,
+    pub(crate) partitions: usize,
+    pub(crate) sizing: SizingParams,
+    pub(crate) read_batch_bytes: usize,
+    pub(crate) io_mode: IoMode,
+    pub(crate) work_dir: PathBuf,
+    pub(crate) write_subgraphs: bool,
+    pub(crate) auto_lambda: Option<usize>,
+    pub(crate) devices: Vec<Arc<dyn Device>>,
+}
+
+impl std::fmt::Debug for ParaHashConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParaHashConfig")
+            .field("k", &self.k)
+            .field("p", &self.p)
+            .field("partitions", &self.partitions)
+            .field("devices", &self.devices.iter().map(|d| d.name().to_owned()).collect::<Vec<_>>())
+            .field("io_mode", &self.io_mode)
+            .field("work_dir", &self.work_dir)
+            .finish()
+    }
+}
+
+impl ParaHashConfig {
+    /// Starts a builder with the paper's defaults: K = 27, P = 11,
+    /// 64 partitions (paper default 512, scaled with the mini datasets),
+    /// λ = 2, α = 0.65, unthrottled I/O, one CPU device using all
+    /// available cores, no GPUs.
+    pub fn builder() -> ParaHashConfigBuilder {
+        ParaHashConfigBuilder::default()
+    }
+
+    /// The k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The minimizer length.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of superkmer partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The configured devices.
+    pub fn devices(&self) -> &[Arc<dyn Device>] {
+        &self.devices
+    }
+
+    /// The working directory for partition files.
+    pub fn work_dir(&self) -> &std::path::Path {
+        &self.work_dir
+    }
+
+    /// The I/O regime.
+    pub fn io_mode(&self) -> IoMode {
+        self.io_mode
+    }
+}
+
+/// Builder for [`ParaHashConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use parahash::ParaHashConfig;
+/// use hetsim::SimGpuConfig;
+///
+/// # fn main() -> Result<(), parahash::ParaHashError> {
+/// let config = ParaHashConfig::builder()
+///     .k(27)
+///     .p(11)
+///     .partitions(128)
+///     .cpu_threads(8)
+///     .sim_gpu(SimGpuConfig::default())
+///     .sim_gpu(SimGpuConfig::default())
+///     .work_dir("/tmp/parahash-run")
+///     .build()?;
+/// assert_eq!(config.devices().len(), 3); // cpu + 2 gpus
+/// # Ok(())
+/// # }
+/// ```
+pub struct ParaHashConfigBuilder {
+    k: usize,
+    p: usize,
+    partitions: usize,
+    sizing: SizingParams,
+    read_batch_bytes: usize,
+    io_mode: IoMode,
+    work_dir: Option<PathBuf>,
+    write_subgraphs: bool,
+    auto_lambda: Option<usize>,
+    cpu_threads: Option<usize>,
+    gpus: Vec<SimGpuConfig>,
+    extra_devices: Vec<Arc<dyn Device>>,
+}
+
+impl Default for ParaHashConfigBuilder {
+    fn default() -> ParaHashConfigBuilder {
+        ParaHashConfigBuilder {
+            k: 27,
+            p: 11,
+            partitions: 64,
+            sizing: SizingParams::default(),
+            read_batch_bytes: 1 << 20,
+            io_mode: IoMode::Unthrottled,
+            work_dir: None,
+            write_subgraphs: false,
+            auto_lambda: None,
+            cpu_threads: Some(0), // 0 = all available
+            gpus: Vec::new(),
+            extra_devices: Vec::new(),
+        }
+    }
+}
+
+impl ParaHashConfigBuilder {
+    /// Sets the k-mer length (1..=[`dna::MAX_K`]).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the minimizer length (1..=k).
+    pub fn p(mut self, p: usize) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// Sets the number of superkmer partitions.
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.partitions = n;
+        self
+    }
+
+    /// Sets the Property-1 sizing parameters (λ, α).
+    pub fn sizing(mut self, sizing: SizingParams) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Sets the approximate byte size of one Step-1 input batch (the
+    /// "equal-size input partitions" of Fig 3).
+    pub fn read_batch_bytes(mut self, bytes: usize) -> Self {
+        self.read_batch_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets the I/O regime (unthrottled = Case 1; a bandwidth cap = Case 2).
+    pub fn io_mode(mut self, mode: IoMode) -> Self {
+        self.io_mode = mode;
+        self
+    }
+
+    /// Sets the directory for superkmer partition files (required).
+    pub fn work_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.work_dir = Some(dir.into());
+        self
+    }
+
+    /// Persist each constructed subgraph to `work_dir/subgraphs/` (off by
+    /// default; the comparison methodology in §V-A excludes this write).
+    pub fn write_subgraphs(mut self, yes: bool) -> Self {
+        self.write_subgraphs = yes;
+        self
+    }
+
+    /// Estimates Property-1's λ from the first `sample` reads' FASTQ
+    /// quality strings at run time (Σ 10^(−Q/10) per read, averaged) and
+    /// sizes hash tables with it, instead of the static
+    /// [`sizing`](Self::sizing) λ. Reads without quality leave the static
+    /// value in force.
+    pub fn auto_sizing(mut self, sample: usize) -> Self {
+        self.auto_lambda = Some(sample.max(1));
+        self
+    }
+
+    /// Uses a CPU device with `threads` workers (0 = all available cores).
+    /// This is the default; call [`no_cpu`](Self::no_cpu) for GPU-only runs.
+    pub fn cpu_threads(mut self, threads: usize) -> Self {
+        self.cpu_threads = Some(threads);
+        self
+    }
+
+    /// Removes the CPU compute device (GPU-only configurations; the host
+    /// still runs the input/output stages, as in the paper).
+    pub fn no_cpu(mut self) -> Self {
+        self.cpu_threads = None;
+        self
+    }
+
+    /// Adds one simulated GPU.
+    pub fn sim_gpu(mut self, config: SimGpuConfig) -> Self {
+        self.gpus.push(config);
+        self
+    }
+
+    /// Adds a pre-built device (e.g. a custom [`Device`] implementation).
+    pub fn device(mut self, device: Arc<dyn Device>) -> Self {
+        self.extra_devices.push(device);
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParaHashError::InvalidConfig`] when parameters are out of
+    /// range, the work dir is missing, or no compute device is configured.
+    pub fn build(self) -> Result<ParaHashConfig> {
+        if self.k == 0 || self.k > dna::MAX_K {
+            return Err(ParaHashError::InvalidConfig(format!(
+                "k={} out of range 1..={}",
+                self.k,
+                dna::MAX_K
+            )));
+        }
+        if self.p == 0 || self.p > self.k {
+            return Err(ParaHashError::InvalidConfig(format!(
+                "p={} out of range 1..=k ({})",
+                self.p, self.k
+            )));
+        }
+        if self.partitions == 0 {
+            return Err(ParaHashError::InvalidConfig("partitions must be >= 1".into()));
+        }
+        let work_dir = self
+            .work_dir
+            .ok_or_else(|| ParaHashError::InvalidConfig("work_dir is required".into()))?;
+
+        let mut devices: Vec<Arc<dyn Device>> = Vec::new();
+        if let Some(threads) = self.cpu_threads {
+            let threads = if threads == 0 {
+                std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+            } else {
+                threads
+            };
+            devices.push(Arc::new(CpuDevice::new("cpu0", threads)));
+        }
+        for (i, gpu) in self.gpus.into_iter().enumerate() {
+            devices.push(Arc::new(SimGpuDevice::new(format!("gpu{i}"), gpu)));
+        }
+        devices.extend(self.extra_devices);
+        if devices.is_empty() {
+            return Err(ParaHashError::InvalidConfig(
+                "at least one compute device is required".into(),
+            ));
+        }
+        Ok(ParaHashConfig {
+            k: self.k,
+            p: self.p,
+            partitions: self.partitions,
+            sizing: self.sizing,
+            read_batch_bytes: self.read_batch_bytes,
+            io_mode: self.io_mode,
+            work_dir,
+            write_subgraphs: self.write_subgraphs,
+            auto_lambda: self.auto_lambda,
+            devices,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ParaHashConfigBuilder {
+        ParaHashConfig::builder().work_dir("/tmp/parahash-config-test")
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = base().build().unwrap();
+        assert_eq!(c.k(), 27);
+        assert_eq!(c.p(), 11);
+        assert_eq!(c.partitions(), 64);
+        assert_eq!(c.devices().len(), 1);
+        assert_eq!(c.io_mode(), IoMode::Unthrottled);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(base().k(0).build().is_err());
+        assert!(base().k(dna::MAX_K + 1).build().is_err());
+        assert!(base().p(0).build().is_err());
+        assert!(base().k(5).p(6).build().is_err());
+        assert!(base().partitions(0).build().is_err());
+        assert!(ParaHashConfig::builder().build().is_err(), "work_dir required");
+        assert!(base().no_cpu().build().is_err(), "needs a device");
+    }
+
+    #[test]
+    fn device_roster_assembles() {
+        let c = base()
+            .cpu_threads(4)
+            .sim_gpu(SimGpuConfig::default())
+            .sim_gpu(SimGpuConfig::default())
+            .build()
+            .unwrap();
+        let names: Vec<_> = c.devices().iter().map(|d| d.name().to_owned()).collect();
+        assert_eq!(names, ["cpu0", "gpu0", "gpu1"]);
+        let gpu_only = base().no_cpu().sim_gpu(SimGpuConfig::default()).build().unwrap();
+        assert_eq!(gpu_only.devices().len(), 1);
+    }
+
+    #[test]
+    fn debug_output_names_devices() {
+        let c = base().cpu_threads(2).build().unwrap();
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("cpu0"), "{dbg}");
+    }
+}

@@ -1,0 +1,120 @@
+//! ParaHash — the end-to-end system of the paper: partition-by-partition
+//! De Bruijn graph construction on heterogeneous processors.
+//!
+//! A run executes the paper's two-step workflow (Fig 3):
+//!
+//! 1. **Step 1 — MSP.** The input read set is cut into equal-size input
+//!    batches; each batch flows through the three-stage pipeline (read →
+//!    scan on an idle CPU/GPU → append encoded superkmers to the partition
+//!    files on disk).
+//! 2. **Step 2 — Hashing.** Each superkmer partition flows through the
+//!    pipeline again (read partition file → concurrent hash construction
+//!    on an idle CPU/GPU, with the table sized by Property 1 → subgraph
+//!    absorbed into the final graph, optionally persisted).
+//!
+//! Both steps share the work-stealing scheduler of the `pipeline` crate
+//! and the (possibly throttled) I/O channel, so the Case-1/Case-2 regimes
+//! of §IV are directly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna::SeqRead;
+//! use parahash::{ParaHash, ParaHashConfig};
+//!
+//! # fn main() -> Result<(), parahash::ParaHashError> {
+//! let reads = vec![
+//!     SeqRead::from_ascii("r0", b"TGATGGATGAACCAGTTTGAGGC"),
+//!     SeqRead::from_ascii("r1", b"ACCAGTTTGAGGCATTAGGCATT"),
+//! ];
+//! let config = ParaHashConfig::builder()
+//!     .k(7)
+//!     .p(4)
+//!     .partitions(4)
+//!     .cpu_threads(2)
+//!     .work_dir(std::env::temp_dir().join("parahash-doc"))
+//!     .build()?;
+//! let outcome = ParaHash::new(config)?.run(&reads)?;
+//! assert_eq!(outcome.graph.total_kmer_occurrences(), 2 * (23 - 7 + 1));
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod report;
+mod step1;
+mod step2;
+mod system;
+
+pub use config::{ParaHashConfig, ParaHashConfigBuilder};
+pub use report::{RunReport, StepReport};
+pub use step1::{run_step1, run_step1_fastq};
+pub use step2::{decode_subgraph, encode_subgraph, run_step2};
+pub use system::{ParaHash, RunOutcome};
+
+/// Errors from a ParaHash run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParaHashError {
+    /// Configuration rejected at build time.
+    InvalidConfig(String),
+    /// Step-1 partitioning failure.
+    Msp(msp::MspError),
+    /// Step-2 construction failure.
+    HashGraph(hashgraph::HashGraphError),
+    /// Simulated-device failure (e.g. device memory exhausted).
+    Device(hetsim::HetsimError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParaHashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParaHashError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ParaHashError::Msp(e) => write!(f, "msp step failed: {e}"),
+            ParaHashError::HashGraph(e) => write!(f, "hashing step failed: {e}"),
+            ParaHashError::Device(e) => write!(f, "device failure: {e}"),
+            ParaHashError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParaHashError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParaHashError::Msp(e) => Some(e),
+            ParaHashError::HashGraph(e) => Some(e),
+            ParaHashError::Device(e) => Some(e),
+            ParaHashError::Io(e) => Some(e),
+            ParaHashError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<msp::MspError> for ParaHashError {
+    fn from(e: msp::MspError) -> Self {
+        ParaHashError::Msp(e)
+    }
+}
+
+impl From<hashgraph::HashGraphError> for ParaHashError {
+    fn from(e: hashgraph::HashGraphError) -> Self {
+        ParaHashError::HashGraph(e)
+    }
+}
+
+impl From<hetsim::HetsimError> for ParaHashError {
+    fn from(e: hetsim::HetsimError) -> Self {
+        ParaHashError::Device(e)
+    }
+}
+
+impl From<std::io::Error> for ParaHashError {
+    fn from(e: std::io::Error) -> Self {
+        ParaHashError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ParaHashError>;

@@ -1,0 +1,171 @@
+use std::time::Duration;
+
+use hashgraph::ContentionStats;
+use pipeline::perfmodel::{self, Regime, StepComponents};
+use pipeline::PipelineReport;
+
+/// Timing and accounting of one pipelined step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Which step this is (1 = MSP, 2 = hashing).
+    pub step: u8,
+    /// The scheduler's run report (elapsed, stage times, device shares).
+    pub pipeline: PipelineReport,
+    /// Sum of CPU-device busy time.
+    pub cpu_compute: Duration,
+    /// Max of GPU-device busy time (includes metered transfers), 0 when
+    /// no GPU ran.
+    pub gpu_compute: Duration,
+    /// Step-2 only: aggregated hash table contention counters.
+    pub contention: Option<ContentionStats>,
+    /// Step-2 only: how many tables had to be rebuilt bigger.
+    pub resizes: usize,
+    /// Peak single-partition hash table bytes (Step 2) or peak batch
+    /// bytes (Step 1).
+    pub peak_partition_bytes: u64,
+}
+
+impl StepReport {
+    /// The measured components in the shape the §IV model consumes.
+    pub fn components(&self) -> StepComponents {
+        StepComponents {
+            cpu_compute: self.cpu_compute,
+            gpu: self.gpu_compute,
+            input: self.pipeline.input_time,
+            output: self.pipeline.output_time,
+            partitions: self.pipeline.partitions,
+        }
+    }
+
+    /// Eq.-1 estimate for this step from its own measured components.
+    pub fn eq1_estimate(&self) -> Duration {
+        perfmodel::eq1_step_time(&self.components())
+    }
+
+    /// Which regime (Case 1 / Case 2 / mixed) the step ran in.
+    pub fn regime(&self) -> Regime {
+        perfmodel::classify_regime(&self.components())
+    }
+
+    /// Ratio of real elapsed time to the Eq.-1 estimate (1.0 = the model
+    /// is exact; Figs 13–14 report this agreement).
+    pub fn model_accuracy(&self) -> f64 {
+        let est = self.eq1_estimate().as_secs_f64();
+        if est == 0.0 {
+            return 1.0;
+        }
+        self.pipeline.elapsed.as_secs_f64() / est
+    }
+}
+
+/// Full-run accounting: both steps plus graph-level statistics.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Step 1 (MSP partitioning).
+    pub step1: StepReport,
+    /// Step 2 (hash construction).
+    pub step2: StepReport,
+    /// End-to-end wall-clock including the inter-step barrier.
+    pub total_elapsed: Duration,
+    /// Distinct vertices in the final graph.
+    pub distinct_vertices: usize,
+    /// Total k-mer occurrences merged.
+    pub total_kmers: u64,
+    /// Approximate peak host memory: the final graph plus the largest
+    /// in-flight table/batch (ParaHash never holds the whole input).
+    pub peak_host_bytes: u64,
+    /// Total superkmer partition bytes written and re-read.
+    pub partition_bytes: u64,
+}
+
+impl RunReport {
+    /// Sum of both steps' elapsed times.
+    pub fn steps_elapsed(&self) -> Duration {
+        self.step1.pipeline.elapsed + self.step2.pipeline.elapsed
+    }
+
+    /// Duplicate vertices (total occurrences − distinct).
+    pub fn duplicate_vertices(&self) -> u64 {
+        self.total_kmers - self.distinct_vertices as u64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "step1 {:.3}s + step2 {:.3}s = {:.3}s | {} distinct vertices, {} kmers, {} partition bytes, ~{} MiB peak",
+            self.step1.pipeline.elapsed.as_secs_f64(),
+            self.step2.pipeline.elapsed.as_secs_f64(),
+            self.total_elapsed.as_secs_f64(),
+            self.distinct_vertices,
+            self.total_kmers,
+            self.partition_bytes,
+            self.peak_host_bytes >> 20,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::DeviceShare;
+
+    fn fake_step(cpu_ms: u64, gpu_ms: u64, in_ms: u64, out_ms: u64, n: usize) -> StepReport {
+        StepReport {
+            step: 1,
+            pipeline: PipelineReport {
+                elapsed: Duration::from_millis(cpu_ms.max(gpu_ms).max(in_ms)),
+                input_time: Duration::from_millis(in_ms),
+                output_time: Duration::from_millis(out_ms),
+                shares: vec![DeviceShare {
+                    name: "cpu0".into(),
+                    partitions: n,
+                    work_units: 100,
+                    busy: Duration::from_millis(cpu_ms),
+                }],
+                partitions: n,
+                spans: Vec::new(),
+            },
+            cpu_compute: Duration::from_millis(cpu_ms),
+            gpu_compute: Duration::from_millis(gpu_ms),
+            contention: None,
+            resizes: 0,
+            peak_partition_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn components_mirror_measurements() {
+        let s = fake_step(100, 50, 10, 5, 4);
+        let c = s.components();
+        assert_eq!(c.cpu_compute, Duration::from_millis(100));
+        assert_eq!(c.gpu, Duration::from_millis(50));
+        assert_eq!(c.partitions, 4);
+        assert!(s.eq1_estimate() >= Duration::from_millis(100));
+        assert_eq!(s.regime(), Regime::ComputeBound);
+    }
+
+    #[test]
+    fn model_accuracy_near_one_when_exact() {
+        let s = fake_step(100, 0, 1, 1, 100);
+        let acc = s.model_accuracy();
+        assert!(acc > 0.9 && acc < 1.1, "accuracy {acc}");
+    }
+
+    #[test]
+    fn run_report_aggregates() {
+        let r = RunReport {
+            step1: fake_step(10, 0, 1, 1, 2),
+            step2: fake_step(20, 0, 1, 1, 2),
+            total_elapsed: Duration::from_millis(35),
+            distinct_vertices: 10,
+            total_kmers: 50,
+            peak_host_bytes: 4 << 20,
+            partition_bytes: 1234,
+        };
+        assert_eq!(r.duplicate_vertices(), 40);
+        assert!(r.steps_elapsed() <= r.total_elapsed);
+        let s = r.summary();
+        assert!(s.contains("10 distinct"));
+        assert!(s.contains("1234 partition bytes"));
+    }
+}

@@ -1,0 +1,418 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use dna::SeqRead;
+use hetsim::{Device, DeviceKind};
+use msp::{encode_superkmer, PartitionManifest, PartitionRouter, PartitionWriter, SuperkmerScanner};
+use parking_lot::Mutex;
+use pipeline::{run_coprocessed, ThrottledIo};
+
+use crate::{ParaHashConfig, Result, StepReport};
+
+/// Output of one Step-1 compute launch: per-partition encoded superkmer
+/// bytes plus their record counts.
+struct Batch1Out {
+    buffers: Vec<Vec<u8>>,
+    counts: Vec<(u64, u64)>, // (superkmers, kmers) per partition
+}
+
+/// Splits reads into the "equal-size input partitions" of Fig 3 by
+/// cumulative byte size.
+fn batch_ranges(reads: &[SeqRead], batch_bytes: usize) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, r) in reads.iter().enumerate() {
+        acc += r.approx_bytes();
+        if acc >= batch_bytes {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < reads.len() {
+        ranges.push(start..reads.len());
+    }
+    ranges
+}
+
+/// Step 1 of ParaHash: pipelined, co-processed MSP partitioning of an
+/// in-memory read set.
+///
+/// Input batches flow through the three-stage pipeline; whichever device
+/// is idle scans a batch into superkmers (each read's scan is one
+/// data-parallel item — one GPU lane per read, one CPU thread per group,
+/// as in §III-D), encodes them to the 2-bit record format, and the output
+/// stage appends the bytes to the per-partition files.
+///
+/// Returns the partition manifest (input to Step 2) and the step report.
+///
+/// # Errors
+///
+/// Propagates partition-file I/O failures and invalid parameters.
+pub fn run_step1(
+    config: &ParaHashConfig,
+    reads: &[SeqRead],
+    io: &ThrottledIo,
+) -> Result<(PartitionManifest, StepReport)> {
+    let ranges = batch_ranges(reads, config.read_batch_bytes);
+    let peak_batch = AtomicU64::new(0);
+    let result = run_step1_batches(config, ranges.len(), |i| {
+        let batch = &reads[ranges[i].clone()];
+        let bytes: usize = batch.iter().map(SeqRead::approx_bytes).sum();
+        peak_batch.fetch_max(bytes as u64, Ordering::Relaxed);
+        io.charge(bytes as u64);
+        batch
+    }, io);
+    finalize_peak(result, peak_batch.into_inner())
+}
+
+/// Streaming Step 1 over a FASTQ file: the input stage parses one batch
+/// of reads at a time, so the whole read set is **never resident in
+/// memory** — the property the paper's partition-by-partition workflow
+/// (Fig 3) depends on for big genomes. A cheap indexing pre-pass counts
+/// records per batch (the "partition the input file to equal size" cut);
+/// the pipeline then re-reads the file batch by batch.
+///
+/// # Errors
+///
+/// Propagates FASTQ parse failures (as [`crate::ParaHashError::Msp`] is
+/// *not* used here — malformed records surface as
+/// [`crate::ParaHashError::InvalidConfig`] with the parser's message) and
+/// partition-file I/O failures.
+pub fn run_step1_fastq(
+    config: &ParaHashConfig,
+    path: impl AsRef<std::path::Path>,
+    io: &ThrottledIo,
+) -> Result<(PartitionManifest, StepReport)> {
+    use std::io::BufReader;
+
+    let path = path.as_ref();
+    // Pass 1: index — records per batch, cut at ~read_batch_bytes of
+    // sequence text.
+    let mut batch_records: Vec<usize> = Vec::new();
+    {
+        let reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
+        let mut records = 0usize;
+        let mut bytes = 0usize;
+        for record in reader {
+            let record = record.map_err(parse_error)?;
+            records += 1;
+            bytes += record.approx_bytes();
+            if bytes >= config.read_batch_bytes {
+                batch_records.push(records);
+                records = 0;
+                bytes = 0;
+            }
+        }
+        if records > 0 {
+            batch_records.push(records);
+        }
+    }
+
+    // Pass 2: the pipeline; the input stage parses sequentially.
+    let mut reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
+    let peak_batch = AtomicU64::new(0);
+    let parse_failure: Mutex<Option<crate::ParaHashError>> = Mutex::new(None);
+    let result = {
+        let parse_failure = &parse_failure;
+        let peak_batch = &peak_batch;
+        run_step1_batches(
+            config,
+            batch_records.len(),
+            move |i| {
+                let mut batch = Vec::with_capacity(batch_records[i]);
+                let mut bytes = 0usize;
+                for _ in 0..batch_records[i] {
+                    match reader.read_record() {
+                        Ok(Some(read)) => {
+                            bytes += read.approx_bytes();
+                            batch.push(read);
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            parse_failure.lock().get_or_insert(parse_error(e));
+                            break;
+                        }
+                    }
+                }
+                peak_batch.fetch_max(bytes as u64, Ordering::Relaxed);
+                io.charge(bytes as u64);
+                batch
+            },
+            io,
+        )
+    };
+    if let Some(e) = parse_failure.into_inner() {
+        return Err(e);
+    }
+    finalize_peak(result, peak_batch.into_inner())
+}
+
+fn parse_error(e: dna::DnaError) -> crate::ParaHashError {
+    match e {
+        dna::DnaError::Io(io) => crate::ParaHashError::Io(io),
+        other => crate::ParaHashError::InvalidConfig(format!("bad fastq input: {other}")),
+    }
+}
+
+fn finalize_peak(
+    result: Result<(PartitionManifest, StepReport)>,
+    peak: u64,
+) -> Result<(PartitionManifest, StepReport)> {
+    result.map(|(manifest, mut report)| {
+        report.peak_partition_bytes = peak;
+        (manifest, report)
+    })
+}
+
+/// The shared Step-1 pipeline over any batch source (in-memory slices or
+/// a streaming parser).
+fn run_step1_batches<B, FP>(
+    config: &ParaHashConfig,
+    n_batches: usize,
+    produce: FP,
+    io: &ThrottledIo,
+) -> Result<(PartitionManifest, StepReport)>
+where
+    B: AsRef<[SeqRead]> + Send,
+    FP: FnMut(usize) -> B + Send,
+{
+    let scanner = SuperkmerScanner::new(config.k, config.p)?;
+    let router = PartitionRouter::new(config.partitions)?;
+    let dir = config.work_dir.join("superkmers");
+    let mut writer = PartitionWriter::create(&dir, config.partitions, config.k, config.p)?;
+    let write_error: Mutex<Option<msp::MspError>> = Mutex::new(None);
+
+    let pipeline_report = {
+        let scanner = &scanner;
+        let router = &router;
+        let writer = &mut writer;
+        let write_error = &write_error;
+        run_coprocessed(
+            n_batches,
+            config.devices(),
+            produce,
+            // Stage 2: scan + encode on an idle device.
+            |device: &dyn Device, _idx, batch: B| {
+                let batch = batch.as_ref();
+                let n_parts = router.num_partitions();
+                let buffers: Vec<Mutex<Vec<u8>>> = (0..n_parts).map(|_| Mutex::new(Vec::new())).collect();
+                let sk_counts: Vec<AtomicU64> = (0..n_parts).map(|_| AtomicU64::new(0)).collect();
+                let km_counts: Vec<AtomicU64> = (0..n_parts).map(|_| AtomicU64::new(0)).collect();
+                let emit = |sk: &msp::Superkmer, local: &mut Vec<u8>| {
+                    let part = router.route(sk);
+                    local.clear();
+                    encode_superkmer(sk, local);
+                    buffers[part].lock().extend_from_slice(local);
+                    sk_counts[part].fetch_add(1, Ordering::Relaxed);
+                    km_counts[part].fetch_add(sk.kmer_count() as u64, Ordering::Relaxed);
+                };
+                if device.kind() == DeviceKind::SimGpu {
+                    // The paper's §III-D split: reads travel to the device
+                    // 2-bit encoded (¼ byte per base), the *kernel* only
+                    // computes superkmer ids and offsets (regular,
+                    // fixed-width output), and the irregular memory
+                    // movement — materialising and encoding superkmers —
+                    // stays on the host.
+                    let encoded: u64 = batch.iter().map(|r| r.len() as u64 / 4 + 1).sum();
+                    device.transfer_to_device(encoded);
+                    let boundaries: Vec<Mutex<Vec<(usize, usize, dna::Kmer)>>> =
+                        (0..batch.len()).map(|_| Mutex::new(Vec::new())).collect();
+                    device.execute(batch.len(), &|i| {
+                        *boundaries[i].lock() = scanner.scan_boundaries(batch[i].seq());
+                    });
+                    let mut local = Vec::with_capacity(64);
+                    for (read, bounds) in batch.iter().zip(&boundaries) {
+                        for sk in
+                            scanner.superkmers_from_boundaries(read.seq(), &bounds.lock())
+                        {
+                            emit(&sk, &mut local);
+                        }
+                    }
+                } else {
+                    device.execute(batch.len(), &|i| {
+                        let mut local = Vec::with_capacity(64);
+                        for sk in scanner.scan(batch[i].seq()) {
+                            emit(&sk, &mut local);
+                        }
+                    });
+                }
+                let buffers: Vec<Vec<u8>> = buffers.into_iter().map(Mutex::into_inner).collect();
+                if device.kind() == DeviceKind::SimGpu {
+                    let out_bytes: u64 = buffers.iter().map(|b| b.len() as u64).sum();
+                    device.transfer_from_device(out_bytes);
+                }
+                let counts: Vec<(u64, u64)> = sk_counts
+                    .iter()
+                    .zip(&km_counts)
+                    .map(|(s, k)| (s.load(Ordering::Relaxed), k.load(Ordering::Relaxed)))
+                    .collect();
+                (Batch1Out { buffers, counts }, batch.len() as u64)
+            },
+            // Stage 3: append encoded bytes to the partition files.
+            |_idx, out: Batch1Out| {
+                for (part, bytes) in out.buffers.iter().enumerate() {
+                    if bytes.is_empty() {
+                        continue;
+                    }
+                    let (sks, kms) = out.counts[part];
+                    io.charge(bytes.len() as u64);
+                    if let Err(e) = writer.append_encoded(part, bytes, sks, kms) {
+                        write_error.lock().get_or_insert(e);
+                    }
+                }
+            },
+        )
+    };
+
+    if let Some(e) = write_error.into_inner() {
+        return Err(e.into());
+    }
+    let manifest = writer.finish()?;
+
+    let (cpu_compute, gpu_compute) = split_device_times(config, &pipeline_report.shares);
+    Ok((
+        manifest,
+        StepReport {
+            step: 1,
+            pipeline: pipeline_report,
+            cpu_compute,
+            gpu_compute,
+            contention: None,
+            resizes: 0,
+            peak_partition_bytes: 0, // filled in by the caller
+        },
+    ))
+}
+
+/// Splits per-device busy time into the model's `T_CPU` (sum over CPU
+/// devices) and `T_GPU` (max over GPU devices, paper §IV-B).
+pub(crate) fn split_device_times(
+    config: &ParaHashConfig,
+    shares: &[pipeline::DeviceShare],
+) -> (Duration, Duration) {
+    let mut cpu = Duration::ZERO;
+    let mut gpu = Duration::ZERO;
+    for (device, share) in config.devices().iter().zip(shares) {
+        match device.kind() {
+            DeviceKind::Cpu => cpu += share.busy,
+            DeviceKind::SimGpu => gpu = gpu.max(share.busy),
+        }
+    }
+    (cpu, gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::IoMode;
+
+    fn reads() -> Vec<SeqRead> {
+        vec![
+            SeqRead::from_ascii("a", b"ACGTTGCATGGACCAGTTACGGATCAGGCATT"),
+            SeqRead::from_ascii("b", b"TGATGGATGATGGATGGTAGCATACGTTGCAT"),
+            SeqRead::from_ascii("c", b"GGCATTAGCCAGTACGGATCACCGTATGCAAT"),
+            SeqRead::from_ascii("d", b"TTTTGGGGCCCCAAAATTTTGGGGCCCCAAAA"),
+        ]
+    }
+
+    fn config(dir: &str) -> ParaHashConfig {
+        ParaHashConfig::builder()
+            .k(7)
+            .p(4)
+            .partitions(8)
+            .cpu_threads(2)
+            .read_batch_bytes(64)
+            .work_dir(std::env::temp_dir().join(dir))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_ranges_cover_everything_once() {
+        let rs = reads();
+        for bytes in [1, 40, 1000] {
+            let ranges = batch_ranges(&rs, bytes);
+            let mut covered = Vec::new();
+            for r in &ranges {
+                covered.extend(r.clone());
+            }
+            assert_eq!(covered, (0..rs.len()).collect::<Vec<_>>(), "batch_bytes={bytes}");
+        }
+        assert!(batch_ranges(&[], 100).is_empty());
+    }
+
+    #[test]
+    fn step1_writes_all_kmers() {
+        let cfg = config("parahash-step1-all");
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let rs = reads();
+        let (manifest, report) = run_step1(&cfg, &rs, &io).unwrap();
+        let expected_kmers: u64 = rs.iter().map(|r| (r.len() - 7 + 1) as u64).sum();
+        assert_eq!(manifest.total_kmers(), expected_kmers);
+        assert_eq!(report.pipeline.total_work(), rs.len() as u64);
+        assert!(report.peak_partition_bytes > 0);
+        assert_eq!(report.step, 1);
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn step1_matches_in_memory_partitioning() {
+        let cfg = config("parahash-step1-match");
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let rs = reads();
+        let (manifest, _) = run_step1(&cfg, &rs, &io).unwrap();
+
+        let seqs: Vec<dna::PackedSeq> = rs.iter().map(|r| r.seq().clone()).collect();
+        let expected = msp::partition_in_memory(&seqs, 7, 4, 8).unwrap();
+        for (i, want) in expected.iter().enumerate() {
+            let mut got = msp::PartitionReader::open(&manifest, i).unwrap().read_all().unwrap();
+            let mut want = want.clone();
+            // The pipeline may interleave batches; compare as multisets.
+            got.sort_by(|a, b| a.core().cmp(b.core()));
+            want.sort_by(|a, b| a.core().cmp(b.core()));
+            assert_eq!(got, want, "partition {i}");
+        }
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn step1_with_gpu_transfers_bytes() {
+        let cfg = ParaHashConfig::builder()
+            .k(7)
+            .p(4)
+            .partitions(4)
+            .cpu_threads(1)
+            .sim_gpu(hetsim::SimGpuConfig {
+                transfer: hetsim::TransferModel::new(100_000_000, Duration::from_micros(1)),
+                ..Default::default()
+            })
+            .read_batch_bytes(32)
+            .work_dir(std::env::temp_dir().join("parahash-step1-gpu"))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let (_, report) = run_step1(&cfg, &reads(), &io).unwrap();
+        let gpu_metrics = cfg.devices()[1].metrics();
+        let gpu_share = &report.pipeline.shares[1];
+        if gpu_share.partitions > 0 {
+            assert!(gpu_metrics.bytes_to_device > 0, "gpu must pay input transfers");
+        }
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn short_reads_are_skipped_cleanly() {
+        let cfg = config("parahash-step1-short");
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let rs = vec![SeqRead::from_ascii("tiny", b"ACG"), SeqRead::from_ascii("ok", b"ACGTTGCAT")];
+        let (manifest, _) = run_step1(&cfg, &rs, &io).unwrap();
+        assert_eq!(manifest.total_kmers(), 3); // only the 9-mer read yields 9−7+1
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+}

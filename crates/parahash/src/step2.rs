@@ -1,0 +1,378 @@
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use hashgraph::{
+    table_capacity_for, ConcurrentDbgTable, ContentionStats, DeBruijnGraph, HashGraphError,
+    SubGraph, VertexTable,
+};
+use hetsim::{Device, DeviceKind};
+use msp::{PartitionManifest, PartitionReader, Superkmer};
+use parking_lot::Mutex;
+use pipeline::{run_coprocessed, ThrottledIo};
+
+use crate::step1::split_device_times;
+use crate::{ParaHashConfig, ParaHashError, Result, StepReport};
+
+/// Output of one Step-2 compute launch.
+struct Part2Out {
+    subgraph: SubGraph,
+    contention: ContentionStats,
+    resizes: usize,
+}
+
+/// Bytes per vertex in the serialised subgraph format (4 × u64 key words,
+/// count, 8 edge counters).
+const VERTEX_BYTES: usize = 32 + 4 + 32;
+
+/// Serialises a subgraph to the on-disk format (little-endian, fixed-width
+/// records preceded by a u64 count and a u8 k).
+pub fn encode_subgraph(sub: &SubGraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + sub.len() * VERTEX_BYTES);
+    out.extend_from_slice(&(sub.len() as u64).to_le_bytes());
+    out.push(sub.k() as u8);
+    for (kmer, data) in sub.entries() {
+        for w in kmer.words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&data.count.to_le_bytes());
+        for e in &data.edges {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Parses the format written by [`encode_subgraph`]. Used by tests and by
+/// downstream consumers of persisted subgraphs.
+pub fn decode_subgraph(bytes: &[u8]) -> Option<SubGraph> {
+    if bytes.len() < 9 {
+        return None;
+    }
+    let n = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+    let k = bytes[8] as usize;
+    let mut offset = 9;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        if bytes.len() < offset + VERTEX_BYTES {
+            return None;
+        }
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            *w = u64::from_le_bytes(bytes[offset..offset + 8].try_into().ok()?);
+            offset += 8;
+        }
+        let kmer = dna::Kmer::from_words(words, k).ok()?;
+        let count = u32::from_le_bytes(bytes[offset..offset + 4].try_into().ok()?);
+        offset += 4;
+        let mut edges = [0u32; 8];
+        for e in &mut edges {
+            *e = u32::from_le_bytes(bytes[offset..offset + 4].try_into().ok()?);
+            offset += 4;
+        }
+        entries.push((kmer, hashgraph::VertexData { count, edges }));
+    }
+    Some(SubGraph::new(k, entries))
+}
+
+/// Step 2 of ParaHash: pipelined, co-processed subgraph construction.
+///
+/// Each superkmer partition is read from disk, decoded, and replayed into
+/// a [`ConcurrentDbgTable`] sized by the Property-1 rule from the
+/// manifest's per-partition k-mer count. On a GPU device, the encoded
+/// partition pays the host→device transfer and the table reserves device
+/// memory; the snapshot pays the device→host transfer.
+///
+/// Returns the merged De Bruijn graph and the step report.
+///
+/// # Errors
+///
+/// Propagates partition-file corruption, I/O failures, and device-memory
+/// exhaustion.
+pub fn run_step2(
+    config: &ParaHashConfig,
+    manifest: &PartitionManifest,
+    io: &ThrottledIo,
+) -> Result<(DeBruijnGraph, StepReport)> {
+    let n = manifest.num_partitions();
+    let mut graph = DeBruijnGraph::new(config.k);
+    let total_contention = Mutex::new(ContentionStats::default());
+    let total_resizes = AtomicUsize::new(0);
+    let peak_table = AtomicU64::new(0);
+    let first_error: Mutex<Option<ParaHashError>> = Mutex::new(None);
+    let sub_dir = config.work_dir.join("subgraphs");
+    if config.write_subgraphs {
+        std::fs::create_dir_all(&sub_dir)?;
+    }
+
+    let pipeline_report = {
+        let graph = &mut graph;
+        let first_error = &first_error;
+        let total_contention = &total_contention;
+        let total_resizes = &total_resizes;
+        let peak_table = &peak_table;
+        let sub_dir = &sub_dir;
+        run_coprocessed(
+            n,
+            config.devices(),
+            // Stage 1: load a partition file (pays input I/O).
+            |i| match io.read_file(manifest.partition_path(i)) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    first_error.lock().get_or_insert(ParaHashError::Io(e));
+                    Vec::new()
+                }
+            },
+            // Stage 2: hash-construct the subgraph on an idle device.
+            |device: &dyn Device, idx, bytes: Vec<u8>| {
+                let transfer_in = bytes.len() as u64;
+                let superkmers: Vec<Superkmer> =
+                    match PartitionReader::from_bytes(bytes, config.k, config.p)
+                        .and_then(PartitionReader::read_all)
+                    {
+                        Ok(sks) => sks,
+                        Err(e) => {
+                            first_error.lock().get_or_insert(e.into());
+                            Vec::new()
+                        }
+                    };
+                let n_kmers = manifest.stats()[idx].kmers;
+                let mut capacity = table_capacity_for(n_kmers, config.sizing);
+                let mut resizes = 0usize;
+                loop {
+                    let table = ConcurrentDbgTable::new(capacity, config.k);
+                    let table_bytes = table.approx_bytes() as u64;
+                    peak_table.fetch_max(table_bytes, Ordering::Relaxed);
+                    let is_gpu = device.kind() == DeviceKind::SimGpu;
+                    if is_gpu {
+                        if let Err(e) = device.alloc(table_bytes) {
+                            first_error.lock().get_or_insert(e.into());
+                            return (
+                                Part2Out {
+                                    subgraph: SubGraph::new(config.k, Vec::new()),
+                                    contention: ContentionStats::default(),
+                                    resizes,
+                                },
+                                0,
+                            );
+                        }
+                        device.transfer_to_device(transfer_in);
+                    }
+                    // The kernel: one superkmer per data-parallel item.
+                    let kernel_error: Mutex<Option<HashGraphError>> = Mutex::new(None);
+                    device.execute(superkmers.len(), &|i| {
+                        if let Err(e) = hashgraph::record_superkmer(&table, &superkmers[i]) {
+                            kernel_error.lock().get_or_insert(e);
+                        }
+                    });
+                    let err = kernel_error.into_inner();
+                    match err {
+                        None => {
+                            let subgraph = table.snapshot();
+                            if is_gpu {
+                                device
+                                    .transfer_from_device((subgraph.len() * VERTEX_BYTES) as u64);
+                                device.free(table_bytes);
+                            }
+                            let work = subgraph.len() as u64;
+                            return (
+                                Part2Out { subgraph, contention: table.contention(), resizes },
+                                work,
+                            );
+                        }
+                        Some(HashGraphError::CapacityExhausted { .. }) => {
+                            if is_gpu {
+                                device.free(table_bytes);
+                            }
+                            resizes += 1;
+                            capacity = capacity.saturating_mul(2).max(32);
+                        }
+                        Some(e) => {
+                            if is_gpu {
+                                device.free(table_bytes);
+                            }
+                            first_error.lock().get_or_insert(e.into());
+                            return (
+                                Part2Out {
+                                    subgraph: SubGraph::new(config.k, Vec::new()),
+                                    contention: ContentionStats::default(),
+                                    resizes,
+                                },
+                                0,
+                            );
+                        }
+                    }
+                }
+            },
+            // Stage 3: absorb (and optionally persist) the subgraph.
+            |idx, out: Part2Out| {
+                total_contention.lock().merge(&out.contention);
+                total_resizes.fetch_add(out.resizes, Ordering::Relaxed);
+                if config.write_subgraphs {
+                    let bytes = encode_subgraph(&out.subgraph);
+                    let path = sub_dir.join(format!("sub-{idx:05}.dbg"));
+                    if let Err(e) = io.write_file(path, &bytes) {
+                        first_error.lock().get_or_insert(ParaHashError::Io(e));
+                    }
+                }
+                graph.absorb(out.subgraph);
+            },
+        )
+    };
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    let (cpu_compute, gpu_compute) = split_device_times(config, &pipeline_report.shares);
+    let report = StepReport {
+        step: 2,
+        pipeline: pipeline_report,
+        cpu_compute,
+        gpu_compute,
+        contention: Some(total_contention.into_inner()),
+        resizes: total_resizes.into_inner(),
+        peak_partition_bytes: peak_table.into_inner(),
+    };
+    Ok((graph, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_step1;
+    use dna::SeqRead;
+    use pipeline::IoMode;
+
+    fn reads() -> Vec<SeqRead> {
+        vec![
+            SeqRead::from_ascii("a", b"ACGTTGCATGGACCAGTTACGGATCAGGCATT"),
+            SeqRead::from_ascii("b", b"TGATGGATGATGGATGGTAGCATACGTTGCAT"),
+            SeqRead::from_ascii("c", b"GGCATTAGCCAGTACGGATCACCGTATGCAAT"),
+        ]
+    }
+
+    fn config(dir: &str) -> ParaHashConfig {
+        ParaHashConfig::builder()
+            .k(7)
+            .p(4)
+            .partitions(6)
+            .cpu_threads(2)
+            .work_dir(std::env::temp_dir().join(dir))
+            .build()
+            .unwrap()
+    }
+
+    fn reference(reads: &[SeqRead], k: usize) -> DeBruijnGraph {
+        let seqs: Vec<dna::PackedSeq> = reads.iter().map(|r| r.seq().clone()).collect();
+        let parts = msp::partition_in_memory(&seqs, k, 4, 1).unwrap();
+        let mut g = DeBruijnGraph::new(k);
+        g.absorb(hashgraph::build_subgraph_serial(&parts[0], k).unwrap());
+        g
+    }
+
+    #[test]
+    fn step2_reconstructs_reference_graph() {
+        let cfg = config("parahash-step2-ref");
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let rs = reads();
+        let (manifest, _) = run_step1(&cfg, &rs, &io).unwrap();
+        let (graph, report) = run_step2(&cfg, &manifest, &io).unwrap();
+        assert_eq!(graph, reference(&rs, 7));
+        assert_eq!(report.step, 2);
+        assert_eq!(report.pipeline.partitions, 6);
+        let c = report.contention.unwrap();
+        assert_eq!(c.operations(), manifest.total_kmers());
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn step2_with_gpu_pays_transfers_and_memory() {
+        let cfg = ParaHashConfig::builder()
+            .k(7)
+            .p(4)
+            .partitions(4)
+            .no_cpu()
+            .sim_gpu(hetsim::SimGpuConfig::default())
+            .work_dir(std::env::temp_dir().join("parahash-step2-gpu"))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let rs = reads();
+        let (manifest, _) = run_step1(&cfg, &rs, &io).unwrap();
+        let (graph, _) = run_step2(&cfg, &manifest, &io).unwrap();
+        assert_eq!(graph, reference(&rs, 7));
+        let m = cfg.devices()[0].metrics();
+        assert!(m.bytes_to_device > 0);
+        assert!(m.bytes_from_device > 0);
+        assert!(m.peak_memory > 0, "hash tables must reserve device memory");
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn subgraph_encoding_roundtrips() {
+        let cfg = config("parahash-step2-enc");
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let (manifest, _) = run_step1(&cfg, &reads(), &io).unwrap();
+        let (graph, _) = run_step2(&cfg, &manifest, &io).unwrap();
+        // Round-trip the whole graph as one subgraph.
+        let entries: Vec<_> = graph.iter().map(|(k, v)| (*k, *v)).collect();
+        let sub = SubGraph::new(7, entries);
+        let decoded = decode_subgraph(&encode_subgraph(&sub)).unwrap();
+        let mut a = sub.into_entries();
+        let mut b = decoded.into_entries();
+        a.sort_by_key(|x| x.0);
+        b.sort_by_key(|x| x.0);
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        assert!(decode_subgraph(&[]).is_none());
+        assert!(decode_subgraph(&[1, 0, 0, 0, 0, 0, 0, 0, 7]).is_none(), "promises 1 entry, has none");
+    }
+
+    #[test]
+    fn write_subgraphs_persists_files() {
+        let cfg = ParaHashConfig::builder()
+            .k(7)
+            .p(4)
+            .partitions(3)
+            .cpu_threads(1)
+            .write_subgraphs(true)
+            .work_dir(std::env::temp_dir().join("parahash-step2-persist"))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let (manifest, _) = run_step1(&cfg, &reads(), &io).unwrap();
+        let (graph, _) = run_step2(&cfg, &manifest, &io).unwrap();
+        // Reload all persisted subgraphs; their union is the graph.
+        let mut reloaded = DeBruijnGraph::new(7);
+        for i in 0..3 {
+            let bytes = std::fs::read(cfg.work_dir().join("subgraphs").join(format!("sub-{i:05}.dbg"))).unwrap();
+            reloaded.absorb(decode_subgraph(&bytes).unwrap());
+        }
+        assert_eq!(reloaded, graph);
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_partition_file_surfaces_error() {
+        let cfg = config("parahash-step2-corrupt");
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let (manifest, _) = run_step1(&cfg, &reads(), &io).unwrap();
+        // Truncate the largest partition file mid-record.
+        let victim = (0..manifest.num_partitions())
+            .max_by_key(|&i| manifest.stats()[i].bytes)
+            .unwrap();
+        let path = manifest.partition_path(victim);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(run_step2(&cfg, &manifest, &io).is_err());
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+}

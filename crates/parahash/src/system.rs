@@ -1,0 +1,311 @@
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::time::Instant;
+
+use dna::{FastqReader, SeqRead};
+use hashgraph::DeBruijnGraph;
+use pipeline::ThrottledIo;
+
+use crate::{run_step1, run_step2, ParaHashConfig, Result, RunReport};
+
+/// The assembled system: run both steps against a read set and collect
+/// the full report.
+///
+/// See the crate docs for the workflow; construction only validates that
+/// the working directory can be created.
+#[derive(Debug)]
+pub struct ParaHash {
+    config: ParaHashConfig,
+}
+
+/// What a full run produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The complete De Bruijn graph (union of all subgraphs).
+    pub graph: DeBruijnGraph,
+    /// Timing, workload-distribution and memory accounting.
+    pub report: RunReport,
+}
+
+impl ParaHash {
+    /// Creates a runner, ensuring the working directory exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ParaHashError::Io`] if the directory cannot be
+    /// created.
+    pub fn new(config: ParaHashConfig) -> Result<ParaHash> {
+        std::fs::create_dir_all(config.work_dir())?;
+        Ok(ParaHash { config })
+    }
+
+    /// The configuration this runner was built with.
+    pub fn config(&self) -> &ParaHashConfig {
+        &self.config
+    }
+
+    /// Constructs the De Bruijn graph of `reads`, running both pipelined
+    /// steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any step failure (I/O, corruption, device memory).
+    pub fn run(&self, reads: &[SeqRead]) -> Result<RunOutcome> {
+        let io = ThrottledIo::new(self.config.io_mode);
+        let started = Instant::now();
+        // Optional data-driven sizing: recover Property-1's λ from the
+        // input's quality strings before allocating any tables.
+        let mut config = self.config.clone();
+        if let Some(sample) = config.auto_lambda {
+            if let Some(lambda) = dna::quality::estimate_lambda(reads, sample) {
+                // Keep a small floor so pristine data still gets headroom.
+                config.sizing.lambda = lambda.max(0.05);
+            }
+        }
+        let (manifest, step1) = run_step1(&config, reads, &io)?;
+        let (graph, step2) = run_step2(&config, &manifest, &io)?;
+        let total_elapsed = started.elapsed();
+        let report = RunReport {
+            peak_host_bytes: graph.approx_bytes() as u64
+                + step1.peak_partition_bytes.max(step2.peak_partition_bytes),
+            partition_bytes: manifest.total_bytes(),
+            distinct_vertices: graph.distinct_vertices(),
+            total_kmers: graph.total_kmer_occurrences(),
+            step1,
+            step2,
+            total_elapsed,
+        };
+        Ok(RunOutcome { graph, report })
+    }
+
+    /// Streams a FASTQ file through construction **without loading the
+    /// read set into memory**: Step 1's input stage parses one batch at a
+    /// time (the paper's partition-by-partition workflow for inputs that
+    /// exceed host memory). λ auto-sizing is not applied in this mode —
+    /// the reads are never all in hand; pass an explicit
+    /// [`crate::ParaHashConfigBuilder::sizing`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures and any step failure.
+    pub fn run_fastq_streaming(&self, path: impl AsRef<Path>) -> Result<RunOutcome> {
+        let io = ThrottledIo::new(self.config.io_mode);
+        let started = Instant::now();
+        let (manifest, step1) = crate::run_step1_fastq(&self.config, path, &io)?;
+        let (graph, step2) = run_step2(&self.config, &manifest, &io)?;
+        let total_elapsed = started.elapsed();
+        let report = RunReport {
+            peak_host_bytes: graph.approx_bytes() as u64
+                + step1.peak_partition_bytes.max(step2.peak_partition_bytes),
+            partition_bytes: manifest.total_bytes(),
+            distinct_vertices: graph.distinct_vertices(),
+            total_kmers: graph.total_kmer_occurrences(),
+            step1,
+            step2,
+            total_elapsed,
+        };
+        Ok(RunOutcome { graph, report })
+    }
+
+    /// Parses a FASTQ file and runs construction on its reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures and any step failure.
+    pub fn run_fastq(&self, path: impl AsRef<Path>) -> Result<RunOutcome> {
+        let reader = FastqReader::new(BufReader::new(File::open(path)?));
+        let reads = reader.collect::<std::result::Result<Vec<_>, _>>().map_err(|e| match e {
+            dna::DnaError::Io(io) => crate::ParaHashError::Io(io),
+            other => crate::ParaHashError::InvalidConfig(format!("bad fastq input: {other}")),
+        })?;
+        self.run(&reads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::IoMode;
+
+    fn reads() -> Vec<SeqRead> {
+        vec![
+            SeqRead::from_ascii("a", b"ACGTTGCATGGACCAGTTACGGATCAGGCATT"),
+            SeqRead::from_ascii("b", b"TGATGGATGATGGATGGTAGCATACGTTGCAT"),
+            SeqRead::from_ascii("c", b"GGCATTAGCCAGTACGGATCACCGTATGCAAT"),
+            SeqRead::from_ascii("d", b"ACGTTGCATGGACCAGTTACGGATCAGGCATT"),
+        ]
+    }
+
+    fn runner(dir: &str, io: IoMode) -> ParaHash {
+        let cfg = ParaHashConfig::builder()
+            .k(9)
+            .p(5)
+            .partitions(5)
+            .cpu_threads(2)
+            .io_mode(io)
+            .work_dir(std::env::temp_dir().join(dir))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        ParaHash::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_counts_are_consistent() {
+        let ph = runner("parahash-sys-e2e", IoMode::Unthrottled);
+        let rs = reads();
+        let outcome = ph.run(&rs).unwrap();
+        let expected_kmers: u64 = rs.iter().map(|r| (r.len() - 9 + 1) as u64).sum();
+        assert_eq!(outcome.graph.total_kmer_occurrences(), expected_kmers);
+        assert_eq!(outcome.report.total_kmers, expected_kmers);
+        assert_eq!(outcome.report.distinct_vertices, outcome.graph.distinct_vertices());
+        assert!(outcome.report.duplicate_vertices() > 0, "read d duplicates read a");
+        assert!(outcome.report.partition_bytes > 0);
+        assert!(outcome.report.total_elapsed >= outcome.report.steps_elapsed());
+        assert!(outcome.report.summary().contains("distinct"));
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn throttled_run_produces_identical_graph() {
+        let fast = runner("parahash-sys-fast", IoMode::Unthrottled);
+        let slow = runner("parahash-sys-slow", IoMode::Throttled { bytes_per_sec: 200_000 });
+        let rs = reads();
+        let a = fast.run(&rs).unwrap();
+        let b = slow.run(&rs).unwrap();
+        assert_eq!(a.graph, b.graph, "I/O regime must not change the result");
+        std::fs::remove_dir_all(fast.config().work_dir()).unwrap();
+        std::fs::remove_dir_all(slow.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn run_fastq_roundtrip() {
+        let ph = runner("parahash-sys-fastq", IoMode::Unthrottled);
+        let path = std::env::temp_dir().join("parahash-sys-input.fastq");
+        {
+            let mut w = dna::FastqWriter::new(std::fs::File::create(&path).unwrap());
+            for r in reads() {
+                w.write_record(&r).unwrap();
+            }
+            w.into_inner().unwrap().sync_all().unwrap();
+        }
+        let via_file = ph.run_fastq(&path).unwrap();
+        let via_mem = ph.run(&reads()).unwrap();
+        assert_eq!(via_file.graph, via_mem.graph);
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn streaming_fastq_matches_in_memory() {
+        let ph = runner("parahash-sys-stream", IoMode::Unthrottled);
+        let path = std::env::temp_dir().join(format!("parahash-stream-{}.fastq", std::process::id()));
+        {
+            let mut w = dna::FastqWriter::new(std::fs::File::create(&path).unwrap());
+            for r in reads() {
+                w.write_record(&r).unwrap();
+            }
+            w.into_inner().unwrap().sync_all().unwrap();
+        }
+        let streamed = ph.run_fastq_streaming(&path).unwrap();
+        let in_memory = ph.run(&reads()).unwrap();
+        assert_eq!(streamed.graph, in_memory.graph);
+        assert_eq!(
+            streamed.report.step1.pipeline.total_work(),
+            reads().len() as u64,
+            "every read must flow through the streaming input stage"
+        );
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn streaming_small_batches_use_many_input_partitions() {
+        // Tiny batch size forces several pipeline input partitions.
+        let cfg = ParaHashConfig::builder()
+            .k(9)
+            .p(5)
+            .partitions(4)
+            .read_batch_bytes(24)
+            .work_dir(std::env::temp_dir().join("parahash-sys-smallbatch"))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let ph = ParaHash::new(cfg).unwrap();
+        let path = std::env::temp_dir().join(format!("parahash-smallbatch-{}.fastq", std::process::id()));
+        {
+            let mut w = dna::FastqWriter::new(std::fs::File::create(&path).unwrap());
+            for r in reads() {
+                w.write_record(&r).unwrap();
+            }
+            w.into_inner().unwrap().sync_all().unwrap();
+        }
+        let outcome = ph.run_fastq_streaming(&path).unwrap();
+        assert!(outcome.report.step1.pipeline.partitions >= 3, "expected several input batches");
+        assert_eq!(outcome.graph, ph.run(&reads()).unwrap().graph);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn streaming_malformed_fastq_is_rejected() {
+        let ph = runner("parahash-sys-streambad", IoMode::Unthrottled);
+        let path = std::env::temp_dir().join(format!("parahash-streambad-{}.fastq", std::process::id()));
+        std::fs::write(&path, "@ok\nACGTACGTACGT\n+\nIIIIIIIIIIII\nnot-a-header\n").unwrap();
+        assert!(ph.run_fastq_streaming(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn missing_fastq_is_io_error() {
+        let ph = runner("parahash-sys-missing", IoMode::Unthrottled);
+        assert!(matches!(
+            ph.run_fastq("/no/such/file.fastq"),
+            Err(crate::ParaHashError::Io(_))
+        ));
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn auto_sizing_estimates_lambda_from_quality() {
+        // High-quality reads (tiny λ) with auto-sizing still build the
+        // correct graph; low-quality reads do too (bigger tables).
+        let mk = |q: u8| -> Vec<SeqRead> {
+            reads()
+                .into_iter()
+                .map(|r| {
+                    let l = r.len();
+                    let id = r.id().to_owned();
+                    SeqRead::new(id, r.into_seq())
+                        .with_quality(vec![dna::quality::phred_char(q); l])
+                })
+                .collect()
+        };
+        for q in [2u8, 40u8] {
+            let cfg = ParaHashConfig::builder()
+                .k(9)
+                .p(5)
+                .partitions(4)
+                .auto_sizing(16)
+                .work_dir(std::env::temp_dir().join(format!("parahash-sys-auto-{q}")))
+                .build()
+                .unwrap();
+            let _ = std::fs::remove_dir_all(cfg.work_dir());
+            let ph = ParaHash::new(cfg).unwrap();
+            let outcome = ph.run(&mk(q)).unwrap();
+            assert_eq!(outcome.report.total_kmers, 4 * (32 - 9 + 1));
+            std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_input_builds_empty_graph() {
+        let ph = runner("parahash-sys-empty", IoMode::Unthrottled);
+        let outcome = ph.run(&[]).unwrap();
+        assert_eq!(outcome.graph.distinct_vertices(), 0);
+        assert_eq!(outcome.report.total_kmers, 0);
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+//! Co-processing and pipelining — §III-E and §IV of the paper.
+//!
+//! Both ParaHash steps process a stream of partitions through three
+//! stages: *input* (disk → memory + parse), *compute* (an idle CPU or GPU
+//! consumes one partition and produces one output partition) and *output*
+//! (format + memory → disk). This crate provides:
+//!
+//! * [`SharedCounterQueue`] — the paper's input/output queues built on
+//!   shared counters (`srv`/`cns` for the input side, `prd`/`wrt` for the
+//!   output side): producers reserve a position with a fetch-add and
+//!   publish with a per-slot ready flag; consumers claim queuing ids with
+//!   a fetch-add on the head counter.
+//! * [`run_coprocessed`] — the work-stealing pipeline: one thread feeds
+//!   partitions in, one driver thread per [`hetsim::Device`] repeatedly
+//!   claims the next available partition (so faster processors simply
+//!   claim more — the dynamic distribution of Fig 11), one thread drains
+//!   outputs. Input, every device, and output all overlap.
+//! * [`run_sequential`] — the non-pipelined baseline (input all, compute
+//!   all, output all) whose stage breakdown Fig 12 compares against.
+//! * [`ThrottledIo`] — a token-metered byte channel that realises the
+//!   paper's two regimes on any machine: unthrottled ≈ the memory-cached
+//!   file of Case 1, a bandwidth cap ≈ the disk-bound Case 2.
+//! * [`perfmodel`] — Eq. 1 and Eq. 2 estimators used by Fig 13 / Fig 14.
+
+mod io;
+pub mod perfmodel;
+mod queue;
+mod scheduler;
+
+pub use io::{IoMode, ThrottledIo};
+pub use queue::SharedCounterQueue;
+pub use scheduler::{run_coprocessed, run_sequential, DeviceShare, PipelineReport, Span, Stage};

@@ -1,0 +1,310 @@
+//! The §IV performance model: Eq. 1 (pipelined step time) and Eq. 2
+//! (ideal co-processing time), plus the Case-1/Case-2 regime test.
+//!
+//! These estimators take *measured* single-configuration times (e.g. the
+//! best CPU-only and single-GPU-only runs) and predict co-processing and
+//! pipelining outcomes; Figs 13 and 14 plot the predictions against real
+//! runs.
+
+use std::time::Duration;
+
+/// Measured per-step component times feeding Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepComponents {
+    /// Total CPU compute time for the step (`T_CPU_compute`).
+    pub cpu_compute: Duration,
+    /// Total GPU time for the step: compute **plus** host↔device
+    /// transfer (`T_GPU_compute + T_DH_transfer`), maxed over devices when
+    /// several GPUs run.
+    pub gpu: Duration,
+    /// Total input-transfer time (`T_input`).
+    pub input: Duration,
+    /// Total output-transfer time (`T_output`).
+    pub output: Duration,
+    /// Number of partitions `n_i` the step processes.
+    pub partitions: usize,
+}
+
+/// Which resource bounds a step (the paper's two evaluation cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Case 1: `T_IO ≪ min{T_CPU, T_GPU}` — compute bound; adding
+    /// processors helps per Eq. 2.
+    ComputeBound,
+    /// Case 2: `T_IO > max{T_CPU, T_GPU}` — the step degenerates to the
+    /// disk transfer time.
+    IoBound,
+    /// Neither inequality holds clearly.
+    Mixed,
+}
+
+/// Eq. 1: estimated elapsed time of one pipelined step.
+///
+/// `T_i = max{T_CPU, T_GPU, T_IO} + (T_input + T_output)/n_i`, with
+/// `T_IO = (n_i − 1)/n_i · max{T_input, T_output}` — the pipeline hides
+/// everything except the slowest of the three streams, plus the one
+/// partition's worth of fill/drain latency at the ends.
+///
+/// With zero partitions the estimate is zero.
+///
+/// # Examples
+///
+/// ```
+/// use pipeline::perfmodel::{eq1_step_time, StepComponents};
+/// use std::time::Duration;
+///
+/// let c = StepComponents {
+///     cpu_compute: Duration::from_secs(10),
+///     gpu: Duration::from_secs(8),
+///     input: Duration::from_secs(4),
+///     output: Duration::from_secs(2),
+///     partitions: 8,
+/// };
+/// // Compute dominates: ≈ 10 s + (4+2)/8 s = 10.75 s.
+/// assert_eq!(eq1_step_time(&c), Duration::from_millis(10_750));
+/// ```
+pub fn eq1_step_time(c: &StepComponents) -> Duration {
+    if c.partitions == 0 {
+        return Duration::ZERO;
+    }
+    let n = c.partitions as f64;
+    let t_io = c.input.max(c.output).mul_f64((n - 1.0) / n);
+    let steady = c.cpu_compute.max(c.gpu).max(t_io);
+    steady + (c.input + c.output).div_f64(n)
+}
+
+/// Eq. 2: ideal co-processed compute time given measured single-processor
+/// times — processors run concurrently at their individual rates, so the
+/// combined rate is the sum of rates:
+/// `1 / (1/T_only_CPU + N_GPU/T_single_GPU)`.
+///
+/// Pass `n_gpus = 0` for a CPU-only configuration and
+/// `cpu: None` for GPU-only offload.
+///
+/// Returns `Duration::MAX` when no processor is given.
+///
+/// # Examples
+///
+/// ```
+/// use pipeline::perfmodel::eq2_ideal_coprocessing;
+/// use std::time::Duration;
+///
+/// let cpu = Duration::from_secs(12);
+/// let gpu = Duration::from_secs(6);
+/// // 1/(1/12 + 2/6) = 2.4 s
+/// let t = eq2_ideal_coprocessing(Some(cpu), gpu, 2);
+/// assert_eq!(t, Duration::from_millis(2_400));
+/// ```
+pub fn eq2_ideal_coprocessing(
+    cpu: Option<Duration>,
+    single_gpu: Duration,
+    n_gpus: usize,
+) -> Duration {
+    let mut rate = 0.0f64;
+    if let Some(c) = cpu {
+        if !c.is_zero() {
+            rate += 1.0 / c.as_secs_f64();
+        }
+    }
+    if n_gpus > 0 && !single_gpu.is_zero() {
+        rate += n_gpus as f64 / single_gpu.as_secs_f64();
+    }
+    if rate == 0.0 {
+        return Duration::MAX;
+    }
+    Duration::from_secs_f64(1.0 / rate)
+}
+
+/// Classifies a step into the paper's Case 1 / Case 2 regimes with a
+/// slack factor of 2× on "much less than".
+pub fn classify_regime(c: &StepComponents) -> Regime {
+    let t_io = c.input.max(c.output);
+    let min_compute = if c.gpu.is_zero() {
+        c.cpu_compute
+    } else if c.cpu_compute.is_zero() {
+        c.gpu
+    } else {
+        c.cpu_compute.min(c.gpu)
+    };
+    let max_compute = c.cpu_compute.max(c.gpu);
+    if t_io.mul_f64(2.0) < min_compute {
+        Regime::ComputeBound
+    } else if t_io > max_compute {
+        Regime::IoBound
+    } else {
+        Regime::Mixed
+    }
+}
+
+/// Case-2 estimate: when I/O dominates, the step time approaches
+/// `T_IO + (T_input + T_output)/n` (Eq. 1 with the I/O term winning).
+pub fn io_bound_step_time(c: &StepComponents) -> Duration {
+    if c.partitions == 0 {
+        return Duration::ZERO;
+    }
+    let n = c.partitions as f64;
+    c.input.max(c.output).mul_f64((n - 1.0) / n) + (c.input + c.output).div_f64(n)
+}
+
+/// Speedup of `faster` over `baseline` (`baseline / faster`); 1.0 when
+/// either duration is zero.
+pub fn speedup(baseline: Duration, faster: Duration) -> f64 {
+    if baseline.is_zero() || faster.is_zero() {
+        return 1.0;
+    }
+    baseline.as_secs_f64() / faster.as_secs_f64()
+}
+
+/// Parallel efficiency of a co-processed run: achieved speedup over the
+/// Eq.-2 ideal speedup for the same processor roster. 1.0 means the run
+/// matched the model exactly.
+pub fn coprocessing_efficiency(
+    cpu_only: Duration,
+    single_gpu: Duration,
+    n_gpus: usize,
+    measured: Duration,
+) -> f64 {
+    let ideal = eq2_ideal_coprocessing(Some(cpu_only), single_gpu, n_gpus);
+    if ideal == Duration::MAX || measured.is_zero() {
+        return 0.0;
+    }
+    ideal.as_secs_f64() / measured.as_secs_f64()
+}
+
+/// What-if projection: given measured CPU-only and single-GPU step times,
+/// the Eq.-2 ideal elapsed time for every GPU count in `0..=max_gpus`,
+/// with and without the CPU. Lets an operator read off the paper's
+/// "offloading to more devices improves performance" curve before buying
+/// hardware.
+///
+/// Returns `(n_gpus, with_cpu, gpu_only)` triples; `gpu_only` at
+/// `n_gpus = 0` is `Duration::MAX` (no processor at all).
+pub fn project_rosters(
+    cpu_only: Duration,
+    single_gpu: Duration,
+    max_gpus: usize,
+) -> Vec<(usize, Duration, Duration)> {
+    (0..=max_gpus)
+        .map(|n| {
+            (
+                n,
+                eq2_ideal_coprocessing(Some(cpu_only), single_gpu, n),
+                eq2_ideal_coprocessing(None, single_gpu, n),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comps(cpu: u64, gpu: u64, input: u64, output: u64, n: usize) -> StepComponents {
+        StepComponents {
+            cpu_compute: Duration::from_secs(cpu),
+            gpu: Duration::from_secs(gpu),
+            input: Duration::from_secs(input),
+            output: Duration::from_secs(output),
+            partitions: n,
+        }
+    }
+
+    #[test]
+    fn eq1_compute_bound_case() {
+        let c = comps(10, 8, 4, 2, 8);
+        assert_eq!(eq1_step_time(&c), Duration::from_millis(10_750));
+        // I/O (4 s) is under min-compute (8 s) but not by the 2× slack.
+        assert_eq!(classify_regime(&c), Regime::Mixed);
+        let clearly = comps(10, 8, 3, 2, 8);
+        assert_eq!(classify_regime(&clearly), Regime::ComputeBound);
+    }
+
+    #[test]
+    fn eq1_io_bound_case() {
+        let c = comps(2, 1, 16, 8, 4);
+        // T_IO = 3/4·16 = 12 > compute; + (16+8)/4 = 6 → 18.
+        assert_eq!(eq1_step_time(&c), Duration::from_secs(18));
+        assert_eq!(classify_regime(&c), Regime::IoBound);
+        assert_eq!(io_bound_step_time(&c), Duration::from_secs(18));
+    }
+
+    #[test]
+    fn eq1_zero_partitions() {
+        assert_eq!(eq1_step_time(&comps(1, 1, 1, 1, 0)), Duration::ZERO);
+        assert_eq!(io_bound_step_time(&comps(1, 1, 1, 1, 0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn eq1_single_partition_has_no_overlap() {
+        // n=1: T_IO term vanishes, full input+output paid.
+        let c = comps(5, 0, 3, 2, 1);
+        assert_eq!(eq1_step_time(&c), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn eq2_matches_hand_computation() {
+        let t = eq2_ideal_coprocessing(Some(Duration::from_secs(12)), Duration::from_secs(6), 1);
+        assert_eq!(t, Duration::from_secs(4)); // 1/(1/12+1/6)
+        let t = eq2_ideal_coprocessing(None, Duration::from_secs(6), 2);
+        assert_eq!(t, Duration::from_secs(3));
+        let t = eq2_ideal_coprocessing(Some(Duration::from_secs(12)), Duration::from_secs(6), 0);
+        assert_eq!(t, Duration::from_secs(12));
+    }
+
+    #[test]
+    fn eq2_more_gpus_never_slower() {
+        let cpu = Some(Duration::from_secs(10));
+        let gpu = Duration::from_secs(7);
+        let mut prev = Duration::MAX;
+        for n in 0..=4 {
+            let t = eq2_ideal_coprocessing(cpu, gpu, n);
+            assert!(t <= prev, "adding a GPU slowed the estimate");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn eq2_no_processors_is_unbounded() {
+        assert_eq!(eq2_ideal_coprocessing(None, Duration::from_secs(1), 0), Duration::MAX);
+        assert_eq!(eq2_ideal_coprocessing(Some(Duration::ZERO), Duration::ZERO, 3), Duration::MAX);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        assert_eq!(speedup(Duration::from_secs(10), Duration::from_secs(2)), 5.0);
+        assert_eq!(speedup(Duration::ZERO, Duration::from_secs(2)), 1.0);
+        // A run that exactly meets the Eq.-2 ideal has efficiency 1.
+        let cpu = Duration::from_secs(12);
+        let gpu = Duration::from_secs(6);
+        let ideal = eq2_ideal_coprocessing(Some(cpu), gpu, 1); // 4 s
+        assert!((coprocessing_efficiency(cpu, gpu, 1, ideal) - 1.0).abs() < 1e-12);
+        // Twice as slow as ideal → efficiency 0.5.
+        assert!((coprocessing_efficiency(cpu, gpu, 1, ideal * 2) - 0.5).abs() < 1e-12);
+        assert_eq!(coprocessing_efficiency(cpu, gpu, 1, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn roster_projection_is_monotone() {
+        let rows = project_rosters(Duration::from_secs(12), Duration::from_secs(6), 4);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].1, Duration::from_secs(12)); // CPU alone
+        assert_eq!(rows[0].2, Duration::MAX); // nothing alone
+        for w in rows.windows(2) {
+            assert!(w[1].1 <= w[0].1, "adding a GPU never hurts the ideal");
+            assert!(w[1].2 <= w[0].2);
+        }
+        assert_eq!(rows[2].1, Duration::from_millis(2_400)); // 1/(1/12+2/6)
+    }
+
+    #[test]
+    fn regime_mixed_between_cases() {
+        let c = comps(10, 8, 9, 2, 4); // io=9: not <min/2 (4), not >max (10)
+        assert_eq!(classify_regime(&c), Regime::Mixed);
+    }
+
+    #[test]
+    fn regime_ignores_missing_gpu() {
+        let c = comps(10, 0, 1, 1, 4);
+        assert_eq!(classify_regime(&c), Regime::ComputeBound);
+    }
+}

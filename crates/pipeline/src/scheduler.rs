@@ -1,0 +1,512 @@
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hetsim::Device;
+use parking_lot::Mutex;
+
+use crate::SharedCounterQueue;
+
+/// Which pipeline stage a [`Span`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Stage 1: reading/parsing an input partition.
+    Input,
+    /// Stage 2: a device consuming a partition and producing an output.
+    Compute,
+    /// Stage 3: formatting/writing an output partition.
+    Output,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Input => write!(f, "input"),
+            Stage::Compute => write!(f, "compute"),
+            Stage::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// One timed event on the pipeline's timeline (offsets are relative to
+/// the run start). The full span list reconstructs the paper's Fig 5
+/// "time line for pipelined co-processing".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Which stage the event belongs to.
+    pub stage: Stage,
+    /// Worker identity: `"io"` for the input/output threads, the device
+    /// name for compute.
+    pub worker: String,
+    /// Partition index the event processed.
+    pub partition: usize,
+    /// Offset of the event start from the run start.
+    pub start: Duration,
+    /// Offset of the event end from the run start.
+    pub end: Duration,
+}
+
+/// How much of a run one device ended up doing — the raw material of the
+/// paper's Fig 11 (workload distribution follows processing speed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceShare {
+    /// Device name.
+    pub name: String,
+    /// Partitions this device claimed and processed.
+    pub partitions: usize,
+    /// Work units inside those partitions (reads in Step 1, k-mers in
+    /// Step 2) as reported by the process callback.
+    pub work_units: u64,
+    /// Wall-clock the device spent in its compute callback (including its
+    /// metered transfers).
+    pub busy: Duration,
+}
+
+/// Timing summary of one pipelined (or sequential) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// End-to-end wall-clock of the run.
+    pub elapsed: Duration,
+    /// Time the input stage spent producing partitions.
+    pub input_time: Duration,
+    /// Time the output stage spent consuming results.
+    pub output_time: Duration,
+    /// Per-device shares, in the order devices were passed.
+    pub shares: Vec<DeviceShare>,
+    /// Partitions processed in total.
+    pub partitions: usize,
+    /// Timeline of every stage event, for Fig-5-style visualisation.
+    pub spans: Vec<Span>,
+}
+
+impl PipelineReport {
+    /// Total work units across devices.
+    pub fn total_work(&self) -> u64 {
+        self.shares.iter().map(|s| s.work_units).sum()
+    }
+
+    /// Fraction of the work each device did (parallel to `shares`).
+    pub fn work_fractions(&self) -> Vec<f64> {
+        let total = self.total_work().max(1) as f64;
+        self.shares.iter().map(|s| s.work_units as f64 / total).collect()
+    }
+
+    /// The *ideal* fractions if work were split exactly proportionally to
+    /// measured per-device speed (work_units / busy seconds) — the dotted
+    /// line of Fig 11's right panel.
+    pub fn ideal_fractions(&self) -> Vec<f64> {
+        let speeds: Vec<f64> = self
+            .shares
+            .iter()
+            .map(|s| {
+                let secs = s.busy.as_secs_f64();
+                if secs == 0.0 {
+                    0.0
+                } else {
+                    s.work_units as f64 / secs
+                }
+            })
+            .collect();
+        let total: f64 = speeds.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; speeds.len()];
+        }
+        speeds.iter().map(|s| s / total).collect()
+    }
+}
+
+/// Runs `total` partitions through the paper's three-stage work-stealing
+/// pipeline:
+///
+/// * an **input thread** drives `produce(i)` for `i in 0..total` (stage 1:
+///   disk read + parse) and publishes each partition;
+/// * **one driver thread per device** repeatedly claims the next
+///   available partition and runs `process(device, index, input)` (stage
+///   2) — an idle processor claims more often, which *is* the dynamic
+///   distribution;
+/// * an **output thread** claims results in completion order and runs
+///   `consume(index, output)` (stage 3: format + disk write).
+///
+/// `process` returns `(output, work_units)`; work units feed the Fig 11
+/// accounting.
+///
+/// # Panics
+///
+/// Panics if `devices` is empty or if any stage callback panics.
+pub fn run_coprocessed<I, O, FP, FC, FO>(
+    total: usize,
+    devices: &[Arc<dyn Device>],
+    produce: FP,
+    process: FC,
+    mut consume: FO,
+) -> PipelineReport
+where
+    I: Send,
+    O: Send,
+    FP: FnMut(usize) -> I + Send,
+    FC: Fn(&dyn Device, usize, I) -> (O, u64) + Sync,
+    FO: FnMut(usize, O) + Send,
+{
+    assert!(!devices.is_empty(), "co-processing needs at least one device");
+    let started = Instant::now();
+    let in_queue: SharedCounterQueue<(usize, I)> = SharedCounterQueue::new(total);
+    let out_queue: SharedCounterQueue<(usize, O, usize, u64, Duration)> =
+        SharedCounterQueue::new(total);
+    let spans: Mutex<Vec<Span>> = Mutex::new(Vec::with_capacity(3 * total));
+    let record = |stage: Stage, worker: &str, partition: usize, t0: Instant| {
+        spans.lock().push(Span {
+            stage,
+            worker: worker.to_owned(),
+            partition,
+            start: t0 - started,
+            end: started.elapsed(),
+        });
+    };
+
+    let mut input_time = Duration::ZERO;
+    let mut output_time = Duration::ZERO;
+    let mut shares: Vec<DeviceShare> = devices
+        .iter()
+        .map(|d| DeviceShare { name: d.name().to_owned(), partitions: 0, work_units: 0, busy: Duration::ZERO })
+        .collect();
+
+    std::thread::scope(|s| {
+        // Stage 1: input.
+        let in_q = &in_queue;
+        let record = &record;
+        let input_handle = s.spawn({
+            let mut produce = produce;
+            move || {
+                let mut spent = Duration::ZERO;
+                for i in 0..total {
+                    let t0 = Instant::now();
+                    let item = produce(i);
+                    spent += t0.elapsed();
+                    record(Stage::Input, "io", i, t0);
+                    in_q.push((i, item));
+                }
+                spent
+            }
+        });
+
+        // Stage 2: one driver per device, stealing from the input queue.
+        let out_q = &out_queue;
+        let process = &process;
+        for (dev_idx, device) in devices.iter().enumerate() {
+            let device = Arc::clone(device);
+            s.spawn(move || {
+                while let Some((index, item)) = in_q.pop() {
+                    let t0 = Instant::now();
+                    let (output, work) = process(device.as_ref(), index, item);
+                    let busy = t0.elapsed();
+                    record(Stage::Compute, device.name(), index, t0);
+                    out_q.push((index, output, dev_idx, work, busy));
+                }
+            });
+        }
+
+        // Stage 3: output, on this thread.
+        let mut consumed = 0;
+        while let Some((index, output, dev_idx, work, busy)) = out_queue.pop() {
+            let t0 = Instant::now();
+            consume(index, output);
+            output_time += t0.elapsed();
+            record(Stage::Output, "io", index, t0);
+            let share = &mut shares[dev_idx];
+            share.partitions += 1;
+            share.work_units += work;
+            share.busy += busy;
+            consumed += 1;
+            if consumed == total {
+                break;
+            }
+        }
+        input_time = input_handle.join().expect("input stage panicked");
+    });
+
+    let mut spans = spans.into_inner();
+    spans.sort_by_key(|s| s.start);
+    PipelineReport {
+        elapsed: started.elapsed(),
+        input_time,
+        output_time,
+        shares,
+        partitions: total,
+        spans,
+    }
+}
+
+/// The non-pipelined baseline for Fig 12: input **all** partitions, then
+/// compute **all** on the single given device, then output **all**. The
+/// report's `input_time`/`output_time`/device-busy sum to (almost exactly)
+/// `elapsed`, which is the point of the comparison.
+///
+/// # Panics
+///
+/// Panics if a stage callback panics.
+pub fn run_sequential<I, O, FP, FC, FO>(
+    total: usize,
+    device: &Arc<dyn Device>,
+    mut produce: FP,
+    process: FC,
+    mut consume: FO,
+) -> PipelineReport
+where
+    FP: FnMut(usize) -> I,
+    FC: Fn(&dyn Device, usize, I) -> (O, u64),
+    FO: FnMut(usize, O),
+{
+    let started = Instant::now();
+    let t0 = Instant::now();
+    let inputs: Vec<I> = (0..total).map(&mut produce).collect();
+    let input_time = t0.elapsed();
+
+    let mut share = DeviceShare {
+        name: device.name().to_owned(),
+        partitions: total,
+        work_units: 0,
+        busy: Duration::ZERO,
+    };
+    let mut outputs = Vec::with_capacity(total);
+    let t0 = Instant::now();
+    for (i, item) in inputs.into_iter().enumerate() {
+        let (out, work) = process(device.as_ref(), i, item);
+        share.work_units += work;
+        outputs.push(out);
+    }
+    share.busy = t0.elapsed();
+
+    let t0 = Instant::now();
+    for (i, out) in outputs.into_iter().enumerate() {
+        consume(i, out);
+    }
+    let output_time = t0.elapsed();
+
+    PipelineReport {
+        elapsed: started.elapsed(),
+        input_time,
+        output_time,
+        shares: vec![share],
+        partitions: total,
+        spans: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::{CpuDevice, SimGpuConfig, SimGpuDevice, TransferModel};
+    use parking_lot::Mutex;
+
+    fn cpu(threads: usize) -> Arc<dyn Device> {
+        Arc::new(CpuDevice::new("cpu0", threads))
+    }
+
+    fn slow_gpu(cost_us: u64) -> Arc<dyn Device> {
+        Arc::new(SimGpuDevice::new(
+            "gpu0",
+            SimGpuConfig {
+                sm_count: 2,
+                warp_size: 4,
+                transfer: TransferModel::instant(),
+                compute_cost_per_item: Duration::from_micros(cost_us),
+                ..Default::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn all_partitions_processed_once_in_order() {
+        let seen = Mutex::new(Vec::new());
+        let report = run_coprocessed(
+            20,
+            &[cpu(2)],
+            |i| i * 10,
+            |_, _, v| (v + 1, 1),
+            |idx, out| seen.lock().push((idx, out)),
+        );
+        let mut got = seen.into_inner();
+        got.sort();
+        assert_eq!(got, (0..20).map(|i| (i, i * 10 + 1)).collect::<Vec<_>>());
+        assert_eq!(report.partitions, 20);
+        assert_eq!(report.total_work(), 20);
+        assert_eq!(report.shares.len(), 1);
+        assert_eq!(report.shares[0].partitions, 20);
+    }
+
+    #[test]
+    fn two_devices_split_the_work() {
+        let report = run_coprocessed(
+            30,
+            &[cpu(1), slow_gpu(0)],
+            |i| i,
+            |_, _, v| {
+                // A little real work so both devices get a chance to claim.
+                std::thread::sleep(Duration::from_micros(300));
+                (v, 1u64)
+            },
+            |_, _| {},
+        );
+        assert_eq!(report.total_work(), 30);
+        let claimed: usize = report.shares.iter().map(|s| s.partitions).sum();
+        assert_eq!(claimed, 30);
+        assert!(
+            report.shares.iter().all(|s| s.partitions > 0),
+            "both devices should claim some work: {:?}",
+            report.shares
+        );
+    }
+
+    #[test]
+    fn faster_device_claims_more() {
+        // CPU processes instantly; GPU pays 2 ms per item (4 items/partition).
+        let report = run_coprocessed(
+            24,
+            &[cpu(1), slow_gpu(2000)],
+            |i| i,
+            |d, _, v| {
+                d.execute(4, &|_| {});
+                (v, 4u64)
+            },
+            |_, _| {},
+        );
+        let cpu_share = &report.shares[0];
+        let gpu_share = &report.shares[1];
+        assert!(
+            cpu_share.partitions > gpu_share.partitions,
+            "work stealing should favour the fast device: cpu={} gpu={}",
+            cpu_share.partitions,
+            gpu_share.partitions
+        );
+    }
+
+    #[test]
+    fn work_fractions_sum_to_one() {
+        let report = run_coprocessed(
+            10,
+            &[cpu(1), cpu(1)],
+            |i| i,
+            |_, _, v| (v, 3u64),
+            |_, _| {},
+        );
+        let fracs = report.work_fractions();
+        assert!((fracs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let ideal = report.ideal_fractions();
+        assert_eq!(ideal.len(), 2);
+    }
+
+    #[test]
+    fn sequential_report_breaks_down_stages() {
+        let dev = cpu(1);
+        let report = run_sequential(
+            8,
+            &dev,
+            |i| {
+                std::thread::sleep(Duration::from_millis(2));
+                i
+            },
+            |_, _, v| {
+                std::thread::sleep(Duration::from_millis(2));
+                (v, 1u64)
+            },
+            |_, _| std::thread::sleep(Duration::from_millis(2)),
+        );
+        assert!(report.input_time >= Duration::from_millis(14));
+        assert!(report.output_time >= Duration::from_millis(14));
+        assert!(report.shares[0].busy >= Duration::from_millis(14));
+        // Sequential: stages sum to roughly the elapsed time.
+        let sum = report.input_time + report.output_time + report.shares[0].busy;
+        assert!(report.elapsed >= sum.mul_f64(0.95));
+    }
+
+    #[test]
+    fn pipelined_overlaps_io_with_compute() {
+        // Input and output each sleep; compute sleeps too. Pipelined
+        // elapsed must be well under the sequential sum of stages.
+        let stage = Duration::from_millis(3);
+        let n = 12;
+        let dev = cpu(1);
+        let seq = run_sequential(
+            n,
+            &dev,
+            |i| {
+                std::thread::sleep(stage);
+                i
+            },
+            |_, _, v| {
+                std::thread::sleep(stage);
+                (v, 1u64)
+            },
+            |_, _| std::thread::sleep(stage),
+        );
+        let pip = run_coprocessed(
+            n,
+            &[cpu(1)],
+            |i| {
+                std::thread::sleep(stage);
+                i
+            },
+            |_, _, v| {
+                std::thread::sleep(stage);
+                (v, 1u64)
+            },
+            |_, _| std::thread::sleep(stage),
+        );
+        assert!(
+            pip.elapsed < seq.elapsed.mul_f64(0.75),
+            "pipelining should hide ~2/3 of stage time: pipelined {:?} vs sequential {:?}",
+            pip.elapsed,
+            seq.elapsed
+        );
+    }
+
+    #[test]
+    fn spans_cover_every_partition_and_stage() {
+        let report = run_coprocessed(
+            12,
+            &[cpu(1), cpu(2)],
+            |i| i,
+            |_, _, v| {
+                std::thread::sleep(Duration::from_micros(200));
+                (v, 1u64)
+            },
+            |_, _| {},
+        );
+        for stage in [Stage::Input, Stage::Compute, Stage::Output] {
+            let mut parts: Vec<usize> = report
+                .spans
+                .iter()
+                .filter(|s| s.stage == stage)
+                .map(|s| s.partition)
+                .collect();
+            parts.sort();
+            assert_eq!(parts, (0..12).collect::<Vec<_>>(), "stage {stage}");
+        }
+        // Spans are well-formed and inside the run window.
+        for s in &report.spans {
+            assert!(s.end >= s.start);
+            assert!(s.end <= report.elapsed + Duration::from_millis(5));
+        }
+        // Causality per partition: input ends before its compute ends
+        // before its output ends.
+        for i in 0..12 {
+            let at = |stage: Stage| {
+                report.spans.iter().find(|s| s.stage == stage && s.partition == i).unwrap()
+            };
+            assert!(at(Stage::Input).end <= at(Stage::Compute).end);
+            assert!(at(Stage::Compute).end <= at(Stage::Output).end);
+        }
+    }
+
+    #[test]
+    fn zero_partitions_complete_immediately() {
+        let report = run_coprocessed(0, &[cpu(1)], |i| i, |_, _, v| (v, 0u64), |_, _: usize| {});
+        assert_eq!(report.partitions, 0);
+        assert_eq!(report.total_work(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn no_devices_panics() {
+        run_coprocessed(1, &[], |i| i, |_, _, v: usize| (v, 0u64), |_, _| {});
+    }
+}

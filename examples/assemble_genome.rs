@@ -1,0 +1,87 @@
+//! End-to-end de novo assembly sketch: simulate a sequencing run over a
+//! random genome, construct the De Bruijn graph with ParaHash, filter
+//! error vertices by multiplicity, compact unitigs, and check how much of
+//! the genome the contigs recover.
+//!
+//! ```text
+//! cargo run --release --example assemble_genome
+//! ```
+
+use parahash_repro::datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use parahash_repro::hashgraph::unitigs_with;
+use parahash_repro::parahash::{ParaHash, ParaHashConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const K: usize = 27;
+
+    // 1. A 50 kbp genome and a 40x run with ~1 error per read.
+    let genome = GenomeSpec::new(50_000).seed(2024).repeat_fraction(0.02).generate();
+    let reads = Sequencer::new(SequencingSpec {
+        read_len: 101,
+        coverage: 40.0,
+        lambda: 1.0,
+        seed: 2024,
+        ..Default::default()
+    })
+    .sequence(&genome);
+    println!("genome {} bp, {} reads of 101 bp (~40x)", genome.len(), reads.len());
+
+    // 2. De Bruijn graph construction (the paper's system).
+    let config = ParaHashConfig::builder()
+        .k(K)
+        .p(11)
+        .partitions(32)
+        .work_dir(std::env::temp_dir().join("parahash-assemble"))
+        .build()?;
+    let mut outcome = ParaHash::new(config)?.run(&reads)?;
+    println!(
+        "graph: {} distinct vertices ({} duplicates merged) in {:.2}s",
+        outcome.graph.distinct_vertices(),
+        outcome.report.duplicate_vertices(),
+        outcome.report.total_elapsed.as_secs_f64()
+    );
+
+    // 3. Error filtering: erroneous k-mers are near-unique; genuine ones
+    //    appear ~coverage times. Drop everything seen fewer than 5 times.
+    let removed = outcome.graph.filter_min_count(5);
+    println!("error filter removed {removed} low-multiplicity vertices");
+
+    // 4. Unitig compaction (the assembly contigs, pre-scaffolding).
+    let mut contigs = unitigs_with(&outcome.graph, 5);
+    contigs.sort_by_key(|u| std::cmp::Reverse(u.len()));
+    let total: usize = contigs.iter().map(|u| u.len()).sum();
+    let n50 = {
+        let mut acc = 0usize;
+        contigs
+            .iter()
+            .find(|u| {
+                acc += u.len();
+                acc * 2 >= total
+            })
+            .map(|u| u.len())
+            .unwrap_or(0)
+    };
+    println!(
+        "{} unitigs, {} bp total (genome {} bp), longest {} bp, N50 {} bp",
+        contigs.len(),
+        total,
+        genome.len(),
+        contigs.first().map(|u| u.len()).unwrap_or(0),
+        n50
+    );
+
+    // 5. Validate: every long contig must be a substring of the genome
+    //    (or its reverse complement).
+    let fwd = genome.to_string();
+    let rc = genome.revcomp().to_string();
+    let mut clean = 0usize;
+    let long_contigs: Vec<_> = contigs.iter().filter(|u| u.len() >= 2 * K).collect();
+    for u in &long_contigs {
+        let s = u.seq().to_string();
+        if fwd.contains(&s) || rc.contains(&s) {
+            clean += 1;
+        }
+    }
+    println!("{clean}/{} long contigs align to the reference exactly", long_contigs.len());
+    Ok(())
+}

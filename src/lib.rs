@@ -1,0 +1,24 @@
+//! Umbrella crate for the ParaHash reproduction workspace.
+//!
+//! Re-exports every member crate so that examples and integration tests
+//! can exercise the whole system through one dependency. See the README
+//! for the architecture overview and `DESIGN.md` for the full system
+//! inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use parahash_repro::dna::PackedSeq;
+//!
+//! let s = PackedSeq::from_ascii(b"ACGT");
+//! assert_eq!(s.revcomp().to_string(), "ACGT");
+//! ```
+
+pub use baselines;
+pub use datagen;
+pub use dna;
+pub use hashgraph;
+pub use hetsim;
+pub use msp;
+pub use parahash;
+pub use pipeline;

@@ -1,0 +1,142 @@
+//! Failure-injection integration tests: truncated partition files,
+//! undersized estimates, device-memory exhaustion, malformed input.
+
+use datagen::DatasetProfile;
+use hashgraph::SizingParams;
+use hetsim::{SimGpuConfig, TransferModel};
+use parahash::{run_step1, run_step2, ParaHash, ParaHashConfig, ParaHashError};
+use pipeline::{IoMode, ThrottledIo};
+
+fn dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("parahash-fail-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn truncated_partition_file_fails_loudly_not_silently() {
+    let data = DatasetProfile::tiny().materialize();
+    let config = ParaHashConfig::builder()
+        .k(13)
+        .p(7)
+        .partitions(4)
+        .work_dir(dir("truncate"))
+        .build()
+        .unwrap();
+    let ph = ParaHash::new(config).unwrap();
+    let io = ThrottledIo::new(IoMode::Unthrottled);
+    let (manifest, _) = run_step1(ph.config(), &data.reads, &io).unwrap();
+    let victim = (0..manifest.num_partitions())
+        .max_by_key(|&i| manifest.stats()[i].bytes)
+        .unwrap();
+    let path = manifest.partition_path(victim);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.truncate(bytes.len() / 2);
+    std::fs::write(&path, &bytes).unwrap();
+    match run_step2(ph.config(), &manifest, &io) {
+        Err(ParaHashError::Msp(msp::MspError::CorruptRecord { .. })) => {}
+        other => panic!("expected CorruptRecord, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(ph.config().work_dir());
+}
+
+#[test]
+fn deleted_partition_file_is_an_io_error() {
+    let data = DatasetProfile::tiny().materialize();
+    let config = ParaHashConfig::builder()
+        .k(13)
+        .p(7)
+        .partitions(3)
+        .work_dir(dir("delete"))
+        .build()
+        .unwrap();
+    let ph = ParaHash::new(config).unwrap();
+    let io = ThrottledIo::new(IoMode::Unthrottled);
+    let (manifest, _) = run_step1(ph.config(), &data.reads, &io).unwrap();
+    std::fs::remove_file(manifest.partition_path(0)).unwrap();
+    assert!(matches!(run_step2(ph.config(), &manifest, &io), Err(ParaHashError::Io(_))));
+    let _ = std::fs::remove_dir_all(ph.config().work_dir());
+}
+
+#[test]
+fn hopeless_sizing_estimate_recovers_via_resizes() {
+    // λ near zero ⇒ floor-sized tables ⇒ every partition must regrow,
+    // but the run still completes with the right answer.
+    let data = DatasetProfile::tiny().materialize();
+    let config = ParaHashConfig::builder()
+        .k(13)
+        .p(7)
+        .partitions(4)
+        .sizing(SizingParams { lambda: 1e-9, alpha: 1.0 })
+        .work_dir(dir("resize"))
+        .build()
+        .unwrap();
+    let ph = ParaHash::new(config).unwrap();
+    let outcome = ph.run(&data.reads).unwrap();
+    assert!(outcome.report.step2.resizes > 0, "expected forced resizes");
+    let reference = baselines::reference_graph(&data.reads, 13);
+    assert_eq!(outcome.graph, reference);
+    let _ = std::fs::remove_dir_all(ph.config().work_dir());
+}
+
+#[test]
+fn gpu_with_too_little_memory_fails_with_device_error() {
+    let data = DatasetProfile::tiny().materialize();
+    let config = ParaHashConfig::builder()
+        .k(13)
+        .p(7)
+        .partitions(2)
+        .no_cpu()
+        .sim_gpu(SimGpuConfig {
+            memory_bytes: 64, // nowhere near a table
+            transfer: TransferModel::instant(),
+            ..Default::default()
+        })
+        .work_dir(dir("oom"))
+        .build()
+        .unwrap();
+    let ph = ParaHash::new(config).unwrap();
+    match ph.run(&data.reads) {
+        Err(ParaHashError::Device(hetsim::HetsimError::OutOfDeviceMemory { .. })) => {}
+        other => panic!("expected OutOfDeviceMemory, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(ph.config().work_dir());
+}
+
+#[test]
+fn malformed_fastq_is_rejected_with_context() {
+    let path = std::env::temp_dir().join(format!("parahash-fail-bad-{}.fastq", std::process::id()));
+    std::fs::write(&path, "@ok\nACGT\n+\nIIII\nnot-a-header\nACGT\n+\nIIII\n").unwrap();
+    let config = ParaHashConfig::builder()
+        .k(13)
+        .p(7)
+        .partitions(2)
+        .work_dir(dir("badfastq"))
+        .build()
+        .unwrap();
+    let ph = ParaHash::new(config).unwrap();
+    let err = ph.run_fastq(&path).unwrap_err();
+    assert!(err.to_string().contains("bad fastq input"), "{err}");
+    std::fs::remove_file(&path).unwrap();
+    let _ = std::fs::remove_dir_all(ph.config().work_dir());
+}
+
+#[test]
+fn reads_shorter_than_k_are_survivable_everywhere() {
+    let reads = vec![
+        dna::SeqRead::from_ascii("empty", b""),
+        dna::SeqRead::from_ascii("short", b"ACGT"),
+        dna::SeqRead::from_ascii("exact", b"ACGTACGTACGTA"), // == k
+    ];
+    let config = ParaHashConfig::builder()
+        .k(13)
+        .p(7)
+        .partitions(2)
+        .work_dir(dir("short"))
+        .build()
+        .unwrap();
+    let ph = ParaHash::new(config).unwrap();
+    let outcome = ph.run(&reads).unwrap();
+    assert_eq!(outcome.graph.total_kmer_occurrences(), 1, "only the k-length read yields a kmer");
+    let _ = std::fs::remove_dir_all(ph.config().work_dir());
+}

@@ -1,0 +1,109 @@
+//! Workspace-level property tests: system invariants over random inputs.
+
+use baselines::reference_graph;
+use dna::{Base, PackedSeq, SeqRead};
+use hashgraph::{unitigs, SizingParams};
+use parahash::{ParaHash, ParaHashConfig};
+use proptest::prelude::*;
+
+fn base() -> impl Strategy<Value = Base> {
+    prop_oneof![Just(Base::A), Just(Base::C), Just(Base::G), Just(Base::T)]
+}
+
+fn read_set() -> impl Strategy<Value = Vec<SeqRead>> {
+    prop::collection::vec(prop::collection::vec(base(), 0..120), 0..12).prop_map(|seqs| {
+        seqs.into_iter()
+            .enumerate()
+            .map(|(i, bases)| SeqRead::new(format!("r{i}"), bases.into_iter().collect::<PackedSeq>()))
+            .collect()
+    })
+}
+
+fn run_parahash(reads: &[SeqRead], k: usize, p: usize, partitions: usize, tag: u64) -> hashgraph::DeBruijnGraph {
+    let dir = std::env::temp_dir().join(format!(
+        "parahash-prop-{tag}-{}-{}",
+        std::process::id(),
+        std::thread::current().name().unwrap_or("t").len()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ParaHashConfig::builder()
+        .k(k)
+        .p(p)
+        .partitions(partitions)
+        .cpu_threads(2)
+        .sizing(SizingParams { lambda: 2.0, alpha: 0.7 })
+        .work_dir(&dir)
+        .build()
+        .expect("valid config");
+    let outcome = ParaHash::new(config).expect("work dir").run(reads).expect("run succeeds");
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome.graph
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parahash_equals_reference_on_random_reads(
+        reads in read_set(),
+        k in 3usize..20,
+        partitions in 1usize..9,
+    ) {
+        let p = (k / 2).max(1);
+        let graph = run_parahash(&reads, k, p, partitions, k as u64 * 100 + partitions as u64);
+        prop_assert_eq!(graph, reference_graph(&reads, k));
+    }
+
+    #[test]
+    fn total_occurrences_match_arithmetic(reads in read_set()) {
+        let k = 9usize;
+        let graph = run_parahash(&reads, k, 5, 4, 7);
+        let expected: u64 = reads
+            .iter()
+            .map(|r| (r.len() + 1).saturating_sub(k) as u64)
+            .sum();
+        prop_assert_eq!(graph.total_kmer_occurrences(), expected);
+    }
+
+    #[test]
+    fn unitigs_partition_the_vertices(reads in read_set()) {
+        let k = 7usize;
+        let graph = reference_graph(&reads, k);
+        let us = unitigs(&graph);
+        let total: usize = us.iter().map(|u| u.vertices()).sum();
+        prop_assert_eq!(total, graph.distinct_vertices());
+        for u in &us {
+            // Unitig length bookkeeping and membership.
+            prop_assert_eq!(u.len(), u.vertices() + k - 1);
+            for kmer in u.seq().kmers(k) {
+                prop_assert!(graph.get(&kmer.canonical().0).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_strand_symmetric(reads in read_set()) {
+        let k = 9usize;
+        let flipped: Vec<SeqRead> = reads
+            .iter()
+            .map(|r| SeqRead::new(r.id().to_owned(), r.seq().revcomp()))
+            .collect();
+        prop_assert_eq!(reference_graph(&reads, k), reference_graph(&flipped, k));
+    }
+
+    #[test]
+    fn filter_then_unitigs_never_panics_and_stays_consistent(
+        reads in read_set(),
+        min in 1u32..5,
+    ) {
+        let k = 7usize;
+        let mut graph = reference_graph(&reads, k);
+        graph.filter_min_count(min);
+        for (_, data) in graph.iter() {
+            prop_assert!(data.count >= min);
+        }
+        let us = unitigs(&graph);
+        let total: usize = us.iter().map(|u| u.vertices()).sum();
+        prop_assert_eq!(total, graph.distinct_vertices());
+    }
+}
