@@ -1,0 +1,189 @@
+//! Step-2 decode-path benchmarks and the zero-allocation proof.
+//!
+//! Compares the owned decoder (`decode_superkmer`, one `PackedSeq` heap
+//! allocation per record) against the borrowed `SuperkmerView` path on
+//! identical partition bytes, both for pure decoding and for the full
+//! Step-2 kernel (decode + rolling canonical scan + table replay).
+//!
+//! The process installs a counting global allocator; before the timed
+//! benches run, `assert_zero_alloc_replay` replays an entire partition
+//! through `record_superkmer_view` and asserts the hot loop performed
+//! **zero** heap allocations — the tentpole's contract, enforced on
+//! every bench run (including CI's `--test` smoke mode).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use hashgraph::{ConcurrentDbgTable, VertexTable};
+use msp::{decode_superkmer, encode_superkmer, PartitionSlices, SuperkmerScanner};
+
+/// Global allocator wrapper that counts allocations (not bytes — one
+/// counter bump per `alloc`/`realloc` call).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const K: usize = 27;
+const P: usize = 11;
+
+/// One partition's worth of encoded superkmer records.
+fn partition_bytes() -> Vec<u8> {
+    let genome = GenomeSpec::new(20_000).seed(7).generate();
+    let reads: Vec<dna::PackedSeq> = Sequencer::new(SequencingSpec {
+        read_len: 101,
+        coverage: 4.0,
+        seed: 7,
+        ..Default::default()
+    })
+    .sequence(&genome)
+    .into_iter()
+    .map(|r| r.into_seq())
+    .collect();
+    let scanner = SuperkmerScanner::new(K, P).unwrap();
+    let mut buf = Vec::new();
+    for r in &reads {
+        for sk in scanner.scan(r) {
+            encode_superkmer(&sk, &mut buf);
+        }
+    }
+    buf
+}
+
+/// The tentpole contract: replaying a full partition through the view
+/// path (index → per-record view → rolling scan → table record) makes
+/// zero heap allocations after the table and index are set up.
+fn assert_zero_alloc_replay(bytes: &[u8]) {
+    let slices = PartitionSlices::index(bytes, K, P).unwrap();
+    let table = ConcurrentDbgTable::new(slices.total_kmers().max(16) * 2, K);
+    // Warm up once so any lazy one-time allocation is out of the way.
+    hashgraph::record_superkmer_view(&table, &slices.view(0)).unwrap();
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for i in 0..slices.len() {
+        let view = slices.view(i);
+        hashgraph::record_superkmer_view(&table, &view).unwrap();
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "Step-2 view replay allocated {} times over {} records",
+        after - before,
+        slices.len()
+    );
+    assert!(table.distinct() > 0);
+    eprintln!(
+        "zero-alloc check: {} records, {} kmers, 0 heap allocations",
+        slices.len(),
+        slices.total_kmers()
+    );
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let bytes = partition_bytes();
+    let slices = PartitionSlices::index(&bytes, K, P).unwrap();
+    let n_records = slices.len() as u64;
+    let n_kmers = slices.total_kmers() as u64;
+    drop(slices);
+
+    assert_zero_alloc_replay(&bytes);
+
+    let mut g = c.benchmark_group("partition_decode");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_records));
+
+    // Owned baseline: one PackedSeq heap allocation per record.
+    g.bench_function("decode_owned", |b| {
+        b.iter(|| {
+            let mut offset = 0usize;
+            let mut n = 0usize;
+            while offset < bytes.len() {
+                let (sk, used) = decode_superkmer(&bytes[offset..], K, P).unwrap();
+                n += sk.kmer_count();
+                offset += used;
+            }
+            n
+        })
+    });
+
+    // Borrowed path: header parse + slice borrow per record, no heap.
+    g.bench_function("decode_view", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for view in msp::iter_views(&bytes, K) {
+                n += view.unwrap().kmer_count();
+            }
+            n
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("step2_replay");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_kmers));
+
+    // The seed hot path: owned decode + O(K)-per-window canonicalisation.
+    g.bench_function("owned_naive", |b| {
+        b.iter(|| {
+            let table = ConcurrentDbgTable::new(n_kmers as usize * 2, K);
+            let mut offset = 0usize;
+            while offset < bytes.len() {
+                let (sk, used) = decode_superkmer(&bytes[offset..], K, P).unwrap();
+                hashgraph::record_superkmer_naive(&table, &sk).unwrap();
+                offset += used;
+            }
+            table.distinct()
+        })
+    });
+
+    // Owned decode but rolling scan: isolates the cursor's contribution.
+    g.bench_function("owned_rolling", |b| {
+        b.iter(|| {
+            let table = ConcurrentDbgTable::new(n_kmers as usize * 2, K);
+            let mut offset = 0usize;
+            while offset < bytes.len() {
+                let (sk, used) = decode_superkmer(&bytes[offset..], K, P).unwrap();
+                hashgraph::record_superkmer(&table, &sk).unwrap();
+                offset += used;
+            }
+            table.distinct()
+        })
+    });
+
+    // The new hot path: zero-copy views + rolling scan, zero allocations.
+    g.bench_function("view_rolling", |b| {
+        let slices = PartitionSlices::index(&bytes, K, P).unwrap();
+        b.iter(|| {
+            let table = ConcurrentDbgTable::new(n_kmers as usize * 2, K);
+            for i in 0..slices.len() {
+                let view = slices.view(i);
+                hashgraph::record_superkmer_view(&table, &view).unwrap();
+            }
+            table.distinct()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -83,6 +83,25 @@ fn bench_tables(c: &mut Criterion) {
             })
         });
     }
+
+    // Crowded table: capacity just above the distinct-key count (~75 %
+    // load factor), where probe chains are long and most collisions are
+    // resolved by the 8-bit fingerprint without touching the key cell.
+    let distinct = keys.iter().collect::<std::collections::HashSet<_>>().len();
+    let crowded = distinct * 4 / 3;
+    for threads in [1usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("state_transfer_crowded", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let table = ConcurrentDbgTable::new(crowded, K);
+                    record_all(&table, &keys, threads);
+                    table.distinct()
+                })
+            },
+        );
+    }
     g.finish();
 }
 

@@ -60,6 +60,19 @@ fn bench_superkmer(c: &mut Criterion) {
             n
         })
     });
+
+    // Zero-copy counterpart of `decode`: borrowed views over the same
+    // bytes, no per-record `PackedSeq` allocation (see the `decode`
+    // bench target for the full owned-vs-view replay comparison).
+    g.bench_function("decode_view", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for view in msp::iter_views(&encoded, 27) {
+                n += view.unwrap().kmer_count();
+            }
+            n
+        })
+    });
     g.finish();
 }
 

@@ -19,7 +19,6 @@ use std::fmt;
 /// assert_eq!(Base::from_ascii(b'N'), Base::A);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 #[derive(Default)]
 pub enum Base {

@@ -20,7 +20,6 @@ const BASES_PER_WORD: usize = 32;
 /// lexicographically smaller of a k-mer and its reverse complement, and it
 /// is the vertex identity in the bi-directed De Bruijn graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Orientation {
     /// The k-mer itself is canonical.
     Forward,
@@ -64,7 +63,6 @@ impl Orientation {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Kmer {
     words: [u64; WORDS],
     k: u8,
@@ -168,6 +166,21 @@ impl Kmer {
         let mut kmer = Kmer { words, k: k as u8 };
         kmer.clear_tail();
         Ok(kmer)
+    }
+
+    /// Reassembles a k-mer from packed words the caller guarantees already
+    /// satisfy the trailing-zeros invariant. Used by the rolling
+    /// [`CanonicalKmerCursor`](crate::CanonicalKmerCursor), whose word
+    /// arrays are maintained tail-clean on every push.
+    #[inline]
+    pub(crate) fn from_words_unchecked(words: [u64; WORDS], k: usize) -> Kmer {
+        debug_assert!((1..=MAX_K).contains(&k), "k={k} out of range");
+        debug_assert_eq!(
+            Kmer::from_words(words, k).expect("valid k").words,
+            words,
+            "tail bits must already be clear"
+        );
+        Kmer { words, k: k as u8 }
     }
 
     /// Appends `base` on the right and drops the leftmost base, keeping k

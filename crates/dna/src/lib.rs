@@ -25,6 +25,7 @@
 //! ```
 
 mod base;
+mod cursor;
 mod error;
 mod fasta;
 mod fastq;
@@ -34,6 +35,7 @@ pub mod quality;
 mod read;
 
 pub use base::Base;
+pub use cursor::CanonicalKmerCursor;
 pub use error::DnaError;
 pub use fasta::{FastaReader, FastaWriter};
 pub use fastq::{FastqReader, FastqWriter};

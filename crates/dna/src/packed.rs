@@ -27,7 +27,6 @@ const BASES_PER_WORD: usize = 32;
 /// assert_eq!(s.get(2), Some(Base::G));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PackedSeq {
     words: Vec<u64>,
     len: usize,

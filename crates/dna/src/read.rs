@@ -19,7 +19,6 @@ use crate::PackedSeq;
 /// assert_eq!(r.seq().to_string(), "ACGTAACGT");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SeqRead {
     id: String,
     seq: PackedSeq,

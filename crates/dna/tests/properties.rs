@@ -139,4 +139,51 @@ proptest! {
         let k = Kmer::from_bases(a.len(), a.iter().copied()).unwrap();
         prop_assert_eq!(k.hash64(), k.hash64());
     }
+
+    /// The rolling cursor must agree with the O(K)-per-window reference
+    /// (`Kmer::from_bases` + `canonical()`) at every window of every
+    /// sequence, across the whole supported k range — including the word
+    /// boundaries (32/33, 64/65, 96/97) where the carry chains live.
+    #[test]
+    fn rolling_cursor_matches_windowed_canonical(bases in seq_strategy(180), k in 1usize..=128) {
+        prop_assume!(bases.len() >= k);
+        let mut cursor = dna::CanonicalKmerCursor::new(k).unwrap();
+        for (i, &b) in bases.iter().enumerate() {
+            cursor.push(b);
+            if i + 1 >= k {
+                let start = i + 1 - k;
+                let want = Kmer::from_bases(k, bases[start..=i].iter().copied()).unwrap();
+                prop_assert!(cursor.is_full());
+                prop_assert_eq!(cursor.forward(), want);
+                prop_assert_eq!(cursor.reverse_complement(), want.revcomp());
+                let (canon, orient) = cursor.canonical();
+                let (want_canon, want_orient) = want.canonical();
+                prop_assert_eq!(canon, want_canon);
+                prop_assert_eq!(orient, want_orient);
+            }
+        }
+    }
+
+    /// `reset` restores the cursor to its pristine state: replaying a
+    /// suffix after a reset gives the same canonical k-mers as a fresh
+    /// cursor over that suffix.
+    #[test]
+    fn cursor_reset_equals_fresh_cursor(bases in seq_strategy(80), k in 1usize..16) {
+        prop_assume!(bases.len() >= 2 * k);
+        let mid = bases.len() / 2;
+        let mut reused = dna::CanonicalKmerCursor::new(k).unwrap();
+        for &b in &bases[..mid] {
+            reused.push(b);
+        }
+        reused.reset();
+        let mut fresh = dna::CanonicalKmerCursor::new(k).unwrap();
+        for &b in &bases[mid..] {
+            reused.push(b);
+            fresh.push(b);
+            prop_assert_eq!(reused.filled(), fresh.filled());
+            if fresh.is_full() {
+                prop_assert_eq!(reused.canonical(), fresh.canonical());
+            }
+        }
+    }
 }

@@ -127,6 +127,9 @@ impl VertexTable for MutexDbgTable {
             cas_failures: 0,
             lock_waits: locks,
             probe_steps: locks.saturating_sub(ops),
+            // The mutex table has no fingerprint fast path: every probe
+            // pays the full key comparison under the lock.
+            tag_rejects: 0,
         }
     }
 }

@@ -1,5 +1,5 @@
-use dna::{Base, Orientation};
-use msp::Superkmer;
+use dna::{Base, CanonicalKmerCursor, Orientation};
+use msp::{Superkmer, SuperkmerView};
 
 use crate::{
     table_capacity_for, ConcurrentDbgTable, ContentionStats, EdgeDir, HashGraphError, Result,
@@ -33,16 +33,86 @@ pub fn edge_slots_for(
     [left_slot, right_slot]
 }
 
+/// Shared replay core: walks `core_len` bases (supplied by `base`) with a
+/// rolling [`CanonicalKmerCursor`], recording each canonical k-mer with
+/// its edge increments. O(1) amortised work per position instead of the
+/// O(k) `sub`+`revcomp`+`canonical` chain, and no heap allocation.
+fn record_core<T: VertexTable + ?Sized>(
+    table: &T,
+    k: usize,
+    core_len: usize,
+    base: impl Fn(usize) -> Base,
+    left_ext: Option<Base>,
+    right_ext: Option<Base>,
+) -> Result<()> {
+    let last = core_len - k;
+    let mut cursor = CanonicalKmerCursor::new(k).expect("superkmer k validated upstream");
+    for i in 0..k - 1 {
+        cursor.push(base(i));
+    }
+    for i in 0..=last {
+        cursor.push(base(i + k - 1));
+        let left = if i > 0 { Some(base(i - 1)) } else { left_ext };
+        let right = if i < last { Some(base(i + k)) } else { right_ext };
+        let (canon, orient) = cursor.canonical();
+        table.record(&canon, edge_slots_for(orient, left, right))?;
+    }
+    Ok(())
+}
+
 /// Replays one superkmer into a vertex table: each of its k-mers becomes a
 /// `record` of the canonical vertex with up to two edge increments (its
 /// neighbours inside the core, or the adjacency-extension bases at the
 /// boundaries). This is the `<kmer, edge>` pair generation of §III-C.2.
+///
+/// Canonical forms are maintained incrementally by a
+/// [`CanonicalKmerCursor`]; see [`record_superkmer_naive`] for the O(k)
+/// per-position reference implementation it replaced.
 ///
 /// # Errors
 ///
 /// Propagates table errors ([`HashGraphError::CapacityExhausted`],
 /// [`HashGraphError::WrongK`]).
 pub fn record_superkmer<T: VertexTable + ?Sized>(table: &T, sk: &Superkmer) -> Result<()> {
+    let core = sk.core();
+    record_core(table, sk.k(), core.len(), |i| core.base(i), sk.left_ext(), sk.right_ext())
+}
+
+/// Replays one *borrowed* superkmer record ([`SuperkmerView`]) into a
+/// vertex table — the Step-2 zero-allocation hot path. Bases are decoded
+/// straight from the partition byte buffer; canonical forms roll
+/// incrementally; nothing touches the heap.
+///
+/// Output is identical to decoding the record into an owned
+/// [`Superkmer`] and calling [`record_superkmer`].
+///
+/// # Errors
+///
+/// Propagates table errors ([`HashGraphError::CapacityExhausted`],
+/// [`HashGraphError::WrongK`]).
+pub fn record_superkmer_view<T: VertexTable + ?Sized>(
+    table: &T,
+    view: &SuperkmerView<'_>,
+) -> Result<()> {
+    record_core(
+        table,
+        view.k(),
+        view.core_len(),
+        |i| view.base(i),
+        view.left_ext(),
+        view.right_ext(),
+    )
+}
+
+/// The pre-cursor replay: derives each position's canonical k-mer from
+/// scratch (`kmers` iterator + O(k) `canonical`). Kept as the honest
+/// baseline for the decode/replay benchmarks and as an oracle in tests.
+///
+/// # Errors
+///
+/// Propagates table errors ([`HashGraphError::CapacityExhausted`],
+/// [`HashGraphError::WrongK`]).
+pub fn record_superkmer_naive<T: VertexTable + ?Sized>(table: &T, sk: &Superkmer) -> Result<()> {
     let k = sk.k();
     let core = sk.core();
     let last = core.len() - k;
@@ -324,6 +394,51 @@ mod tests {
         assert!(out.subgraph.is_empty());
         assert_eq!(out.resizes, 0);
         assert!(build_subgraph_serial(&[], 7).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rolling_replay_matches_naive_replay() {
+        let reads = test_reads();
+        for k in [5, 7, 31, 32, 33] {
+            let parts = msp::partition_in_memory(&reads, k, 3.min(k), 1).unwrap();
+            let fast = ConcurrentDbgTable::new(4096, k);
+            let naive = ConcurrentDbgTable::new(4096, k);
+            for sk in &parts[0] {
+                record_superkmer(&fast, sk).unwrap();
+                record_superkmer_naive(&naive, sk).unwrap();
+            }
+            let mut a = fast.snapshot().into_entries();
+            let mut b = naive.snapshot().into_entries();
+            a.sort_by_key(|x| x.0);
+            b.sort_by_key(|x| x.0);
+            assert_eq!(a, b, "k={k}");
+        }
+    }
+
+    #[test]
+    fn view_replay_matches_owned_replay() {
+        let reads = test_reads();
+        for (k, p) in [(5, 3), (7, 4), (33, 11)] {
+            let parts = msp::partition_in_memory(&reads, k, p, 1).unwrap();
+            let mut buf = Vec::new();
+            for sk in &parts[0] {
+                msp::encode_superkmer(sk, &mut buf);
+            }
+            let slices = msp::PartitionSlices::index(&buf, k, p).unwrap();
+            let via_view = ConcurrentDbgTable::new(4096, k);
+            for i in 0..slices.len() {
+                record_superkmer_view(&via_view, &slices.view(i)).unwrap();
+            }
+            let via_owned = ConcurrentDbgTable::new(4096, k);
+            for sk in &parts[0] {
+                record_superkmer(&via_owned, sk).unwrap();
+            }
+            let mut a = via_view.snapshot().into_entries();
+            let mut b = via_owned.snapshot().into_entries();
+            a.sort_by_key(|x| x.0);
+            b.sort_by_key(|x| x.0);
+            assert_eq!(a, b, "k={k} p={p}");
+        }
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct ContentionStats {
     pub lock_waits: u64,
     /// Linear-probe advances past a mismatching occupied slot.
     pub probe_steps: u64,
+    /// Occupied slots rejected on the 8-bit fingerprint tag alone,
+    /// without loading the 32-byte key cell. Each one is a probe
+    /// collision resolved from the state word's cache line.
+    pub tag_rejects: u64,
 }
 
 impl ContentionStats {
@@ -54,6 +58,7 @@ impl ContentionStats {
         self.cas_failures += other.cas_failures;
         self.lock_waits += other.lock_waits;
         self.probe_steps += other.probe_steps;
+        self.tag_rejects += other.tag_rejects;
     }
 }
 
@@ -79,8 +84,25 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = ContentionStats { insertions: 1, updates: 2, cas_failures: 3, lock_waits: 4, probe_steps: 5 };
+        let mut a = ContentionStats {
+            insertions: 1,
+            updates: 2,
+            cas_failures: 3,
+            lock_waits: 4,
+            probe_steps: 5,
+            tag_rejects: 6,
+        };
         a.merge(&a.clone());
-        assert_eq!(a, ContentionStats { insertions: 2, updates: 4, cas_failures: 6, lock_waits: 8, probe_steps: 10 });
+        assert_eq!(
+            a,
+            ContentionStats {
+                insertions: 2,
+                updates: 4,
+                cas_failures: 6,
+                lock_waits: 8,
+                probe_steps: 10,
+                tag_rejects: 12,
+            }
+        );
     }
 }

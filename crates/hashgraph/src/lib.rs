@@ -55,7 +55,10 @@ mod table;
 mod unitig;
 
 pub use ablation::MutexDbgTable;
-pub use build::{build_subgraph, build_subgraph_serial, build_subgraph_with, edge_slots_for, record_superkmer, BuildOutput};
+pub use build::{
+    build_subgraph, build_subgraph_serial, build_subgraph_with, edge_slots_for, record_superkmer,
+    record_superkmer_naive, record_superkmer_view, BuildOutput,
+};
 pub use cleaning::{clip_tips, pop_bubbles};
 pub use contention::ContentionStats;
 pub use estimate::{expected_distinct_vertices, table_capacity_for, SizingParams};

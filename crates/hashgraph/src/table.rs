@@ -1,15 +1,22 @@
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
 
 use dna::Kmer;
 
 use crate::{ContentionStats, HashGraphError, Result, SubGraph, VertexData};
 
 /// Occupancy states of a hash slot (the paper's Fig 4: white / gray /
-/// black).
-const EMPTY: u8 = 0;
-const LOCKED: u8 = 1;
-const OCCUPIED: u8 = 2;
+/// black), stored in the low byte of the slot word. The high byte holds
+/// an 8-bit *fingerprint tag* of the key's hash, published atomically
+/// with the state so probe mismatches can be rejected without touching
+/// the 32-byte key cell at all.
+const EMPTY: u16 = 0;
+const LOCKED: u16 = 1;
+const OCCUPIED: u16 = 2;
+/// Mask selecting the occupancy state from a slot word.
+const STATE_MASK: u16 = 0x00FF;
+/// Mask selecting the fingerprint tag from a slot word.
+const TAG_MASK: u16 = 0xFF00;
 
 /// How many spins on a `locked` slot before yielding the CPU. Keeps the
 /// wait cheap on real contention but avoids livelock when the locking
@@ -58,17 +65,25 @@ unsafe impl Sync for KeyCell {}
 /// The paper's concurrent open-addressing De Bruijn hash table.
 ///
 /// One table is shared by every thread working on a partition. Each slot
-/// holds a one-byte occupancy flag, the multi-word k-mer key, a duplicity
-/// counter and eight edge-multiplicity counters. Concurrency control is
-/// **state-transfer partial locking**:
+/// holds a 16-bit state word (occupancy flag in the low byte, an 8-bit
+/// hash *fingerprint tag* in the high byte), the multi-word k-mer key, a
+/// duplicity counter and eight edge-multiplicity counters. Concurrency
+/// control is **state-transfer partial locking**:
 ///
-/// * a thread that finds `empty` CASes it to `locked`, writes the key
-///   (the only multi-word write the slot will ever see), and publishes
-///   with a release-store of `occupied`;
+/// * a thread that finds `empty` CASes it to `locked | tag`, writes the
+///   key (the only multi-word write the slot will ever see), and
+///   publishes with a release-store of `occupied | tag`;
 /// * a thread that finds `locked` spins until the key is published;
-/// * a thread that finds `occupied` compares keys lock-free — the key can
-///   never change again — and on a match bumps counters with atomic adds,
-///   otherwise probes the next slot linearly.
+/// * a thread that finds `occupied` first compares the 8-bit tag that
+///   arrived with the very same atomic load — a mismatch rejects the
+///   slot without reading its 32-byte key cell (no extra cache line
+///   touched); on a tag match it compares keys lock-free — the key can
+///   never change again — and on a key match bumps counters with atomic
+///   adds, otherwise probes the next slot linearly.
+///
+/// The home slot is derived by multiply-shift range reduction
+/// (`(hash × capacity) >> 64`) rather than `hash % capacity`, replacing
+/// the 64-bit division on every record with one widening multiply.
 ///
 /// Capacity is fixed at construction (sized via Property 1 — see
 /// [`crate::table_capacity_for`]); exceeding it returns
@@ -96,7 +111,8 @@ unsafe impl Sync for KeyCell {}
 pub struct ConcurrentDbgTable {
     k: usize,
     capacity: usize,
-    states: Box<[AtomicU8]>,
+    /// Per-slot `state | tag << 8` words; see the type-level docs.
+    states: Box<[AtomicU16]>,
     keys: Box<[KeyCell]>,
     counts: Box<[AtomicU32]>,
     /// `capacity × 8` edge counters, slot-major.
@@ -111,6 +127,7 @@ struct Counters {
     cas_failures: std::sync::atomic::AtomicU64,
     lock_waits: std::sync::atomic::AtomicU64,
     probe_steps: std::sync::atomic::AtomicU64,
+    tag_rejects: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for ConcurrentDbgTable {
@@ -138,7 +155,7 @@ impl ConcurrentDbgTable {
         ConcurrentDbgTable {
             k,
             capacity,
-            states: (0..capacity).map(|_| AtomicU8::new(EMPTY)).collect(),
+            states: (0..capacity).map(|_| AtomicU16::new(EMPTY)).collect(),
             keys: (0..capacity).map(|_| KeyCell(UnsafeCell::new([0; 4]))).collect(),
             counts: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
             edges: (0..capacity * 8).map(|_| AtomicU32::new(0)).collect(),
@@ -156,9 +173,11 @@ impl ConcurrentDbgTable {
         self.distinct() as f64 / self.capacity as f64
     }
 
-    /// Approximate allocation size in bytes, for memory accounting.
+    /// Approximate allocation size in bytes, for memory accounting
+    /// (2-byte tagged state word + 32-byte key + 4-byte count + 32 bytes
+    /// of edge counters per slot).
     pub fn approx_bytes(&self) -> usize {
-        self.capacity * (1 + 32 + 4 + 32)
+        self.capacity * (2 + 32 + 4 + 32)
     }
 
     /// Reads the key in `slot`; caller must have observed `OCCUPIED` with
@@ -191,24 +210,38 @@ impl VertexTable for ConcurrentDbgTable {
             return Err(HashGraphError::WrongK { expected: self.k, got: key.k() });
         }
         let words = *key.words();
-        let mut slot = (key.hash64() % self.capacity as u64) as usize;
+        let hash = key.hash64();
+        // Multiply-shift range reduction: maps the full 64-bit hash onto
+        // [0, capacity) with one widening multiply — no division.
+        let mut slot = ((hash as u128 * self.capacity as u128) >> 64) as usize;
+        // 8-bit fingerprint from the hash's low byte (the reduction above
+        // consumes mostly high bits, keeping tag and slot independent).
+        let tag = ((hash & 0xFF) as u16) << 8;
         let relaxed = Ordering::Relaxed;
         for _probe in 0..self.capacity {
             let mut spins = 0u32;
             loop {
-                match self.states[slot].load(Ordering::Acquire) {
+                let word = self.states[slot].load(Ordering::Acquire);
+                match word & STATE_MASK {
                     OCCUPIED => {
+                        if word & TAG_MASK != tag {
+                            // Fingerprint mismatch: provably a different
+                            // key. Reject on the state word alone — the
+                            // key cell is never loaded.
+                            self.stats.tag_rejects.fetch_add(1, relaxed);
+                            break; // probe onwards
+                        }
                         if self.read_key(slot) == words {
                             self.bump(slot, edge_slots);
                             self.stats.updates.fetch_add(1, relaxed);
                             return Ok(());
                         }
-                        break; // different key: probe onwards
+                        break; // tag collision, different key: probe on
                     }
                     EMPTY => {
                         match self.states[slot].compare_exchange(
                             EMPTY,
-                            LOCKED,
+                            LOCKED | tag,
                             Ordering::AcqRel,
                             Ordering::Acquire,
                         ) {
@@ -217,7 +250,7 @@ impl VertexTable for ConcurrentDbgTable {
                                 // write of its lifetime.
                                 // SAFETY: see KeyCell — we hold the lock.
                                 unsafe { *self.keys[slot].0.get() = words };
-                                self.states[slot].store(OCCUPIED, Ordering::Release);
+                                self.states[slot].store(OCCUPIED | tag, Ordering::Release);
                                 self.bump(slot, edge_slots);
                                 self.stats.insertions.fetch_add(1, relaxed);
                                 return Ok(());
@@ -252,7 +285,7 @@ impl VertexTable for ConcurrentDbgTable {
     fn snapshot(&self) -> SubGraph {
         let mut entries = Vec::new();
         for slot in 0..self.capacity {
-            if self.states[slot].load(Ordering::Acquire) != OCCUPIED {
+            if self.states[slot].load(Ordering::Acquire) & STATE_MASK != OCCUPIED {
                 continue;
             }
             let kmer = Kmer::from_words(self.read_key(slot), self.k)
@@ -271,7 +304,7 @@ impl VertexTable for ConcurrentDbgTable {
 
     fn distinct(&self) -> usize {
         (0..self.capacity)
-            .filter(|&s| self.states[s].load(Ordering::Relaxed) == OCCUPIED)
+            .filter(|&s| self.states[s].load(Ordering::Relaxed) & STATE_MASK == OCCUPIED)
             .count()
     }
 
@@ -283,6 +316,7 @@ impl VertexTable for ConcurrentDbgTable {
             cas_failures: self.stats.cas_failures.load(r),
             lock_waits: self.stats.lock_waits.load(r),
             probe_steps: self.stats.probe_steps.load(r),
+            tag_rejects: self.stats.tag_rejects.load(r),
         }
     }
 }
@@ -420,6 +454,32 @@ mod tests {
         let c = t.contention();
         assert_eq!(c.insertions, expected.len() as u64);
         assert_eq!(c.updates, (threads * kmers.len()) as u64 - expected.len() as u64);
+    }
+
+    #[test]
+    fn tag_rejects_accumulate_on_probe_collisions() {
+        // Cram many distinct kmers into a near-full table: linear probing
+        // must walk over foreign occupied slots, and almost all of those
+        // walks should be settled by the fingerprint tag (only a ~1/256
+        // fraction of mismatching keys shares the tag by chance).
+        let t = ConcurrentDbgTable::new(64, 8);
+        let seq = PackedSeq::from_ascii(
+            &"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCACCGTATGCAATG"
+                .repeat(2)
+                .into_bytes(),
+        );
+        for kmer in seq.kmers(8) {
+            t.record(&kmer.canonical().0, [None, None]).unwrap();
+        }
+        let c = t.contention();
+        assert!(c.probe_steps > 0, "test needs collisions to be meaningful");
+        assert!(
+            c.tag_rejects > 0,
+            "probe collisions should mostly resolve via the tag: {c:?}"
+        );
+        // Every probe step passed over an occupied-or-locked slot; tag
+        // rejects can never exceed the occupied-slot rejections.
+        assert!(c.tag_rejects <= c.probe_steps);
     }
 
     #[test]

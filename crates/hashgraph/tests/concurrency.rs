@@ -79,6 +79,25 @@ proptest! {
         check_table(table.as_ref(), &ops);
     }
 
+    /// At ≥ 2/3 load factor the probe chains are long and most collisions
+    /// are resolved by the 8-bit fingerprint alone. Whatever the tag
+    /// traffic, the table must still match the HashMap model exactly —
+    /// tags may only *reject* slots, never skip a true match.
+    #[test]
+    fn crowded_table_with_tag_pressure_equals_model(ops in workload()) {
+        let capacity = (model(&ops).len() * 3).div_ceil(2).max(16);
+        let table = ConcurrentDbgTable::new(capacity, 7);
+        for (k, slot) in &ops {
+            table.record(k, [Some(*slot), None]).unwrap();
+        }
+        check_table(&table, &ops);
+        let c = table.contention();
+        prop_assert_eq!(c.operations(), ops.len() as u64);
+        // A tag reject is one kind of probe collision; it can never
+        // outnumber the probe steps that contain it.
+        prop_assert!(c.tag_rejects <= c.probe_steps);
+    }
+
     #[test]
     fn mutex_and_lockfree_tables_agree(ops in workload()) {
         let a = ConcurrentDbgTable::new(ops.len() * 2, 7);
@@ -139,4 +158,75 @@ fn hammer_few_keys_many_threads() {
     let c = table.contention();
     assert_eq!(c.operations(), (threads * per_thread) as u64);
     assert_eq!(c.insertions, distinct.len() as u64);
+}
+
+/// 8-thread stress at ~85 % load factor: thousands of distinct 10-mers,
+/// every key recorded by every thread, so each slot sees one insertion
+/// race followed by 7 lock-free updates — while long probe chains keep
+/// the fingerprint path hot. The final table must match the serial
+/// full-locking ablation exactly.
+#[test]
+fn stress_tagged_probing_under_concurrency() {
+    // Deterministic pseudo-random distinct keys: enumerate 10-mers from a
+    // weyl sequence and canonicalise; dedup to get the exact key set.
+    let k = 10;
+    let mut keys = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    while keys.len() < 4000 {
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(0x94D0_49BB_1331_11EB);
+        let mut bases = Vec::with_capacity(k);
+        for i in 0..k {
+            bases.push(match (x >> (2 * i)) & 3 {
+                0 => Base::A,
+                1 => Base::C,
+                2 => Base::G,
+                _ => Base::T,
+            });
+        }
+        let canon = Kmer::from_bases(k, bases).unwrap().canonical().0;
+        if seen.insert(canon) {
+            keys.push(canon);
+        }
+    }
+    let capacity = keys.len() * 100 / 85; // ~85 % full
+    let table = Arc::new(ConcurrentDbgTable::new(capacity, k));
+    let threads = 8;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let table = Arc::clone(&table);
+            let keys = &keys;
+            s.spawn(move || {
+                // Each thread walks the key set from a different offset so
+                // insertion races are spread across the whole table.
+                for i in 0..keys.len() {
+                    let key = &keys[(i + t * keys.len() / threads) % keys.len()];
+                    table.record(key, [Some((i % 8) as u8), None]).unwrap();
+                }
+            });
+        }
+    });
+    // Serial full-locking reference over the identical multiset of ops.
+    let reference = MutexDbgTable::new(capacity, k);
+    for t in 0..threads {
+        for i in 0..keys.len() {
+            let key = &keys[(i + t * keys.len() / threads) % keys.len()];
+            reference.record(key, [Some((i % 8) as u8), None]).unwrap();
+        }
+    }
+    let mut got = table.snapshot().into_entries();
+    let mut want = reference.snapshot().into_entries();
+    got.sort_by_key(|x| x.0);
+    want.sort_by_key(|x| x.0);
+    assert_eq!(got, want);
+    let c = table.contention();
+    assert_eq!(c.operations(), (threads * keys.len()) as u64);
+    assert_eq!(c.insertions, keys.len() as u64, "exactly one insertion per distinct key");
+    assert!(
+        c.tag_rejects > 0,
+        "an 85%-full table must resolve some collisions on the fingerprint"
+    );
+    assert!(c.tag_rejects <= c.probe_steps);
+    // The paper's headline: locked fraction ≈ distinct/total = 1/8 here.
+    assert!((c.locked_fraction() - 1.0 / threads as f64).abs() < 1e-9);
 }

@@ -331,6 +331,19 @@ mod tests {
         SimGpuDevice::new("bad", SimGpuConfig { sm_count: 0, ..Default::default() });
     }
 
+    /// Busy work the optimizer cannot collapse to a closed form: the
+    /// `black_box` inside the loop keeps every iteration live, so lane
+    /// cost scales with `n` in every build profile (the release/bench
+    /// profiles otherwise strength-reduce a range sum to a constant and
+    /// the divergence signal vanishes into timer noise).
+    fn spin_work(n: u64) {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = std::hint::black_box(acc.wrapping_add(i));
+        }
+        std::hint::black_box(acc);
+    }
+
     #[test]
     fn lockstep_penalty_tracks_divergence() {
         let gpu = SimGpuDevice::new(
@@ -346,7 +359,7 @@ mod tests {
         assert_eq!(gpu.lockstep_penalty(), None, "no kernel yet");
         // Uniform lanes: penalty near 1.
         gpu.execute(64, &|_| {
-            std::hint::black_box((0..2000).sum::<u64>());
+            spin_work(2_000);
         });
         let uniform = gpu.lockstep_penalty().unwrap();
         // Divergent lanes: one lane per warp does 16x the work.
@@ -362,7 +375,7 @@ mod tests {
         );
         gpu2.execute(64, &|i| {
             let work = if i % 8 == 0 { 40_000 } else { 2_000 };
-            std::hint::black_box((0..work).sum::<u64>());
+            spin_work(work);
         });
         let divergent = gpu2.lockstep_penalty().unwrap();
         // The divergent kernel's ideal-lockstep cost is ~5.9x its lane sum

@@ -47,6 +47,7 @@ mod reader;
 mod record;
 mod stats;
 mod superkmer;
+mod view;
 mod writer;
 
 pub use minimizer::{minimizer_of_kmer, MinimizerScanner};
@@ -55,6 +56,7 @@ pub use reader::PartitionReader;
 pub use record::{decode_superkmer, encode_superkmer, encoded_len};
 pub use stats::{DistributionSummary, PartitionStats};
 pub use superkmer::{Superkmer, SuperkmerScanner};
+pub use view::{iter_views, PartitionSlices, SuperkmerView, ViewIter};
 pub use writer::{PartitionManifest, PartitionWriter};
 
 /// Errors from MSP partition I/O and parameter validation.

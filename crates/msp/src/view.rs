@@ -1,0 +1,434 @@
+//! Zero-copy decoding of encoded partition buffers.
+//!
+//! [`decode_superkmer`](crate::decode_superkmer) materialises every record
+//! into an owned [`Superkmer`] — one `PackedSeq` heap allocation per
+//! record, plus the `Vec<Superkmer>` that collects them. For Step 2 that
+//! is pure overhead: the hash-graph kernel only ever *reads* the core
+//! bases left to right, so the loaded partition buffer itself can serve as
+//! the backing store.
+//!
+//! This module provides the borrowed view API the Step-2 hot path uses:
+//!
+//! * [`SuperkmerView`] — a non-owning record view (a slice into the
+//!   partition buffer plus the decoded 3-byte header). Base access is one
+//!   shift/mask on the packed payload; nothing is copied.
+//! * [`PartitionSlices`] — a record index over a whole partition buffer,
+//!   built in one validating pass. Provides O(1) random access to views,
+//!   which the data-parallel device kernels need (`execute(n, |i| …)`),
+//!   at a cost of 4 bytes per record — versus ~`core_len` bytes plus an
+//!   allocation for the owned decode.
+//! * [`iter_views`] — a purely streaming variant that borrows the buffer
+//!   and performs **no heap allocation at all**, for sequential consumers
+//!   and the allocation-counting benchmarks.
+//!
+//! Validation happens once, at indexing time ([`PartitionSlices::index`]
+//! checks every header against the buffer length and `core_len ≥ k`), so
+//! view accessors can be panic-free simple arithmetic afterwards.
+
+use dna::Base;
+
+use crate::{minimizer_of_kmer, MspError, Result, Superkmer};
+
+/// A borrowed, validated view of one encoded superkmer record.
+///
+/// Lifetime-bound to the partition byte buffer it was cut from; holds the
+/// decoded header fields and a slice of the 2-bit packed core payload.
+/// Copy-cheap (one slice + three small integers) and allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use dna::PackedSeq;
+/// use msp::{encode_superkmer, PartitionSlices, SuperkmerScanner};
+///
+/// # fn main() -> msp::Result<()> {
+/// let read = PackedSeq::from_ascii(b"TGATGGATGAACCAGTTTGA");
+/// let mut buf = Vec::new();
+/// for sk in SuperkmerScanner::new(5, 3)?.scan(&read) {
+///     encode_superkmer(&sk, &mut buf);
+/// }
+/// let slices = PartitionSlices::index(&buf, 5, 3)?;
+/// let total: usize = slices.iter().map(|v| v.kmer_count()).sum();
+/// assert_eq!(total, read.len() - 5 + 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SuperkmerView<'a> {
+    /// 2-bit packed core bases, 4 per byte, LSB-first; `ceil(core_len/4)`
+    /// bytes, validated at construction.
+    payload: &'a [u8],
+    core_len: usize,
+    k: usize,
+    flags: u8,
+}
+
+impl<'a> SuperkmerView<'a> {
+    /// Cuts one record view from the front of `bytes`, returning it and
+    /// the encoded length consumed. This is the borrowed twin of
+    /// [`decode_superkmer`](crate::decode_superkmer): same format, same
+    /// errors, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::CorruptRecord`] if `bytes` is too short for
+    /// the header or the declared payload, or the core cannot hold one
+    /// k-mer. Offsets are relative to `bytes`; callers add their own.
+    pub fn parse(bytes: &'a [u8], k: usize) -> Result<(SuperkmerView<'a>, usize)> {
+        if bytes.len() < 3 {
+            return Err(MspError::CorruptRecord {
+                offset: 0,
+                reason: format!("{} bytes left, header needs 3", bytes.len()),
+            });
+        }
+        let core_len = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        let flags = bytes[2];
+        let payload_len = core_len.div_ceil(4);
+        let total = 3 + payload_len;
+        if bytes.len() < total {
+            return Err(MspError::CorruptRecord {
+                offset: 0,
+                reason: format!(
+                    "payload of {payload_len} bytes truncated to {}",
+                    bytes.len() - 3
+                ),
+            });
+        }
+        if core_len < k {
+            return Err(MspError::CorruptRecord {
+                offset: 0,
+                reason: format!("core of {core_len} bases cannot hold a {k}-mer"),
+            });
+        }
+        Ok((
+            SuperkmerView { payload: &bytes[3..total], core_len, k, flags },
+            total,
+        ))
+    }
+
+    /// Number of bases in the core.
+    #[inline]
+    pub fn core_len(&self) -> usize {
+        self.core_len
+    }
+
+    /// The k-mer length this record was encoded for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of k-mers the record contains (`core_len − k + 1`).
+    #[inline]
+    pub fn kmer_count(&self) -> usize {
+        self.core_len - self.k + 1
+    }
+
+    /// Core base `i`, decoded straight from the packed payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug; reads garbage-free but wrong in release only if
+    /// the index check is elided — it is not: slice indexing stays
+    /// checked) if `i ≥ core_len()`.
+    #[inline]
+    pub fn base(&self, i: usize) -> Base {
+        debug_assert!(i < self.core_len, "base index {i} out of {}", self.core_len);
+        // `Base::from_code` masks to two bits, so no pre-masking needed.
+        Base::from_code(self.payload[i >> 2] >> (2 * (i & 3)))
+    }
+
+    /// The read base immediately left of the core, if recorded.
+    #[inline]
+    pub fn left_ext(&self) -> Option<Base> {
+        (self.flags & 1 != 0).then(|| Base::from_code(self.flags >> 2))
+    }
+
+    /// The read base immediately right of the core, if recorded.
+    #[inline]
+    pub fn right_ext(&self) -> Option<Base> {
+        (self.flags & 2 != 0).then(|| Base::from_code(self.flags >> 4))
+    }
+
+    /// Iterates the core bases left to right without allocating.
+    pub fn bases(&self) -> impl Iterator<Item = Base> + 'a {
+        let payload = self.payload;
+        (0..self.core_len).map(move |i| Base::from_code(payload[i >> 2] >> (2 * (i & 3))))
+    }
+
+    /// Materialises an owned [`Superkmer`], recomputing the minimizer
+    /// from the first k-mer exactly as the owned decoder does. This is
+    /// the bridge back to the allocating API — used by tests and
+    /// equivalence checks, never by the hot path.
+    pub fn to_superkmer(&self, p: usize) -> Superkmer {
+        let mut core = dna::PackedSeq::with_capacity(self.core_len);
+        for b in self.bases() {
+            core.push(b);
+        }
+        let minimizer =
+            minimizer_of_kmer(&core.kmer_at(0, self.k).expect("core_len >= k"), p);
+        Superkmer::new(core, minimizer, self.k, self.left_ext(), self.right_ext())
+    }
+}
+
+/// A validated record index over one encoded partition buffer.
+///
+/// Built in a single pass that checks every record header, after which
+/// [`view`](Self::view) is unconditional O(1) arithmetic — exactly what
+/// the index-parallel Step-2 kernels (`device.execute(n, |i| …)`) need.
+///
+/// Memory cost is 4 bytes per record (a `u32` start offset), compared to
+/// the owned decode's per-record `PackedSeq` allocation of
+/// `~core_len/4 + 56` bytes.
+#[derive(Debug)]
+pub struct PartitionSlices<'a> {
+    bytes: &'a [u8],
+    /// Start offset of each record. `u32` suffices: partitions are sized
+    /// to fit in memory and the format caps cores at 64 KiB anyway;
+    /// [`index`](Self::index) rejects buffers over 4 GiB.
+    offsets: Vec<u32>,
+    k: usize,
+    p: usize,
+}
+
+impl<'a> PartitionSlices<'a> {
+    /// Indexes an encoded partition buffer, validating every record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::InvalidParams`] for bad `k`/`p`,
+    /// [`MspError::CorruptRecord`] (with an absolute byte offset) for a
+    /// truncated or inconsistent record, and rejects buffers ≥ 4 GiB.
+    pub fn index(bytes: &'a [u8], k: usize, p: usize) -> Result<PartitionSlices<'a>> {
+        if p < 1 || p > k || k > dna::MAX_K {
+            return Err(MspError::InvalidParams { k, p });
+        }
+        if u32::try_from(bytes.len()).is_err() {
+            return Err(MspError::CorruptRecord {
+                offset: 0,
+                reason: format!("partition buffer of {} bytes exceeds u32 indexing", bytes.len()),
+            });
+        }
+        let mut offsets = Vec::with_capacity(bytes.len() / 16);
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            match SuperkmerView::parse(&bytes[offset..], k) {
+                Ok((_, used)) => {
+                    offsets.push(offset as u32);
+                    offset += used;
+                }
+                Err(MspError::CorruptRecord { offset: rel, reason }) => {
+                    return Err(MspError::CorruptRecord {
+                        offset: rel + offset as u64,
+                        reason,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(PartitionSlices { bytes, offsets, k, p })
+    }
+
+    /// Number of records in the partition.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the partition holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The k-mer length the buffer was encoded for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The minimizer length the buffer was encoded for.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Total k-mers across all records (the kernel's work-item count).
+    pub fn total_kmers(&self) -> usize {
+        self.iter().map(|v| v.kmer_count()).sum()
+    }
+
+    /// Record `i` as a borrowed view. O(1), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn view(&self, i: usize) -> SuperkmerView<'a> {
+        let start = self.offsets[i] as usize;
+        // Records were validated by `index`; re-parsing the header is two
+        // loads and stays branch-predictable.
+        let (view, _) = SuperkmerView::parse(&self.bytes[start..], self.k)
+            .expect("record validated at index time");
+        view
+    }
+
+    /// Iterates every record view in file order without re-validating.
+    pub fn iter(&self) -> impl Iterator<Item = SuperkmerView<'a>> + '_ {
+        (0..self.offsets.len()).map(|i| self.view(i))
+    }
+}
+
+/// Streams record views straight off an encoded buffer with **zero heap
+/// allocation** — no offset index, no owned records.
+///
+/// Errors fuse the iterator, mirroring
+/// [`PartitionReader`](crate::PartitionReader) semantics.
+pub fn iter_views(bytes: &[u8], k: usize) -> ViewIter<'_> {
+    ViewIter { bytes, offset: 0, k, failed: false }
+}
+
+/// Iterator returned by [`iter_views`].
+#[derive(Debug)]
+pub struct ViewIter<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    k: usize,
+    failed: bool,
+}
+
+impl<'a> Iterator for ViewIter<'a> {
+    type Item = Result<SuperkmerView<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.offset >= self.bytes.len() {
+            return None;
+        }
+        match SuperkmerView::parse(&self.bytes[self.offset..], self.k) {
+            Ok((view, used)) => {
+                self.offset += used;
+                Some(Ok(view))
+            }
+            Err(MspError::CorruptRecord { offset, reason }) => {
+                self.failed = true;
+                Some(Err(MspError::CorruptRecord {
+                    offset: offset + self.offset as u64,
+                    reason,
+                }))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode_superkmer, PartitionReader, SuperkmerScanner};
+    use dna::PackedSeq;
+
+    fn encode_all(read: &str, k: usize, p: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for sk in SuperkmerScanner::new(k, p).unwrap().scan(&PackedSeq::from_ascii(read.as_bytes()))
+        {
+            encode_superkmer(&sk, &mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn views_match_owned_decode() {
+        let read = "ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCA";
+        for (k, p) in [(5, 3), (7, 4), (15, 11)] {
+            let buf = encode_all(read, k, p);
+            let owned =
+                PartitionReader::from_bytes(buf.clone(), k, p).unwrap().read_all().unwrap();
+            let slices = PartitionSlices::index(&buf, k, p).unwrap();
+            assert_eq!(slices.len(), owned.len(), "k={k} p={p}");
+            for (v, sk) in slices.iter().zip(&owned) {
+                assert_eq!(&v.to_superkmer(p), sk, "k={k} p={p}");
+                assert_eq!(v.kmer_count(), sk.kmer_count());
+                assert_eq!(v.left_ext(), sk.left_ext());
+                assert_eq!(v.right_ext(), sk.right_ext());
+                for (i, b) in sk.core().bases().enumerate() {
+                    assert_eq!(v.base(i), b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_access_matches_iteration() {
+        let buf = encode_all("TGATGGATGAACCAGTTTGAGGCATTAGGCAT", 5, 3);
+        let slices = PartitionSlices::index(&buf, 5, 3).unwrap();
+        assert!(slices.len() >= 2);
+        let seq: Vec<usize> = slices.iter().map(|v| v.core_len()).collect();
+        for i in (0..slices.len()).rev() {
+            assert_eq!(slices.view(i).core_len(), seq[i]);
+        }
+        assert_eq!(slices.total_kmers(), 32 - 5 + 1);
+    }
+
+    #[test]
+    fn streaming_views_match_indexed() {
+        let buf = encode_all("ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT", 7, 4);
+        let slices = PartitionSlices::index(&buf, 7, 4).unwrap();
+        let streamed: Vec<_> = iter_views(&buf, 7).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed.len(), slices.len());
+        for (a, b) in streamed.iter().zip(slices.iter()) {
+            assert_eq!(a.to_superkmer(4), b.to_superkmer(4));
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_reports_absolute_offset() {
+        let buf = encode_all("ACGTTGCATGGACCAGTTACGGATCAGG", 5, 3);
+        let cut = &buf[..buf.len() - 1];
+        let err = PartitionSlices::index(cut, 5, 3).unwrap_err();
+        match err {
+            MspError::CorruptRecord { offset, .. } => {
+                assert!(offset > 0, "offset should point at the failing record");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Streaming iterator fuses after the same error.
+        let mut it = iter_views(cut, 5);
+        let mut saw_err = false;
+        for item in it.by_ref() {
+            if item.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err);
+        assert!(it.next().is_none(), "iterator must fuse after error");
+    }
+
+    #[test]
+    fn core_shorter_than_k_rejected() {
+        let buf = [4u8, 0, 0, 0b0001_1011];
+        assert!(matches!(
+            PartitionSlices::index(&buf, 5, 3),
+            Err(MspError::CorruptRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(matches!(
+            PartitionSlices::index(&[], 3, 5),
+            Err(MspError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_buffer_is_empty_index() {
+        let slices = PartitionSlices::index(&[], 5, 3).unwrap();
+        assert!(slices.is_empty());
+        assert_eq!(slices.len(), 0);
+        assert_eq!(iter_views(&[], 5).count(), 0);
+    }
+}

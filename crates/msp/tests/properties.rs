@@ -80,6 +80,38 @@ proptest! {
         prop_assert_eq!(decoded, sks);
     }
 
+    /// The zero-copy view path (`PartitionSlices` / `SuperkmerView`) must
+    /// expose byte-for-byte the same records as the owned decoder, at
+    /// every access granularity: per-base, extensions, and full
+    /// round-trip back to `Superkmer`.
+    #[test]
+    fn views_equal_owned_decode(read in seq(220), k in 2usize..24) {
+        let p = (k / 2).max(1);
+        let sks = SuperkmerScanner::new(k, p).unwrap().scan(&read);
+        let mut buf = Vec::new();
+        for sk in &sks {
+            encode_superkmer(sk, &mut buf);
+        }
+        let slices = msp::PartitionSlices::index(&buf, k, p).unwrap();
+        prop_assert_eq!(slices.len(), sks.len());
+        prop_assert_eq!(slices.total_kmers(), sks.iter().map(|s| s.kmer_count()).sum::<usize>());
+        for (i, sk) in sks.iter().enumerate() {
+            let view = slices.view(i);
+            prop_assert_eq!(view.core_len(), sk.core().len());
+            prop_assert_eq!(view.left_ext(), sk.left_ext());
+            prop_assert_eq!(view.right_ext(), sk.right_ext());
+            let view_bases: Vec<dna::Base> = view.bases().collect();
+            let core_bases: Vec<dna::Base> = sk.core().bases().collect();
+            prop_assert_eq!(view_bases, core_bases);
+            prop_assert_eq!(&view.to_superkmer(p), sk);
+        }
+        // The streaming iterator visits the same records in order.
+        let streamed: Vec<_> = msp::iter_views(&buf, k)
+            .map(|r| r.unwrap().to_superkmer(p))
+            .collect();
+        prop_assert_eq!(streamed, sks);
+    }
+
     #[test]
     fn routing_is_reverse_complement_stable(read in seq(150), n in 1usize..12) {
         // Each canonical kmer must land in one partition, whichever strand

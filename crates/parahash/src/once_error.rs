@@ -1,0 +1,151 @@
+//! A lock-free "first error wins" funnel for parallel kernels.
+//!
+//! Step 1 and Step 2 fan work out across threads; when any work item
+//! fails, we want to remember *one* error (the first) and let the
+//! remaining items finish or bail out cheaply. The obvious
+//! `Mutex<Option<E>>` funnel makes every failure path — and every
+//! "has anything failed yet?" poll — take a lock on a cache line
+//! shared by all workers. [`OnceError`] replaces it with two atomic
+//! flags:
+//!
+//! * `armed` — set by the first thread to win an `AtomicBool::swap`;
+//!   that thread alone gains the right to write the error cell;
+//! * `done` — published with `Release` ordering once the cell is
+//!   written, so readers that observe `done == true` via `Acquire`
+//!   also observe the completed write.
+//!
+//! The hot path for a *successful* worker is a single relaxed load
+//! (via [`OnceError::is_set`] early-exit checks) — no lock, no RMW.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A write-once error slot shared by many threads.
+///
+/// The first call to [`set`](OnceError::set) stores its error; later
+/// calls drop theirs. [`into_inner`](OnceError::into_inner) extracts
+/// the stored error once all workers have joined (exclusive ownership
+/// guarantees that — it takes `self` by value).
+#[derive(Debug, Default)]
+pub struct OnceError<E> {
+    /// First-wins claim flag: the thread whose `swap` returns `false`
+    /// owns the cell.
+    armed: AtomicBool,
+    /// Publication flag: `true` only after the cell write completed.
+    done: AtomicBool,
+    cell: UnsafeCell<Option<E>>,
+}
+
+// SAFETY: the cell is written by exactly one thread (the `swap`
+// winner) and only read through `into_inner`, which requires
+// exclusive ownership — by then every worker thread has joined and
+// the `Release`/`Acquire` pair on `done` (or the join itself) orders
+// the write before the read. `E: Send` suffices; no `&E` is ever
+// handed out across threads.
+unsafe impl<E: Send> Sync for OnceError<E> {}
+
+impl<E> OnceError<E> {
+    /// An empty slot.
+    pub fn new() -> OnceError<E> {
+        OnceError {
+            armed: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            cell: UnsafeCell::new(None),
+        }
+    }
+
+    /// Records `err` if no error has been recorded yet; otherwise
+    /// drops it. Lock-free: losers pay one atomic `swap`, and callers
+    /// that already observed [`is_set`](OnceError::is_set) can skip
+    /// even that.
+    pub fn set(&self, err: E) {
+        // Cheap pre-check: once armed, nobody else can win.
+        if self.armed.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.armed.swap(true, Ordering::AcqRel) {
+            return; // lost the race
+        }
+        // SAFETY: we won the swap; no other thread writes the cell,
+        // and no thread reads it until `done` is observed or the
+        // value is extracted under exclusive ownership.
+        unsafe { *self.cell.get() = Some(err) };
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Whether an error has been recorded *and published*. Suitable
+    /// as a cooperative early-exit check inside parallel kernels.
+    pub fn is_set(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Extracts the stored error, if any. Taking `self` by value
+    /// proves all sharing has ended.
+    pub fn into_inner(self) -> Option<E> {
+        self.cell.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_slot_yields_none() {
+        let e: OnceError<String> = OnceError::new();
+        assert!(!e.is_set());
+        assert_eq!(e.into_inner(), None);
+    }
+
+    #[test]
+    fn first_error_wins_serially() {
+        let e = OnceError::new();
+        e.set("first");
+        e.set("second");
+        assert!(e.is_set());
+        assert_eq!(e.into_inner(), Some("first"));
+    }
+
+    #[test]
+    fn exactly_one_error_survives_a_race() {
+        for _ in 0..50 {
+            let slot: Arc<OnceError<usize>> = Arc::new(OnceError::new());
+            let barrier = Arc::new(std::sync::Barrier::new(8));
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let slot = Arc::clone(&slot);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        slot.set(i);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(slot.is_set());
+            let v = Arc::try_unwrap(slot).unwrap().into_inner();
+            assert!(matches!(v, Some(0..=7)));
+        }
+    }
+
+    #[test]
+    fn is_set_visible_across_threads() {
+        let slot: Arc<OnceError<&'static str>> = Arc::new(OnceError::new());
+        let writer = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.set("boom"))
+        };
+        writer.join().unwrap();
+        assert!(slot.is_set());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let e: OnceError<u8> = OnceError::default();
+        assert!(!e.is_set());
+        assert_eq!(e.into_inner(), None);
+    }
+}

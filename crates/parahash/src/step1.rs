@@ -7,6 +7,7 @@ use msp::{encode_superkmer, PartitionManifest, PartitionRouter, PartitionWriter,
 use parking_lot::Mutex;
 use pipeline::{run_coprocessed, ThrottledIo};
 
+use crate::once_error::OnceError;
 use crate::{ParaHashConfig, Result, StepReport};
 
 /// Output of one Step-1 compute launch: per-partition encoded superkmer
@@ -113,7 +114,7 @@ pub fn run_step1_fastq(
     // Pass 2: the pipeline; the input stage parses sequentially.
     let mut reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
     let peak_batch = AtomicU64::new(0);
-    let parse_failure: Mutex<Option<crate::ParaHashError>> = Mutex::new(None);
+    let parse_failure: OnceError<crate::ParaHashError> = OnceError::new();
     let result = {
         let parse_failure = &parse_failure;
         let peak_batch = &peak_batch;
@@ -131,7 +132,7 @@ pub fn run_step1_fastq(
                         }
                         Ok(None) => break,
                         Err(e) => {
-                            parse_failure.lock().get_or_insert(parse_error(e));
+                            parse_failure.set(parse_error(e));
                             break;
                         }
                     }
@@ -182,7 +183,7 @@ where
     let router = PartitionRouter::new(config.partitions)?;
     let dir = config.work_dir.join("superkmers");
     let mut writer = PartitionWriter::create(&dir, config.partitions, config.k, config.p)?;
-    let write_error: Mutex<Option<msp::MspError>> = Mutex::new(None);
+    let write_error: OnceError<msp::MspError> = OnceError::new();
 
     let pipeline_report = {
         let scanner = &scanner;
@@ -259,7 +260,7 @@ where
                     let (sks, kms) = out.counts[part];
                     io.charge(bytes.len() as u64);
                     if let Err(e) = writer.append_encoded(part, bytes, sks, kms) {
-                        write_error.lock().get_or_insert(e);
+                        write_error.set(e);
                     }
                 }
             },

@@ -5,10 +5,11 @@ use hashgraph::{
     SubGraph, VertexTable,
 };
 use hetsim::{Device, DeviceKind};
-use msp::{PartitionManifest, PartitionReader, Superkmer};
+use msp::{PartitionManifest, PartitionSlices};
 use parking_lot::Mutex;
 use pipeline::{run_coprocessed, ThrottledIo};
 
+use crate::once_error::OnceError;
 use crate::step1::split_device_times;
 use crate::{ParaHashConfig, ParaHashError, Result, StepReport};
 
@@ -97,7 +98,7 @@ pub fn run_step2(
     let total_contention = Mutex::new(ContentionStats::default());
     let total_resizes = AtomicUsize::new(0);
     let peak_table = AtomicU64::new(0);
-    let first_error: Mutex<Option<ParaHashError>> = Mutex::new(None);
+    let first_error: OnceError<ParaHashError> = OnceError::new();
     let sub_dir = config.work_dir.join("subgraphs");
     if config.write_subgraphs {
         std::fs::create_dir_all(&sub_dir)?;
@@ -117,23 +118,30 @@ pub fn run_step2(
             |i| match io.read_file(manifest.partition_path(i)) {
                 Ok(bytes) => bytes,
                 Err(e) => {
-                    first_error.lock().get_or_insert(ParaHashError::Io(e));
+                    first_error.set(ParaHashError::Io(e));
                     Vec::new()
                 }
             },
             // Stage 2: hash-construct the subgraph on an idle device.
             |device: &dyn Device, idx, bytes: Vec<u8>| {
                 let transfer_in = bytes.len() as u64;
-                let superkmers: Vec<Superkmer> =
-                    match PartitionReader::from_bytes(bytes, config.k, config.p)
-                        .and_then(PartitionReader::read_all)
-                    {
-                        Ok(sks) => sks,
-                        Err(e) => {
-                            first_error.lock().get_or_insert(e.into());
-                            Vec::new()
-                        }
-                    };
+                // Zero-copy decode: index the record boundaries once, then
+                // replay borrowed `SuperkmerView`s straight out of the
+                // partition buffer — no per-record heap allocation.
+                let slices = match PartitionSlices::index(&bytes, config.k, config.p) {
+                    Ok(slices) => slices,
+                    Err(e) => {
+                        first_error.set(e.into());
+                        return (
+                            Part2Out {
+                                subgraph: SubGraph::new(config.k, Vec::new()),
+                                contention: ContentionStats::default(),
+                                resizes: 0,
+                            },
+                            0,
+                        );
+                    }
+                };
                 let n_kmers = manifest.stats()[idx].kmers;
                 let mut capacity = table_capacity_for(n_kmers, config.sizing);
                 let mut resizes = 0usize;
@@ -144,7 +152,7 @@ pub fn run_step2(
                     let is_gpu = device.kind() == DeviceKind::SimGpu;
                     if is_gpu {
                         if let Err(e) = device.alloc(table_bytes) {
-                            first_error.lock().get_or_insert(e.into());
+                            first_error.set(e.into());
                             return (
                                 Part2Out {
                                     subgraph: SubGraph::new(config.k, Vec::new()),
@@ -156,11 +164,18 @@ pub fn run_step2(
                         }
                         device.transfer_to_device(transfer_in);
                     }
-                    // The kernel: one superkmer per data-parallel item.
-                    let kernel_error: Mutex<Option<HashGraphError>> = Mutex::new(None);
-                    device.execute(superkmers.len(), &|i| {
-                        if let Err(e) = hashgraph::record_superkmer(&table, &superkmers[i]) {
-                            kernel_error.lock().get_or_insert(e);
+                    // The kernel: one superkmer per data-parallel item,
+                    // decoded in place from the partition buffer. The
+                    // `OnceError` check lets surviving items bail out
+                    // cheaply once any item has failed.
+                    let kernel_error: OnceError<HashGraphError> = OnceError::new();
+                    device.execute(slices.len(), &|i| {
+                        if kernel_error.is_set() {
+                            return;
+                        }
+                        let view = slices.view(i);
+                        if let Err(e) = hashgraph::record_superkmer_view(&table, &view) {
+                            kernel_error.set(e);
                         }
                     });
                     let err = kernel_error.into_inner();
@@ -189,7 +204,7 @@ pub fn run_step2(
                             if is_gpu {
                                 device.free(table_bytes);
                             }
-                            first_error.lock().get_or_insert(e.into());
+                            first_error.set(e.into());
                             return (
                                 Part2Out {
                                     subgraph: SubGraph::new(config.k, Vec::new()),
@@ -210,7 +225,7 @@ pub fn run_step2(
                     let bytes = encode_subgraph(&out.subgraph);
                     let path = sub_dir.join(format!("sub-{idx:05}.dbg"));
                     if let Err(e) = io.write_file(path, &bytes) {
-                        first_error.lock().get_or_insert(ParaHashError::Io(e));
+                        first_error.set(ParaHashError::Io(e));
                     }
                 }
                 graph.absorb(out.subgraph);

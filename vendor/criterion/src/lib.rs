@@ -1,0 +1,414 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no registry access, so the real crate cannot
+//! be fetched. This shim keeps every `harness = false` bench compiling and
+//! producing useful numbers:
+//!
+//! * wall-clock timing with a fixed warm-up iteration followed by
+//!   `sample_size` measured samples; reports mean, min, and max per
+//!   iteration plus throughput when [`BenchmarkGroup::throughput`] was set;
+//! * `cargo bench -- --test` runs each benchmark exactly once (smoke
+//!   mode), matching real criterion's CI-friendly behaviour;
+//! * positional CLI args act as substring filters on benchmark ids,
+//!   matching real criterion's filter semantics closely enough for
+//!   interactive use;
+//! * when `CRITERION_OUT_JSON` names a file, one JSON object per
+//!   benchmark is appended (`id`, `mean_ns`, `min_ns`, `max_ns`,
+//!   `samples`, `iters_per_sample`, optional `throughput_elems` and
+//!   `elems_per_sec`), which is how `EXPERIMENTS.md` snapshots such as
+//!   `BENCH_step2.json` are produced without HTML report machinery.
+//!
+//! No statistical outlier analysis, no plotting, no state persisted
+//! between runs: numbers here back relative before/after comparisons in
+//! one environment, not publication-grade statistics.
+
+use std::fmt;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimiser from deleting benchmarked
+/// work. Same contract as `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured block processes this many logical elements.
+    Elements(u64),
+    /// The measured block processes this many bytes.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_id/parameter`, stringifying the parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_id: S, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// Builds an id from a bare function name.
+    pub fn from_name<S: Into<String>>(name: S) -> BenchmarkId {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+/// Conversion accepted by `bench_function` / `bench_with_input`
+/// (criterion takes `&str` or `BenchmarkId` interchangeably).
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run per measured sample.
+    iters: u64,
+    /// Accumulated elapsed time across all samples.
+    elapsed: Duration,
+    /// Per-sample durations (one entry per `iter` call).
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times under one measurement.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let d = start.elapsed();
+        self.elapsed += d;
+        self.samples.push(d);
+    }
+}
+
+/// Parsed command line: smoke mode plus substring filters.
+#[derive(Debug, Clone, Default)]
+struct Cli {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Cli {
+    fn from_env() -> Cli {
+        let mut cli = Cli::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "-t" => cli.test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--nocapture" | "--noplot" | "--quiet" | "-q" => {}
+                s if s.starts_with("--") => {}
+                s => cli.filters.push(s.to_owned()),
+            }
+        }
+        cli
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// Top-level benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
+pub struct Criterion {
+    cli: Cli,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { cli: Cli::from_env() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_one(&self.cli, id, 20, None, f);
+        self
+    }
+
+    /// Finalises the run (the shim keeps no cross-benchmark state).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets measured samples per benchmark (min 2, as in criterion... the
+    /// shim clamps to 1 so `--test` semantics stay trivial).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares work-per-iteration for derived throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&self.criterion.cli, &full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group. (No-op: the shim reports per benchmark.)
+    pub fn finish(self) {}
+}
+
+/// Executes one benchmark id: warm-up, samples, report, JSON export.
+fn run_one<F: FnMut(&mut Bencher)>(
+    cli: &Cli,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if !cli.matches(id) {
+        return;
+    }
+    if cli.test_mode {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO, samples: Vec::new() };
+        f(&mut b);
+        println!("Testing {id} ... ok");
+        return;
+    }
+
+    // Warm-up: one untimed closure invocation primes caches/allocators.
+    let mut warm = Bencher { iters: 1, elapsed: Duration::ZERO, samples: Vec::new() };
+    f(&mut warm);
+
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO, samples: Vec::new() };
+    let mut samples_done = 0usize;
+    while samples_done < sample_size {
+        f(&mut b);
+        // Closures call `b.iter` exactly once per invocation in this
+        // workspace; count actual samples in case a closure skips it.
+        if b.samples.len() == samples_done {
+            break; // closure never called iter(); avoid an infinite loop
+        }
+        samples_done = b.samples.len();
+    }
+
+    if b.samples.is_empty() {
+        println!("{id:<55} (no measurement: closure never called iter)");
+        return;
+    }
+
+    let nanos: Vec<u128> = b.samples.iter().map(Duration::as_nanos).collect();
+    let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+    let min = *nanos.iter().min().expect("non-empty");
+    let max = *nanos.iter().max().expect("non-empty");
+
+    let (tput_str, tput_elems, elems_per_sec) = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+            let per_sec = if mean == 0 { 0.0 } else { n as f64 * 1e9 / mean as f64 };
+            let unit = match throughput {
+                Some(Throughput::Bytes(_)) => "B/s",
+                _ => "elem/s",
+            };
+            (format!("  {} {unit}", human_rate(per_sec)), Some(n), Some(per_sec))
+        }
+        None => (String::new(), None, None),
+    };
+
+    println!(
+        "{id:<55} time: [{} {} {}]{tput_str}",
+        human_time(min),
+        human_time(mean),
+        human_time(max)
+    );
+
+    export_json(id, mean, min, max, nanos.len(), tput_elems, elems_per_sec);
+}
+
+/// Appends one JSON line per benchmark to `$CRITERION_OUT_JSON` if set.
+fn export_json(
+    id: &str,
+    mean: u128,
+    min: u128,
+    max: u128,
+    samples: usize,
+    throughput_elems: Option<u64>,
+    elems_per_sec: Option<f64>,
+) {
+    let Ok(path) = std::env::var("CRITERION_OUT_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let mut line = format!(
+        "{{\"id\":\"{}\",\"mean_ns\":{mean},\"min_ns\":{min},\"max_ns\":{max},\"samples\":{samples}",
+        id.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+    if let (Some(n), Some(r)) = (throughput_elems, elems_per_sec) {
+        line.push_str(&format!(",\"throughput_elems\":{n},\"elems_per_sec\":{r:.1}"));
+    }
+    line.push_str("}\n");
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut fh| fh.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
+
+/// Formats nanoseconds with an auto-selected unit.
+fn human_time(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Formats a rate with an auto-selected SI prefix.
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
+    }
+}
+
+/// Declares a benchmark group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_samples() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+            samples: Vec::new(),
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(count, 3);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).into_id(), "f/8");
+        assert_eq!(BenchmarkId::new("f", "k27_p12").into_id(), "f/k27_p12");
+        assert_eq!("bare".into_id(), "bare");
+    }
+
+    #[test]
+    fn cli_filter_matches_substring() {
+        let cli = Cli { test_mode: false, filters: vec!["hash".into()] };
+        assert!(cli.matches("group/hashtable/8"));
+        assert!(!cli.matches("group/queue/8"));
+        let all = Cli::default();
+        assert!(all.matches("anything"));
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_time(500), "500 ns");
+        assert_eq!(human_time(1_500), "1.500 µs");
+        assert_eq!(human_time(2_000_000), "2.000 ms");
+        assert_eq!(human_time(3_000_000_000), "3.000 s");
+        assert!(human_rate(2.5e6).starts_with("2.500 M"));
+    }
+
+    #[test]
+    fn group_runs_bench_in_test_free_mode() {
+        // Default Criterion in the test binary parses test-harness args;
+        // run through run_one directly with a fixed CLI for determinism.
+        let cli = Cli { test_mode: true, filters: Vec::new() };
+        let mut ran = 0;
+        run_one(&cli, "demo/x", 10, None, |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+}

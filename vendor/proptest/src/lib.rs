@@ -1,0 +1,577 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Implements random-sampling property testing with the same *API shape*
+//! as proptest — [`Strategy`], [`Just`], `prop_oneof!`, `proptest!`,
+//! `prop_assert*!`, `prop_assume!`, [`prop::collection::vec`], numeric
+//! ranges and simple `"[class]{m,n}"` regex string strategies — but with
+//! two deliberate simplifications:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via `Debug` in
+//!   the assertion message) instead of minimising them;
+//! * **deterministic seeding** — each test derives its RNG seed from its
+//!   module path and name, so CI runs are reproducible; set
+//!   `PROPTEST_SEED=<n>` to explore a different sample.
+//!
+//! Every generated distribution is uniform, which is what the workspace's
+//! strategies (base/sequence/workload generators) ask for anyway.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Runner configuration — the `cases` knob is the only one honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// A `prop_assert*!` failed; the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs the failure variant.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// The RNG handed to strategies during generation.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG derived from a test's identity (and the optional
+    /// `PROPTEST_SEED` environment override).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            seed.hash(&mut h);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h.finish()) }
+    }
+
+    /// Raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.gen_range(lo..hi)
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// Object-safe: `generate` is the only required method, so strategies can
+/// be boxed (`prop_oneof!` relies on this).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map: f }
+    }
+
+    /// Generates with `self`, then generates from the strategy `f` builds
+    /// out of the first value.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { source: self, map: f }
+    }
+
+    /// Re-draws until `f` accepts the value (up to an attempt cap).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { source: self, keep: f, whence }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    #[inline]
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        (self.map)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    keep: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.keep)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner_mut().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner_mut().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl TestRng {
+    #[inline]
+    fn inner_mut(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B) (A, B, C) (A, B, C, D));
+
+/// `&str` regex strategies for the simple `"[class]{m,n}"` patterns the
+/// workspace uses; any pattern without that shape generates itself
+/// literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_simple_regex(self) {
+            Some((alphabet, lo, hi)) => {
+                let len = rng.in_range(lo, hi + 1);
+                (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `[chars]{m,n}` / `[chars]{m}` / `[chars]` (the trailing
+/// quantifier defaulting to exactly 1), expanding `a-z`-style ranges.
+fn parse_simple_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in lo..=hi {
+                alphabet.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((alphabet, lo, hi))
+}
+
+/// The `prop::` namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with uniformly chosen lengths.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `Vec` strategy with length drawn from `len` (half-open, as in
+        /// proptest's `0..n` size ranges).
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty vec length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.in_range(self.len.start, self.len.end);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test module imports.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::Union::new(options)
+    }};
+}
+
+/// Asserts inside a property, reporting (not unwinding) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} at {}:{}",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case (re-drawn without counting) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` runs the
+/// body over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(50).max(1000),
+                        "proptest: too many prop_assume! rejections in {}",
+                        stringify!($name)
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} of {} failed: {}", passed + 1, stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_parser_handles_classes() {
+        let (alpha, lo, hi) = super::parse_simple_regex("[a-cX]{2,5}").unwrap();
+        assert_eq!(alpha, vec!['a', 'b', 'c', 'X']);
+        assert_eq!((lo, hi), (2, 5));
+        let (alpha, lo, hi) = super::parse_simple_regex("[0-9]").unwrap();
+        assert_eq!(alpha.len(), 10);
+        assert_eq!((lo, hi), (1, 1));
+        assert!(super::parse_simple_regex("plain").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_pattern() {
+        let mut rng = TestRng::deterministic("string_strategy");
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), Just(2u32)].prop_map(|x| x * 10);
+        let mut rng = TestRng::deterministic("union_map");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen, [10u32, 20].into_iter().collect());
+    }
+
+    #[test]
+    fn vec_strategy_length_bounds() {
+        let strat = prop::collection::vec(0u8..4, 2..6);
+        let mut rng = TestRng::deterministic("vec_bounds");
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_runs_and_assumes(x in 0usize..100, v in prop::collection::vec(0u8..10, 0..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.iter().map(|_| 1usize).sum::<usize>());
+            prop_assert_ne!(x, 13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
