@@ -1,0 +1,224 @@
+//! CRC32-checksummed framing for partition files.
+//!
+//! The raw partition format (a bare concatenation of 2-bit superkmer
+//! records) can only detect *truncation*: a record header that runs off
+//! the end of the file. A flipped byte in the middle of a record decodes
+//! to a different — perfectly plausible — DNA payload and is silently
+//! absorbed into the graph. Since Step 2's correctness depends on
+//! replaying exactly the bytes Step 1 wrote, partition files are wrapped
+//! in checksummed frames:
+//!
+//! ```text
+//! frame := u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+//! file  := frame*
+//! ```
+//!
+//! Frames are cut at superkmer-record boundaries (the writer flushes a
+//! pending buffer of whole records), so every record is contiguous inside
+//! one frame and the zero-copy view replay
+//! ([`PartitionSlices::index_framed`](crate::PartitionSlices::index_framed))
+//! still borrows straight out of the loaded file buffer.
+//!
+//! The checksum is CRC-32/ISO-HDLC (the zlib/PNG polynomial), implemented
+//! locally — the container has no crc crate and none is needed for ~20
+//! lines of table-driven code.
+
+use crate::{MspError, Result};
+
+/// Bytes of framing overhead per frame (length + checksum words).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Default flush threshold for the writer's pending record buffer: big
+/// enough that framing overhead is ~0.01%, small enough that a corrupt
+/// frame localises the damage.
+pub const DEFAULT_FRAME_TARGET: usize = 64 << 10;
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32/ISO-HDLC of `bytes` (polynomial `0xEDB88320`, init/final
+/// complement) — the same variant zlib and PNG use.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(msp::crc32(b""), 0);
+/// assert_eq!(msp::crc32(b"123456789"), 0xCBF4_3926); // the standard check value
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Appends one frame (header + payload) to `out`. Empty payloads are
+/// skipped — a zero-length frame carries no information.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    if payload.is_empty() {
+        return;
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Splits a framed buffer into its verified payload slices.
+///
+/// # Errors
+///
+/// Returns [`MspError::CorruptRecord`] (with the absolute byte offset of
+/// the offending frame) when a header is truncated, a payload runs past
+/// the buffer, or a checksum does not match.
+pub fn frame_payloads(bytes: &[u8]) -> Result<Vec<&[u8]>> {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_HEADER_LEN {
+            return Err(MspError::CorruptRecord {
+                offset: pos as u64,
+                reason: format!(
+                    "frame header truncated: {} bytes left, need {FRAME_HEADER_LEN}",
+                    bytes.len() - pos
+                ),
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let want = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let start = pos + FRAME_HEADER_LEN;
+        let end = match start.checked_add(len) {
+            Some(end) if end <= bytes.len() => end,
+            _ => {
+                return Err(MspError::CorruptRecord {
+                    offset: pos as u64,
+                    reason: format!(
+                        "frame payload of {len} bytes truncated to {}",
+                        bytes.len() - start
+                    ),
+                });
+            }
+        };
+        let payload = &bytes[start..end];
+        let got = crc32(payload);
+        if got != want {
+            return Err(MspError::CorruptRecord {
+                offset: pos as u64,
+                reason: format!(
+                    "frame checksum mismatch: stored {want:#010x}, computed {got:#010x}"
+                ),
+            });
+        }
+        payloads.push(payload);
+        pos = end;
+    }
+    Ok(payloads)
+}
+
+/// Verifies every frame and concatenates the payloads into one owned
+/// buffer of raw records — the bridge from framed files back to the
+/// unframed in-memory record stream the owned decoder consumes.
+///
+/// # Errors
+///
+/// Same as [`frame_payloads`].
+pub fn deframe(bytes: &[u8]) -> Result<Vec<u8>> {
+    let payloads = frame_payloads(bytes)?;
+    let total: usize = payloads.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in payloads {
+        out.extend_from_slice(p);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first payload");
+        append_frame(&mut buf, b"");
+        append_frame(&mut buf, b"second");
+        let payloads = frame_payloads(&buf).unwrap();
+        assert_eq!(payloads, vec![b"first payload".as_slice(), b"second".as_slice()]);
+        assert_eq!(deframe(&buf).unwrap(), b"first payloadsecond");
+    }
+
+    #[test]
+    fn empty_buffer_has_no_frames() {
+        assert!(frame_payloads(&[]).unwrap().is_empty());
+        assert_eq!(deframe(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn interior_bit_flip_is_detected() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, &[7u8; 100]);
+        for victim in [FRAME_HEADER_LEN, FRAME_HEADER_LEN + 50, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[victim] ^= 0x20;
+            let err = deframe(&bad).unwrap_err();
+            assert!(err.to_string().contains("checksum mismatch"), "byte {victim}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_any_cut() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"some record bytes");
+        for cut in 1..buf.len() {
+            let err = deframe(&buf[..cut]).unwrap_err();
+            assert!(matches!(err, MspError::CorruptRecord { .. }), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn second_frame_error_reports_absolute_offset() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"good frame");
+        let second_start = buf.len();
+        append_frame(&mut buf, b"bad frame");
+        buf[second_start + FRAME_HEADER_LEN] ^= 0xFF;
+        match deframe(&buf).unwrap_err() {
+            MspError::CorruptRecord { offset, .. } => {
+                assert_eq!(offset, second_start as u64);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(b"tiny");
+        let err = frame_payloads(&buf).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+}

@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+mod frame;
 mod minimizer;
 mod partition;
 mod reader;
@@ -50,6 +51,9 @@ mod superkmer;
 mod view;
 mod writer;
 
+pub use frame::{
+    append_frame, crc32, deframe, frame_payloads, DEFAULT_FRAME_TARGET, FRAME_HEADER_LEN,
+};
 pub use minimizer::{minimizer_of_kmer, MinimizerScanner};
 pub use partition::{partition_in_memory, PartitionRouter};
 pub use reader::PartitionReader;
@@ -57,7 +61,7 @@ pub use record::{decode_superkmer, encode_superkmer, encoded_len};
 pub use stats::{DistributionSummary, PartitionStats};
 pub use superkmer::{Superkmer, SuperkmerScanner};
 pub use view::{iter_views, PartitionSlices, SuperkmerView, ViewIter};
-pub use writer::{PartitionManifest, PartitionWriter};
+pub use writer::{PartitionManifest, PartitionWriter, QuarantinedPartition};
 
 /// Errors from MSP partition I/O and parameter validation.
 #[derive(Debug)]

@@ -48,20 +48,28 @@ impl PartitionReader {
     }
 
     /// Opens an arbitrary partition file written with parameters `k`, `p`.
+    /// The file's CRC32 frames (see [`crate::frame`]) are verified and
+    /// stripped up front, so every record handed out decoded from bytes
+    /// that passed their checksum.
     ///
     /// # Errors
     ///
-    /// Returns [`MspError::InvalidParams`] for bad parameters or
-    /// [`MspError::Io`] if the file cannot be read.
+    /// Returns [`MspError::InvalidParams`] for bad parameters,
+    /// [`MspError::Io`] if the file cannot be read, or
+    /// [`MspError::CorruptRecord`] if a frame is truncated or fails its
+    /// checksum.
     pub fn from_path(path: impl AsRef<Path>, k: usize, p: usize) -> Result<PartitionReader> {
         if p < 1 || p > k || k > dna::MAX_K {
             return Err(MspError::InvalidParams { k, p });
         }
-        Ok(PartitionReader { bytes: fs::read(path)?, offset: 0, k, p, failed: false })
+        let framed = fs::read(path)?;
+        Ok(PartitionReader { bytes: crate::frame::deframe(&framed)?, offset: 0, k, p, failed: false })
     }
 
     /// Decodes a partition already held in memory (the pipeline hands
-    /// byte buffers between its input stage and the compute stage).
+    /// byte buffers between its input stage and the compute stage). The
+    /// buffer must be *raw* records — already deframed; use
+    /// [`crate::deframe`] first when starting from file bytes.
     ///
     /// # Errors
     ///
@@ -172,16 +180,55 @@ mod tests {
         bytes.truncate(bytes.len() - 1);
         fs::write(&path, &bytes).unwrap();
 
-        let results: Vec<_> = PartitionReader::open(&manifest, 0).unwrap().collect();
-        assert!(results.last().unwrap().is_err(), "final record must fail");
-        // Iterator fuses after the error.
-        let mut r = PartitionReader::open(&manifest, 0).unwrap();
+        // Frame verification happens at open time, before any decoding.
+        let err = PartitionReader::open(&manifest, 0).unwrap_err();
+        assert!(matches!(err, MspError::CorruptRecord { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_byte_flip_reports_corrupt_record() {
+        let dir = tmpdir("bitflip");
+        let scanner = SuperkmerScanner::new(5, 3).unwrap();
+        let mut w = PartitionWriter::create(&dir, 1, 5, 3).unwrap();
+        for sk in scanner.scan(&PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTT")) {
+            w.write(&sk).unwrap();
+        }
+        let manifest = w.finish().unwrap();
+        let path = manifest.partition_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a base inside the payload: still decodes as valid DNA in the
+        // raw format, so only the checksum can catch it.
+        let mid = crate::FRAME_HEADER_LEN + (bytes.len() - crate::FRAME_HEADER_LEN) / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let err = PartitionReader::open(&manifest, 0).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_fuses_after_raw_decode_error() {
+        let dir = tmpdir("fuse");
+        let scanner = SuperkmerScanner::new(5, 3).unwrap();
+        let mut w = PartitionWriter::create(&dir, 1, 5, 3).unwrap();
+        for sk in scanner.scan(&PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTT")) {
+            w.write(&sk).unwrap();
+        }
+        let manifest = w.finish().unwrap();
+        let mut raw = crate::deframe(&fs::read(manifest.partition_path(0)).unwrap()).unwrap();
+        raw.truncate(raw.len() - 1); // cut the last record mid-payload
+        let mut r = PartitionReader::from_bytes(raw, 5, 3).unwrap();
+        let mut saw_err = false;
         while let Some(item) = r.next() {
             if item.is_err() {
+                saw_err = true;
                 assert!(r.next().is_none(), "reader must fuse after an error");
                 break;
             }
         }
+        assert!(saw_err, "truncated record must surface an error");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -196,7 +243,8 @@ mod tests {
         let manifest = w.finish().unwrap();
         let path = manifest.partition_path(0);
         let via_path = PartitionReader::from_path(&path, 5, 2).unwrap().read_all().unwrap();
-        let via_bytes = PartitionReader::from_bytes(fs::read(&path).unwrap(), 5, 2)
+        let raw = crate::deframe(&fs::read(&path).unwrap()).unwrap();
+        let via_bytes = PartitionReader::from_bytes(raw, 5, 2)
             .unwrap()
             .read_all()
             .unwrap();

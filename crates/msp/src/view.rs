@@ -229,6 +229,59 @@ impl<'a> PartitionSlices<'a> {
         Ok(PartitionSlices { bytes, offsets, k, p })
     }
 
+    /// Indexes a CRC32-*framed* partition file buffer (the on-disk format
+    /// [`PartitionWriter`](crate::PartitionWriter) produces) without
+    /// copying the payload out of the frames. Every frame's checksum is
+    /// verified, then records are indexed within each frame — the writer
+    /// cuts frames at record boundaries, so no record straddles a frame
+    /// and each view still borrows straight from `bytes`.
+    ///
+    /// This is the zero-copy replay entry point for Step 2 when it loads
+    /// whole partition files; use [`index`](Self::index) for raw
+    /// (already-deframed or never-framed) record buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::InvalidParams`] for bad `k`/`p`, and
+    /// [`MspError::CorruptRecord`] (with an absolute byte offset into the
+    /// framed buffer) for a truncated frame, a checksum mismatch, or a
+    /// record that is inconsistent within its frame.
+    pub fn index_framed(bytes: &'a [u8], k: usize, p: usize) -> Result<PartitionSlices<'a>> {
+        if p < 1 || p > k || k > dna::MAX_K {
+            return Err(MspError::InvalidParams { k, p });
+        }
+        if u32::try_from(bytes.len()).is_err() {
+            return Err(MspError::CorruptRecord {
+                offset: 0,
+                reason: format!("partition buffer of {} bytes exceeds u32 indexing", bytes.len()),
+            });
+        }
+        let mut offsets = Vec::with_capacity(bytes.len() / 16);
+        // Verify all frame checksums up front; offsets below are absolute
+        // because each payload is a sub-slice of `bytes`.
+        let base = bytes.as_ptr() as usize;
+        for payload in crate::frame::frame_payloads(bytes)? {
+            let frame_start = payload.as_ptr() as usize - base;
+            let mut offset = 0usize;
+            while offset < payload.len() {
+                match SuperkmerView::parse(&payload[offset..], k) {
+                    Ok((_, used)) => {
+                        offsets.push((frame_start + offset) as u32);
+                        offset += used;
+                    }
+                    Err(MspError::CorruptRecord { offset: rel, reason }) => {
+                        return Err(MspError::CorruptRecord {
+                            offset: rel + (frame_start + offset) as u64,
+                            reason,
+                        });
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(PartitionSlices { bytes, offsets, k, p })
+    }
+
     /// Number of records in the partition.
     #[inline]
     pub fn len(&self) -> usize {
@@ -405,6 +458,67 @@ mod tests {
         }
         assert!(saw_err);
         assert!(it.next().is_none(), "iterator must fuse after error");
+    }
+
+    #[test]
+    fn framed_index_matches_raw_index() {
+        let read = "ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCA";
+        let raw = encode_all(read, 7, 4);
+        let slices_raw = PartitionSlices::index(&raw, 7, 4).unwrap();
+
+        // Re-frame the records in several small frames, cut at record
+        // boundaries exactly as the writer does.
+        let mut framed = Vec::new();
+        let mut pending = Vec::new();
+        for item in iter_views(&raw, 7) {
+            let v = item.unwrap();
+            encode_superkmer(&v.to_superkmer(4), &mut pending);
+            if pending.len() >= 20 {
+                crate::append_frame(&mut framed, &pending);
+                pending.clear();
+            }
+        }
+        crate::append_frame(&mut framed, &pending);
+
+        let slices = PartitionSlices::index_framed(&framed, 7, 4).unwrap();
+        assert!(framed.len() > raw.len(), "framing adds headers");
+        assert_eq!(slices.len(), slices_raw.len());
+        assert_eq!(slices.total_kmers(), slices_raw.total_kmers());
+        for (a, b) in slices.iter().zip(slices_raw.iter()) {
+            assert_eq!(a.to_superkmer(4), b.to_superkmer(4));
+        }
+        // Random access works across frame boundaries.
+        for i in (0..slices.len()).rev() {
+            assert_eq!(
+                slices.view(i).to_superkmer(4),
+                slices_raw.view(i).to_superkmer(4)
+            );
+        }
+    }
+
+    #[test]
+    fn framed_index_detects_interior_bit_flip() {
+        let raw = encode_all("ACGTTGCATGGACCAGTTACGGATCAGG", 5, 3);
+        let mut framed = Vec::new();
+        crate::append_frame(&mut framed, &raw);
+        assert!(PartitionSlices::index_framed(&framed, 5, 3).is_ok());
+        // Flip one payload bit: raw indexing would happily accept the
+        // altered DNA; the framed index must reject it.
+        let mut bad = framed.clone();
+        let victim = crate::FRAME_HEADER_LEN + raw.len() / 2;
+        bad[victim] ^= 0x04;
+        let err = PartitionSlices::index_framed(&bad, 5, 3).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn framed_index_of_empty_buffer_is_empty() {
+        let slices = PartitionSlices::index_framed(&[], 5, 3).unwrap();
+        assert!(slices.is_empty());
+        assert!(matches!(
+            PartitionSlices::index_framed(&[], 3, 5),
+            Err(MspError::InvalidParams { .. })
+        ));
     }
 
     #[test]

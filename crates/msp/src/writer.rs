@@ -2,10 +2,17 @@ use std::fs::{self, File};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use crate::frame::{crc32, DEFAULT_FRAME_TARGET};
 use crate::{encode_superkmer, MspError, PartitionRouter, PartitionStats, Result, Superkmer};
 
 /// Writes superkmers into a directory of encoded partition files
 /// (`part-00000.skm` …) plus a `manifest.txt` describing them.
+///
+/// Records are buffered per partition and flushed as CRC32-checksummed
+/// frames (see [`crate::frame`]'s module docs) cut at record boundaries,
+/// so readers detect interior bit-flips, not just truncation, while the
+/// zero-copy Step-2 replay still borrows records straight from the file
+/// buffer.
 ///
 /// One writer owns all `n` partition files — the paper notes the OS
 /// file-handle cap (1000 on their platform) as the practical limit on `n`.
@@ -37,6 +44,10 @@ pub struct PartitionWriter {
     files: Vec<BufWriter<File>>,
     stats: Vec<PartitionStats>,
     buf: Vec<u8>,
+    /// Whole records awaiting their next checksummed frame, per partition.
+    pending: Vec<Vec<u8>>,
+    /// Flush a partition's pending buffer once it reaches this many bytes.
+    frame_target: usize,
 }
 
 impl PartitionWriter {
@@ -67,7 +78,16 @@ impl PartitionWriter {
             files,
             stats: vec![PartitionStats::default(); num_partitions],
             buf: Vec::with_capacity(256),
+            pending: vec![Vec::new(); num_partitions],
+            frame_target: DEFAULT_FRAME_TARGET,
         })
+    }
+
+    /// Overrides the frame flush threshold (default
+    /// [`DEFAULT_FRAME_TARGET`]). Smaller targets produce more frames —
+    /// useful for tests that need multi-frame files from tiny inputs.
+    pub fn set_frame_target(&mut self, bytes: usize) {
+        self.frame_target = bytes.max(1);
     }
 
     /// Routes one superkmer by its minimizer and appends it to that
@@ -93,14 +113,12 @@ impl PartitionWriter {
     ///
     /// Panics if `partition` is out of range.
     pub fn write_to(&mut self, partition: usize, sk: &Superkmer) -> Result<()> {
-        self.buf.clear();
-        encode_superkmer(sk, &mut self.buf);
-        self.files[partition].write_all(&self.buf)?;
-        let s = &mut self.stats[partition];
-        s.superkmers += 1;
-        s.kmers += sk.kmer_count() as u64;
-        s.bytes += self.buf.len() as u64;
-        Ok(())
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        encode_superkmer(sk, &mut buf);
+        let result = self.push_bytes(partition, &buf, 1, sk.kmer_count() as u64);
+        self.buf = buf;
+        result
     }
 
     /// Appends already-encoded superkmer records to a partition file. The
@@ -122,20 +140,54 @@ impl PartitionWriter {
         superkmers: u64,
         kmers: u64,
     ) -> Result<()> {
-        self.files[partition].write_all(bytes)?;
+        self.push_bytes(partition, bytes, superkmers, kmers)
+    }
+
+    /// Appends whole records to a partition's pending buffer, tallies the
+    /// stats (payload bytes, excluding frame headers), and flushes a
+    /// checksummed frame once the buffer crosses the target.
+    fn push_bytes(
+        &mut self,
+        partition: usize,
+        bytes: &[u8],
+        superkmers: u64,
+        kmers: u64,
+    ) -> Result<()> {
+        self.pending[partition].extend_from_slice(bytes);
         let s = &mut self.stats[partition];
         s.superkmers += superkmers;
         s.kmers += kmers;
         s.bytes += bytes.len() as u64;
+        if self.pending[partition].len() >= self.frame_target {
+            self.flush_frame(partition)?;
+        }
         Ok(())
     }
 
-    /// Flushes every file, writes `manifest.txt`, and returns the manifest.
+    /// Writes the partition's pending records as one checksummed frame.
+    fn flush_frame(&mut self, partition: usize) -> Result<()> {
+        let payload = &self.pending[partition];
+        if payload.is_empty() {
+            return Ok(());
+        }
+        let file = &mut self.files[partition];
+        file.write_all(&(payload.len() as u32).to_le_bytes())?;
+        file.write_all(&crc32(payload).to_le_bytes())?;
+        file.write_all(payload)?;
+        self.pending[partition].clear();
+        Ok(())
+    }
+
+    /// Flushes every pending frame and file, writes `manifest.txt`, and
+    /// returns the manifest.
     ///
     /// # Errors
     ///
     /// Propagates flush/write failures.
     pub fn finish(mut self) -> Result<PartitionManifest> {
+        for i in 0..self.files.len() {
+            self.flush_frame(i)?;
+        }
         for f in &mut self.files {
             f.flush()?;
         }
@@ -144,12 +196,24 @@ impl PartitionWriter {
             k: self.k,
             p: self.p,
             stats: std::mem::take(&mut self.stats),
+            quarantined: Vec::new(),
         };
         manifest.save()?;
         Ok(manifest)
     }
 }
 
+/// One partition that repeatedly failed in Step 2 and was set aside
+/// instead of aborting the whole run (non-strict mode). Recorded in the
+/// manifest so downstream consumers know the graph is missing its
+/// k-mers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedPartition {
+    /// Which partition failed.
+    pub index: usize,
+    /// Human-readable description of the final failure.
+    pub reason: String,
+}
 /// Metadata for a directory of superkmer partitions: the `k`/`p`
 /// parameters and per-partition statistics. Persisted as a small text
 /// file so Step 2 (possibly a different process) can size its hash tables
@@ -160,6 +224,7 @@ pub struct PartitionManifest {
     k: usize,
     p: usize,
     stats: Vec<PartitionStats>,
+    quarantined: Vec<QuarantinedPartition>,
 }
 
 impl PartitionManifest {
@@ -186,6 +251,29 @@ impl PartitionManifest {
     /// Per-partition statistics.
     pub fn stats(&self) -> &[PartitionStats] {
         &self.stats
+    }
+
+    /// Partitions that were set aside after repeated Step-2 failures
+    /// (non-strict mode). Empty for a healthy run.
+    pub fn quarantined(&self) -> &[QuarantinedPartition] {
+        &self.quarantined
+    }
+
+    /// Whether partition `index` has been quarantined.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.quarantined.iter().any(|q| q.index == index)
+    }
+
+    /// Records partition `index` as quarantined with a human-readable
+    /// `reason`. Call [`save`](Self::save) afterwards to persist the mark.
+    /// Re-quarantining the same index updates its reason in place.
+    pub fn quarantine(&mut self, index: usize, reason: impl Into<String>) {
+        let reason = reason.into();
+        if let Some(q) = self.quarantined.iter_mut().find(|q| q.index == index) {
+            q.reason = reason;
+        } else {
+            self.quarantined.push(QuarantinedPartition { index, reason });
+        }
     }
 
     /// Path of partition `index`'s file.
@@ -230,6 +318,12 @@ impl PartitionManifest {
         writeln!(f, "partitions {}", self.stats.len())?;
         for (i, s) in self.stats.iter().enumerate() {
             writeln!(f, "part {i} {} {} {}", s.superkmers, s.kmers, s.bytes)?;
+        }
+        for q in &self.quarantined {
+            // Reasons are free text; fold any newlines so the line-oriented
+            // format stays parseable.
+            let reason = q.reason.replace(['\n', '\r'], " ");
+            writeln!(f, "quarantined {} {reason}", q.index)?;
         }
         f.flush()?;
         Ok(())
@@ -282,7 +376,33 @@ impl PartitionManifest {
                 bytes: parse(parts[4])?,
             });
         }
-        Ok(PartitionManifest { dir, k, p, stats })
+        // Optional quarantine lines (absent in manifests from healthy runs
+        // and in files written before quarantine existed).
+        let mut quarantined = Vec::new();
+        let mut lineno = 4 + n as u64;
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                lineno += 1;
+                continue;
+            }
+            let rest = line
+                .strip_prefix("quarantined ")
+                .ok_or_else(|| corrupt(lineno, format!("unexpected trailing line {line:?}")))?;
+            let (idx, reason) = rest.split_once(' ').unwrap_or((rest, ""));
+            let index: usize = idx
+                .parse()
+                .map_err(|e| corrupt(lineno, format!("bad quarantined index: {e}")))?;
+            if index >= n {
+                return Err(corrupt(
+                    lineno,
+                    format!("quarantined index {index} out of range (partitions {n})"),
+                ));
+            }
+            quarantined.push(QuarantinedPartition { index, reason: reason.to_string() });
+            lineno += 1;
+        }
+        Ok(PartitionManifest { dir, k, p, stats, quarantined })
     }
 }
 
@@ -379,6 +499,68 @@ mod tests {
         fs::write(dir.join("manifest.txt"), "parahash-msp-manifest v1\nk 27\np 11\npartitions 2\npart 0 1 2 3\n").unwrap();
         let err = PartitionManifest::load(&dir).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_frame_target_produces_multiple_valid_frames() {
+        let dir = tmpdir("multiframe");
+        let scanner = SuperkmerScanner::new(7, 4).unwrap();
+        let mut w = PartitionWriter::create(&dir, 1, 7, 4).unwrap();
+        w.set_frame_target(1); // flush a frame after every record
+        let read = PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT");
+        let sks = scanner.scan(&read);
+        for sk in &sks {
+            w.write_to(0, sk).unwrap();
+        }
+        let manifest = w.finish().unwrap();
+        let bytes = fs::read(manifest.partition_path(0)).unwrap();
+        let payloads = crate::frame_payloads(&bytes).unwrap();
+        assert_eq!(payloads.len(), sks.len(), "one frame per record");
+        // Stats count payload bytes only, never framing overhead.
+        let payload_total: usize = payloads.iter().map(|p| p.len()).sum();
+        assert_eq!(manifest.total_bytes(), payload_total as u64);
+        assert_eq!(
+            bytes.len(),
+            payload_total + payloads.len() * crate::FRAME_HEADER_LEN
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_roundtrips_through_save_and_load() {
+        let dir = tmpdir("quarantine");
+        let w = PartitionWriter::create(&dir, 4, 5, 3).unwrap();
+        let mut manifest = w.finish().unwrap();
+        assert!(manifest.quarantined().is_empty());
+        manifest.quarantine(2, "i/o error: simulated disk fault (attempt 3)");
+        manifest.quarantine(0, "first reason");
+        manifest.quarantine(0, "checksum mismatch after retries"); // updates in place
+        manifest.save().unwrap();
+
+        let loaded = PartitionManifest::load(&dir).unwrap();
+        assert_eq!(loaded.quarantined(), manifest.quarantined());
+        assert!(loaded.is_quarantined(0));
+        assert!(loaded.is_quarantined(2));
+        assert!(!loaded.is_quarantined(1));
+        assert_eq!(
+            loaded.quarantined()[1].reason,
+            "checksum mismatch after retries"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_line_with_bad_index_is_rejected() {
+        let dir = tmpdir("quarantine-bad");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("manifest.txt"),
+            "parahash-msp-manifest v1\nk 5\np 3\npartitions 1\npart 0 0 0 0\nquarantined 7 out of range\n",
+        )
+        .unwrap();
+        let err = PartitionManifest::load(&dir).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

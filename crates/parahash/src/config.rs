@@ -3,7 +3,7 @@ use std::sync::Arc;
 
 use hashgraph::SizingParams;
 use hetsim::{CpuDevice, Device, SimGpuConfig, SimGpuDevice};
-use pipeline::IoMode;
+use pipeline::{IoMode, RetryPolicy};
 
 use crate::{ParaHashError, Result};
 
@@ -20,6 +20,8 @@ pub struct ParaHashConfig {
     pub(crate) work_dir: PathBuf,
     pub(crate) write_subgraphs: bool,
     pub(crate) auto_lambda: Option<usize>,
+    pub(crate) strict: bool,
+    pub(crate) retry: RetryPolicy,
     pub(crate) devices: Vec<Arc<dyn Device>>,
 }
 
@@ -74,6 +76,17 @@ impl ParaHashConfig {
     pub fn io_mode(&self) -> IoMode {
         self.io_mode
     }
+
+    /// Whether a persistently failing partition aborts the run (`true`,
+    /// the default) or is quarantined (`false`).
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// The transient-I/O retry policy applied to partition reads/writes.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
 }
 
 /// Builder for [`ParaHashConfig`].
@@ -108,6 +121,8 @@ pub struct ParaHashConfigBuilder {
     work_dir: Option<PathBuf>,
     write_subgraphs: bool,
     auto_lambda: Option<usize>,
+    strict: bool,
+    retry: RetryPolicy,
     cpu_threads: Option<usize>,
     gpus: Vec<SimGpuConfig>,
     extra_devices: Vec<Arc<dyn Device>>,
@@ -125,6 +140,8 @@ impl Default for ParaHashConfigBuilder {
             work_dir: None,
             write_subgraphs: false,
             auto_lambda: None,
+            strict: true,
+            retry: RetryPolicy::default(),
             cpu_threads: Some(0), // 0 = all available
             gpus: Vec::new(),
             extra_devices: Vec::new(),
@@ -190,6 +207,25 @@ impl ParaHashConfigBuilder {
     /// value in force.
     pub fn auto_sizing(mut self, sample: usize) -> Self {
         self.auto_lambda = Some(sample.max(1));
+        self
+    }
+
+    /// Strict mode (`true`, the default): the first unrecoverable
+    /// partition failure aborts the whole run. Non-strict mode
+    /// quarantines the failing partition in the manifest instead and
+    /// finishes the run without its k-mers — the paper's workloads
+    /// (terabyte read sets on shared clusters) often prefer a flagged
+    /// partial graph over losing a multi-hour run.
+    pub fn strict(mut self, yes: bool) -> Self {
+        self.strict = yes;
+        self
+    }
+
+    /// Sets the retry policy for transient partition-file I/O failures
+    /// (defaults to [`RetryPolicy::default`]: 3 attempts with exponential
+    /// backoff). Use [`RetryPolicy::none`] to fail on the first error.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -274,6 +310,8 @@ impl ParaHashConfigBuilder {
             work_dir,
             write_subgraphs: self.write_subgraphs,
             auto_lambda: self.auto_lambda,
+            strict: self.strict,
+            retry: self.retry,
             devices,
         })
     }
@@ -306,6 +344,16 @@ mod tests {
         assert!(base().partitions(0).build().is_err());
         assert!(ParaHashConfig::builder().build().is_err(), "work_dir required");
         assert!(base().no_cpu().build().is_err(), "needs a device");
+    }
+
+    #[test]
+    fn strict_and_retry_knobs() {
+        let c = base().build().unwrap();
+        assert!(c.strict(), "strict is the default");
+        assert_eq!(c.retry(), RetryPolicy::default());
+        let c = base().strict(false).retry(RetryPolicy::none()).build().unwrap();
+        assert!(!c.strict());
+        assert_eq!(c.retry().attempts, 1);
     }
 
     #[test]

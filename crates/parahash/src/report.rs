@@ -20,9 +20,18 @@ pub struct StepReport {
     pub contention: Option<ContentionStats>,
     /// Step-2 only: how many tables had to be rebuilt bigger.
     pub resizes: usize,
-    /// Peak single-partition hash table bytes (Step 2) or peak batch
-    /// bytes (Step 1).
+    /// Peak in-flight partition buffer bytes: the largest loaded
+    /// partition file (Step 2) or input batch (Step 1).
     pub peak_partition_bytes: u64,
+    /// Step-2 only: peak single-partition hash table bytes (0 in Step 1,
+    /// which allocates no tables). Kept separate from
+    /// [`peak_partition_bytes`](Self::peak_partition_bytes) because the
+    /// buffer and the table coexist during a launch — host-memory
+    /// accounting must *add* them, not take the max.
+    pub peak_table_bytes: u64,
+    /// Partitions set aside after repeated failures instead of aborting
+    /// the run (non-strict mode only; always empty in strict mode).
+    pub quarantined: Vec<msp::QuarantinedPartition>,
 }
 
 impl StepReport {
@@ -89,9 +98,15 @@ impl RunReport {
         self.total_kmers - self.distinct_vertices as u64
     }
 
+    /// Partitions quarantined across both steps (in practice only Step 2
+    /// quarantines; Step 1 failures abort before a manifest exists).
+    pub fn quarantined_partitions(&self) -> usize {
+        self.step1.quarantined.len() + self.step2.quarantined.len()
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "step1 {:.3}s + step2 {:.3}s = {:.3}s | {} distinct vertices, {} kmers, {} partition bytes, ~{} MiB peak",
             self.step1.pipeline.elapsed.as_secs_f64(),
             self.step2.pipeline.elapsed.as_secs_f64(),
@@ -100,7 +115,12 @@ impl RunReport {
             self.total_kmers,
             self.partition_bytes,
             self.peak_host_bytes >> 20,
-        )
+        );
+        let q = self.quarantined_partitions();
+        if q > 0 {
+            s.push_str(&format!(" | {q} partition(s) QUARANTINED — graph is incomplete"));
+        }
+        s
     }
 }
 
@@ -124,12 +144,15 @@ mod tests {
                 }],
                 partitions: n,
                 spans: Vec::new(),
+                cancelled: false,
             },
             cpu_compute: Duration::from_millis(cpu_ms),
             gpu_compute: Duration::from_millis(gpu_ms),
             contention: None,
             resizes: 0,
             peak_partition_bytes: 0,
+            peak_table_bytes: 0,
+            quarantined: Vec::new(),
         }
     }
 
@@ -167,5 +190,26 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("10 distinct"));
         assert!(s.contains("1234 partition bytes"));
+        assert!(!s.contains("QUARANTINED"), "healthy runs stay quiet: {s}");
+    }
+
+    #[test]
+    fn summary_flags_quarantined_partitions() {
+        let mut r = RunReport {
+            step1: fake_step(10, 0, 1, 1, 2),
+            step2: fake_step(20, 0, 1, 1, 2),
+            total_elapsed: Duration::from_millis(35),
+            distinct_vertices: 10,
+            total_kmers: 50,
+            peak_host_bytes: 4 << 20,
+            partition_bytes: 1234,
+        };
+        r.step2.quarantined.push(msp::QuarantinedPartition {
+            index: 1,
+            reason: "checksum mismatch after 3 attempts".into(),
+        });
+        assert_eq!(r.quarantined_partitions(), 1);
+        let s = r.summary();
+        assert!(s.contains("1 partition(s) QUARANTINED"), "{s}");
     }
 }

@@ -5,7 +5,7 @@ use dna::SeqRead;
 use hetsim::{Device, DeviceKind};
 use msp::{encode_superkmer, PartitionManifest, PartitionRouter, PartitionWriter, SuperkmerScanner};
 use parking_lot::Mutex;
-use pipeline::{run_coprocessed, ThrottledIo};
+use pipeline::{run_coprocessed_with, CancelToken, ThrottledIo};
 
 use crate::once_error::OnceError;
 use crate::{ParaHashConfig, Result, StepReport};
@@ -58,13 +58,14 @@ pub fn run_step1(
 ) -> Result<(PartitionManifest, StepReport)> {
     let ranges = batch_ranges(reads, config.read_batch_bytes);
     let peak_batch = AtomicU64::new(0);
+    let cancel = CancelToken::new();
     let result = run_step1_batches(config, ranges.len(), |i| {
         let batch = &reads[ranges[i].clone()];
         let bytes: usize = batch.iter().map(SeqRead::approx_bytes).sum();
         peak_batch.fetch_max(bytes as u64, Ordering::Relaxed);
         io.charge(bytes as u64);
         batch
-    }, io);
+    }, io, &cancel);
     finalize_peak(result, peak_batch.into_inner())
 }
 
@@ -115,9 +116,11 @@ pub fn run_step1_fastq(
     let mut reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
     let peak_batch = AtomicU64::new(0);
     let parse_failure: OnceError<crate::ParaHashError> = OnceError::new();
+    let cancel = CancelToken::new();
     let result = {
         let parse_failure = &parse_failure;
         let peak_batch = &peak_batch;
+        let cancel_ref = &cancel;
         run_step1_batches(
             config,
             batch_records.len(),
@@ -132,7 +135,11 @@ pub fn run_step1_fastq(
                         }
                         Ok(None) => break,
                         Err(e) => {
+                            // A parse failure poisons everything after it
+                            // (the stream position is lost): stop feeding
+                            // the pipeline rather than scanning the rest.
                             parse_failure.set(parse_error(e));
+                            cancel_ref.cancel();
                             break;
                         }
                     }
@@ -142,9 +149,13 @@ pub fn run_step1_fastq(
                 batch
             },
             io,
+            cancel_ref,
         )
     };
     if let Some(e) = parse_failure.into_inner() {
+        // Abandon the partial partition directory: it covers an unknown
+        // prefix of the input.
+        let _ = std::fs::remove_dir_all(config.work_dir.join("superkmers"));
         return Err(e);
     }
     finalize_peak(result, peak_batch.into_inner())
@@ -174,6 +185,7 @@ fn run_step1_batches<B, FP>(
     n_batches: usize,
     produce: FP,
     io: &ThrottledIo,
+    cancel: &CancelToken,
 ) -> Result<(PartitionManifest, StepReport)>
 where
     B: AsRef<[SeqRead]> + Send,
@@ -190,9 +202,10 @@ where
         let router = &router;
         let writer = &mut writer;
         let write_error = &write_error;
-        run_coprocessed(
+        run_coprocessed_with(
             n_batches,
             config.devices(),
+            cancel,
             produce,
             // Stage 2: scan + encode on an idle device.
             |device: &dyn Device, _idx, batch: B| {
@@ -260,7 +273,11 @@ where
                     let (sks, kms) = out.counts[part];
                     io.charge(bytes.len() as u64);
                     if let Err(e) = writer.append_encoded(part, bytes, sks, kms) {
+                        // A failed append means the partition files no
+                        // longer match the stats; abandon the run now
+                        // rather than scanning the remaining batches.
                         write_error.set(e);
+                        cancel.cancel();
                     }
                 }
             },
@@ -268,6 +285,10 @@ where
     };
 
     if let Some(e) = write_error.into_inner() {
+        // The partition directory holds an inconsistent prefix — remove
+        // it so Step 2 can never be pointed at it.
+        drop(writer);
+        let _ = std::fs::remove_dir_all(&dir);
         return Err(e.into());
     }
     let manifest = writer.finish()?;
@@ -283,6 +304,8 @@ where
             contention: None,
             resizes: 0,
             peak_partition_bytes: 0, // filled in by the caller
+            peak_table_bytes: 0,     // Step 1 allocates no hash tables
+            quarantined: Vec::new(),
         },
     ))
 }

@@ -5,15 +5,17 @@ use hashgraph::{
     SubGraph, VertexTable,
 };
 use hetsim::{Device, DeviceKind};
-use msp::{PartitionManifest, PartitionSlices};
+use msp::{PartitionManifest, PartitionSlices, QuarantinedPartition};
 use parking_lot::Mutex;
-use pipeline::{run_coprocessed, ThrottledIo};
+use pipeline::{run_coprocessed_with, CancelToken, ThrottledIo};
 
 use crate::once_error::OnceError;
 use crate::step1::split_device_times;
 use crate::{ParaHashConfig, ParaHashError, Result, StepReport};
 
-/// Output of one Step-2 compute launch.
+/// Output of one Step-2 compute launch. `None` marks a partition whose
+/// failure was already recorded (fatal error or quarantine) — the output
+/// stage must neither absorb nor persist it.
 struct Part2Out {
     subgraph: SubGraph,
     contention: ContentionStats,
@@ -24,10 +26,12 @@ struct Part2Out {
 /// count, 8 edge counters).
 const VERTEX_BYTES: usize = 32 + 4 + 32;
 
-/// Serialises a subgraph to the on-disk format (little-endian, fixed-width
-/// records preceded by a u64 count and a u8 k).
+/// Serialises a subgraph to the on-disk format: little-endian,
+/// fixed-width records preceded by a u64 count and a u8 k, followed by a
+/// u32 CRC32 trailer over everything before it (so bit-rot in a persisted
+/// subgraph is detected on reload, mirroring the partition-file frames).
 pub fn encode_subgraph(sub: &SubGraph) -> Vec<u8> {
-    let mut out = Vec::with_capacity(9 + sub.len() * VERTEX_BYTES);
+    let mut out = Vec::with_capacity(9 + sub.len() * VERTEX_BYTES + 4);
     out.extend_from_slice(&(sub.len() as u64).to_le_bytes());
     out.push(sub.k() as u8);
     for (kmer, data) in sub.entries() {
@@ -39,55 +43,86 @@ pub fn encode_subgraph(sub: &SubGraph) -> Vec<u8> {
             out.extend_from_slice(&e.to_le_bytes());
         }
     }
+    let crc = msp::crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
 /// Parses the format written by [`encode_subgraph`]. Used by tests and by
 /// downstream consumers of persisted subgraphs.
+///
+/// Returns `None` when the buffer is truncated, fails its CRC32 trailer,
+/// declares an invalid k-mer, or carries trailing bytes beyond the
+/// declared record count — a short count with appended garbage is
+/// corruption, not a smaller subgraph.
 pub fn decode_subgraph(bytes: &[u8]) -> Option<SubGraph> {
-    if bytes.len() < 9 {
+    // u64 count + u8 k + u32 crc is the minimum (empty) encoding.
+    if bytes.len() < 9 + 4 {
         return None;
     }
-    let n = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
-    let k = bytes[8] as usize;
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().ok()?);
+    if msp::crc32(body) != stored {
+        return None;
+    }
+    let n = u64::from_le_bytes(body[..8].try_into().ok()?) as usize;
+    let k = body[8] as usize;
     let mut offset = 9;
-    let mut entries = Vec::with_capacity(n);
+    let mut entries = Vec::with_capacity(n.min(body.len() / VERTEX_BYTES + 1));
     for _ in 0..n {
-        if bytes.len() < offset + VERTEX_BYTES {
+        if body.len() < offset + VERTEX_BYTES {
             return None;
         }
         let mut words = [0u64; 4];
         for w in &mut words {
-            *w = u64::from_le_bytes(bytes[offset..offset + 8].try_into().ok()?);
+            *w = u64::from_le_bytes(body[offset..offset + 8].try_into().ok()?);
             offset += 8;
         }
         let kmer = dna::Kmer::from_words(words, k).ok()?;
-        let count = u32::from_le_bytes(bytes[offset..offset + 4].try_into().ok()?);
+        let count = u32::from_le_bytes(body[offset..offset + 4].try_into().ok()?);
         offset += 4;
         let mut edges = [0u32; 8];
         for e in &mut edges {
-            *e = u32::from_le_bytes(bytes[offset..offset + 4].try_into().ok()?);
+            *e = u32::from_le_bytes(body[offset..offset + 4].try_into().ok()?);
             offset += 4;
         }
         entries.push((kmer, hashgraph::VertexData { count, edges }));
+    }
+    if offset != body.len() {
+        return None; // trailing garbage beyond the declared records
     }
     Some(SubGraph::new(k, entries))
 }
 
 /// Step 2 of ParaHash: pipelined, co-processed subgraph construction.
 ///
-/// Each superkmer partition is read from disk, decoded, and replayed into
-/// a [`ConcurrentDbgTable`] sized by the Property-1 rule from the
+/// Each superkmer partition is read from disk (checksummed frames are
+/// verified in place), decoded, and replayed into a
+/// [`ConcurrentDbgTable`] sized by the Property-1 rule from the
 /// manifest's per-partition k-mer count. On a GPU device, the encoded
 /// partition pays the host→device transfer and the table reserves device
 /// memory; the snapshot pays the device→host transfer.
+///
+/// Failure handling is two-tier:
+///
+/// * **Strict mode** (the default): the first fatal error cancels the
+///   pipeline — remaining partitions are abandoned, partial subgraph
+///   output is deleted, and the error is returned.
+/// * **Non-strict mode**
+///   ([`strict(false)`](crate::ParaHashConfigBuilder::strict)): a
+///   partition whose file
+///   cannot be read (after [`pipeline::RetryPolicy`] retries) or fails
+///   its checksums is *quarantined* — recorded in the manifest and the
+///   step report — and the run completes without its k-mers. Device and
+///   hash-table failures stay fatal in both modes: they indicate the run
+///   environment, not one bad file.
 ///
 /// Returns the merged De Bruijn graph and the step report.
 ///
 /// # Errors
 ///
 /// Propagates partition-file corruption, I/O failures, and device-memory
-/// exhaustion.
+/// exhaustion (the first two only in strict mode).
 pub fn run_step2(
     config: &ParaHashConfig,
     manifest: &PartitionManifest,
@@ -98,48 +133,72 @@ pub fn run_step2(
     let total_contention = Mutex::new(ContentionStats::default());
     let total_resizes = AtomicUsize::new(0);
     let peak_table = AtomicU64::new(0);
+    let peak_partition = AtomicU64::new(0);
     let first_error: OnceError<ParaHashError> = OnceError::new();
+    let cancel = CancelToken::new();
+    let quarantined: Mutex<Vec<QuarantinedPartition>> = Mutex::new(Vec::new());
     let sub_dir = config.work_dir.join("subgraphs");
     if config.write_subgraphs {
         std::fs::create_dir_all(&sub_dir)?;
     }
 
+    // The first *fatal* error cancels the whole pipeline so remaining
+    // partitions are abandoned instead of processed to completion.
+    let fatal = |e: ParaHashError| {
+        first_error.set(e);
+        cancel.cancel();
+    };
+    // Partition-local failures (unreadable or corrupt file) either abort
+    // (strict) or set the partition aside and keep going.
+    let partition_failed = |idx: usize, e: ParaHashError| {
+        if config.strict {
+            fatal(e);
+        } else {
+            quarantined
+                .lock()
+                .push(QuarantinedPartition { index: idx, reason: e.to_string() });
+        }
+    };
+
     let pipeline_report = {
         let graph = &mut graph;
-        let first_error = &first_error;
         let total_contention = &total_contention;
         let total_resizes = &total_resizes;
         let peak_table = &peak_table;
+        let peak_partition = &peak_partition;
         let sub_dir = &sub_dir;
-        run_coprocessed(
+        let fatal = &fatal;
+        let partition_failed = &partition_failed;
+        run_coprocessed_with(
             n,
             config.devices(),
-            // Stage 1: load a partition file (pays input I/O).
+            &cancel,
+            // Stage 1: load a partition file (pays input I/O, with
+            // transient-error retries inside `ThrottledIo`). `None` is
+            // the sentinel for an already-recorded failure.
             |i| match io.read_file(manifest.partition_path(i)) {
-                Ok(bytes) => bytes,
+                Ok(bytes) => Some(bytes),
                 Err(e) => {
-                    first_error.set(ParaHashError::Io(e));
-                    Vec::new()
+                    partition_failed(i, ParaHashError::Io(e));
+                    None
                 }
             },
             // Stage 2: hash-construct the subgraph on an idle device.
-            |device: &dyn Device, idx, bytes: Vec<u8>| {
+            |device: &dyn Device, idx, bytes: Option<Vec<u8>>| {
+                let Some(bytes) = bytes else {
+                    return (None, 0);
+                };
+                peak_partition.fetch_max(bytes.len() as u64, Ordering::Relaxed);
                 let transfer_in = bytes.len() as u64;
-                // Zero-copy decode: index the record boundaries once, then
+                // Zero-copy decode of the framed file: verify every
+                // frame's CRC32 once, index the record boundaries, then
                 // replay borrowed `SuperkmerView`s straight out of the
                 // partition buffer — no per-record heap allocation.
-                let slices = match PartitionSlices::index(&bytes, config.k, config.p) {
+                let slices = match PartitionSlices::index_framed(&bytes, config.k, config.p) {
                     Ok(slices) => slices,
                     Err(e) => {
-                        first_error.set(e.into());
-                        return (
-                            Part2Out {
-                                subgraph: SubGraph::new(config.k, Vec::new()),
-                                contention: ContentionStats::default(),
-                                resizes: 0,
-                            },
-                            0,
-                        );
+                        partition_failed(idx, e.into());
+                        return (None, 0);
                     }
                 };
                 let n_kmers = manifest.stats()[idx].kmers;
@@ -152,15 +211,8 @@ pub fn run_step2(
                     let is_gpu = device.kind() == DeviceKind::SimGpu;
                     if is_gpu {
                         if let Err(e) = device.alloc(table_bytes) {
-                            first_error.set(e.into());
-                            return (
-                                Part2Out {
-                                    subgraph: SubGraph::new(config.k, Vec::new()),
-                                    contention: ContentionStats::default(),
-                                    resizes,
-                                },
-                                0,
-                            );
+                            fatal(e.into());
+                            return (None, 0);
                         }
                         device.transfer_to_device(transfer_in);
                     }
@@ -189,7 +241,11 @@ pub fn run_step2(
                             }
                             let work = subgraph.len() as u64;
                             return (
-                                Part2Out { subgraph, contention: table.contention(), resizes },
+                                Some(Part2Out {
+                                    subgraph,
+                                    contention: table.contention(),
+                                    resizes,
+                                }),
                                 work,
                             );
                         }
@@ -204,28 +260,30 @@ pub fn run_step2(
                             if is_gpu {
                                 device.free(table_bytes);
                             }
-                            first_error.set(e.into());
-                            return (
-                                Part2Out {
-                                    subgraph: SubGraph::new(config.k, Vec::new()),
-                                    contention: ContentionStats::default(),
-                                    resizes,
-                                },
-                                0,
-                            );
+                            fatal(e.into());
+                            return (None, 0);
                         }
                     }
                 }
             },
             // Stage 3: absorb (and optionally persist) the subgraph.
-            |idx, out: Part2Out| {
+            // Failure sentinels are skipped outright — an error partition
+            // must never leave a bogus `sub-XXXXX.dbg` behind or leak
+            // empty entries into the merged graph.
+            |idx, out: Option<Part2Out>| {
+                let Some(out) = out else {
+                    return;
+                };
                 total_contention.lock().merge(&out.contention);
                 total_resizes.fetch_add(out.resizes, Ordering::Relaxed);
                 if config.write_subgraphs {
                     let bytes = encode_subgraph(&out.subgraph);
                     let path = sub_dir.join(format!("sub-{idx:05}.dbg"));
-                    if let Err(e) = io.write_file(path, &bytes) {
-                        first_error.set(ParaHashError::Io(e));
+                    if let Err(e) = io.write_file(&path, &bytes) {
+                        // A half-written subgraph is worse than none.
+                        let _ = std::fs::remove_file(&path);
+                        partition_failed(idx, ParaHashError::Io(e));
+                        return; // quarantined partitions stay out of the graph
                     }
                 }
                 graph.absorb(out.subgraph);
@@ -233,8 +291,24 @@ pub fn run_step2(
         )
     };
 
+    let quarantined = quarantined.into_inner();
     if let Some(e) = first_error.into_inner() {
+        // Abort path: whatever subgraph files were persisted describe a
+        // partial run — delete them so nothing downstream mistakes them
+        // for a complete graph.
+        if config.write_subgraphs {
+            let _ = std::fs::remove_dir_all(&sub_dir);
+        }
         return Err(e);
+    }
+    if !quarantined.is_empty() {
+        // Persist the quarantine marks so any later consumer of the
+        // partition directory knows which subgraphs are missing.
+        let mut marked = manifest.clone();
+        for q in &quarantined {
+            marked.quarantine(q.index, q.reason.clone());
+        }
+        marked.save()?;
     }
     let (cpu_compute, gpu_compute) = split_device_times(config, &pipeline_report.shares);
     let report = StepReport {
@@ -244,7 +318,9 @@ pub fn run_step2(
         gpu_compute,
         contention: Some(total_contention.into_inner()),
         resizes: total_resizes.into_inner(),
-        peak_partition_bytes: peak_table.into_inner(),
+        peak_partition_bytes: peak_partition.into_inner(),
+        peak_table_bytes: peak_table.into_inner(),
+        quarantined,
     };
     Ok((graph, report))
 }
@@ -346,6 +422,124 @@ mod tests {
     fn decode_rejects_truncated_input() {
         assert!(decode_subgraph(&[]).is_none());
         assert!(decode_subgraph(&[1, 0, 0, 0, 0, 0, 0, 0, 7]).is_none(), "promises 1 entry, has none");
+        // Promises 1 entry, has none, but carries a (valid) CRC trailer.
+        let mut short = vec![1u8, 0, 0, 0, 0, 0, 0, 0, 7];
+        let crc = msp::crc32(&short);
+        short.extend_from_slice(&crc.to_le_bytes());
+        assert!(decode_subgraph(&short).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let cfg = config("parahash-step2-trailing");
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let (manifest, _) = run_step1(&cfg, &reads(), &io).unwrap();
+        let (graph, _) = run_step2(&cfg, &manifest, &io).unwrap();
+        let entries: Vec<_> = graph.iter().map(|(k, v)| (*k, *v)).collect();
+        assert!(entries.len() >= 2, "need several records for this test");
+        let sub = SubGraph::new(7, entries.clone());
+        let encoded = encode_subgraph(&sub);
+        assert!(decode_subgraph(&encoded).is_some(), "sanity: clean input decodes");
+
+        // (a) Appended garbage breaks the CRC trailer.
+        let mut appended = encoded.clone();
+        appended.extend_from_slice(b"junk");
+        assert!(decode_subgraph(&appended).is_none(), "appended bytes must be rejected");
+
+        // (b) The adversarial case the CRC alone cannot catch: decrement
+        // the record count and *recompute a valid trailer*, so the file
+        // checksums cleanly but carries one whole record of trailing
+        // bytes. Only the `offset == body.len()` check rejects this.
+        let mut body = encoded[..encoded.len() - 4].to_vec();
+        let n = u64::from_le_bytes(body[..8].try_into().unwrap());
+        body[..8].copy_from_slice(&(n - 1).to_le_bytes());
+        let crc = msp::crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        assert!(
+            decode_subgraph(&body).is_none(),
+            "undeclared trailing record must be rejected even with a valid CRC"
+        );
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn non_strict_run_quarantines_corrupt_partition() {
+        let cfg = ParaHashConfig::builder()
+            .k(7)
+            .p(4)
+            .partitions(6)
+            .cpu_threads(2)
+            .strict(false)
+            .work_dir(std::env::temp_dir().join("parahash-step2-quarantine"))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let rs = reads();
+        let (manifest, _) = run_step1(&cfg, &rs, &io).unwrap();
+        // Flip one payload byte in the largest partition: the frame
+        // checksum catches it and the partition is set aside.
+        let victim = (0..manifest.num_partitions())
+            .max_by_key(|&i| manifest.stats()[i].bytes)
+            .unwrap();
+        let path = manifest.partition_path(victim);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = msp::FRAME_HEADER_LEN + (bytes.len() - msp::FRAME_HEADER_LEN) / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (graph, report) = run_step2(&cfg, &manifest, &io).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].index, victim);
+        assert!(
+            report.quarantined[0].reason.contains("checksum mismatch"),
+            "{}",
+            report.quarantined[0].reason
+        );
+        // The graph is missing exactly the victim's k-mers.
+        let full = reference(&rs, 7);
+        assert!(graph.total_kmer_occurrences() < full.total_kmer_occurrences());
+        assert_eq!(
+            graph.total_kmer_occurrences(),
+            manifest.total_kmers() - manifest.stats()[victim].kmers
+        );
+        // The quarantine mark was persisted into the manifest on disk.
+        let reloaded = PartitionManifest::load(manifest.dir()).unwrap();
+        assert!(reloaded.is_quarantined(victim));
+        assert_eq!(reloaded.quarantined().len(), 1);
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn strict_abort_deletes_partial_subgraph_output() {
+        let cfg = ParaHashConfig::builder()
+            .k(7)
+            .p(4)
+            .partitions(6)
+            .cpu_threads(1)
+            .write_subgraphs(true)
+            .work_dir(std::env::temp_dir().join("parahash-step2-abortclean"))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let (manifest, _) = run_step1(&cfg, &reads(), &io).unwrap();
+        let victim = (0..manifest.num_partitions())
+            .max_by_key(|&i| manifest.stats()[i].bytes)
+            .unwrap();
+        let path = manifest.partition_path(victim);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(run_step2(&cfg, &manifest, &io).is_err());
+        let sub_dir = cfg.work_dir().join("subgraphs");
+        assert!(
+            !sub_dir.exists(),
+            "aborted run must not leave partial subgraph files behind"
+        );
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
     }
 
     #[test]

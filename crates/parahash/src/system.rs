@@ -52,7 +52,7 @@ impl ParaHash {
     ///
     /// Propagates any step failure (I/O, corruption, device memory).
     pub fn run(&self, reads: &[SeqRead]) -> Result<RunOutcome> {
-        let io = ThrottledIo::new(self.config.io_mode);
+        let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
         let started = Instant::now();
         // Optional data-driven sizing: recover Property-1's λ from the
         // input's quality strings before allocating any tables.
@@ -67,8 +67,12 @@ impl ParaHash {
         let (graph, step2) = run_step2(&config, &manifest, &io)?;
         let total_elapsed = started.elapsed();
         let report = RunReport {
+            // During a Step-2 launch the loaded partition buffer and its
+            // hash table coexist, so they add; Step 1 holds one batch.
             peak_host_bytes: graph.approx_bytes() as u64
-                + step1.peak_partition_bytes.max(step2.peak_partition_bytes),
+                + step1
+                    .peak_partition_bytes
+                    .max(step2.peak_partition_bytes + step2.peak_table_bytes),
             partition_bytes: manifest.total_bytes(),
             distinct_vertices: graph.distinct_vertices(),
             total_kmers: graph.total_kmer_occurrences(),
@@ -90,14 +94,16 @@ impl ParaHash {
     ///
     /// Propagates parse failures and any step failure.
     pub fn run_fastq_streaming(&self, path: impl AsRef<Path>) -> Result<RunOutcome> {
-        let io = ThrottledIo::new(self.config.io_mode);
+        let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
         let started = Instant::now();
         let (manifest, step1) = crate::run_step1_fastq(&self.config, path, &io)?;
         let (graph, step2) = run_step2(&self.config, &manifest, &io)?;
         let total_elapsed = started.elapsed();
         let report = RunReport {
             peak_host_bytes: graph.approx_bytes() as u64
-                + step1.peak_partition_bytes.max(step2.peak_partition_bytes),
+                + step1
+                    .peak_partition_bytes
+                    .max(step2.peak_partition_bytes + step2.peak_table_bytes),
             partition_bytes: manifest.total_bytes(),
             distinct_vertices: graph.distinct_vertices(),
             total_kmers: graph.total_kmer_occurrences(),

@@ -1,7 +1,66 @@
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+
+/// Which direction a [`ThrottledIo`] filesystem operation runs in. Passed
+/// to fault-injection hooks so tests can target reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// A whole-file read ([`ThrottledIo::read_file`]).
+    Read,
+    /// A whole-file write ([`ThrottledIo::write_file`]).
+    Write,
+}
+
+/// Bounded retry with exponential backoff for *transient* filesystem
+/// errors (`Interrupted`, `WouldBlock`, `TimedOut`).
+///
+/// Permanent errors (missing file, permission denied, corrupt data) are
+/// never retried — re-reading the same wrong bytes cannot help, and
+/// fail-fast paths depend on them surfacing immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retry). The operation fails
+    /// with the last error once attempts are exhausted.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles after each failed attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms initial backoff — cheap insurance against
+    /// spurious `EINTR`-class failures without masking real outages.
+    fn default() -> RetryPolicy {
+        RetryPolicy { attempts: 3, backoff: Duration::from_millis(1) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
+/// Whether an I/O error is worth retrying: the kernel interrupted or
+/// timed out the call, rather than telling us something durable about the
+/// file.
+pub(crate) fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// A fault-injection hook: consulted before each real filesystem attempt
+/// with the path, the operation, and the 1-based attempt number.
+/// Returning `Some(err)` makes that attempt fail with `err` instead of
+/// touching the filesystem.
+pub type FaultHook = dyn Fn(&Path, IoOp, u32) -> Option<std::io::Error> + Send + Sync;
 
 /// The I/O regime a pipeline run operates in.
 ///
@@ -38,29 +97,103 @@ pub enum IoMode {
 /// let t = io.charge(10_000); // 10 ms at 1 MB/s
 /// assert!(t >= std::time::Duration::from_millis(9));
 /// ```
-#[derive(Debug)]
 pub struct ThrottledIo {
     mode: IoMode,
+    retry: RetryPolicy,
     /// Time before which the simulated disk is busy.
     busy_until: Mutex<Instant>,
     read_time: Mutex<Duration>,
     write_time: Mutex<Duration>,
+    /// Retries performed so far (transient failures that were re-attempted).
+    retries: AtomicU64,
+    /// Optional fault injector, used by the failure-injection test suite.
+    fault_hook: Mutex<Option<Box<FaultHook>>>,
+}
+
+impl std::fmt::Debug for ThrottledIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThrottledIo")
+            .field("mode", &self.mode)
+            .field("retry", &self.retry)
+            .field("retries", &self.retries.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ThrottledIo {
-    /// Creates a metered I/O channel.
+    /// Creates a metered I/O channel with the default [`RetryPolicy`].
     pub fn new(mode: IoMode) -> ThrottledIo {
+        Self::with_retry(mode, RetryPolicy::default())
+    }
+
+    /// Creates a metered I/O channel with an explicit retry policy.
+    pub fn with_retry(mode: IoMode, retry: RetryPolicy) -> ThrottledIo {
         ThrottledIo {
             mode,
+            retry: RetryPolicy { attempts: retry.attempts.max(1), ..retry },
             busy_until: Mutex::new(Instant::now()),
             read_time: Mutex::new(Duration::ZERO),
             write_time: Mutex::new(Duration::ZERO),
+            retries: AtomicU64::new(0),
+            fault_hook: Mutex::new(None),
         }
     }
 
     /// The configured mode.
     pub fn mode(&self) -> IoMode {
         self.mode
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// How many transient failures have been retried so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Installs a fault-injection hook consulted before every filesystem
+    /// attempt (see [`FaultHook`]). Replaces any previous hook.
+    pub fn set_fault_hook(&self, hook: Box<FaultHook>) {
+        *self.fault_hook.lock() = Some(hook);
+    }
+
+    /// Removes the fault-injection hook.
+    pub fn clear_fault_hook(&self) {
+        *self.fault_hook.lock() = None;
+    }
+
+    /// Runs one filesystem operation under the retry policy: consult the
+    /// fault hook, attempt, and retry transient failures with exponential
+    /// backoff until the policy's attempts are exhausted.
+    fn with_retries<T>(
+        &self,
+        path: &Path,
+        op: IoOp,
+        f: impl Fn(&Path) -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let mut backoff = self.retry.backoff;
+        for attempt in 1..=self.retry.attempts {
+            let injected = self.fault_hook.lock().as_ref().and_then(|h| h(path, op, attempt));
+            let result = match injected {
+                Some(err) => Err(err),
+                None => f(path),
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && attempt < self.retry.attempts => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    if backoff > Duration::ZERO {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("retry loop always returns within `attempts` iterations")
     }
 
     /// Charges `bytes` against the bandwidth budget, sleeping as needed.
@@ -89,28 +222,30 @@ impl ThrottledIo {
     }
 
     /// Reads a whole file, charging its size. Accumulates into the read
-    /// ledger.
+    /// ledger. Transient errors are retried per the [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// Propagates the underlying filesystem error.
+    /// Propagates the underlying filesystem error once retries (if any)
+    /// are exhausted.
     pub fn read_file(&self, path: impl AsRef<Path>) -> std::io::Result<Vec<u8>> {
         let start = Instant::now();
-        let bytes = std::fs::read(path)?;
+        let bytes = self.with_retries(path.as_ref(), IoOp::Read, |p| std::fs::read(p))?;
         self.charge(bytes.len() as u64);
         *self.read_time.lock() += start.elapsed();
         Ok(bytes)
     }
 
     /// Writes a whole file, charging its size. Accumulates into the write
-    /// ledger.
+    /// ledger. Transient errors are retried per the [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// Propagates the underlying filesystem error.
+    /// Propagates the underlying filesystem error once retries (if any)
+    /// are exhausted.
     pub fn write_file(&self, path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
         let start = Instant::now();
-        std::fs::write(path, bytes)?;
+        self.with_retries(path.as_ref(), IoOp::Write, |p| std::fs::write(p, bytes))?;
         self.charge(bytes.len() as u64);
         *self.write_time.lock() += start.elapsed();
         Ok(())
@@ -176,5 +311,70 @@ mod tests {
     fn missing_file_propagates_error() {
         let io = ThrottledIo::new(IoMode::Unthrottled);
         assert!(io.read_file("/definitely/not/here").is_err());
+        // NotFound is permanent: no retry attempts were burned on it.
+        assert_eq!(io.retries(), 0);
+    }
+
+    #[test]
+    fn transient_read_fault_recovers_via_retry() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let io = ThrottledIo::with_retry(
+            IoMode::Unthrottled,
+            RetryPolicy { attempts: 3, backoff: Duration::ZERO },
+        );
+        let path = std::env::temp_dir().join(format!("throttled-retry-{}.bin", std::process::id()));
+        std::fs::write(&path, b"payload").unwrap();
+        let failures = Arc::new(AtomicU32::new(0));
+        let f2 = Arc::clone(&failures);
+        io.set_fault_hook(Box::new(move |_, op, attempt| {
+            if op == IoOp::Read && attempt < 3 {
+                f2.fetch_add(1, Ordering::Relaxed);
+                Some(std::io::Error::new(std::io::ErrorKind::Interrupted, "injected"))
+            } else {
+                None
+            }
+        }));
+        assert_eq!(io.read_file(&path).unwrap(), b"payload");
+        assert_eq!(failures.load(Ordering::Relaxed), 2);
+        assert_eq!(io.retries(), 2);
+        io.clear_fault_hook();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_error() {
+        let io = ThrottledIo::with_retry(
+            IoMode::Unthrottled,
+            RetryPolicy { attempts: 2, backoff: Duration::ZERO },
+        );
+        io.set_fault_hook(Box::new(|_, _, _| {
+            Some(std::io::Error::new(std::io::ErrorKind::TimedOut, "always down"))
+        }));
+        let err = io.write_file("/tmp/never-written.bin", b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert_eq!(io.retries(), 1, "one re-attempt for two total attempts");
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let io = ThrottledIo::with_retry(
+            IoMode::Unthrottled,
+            RetryPolicy { attempts: 5, backoff: Duration::ZERO },
+        );
+        io.set_fault_hook(Box::new(|_, _, _| {
+            Some(std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope"))
+        }));
+        assert!(io.read_file("/tmp/anything").is_err());
+        assert_eq!(io.retries(), 0);
+    }
+
+    #[test]
+    fn zero_attempts_clamp_to_one() {
+        let io = ThrottledIo::with_retry(
+            IoMode::Unthrottled,
+            RetryPolicy { attempts: 0, backoff: Duration::ZERO },
+        );
+        assert_eq!(io.retry_policy().attempts, 1);
     }
 }

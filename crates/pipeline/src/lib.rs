@@ -21,12 +21,24 @@
 //!   paper's two regimes on any machine: unthrottled ≈ the memory-cached
 //!   file of Case 1, a bandwidth cap ≈ the disk-bound Case 2.
 //! * [`perfmodel`] — Eq. 1 and Eq. 2 estimators used by Fig 13 / Fig 14.
+//! * [`CancelToken`] + [`run_coprocessed_with`] — the fail-fast layer: the
+//!   first fatal error (or a stage panic, via drop guards) closes both
+//!   queues and drains all workers promptly instead of grinding through
+//!   the remaining partitions.
+//! * [`RetryPolicy`] — bounded retry with exponential backoff for
+//!   transient I/O inside [`ThrottledIo`], with a fault-injection hook for
+//!   the failure-injection test suite.
 
+mod cancel;
 mod io;
 pub mod perfmodel;
 mod queue;
 mod scheduler;
 
-pub use io::{IoMode, ThrottledIo};
+pub use cancel::CancelToken;
+pub use io::{IoMode, IoOp, RetryPolicy, ThrottledIo};
 pub use queue::SharedCounterQueue;
-pub use scheduler::{run_coprocessed, run_sequential, DeviceShare, PipelineReport, Span, Stage};
+pub use scheduler::{
+    run_coprocessed, run_coprocessed_with, run_sequential, DeviceShare, PipelineReport, Span,
+    Stage,
+};

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 use hetsim::Device;
 use parking_lot::Mutex;
 
-use crate::SharedCounterQueue;
+use crate::{CancelToken, SharedCounterQueue};
 
 /// Which pipeline stage a [`Span`] belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +76,9 @@ pub struct PipelineReport {
     pub partitions: usize,
     /// Timeline of every stage event, for Fig-5-style visualisation.
     pub spans: Vec<Span>,
+    /// Whether the run was cancelled before all partitions flowed through
+    /// (fail-fast abort). When `true`, stage counts are partial.
+    pub cancelled: bool,
 }
 
 impl PipelineReport {
@@ -137,6 +140,69 @@ pub fn run_coprocessed<I, O, FP, FC, FO>(
     devices: &[Arc<dyn Device>],
     produce: FP,
     process: FC,
+    consume: FO,
+) -> PipelineReport
+where
+    I: Send,
+    O: Send,
+    FP: FnMut(usize) -> I + Send,
+    FC: Fn(&dyn Device, usize, I) -> (O, u64) + Sync,
+    FO: FnMut(usize, O) + Send,
+{
+    let cancel = CancelToken::new();
+    run_coprocessed_with(total, devices, &cancel, produce, process, consume)
+}
+
+/// Closes both pipeline queues when dropped during a panic unwind, so a
+/// dying stage thread releases every peer blocked on `pop()` instead of
+/// deadlocking the run; the panic then propagates through the thread
+/// scope's join. Also latches the cancel token so loops that are *not*
+/// blocked stop claiming new partitions.
+struct PanicGuard<'a, A, B> {
+    in_q: &'a SharedCounterQueue<A>,
+    out_q: &'a SharedCounterQueue<B>,
+    cancel: &'a CancelToken,
+}
+
+impl<A, B> Drop for PanicGuard<'_, A, B> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.cancel.cancel();
+            self.in_q.close();
+            self.out_q.close();
+        }
+    }
+}
+
+/// [`run_coprocessed`] with an externally observable [`CancelToken`]: the
+/// fail-fast variant the ParaHash steps use.
+///
+/// Cancellation semantics:
+///
+/// * Any thread may call [`CancelToken::cancel`] (typically a stage
+///   callback that hit a fatal error). Every stage checks the token at
+///   its loop boundary; the first stage thread to *observe* the token
+///   closes both queues, releasing all blocked peers promptly.
+/// * The input stage stops producing, device drivers stop claiming, and
+///   the output stage stops consuming — remaining partitions are
+///   abandoned, not processed.
+/// * A panicking stage callback trips a drop guard that closes both
+///   queues and latches the token; the panic is then re-propagated by the
+///   thread scope instead of deadlocking the output stage.
+///
+/// The returned report has [`PipelineReport::cancelled`] set when the run
+/// aborted; its stage counts cover only the partitions that actually
+/// flowed through.
+///
+/// # Panics
+///
+/// Panics if `devices` is empty or if any stage callback panics.
+pub fn run_coprocessed_with<I, O, FP, FC, FO>(
+    total: usize,
+    devices: &[Arc<dyn Device>],
+    cancel: &CancelToken,
+    produce: FP,
+    process: FC,
     mut consume: FO,
 ) -> PipelineReport
 where
@@ -172,39 +238,60 @@ where
     std::thread::scope(|s| {
         // Stage 1: input.
         let in_q = &in_queue;
+        let out_q = &out_queue;
         let record = &record;
         let input_handle = s.spawn({
             let mut produce = produce;
             move || {
+                let _guard = PanicGuard { in_q, out_q, cancel };
                 let mut spent = Duration::ZERO;
                 for i in 0..total {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     let t0 = Instant::now();
                     let item = produce(i);
                     spent += t0.elapsed();
                     record(Stage::Input, "io", i, t0);
                     in_q.push((i, item));
                 }
+                if cancel.is_cancelled() {
+                    in_q.close();
+                    out_q.close();
+                }
                 spent
             }
         });
 
         // Stage 2: one driver per device, stealing from the input queue.
-        let out_q = &out_queue;
         let process = &process;
         for (dev_idx, device) in devices.iter().enumerate() {
             let device = Arc::clone(device);
             s.spawn(move || {
-                while let Some((index, item)) = in_q.pop() {
+                let _guard = PanicGuard { in_q, out_q, cancel };
+                while !cancel.is_cancelled() {
+                    let Some((index, item)) = in_q.pop() else { break };
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     let t0 = Instant::now();
                     let (output, work) = process(device.as_ref(), index, item);
                     let busy = t0.elapsed();
                     record(Stage::Compute, device.name(), index, t0);
                     out_q.push((index, output, dev_idx, work, busy));
                 }
+                if cancel.is_cancelled() {
+                    // First observer releases every blocked peer.
+                    in_q.close();
+                    out_q.close();
+                }
             });
         }
 
-        // Stage 3: output, on this thread.
+        // Stage 3: output, on this thread (the scope owner); the guard
+        // covers a panicking `consume` so spawned stages drain instead of
+        // blocking the scope's implicit join forever.
+        let _guard = PanicGuard { in_q, out_q, cancel };
         let mut consumed = 0;
         while let Some((index, output, dev_idx, work, busy)) = out_queue.pop() {
             let t0 = Instant::now();
@@ -216,9 +303,13 @@ where
             share.work_units += work;
             share.busy += busy;
             consumed += 1;
-            if consumed == total {
+            if consumed == total || cancel.is_cancelled() {
                 break;
             }
+        }
+        if cancel.is_cancelled() {
+            in_queue.close();
+            out_queue.close();
         }
         input_time = input_handle.join().expect("input stage panicked");
     });
@@ -232,6 +323,7 @@ where
         shares,
         partitions: total,
         spans,
+        cancelled: cancel.is_cancelled(),
     }
 }
 
@@ -288,6 +380,7 @@ where
         shares: vec![share],
         partitions: total,
         spans: Vec::new(),
+        cancelled: false,
     }
 }
 
@@ -508,5 +601,118 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn no_devices_panics() {
         run_coprocessed(1, &[], |i| i, |_, _, v: usize| (v, 0u64), |_, _| {});
+    }
+
+    #[test]
+    fn uncancelled_runs_report_not_cancelled() {
+        let report = run_coprocessed(4, &[cpu(1)], |i| i, |_, _, v| (v, 1u64), |_, _| {});
+        assert!(!report.cancelled);
+    }
+
+    #[test]
+    fn cancel_from_compute_abandons_remaining_partitions() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cancel = CancelToken::new();
+        let processed = AtomicUsize::new(0);
+        let total = 64;
+        let report = run_coprocessed_with(
+            total,
+            &[cpu(1)],
+            &cancel,
+            |i| {
+                // Slow input so cancellation beats production.
+                std::thread::sleep(Duration::from_micros(300));
+                i
+            },
+            |_, idx, v| {
+                processed.fetch_add(1, Ordering::Relaxed);
+                if idx == 0 {
+                    cancel.cancel();
+                }
+                (v, 1u64)
+            },
+            |_, _| {},
+        );
+        assert!(report.cancelled);
+        let done = processed.load(Ordering::Relaxed);
+        assert!(done < total, "cancel must abandon partitions, processed {done}/{total}");
+    }
+
+    #[test]
+    fn cancel_from_consume_stops_the_run() {
+        let cancel = CancelToken::new();
+        let seen = Mutex::new(0usize);
+        let report = run_coprocessed_with(
+            32,
+            &[cpu(2)],
+            &cancel,
+            |i| {
+                std::thread::sleep(Duration::from_micros(200));
+                i
+            },
+            |_, _, v| (v, 1u64),
+            |_, _| {
+                *seen.lock() += 1;
+                cancel.cancel();
+            },
+        );
+        assert!(report.cancelled);
+        let observed = *seen.lock();
+        assert!(observed < 32, "consume observed {observed} outputs");
+    }
+
+    #[test]
+    fn panicking_process_propagates_instead_of_hanging() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_coprocessed(
+                16,
+                &[cpu(1)],
+                |i| i,
+                |_, idx, v: usize| {
+                    if idx == 3 {
+                        panic!("injected compute panic");
+                    }
+                    (v, 1u64)
+                },
+                |_, _| {},
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate, not deadlock stage 3");
+    }
+
+    #[test]
+    fn panicking_produce_propagates_instead_of_hanging() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_coprocessed(
+                16,
+                &[cpu(2)],
+                |i| {
+                    if i == 2 {
+                        panic!("injected input panic");
+                    }
+                    i
+                },
+                |_, _, v: usize| (v, 1u64),
+                |_, _| {},
+            )
+        }));
+        assert!(result.is_err(), "input panic must propagate");
+    }
+
+    #[test]
+    fn panicking_consume_propagates_and_drains_workers() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_coprocessed(
+                16,
+                &[cpu(1)],
+                |i| {
+                    std::thread::sleep(Duration::from_micros(100));
+                    i
+                },
+                |_, _, v: usize| (v, 1u64),
+                |_, _| panic!("injected output panic"),
+            )
+        }));
+        assert!(result.is_err(), "consume panic must propagate");
     }
 }
