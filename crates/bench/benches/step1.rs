@@ -1,0 +1,304 @@
+//! Step-1 emit-path benchmarks and the zero-allocation proof.
+//!
+//! Three ablations of the Step-1 kernel on one simulated corpus:
+//!
+//! * **scan strategies** — brute-force per-kmer minimizers
+//!   (`scan_naive`), the batch sliding-window scan that materialises
+//!   owned `Superkmer`s (`scan`), and the streaming cursor
+//!   (`scan_runs`) that emits `(first, last, minimizer)` runs with zero
+//!   per-read allocation.
+//! * **emit paths at 1/2/4/8 threads** — the seed's shared
+//!   `Vec<Mutex<Vec<u8>>>` buffers with one lock per superkmer and an
+//!   owned encode, against the sharded staging design: per-worker
+//!   buffers checked out with one CAS per read, superkmers encoded
+//!   straight from the read's packed words.
+//! * **end-to-end Step 1** — `parahash::run_step1` over the same corpus
+//!   (pipeline + partition files on tmpfs), the number the acceptance
+//!   criterion tracks.
+//!
+//! Before the timed benches run, `assert_zero_alloc_emit` streams the
+//! whole corpus through the scan+encode hot path with warm buffers and
+//! asserts **zero** heap allocations — the tentpole's contract, enforced
+//! on every bench run (including CI's smoke mode).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use hetsim::{CpuDevice, Device};
+use msp::{encode_superkmer, encode_superkmer_slice, PartitionRouter, SuperkmerScanner};
+use parking_lot::Mutex;
+
+/// Global allocator wrapper that counts allocations (not bytes — one
+/// counter bump per `alloc`/`realloc` call).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const K: usize = 27;
+const P: usize = 11;
+const PARTS: usize = 16;
+
+fn corpus() -> Vec<dna::PackedSeq> {
+    let genome = GenomeSpec::new(60_000).seed(11).repeat_fraction(0.2).generate();
+    Sequencer::new(SequencingSpec {
+        read_len: 101,
+        coverage: 4.0,
+        seed: 11,
+        ..Default::default()
+    })
+    .sequence(&genome)
+    .into_iter()
+    .map(|r| r.into_seq())
+    .collect()
+}
+
+/// One worker's staging area, as in `parahash`'s sharded Step-1 path:
+/// per-partition byte buffers plus the reusable streaming cursor.
+struct Shard {
+    buffers: Vec<Vec<u8>>,
+    cursor: msp::MinimizerCursor,
+}
+
+/// The sharded emit kernel: workers claim a shard with one `try_lock`
+/// (a single CAS on an uncontended parking_lot mutex — the same cost
+/// shape as the production roster), stream the read through the cursor,
+/// and encode each run straight from the packed words.
+fn sharded_emit(
+    device: &CpuDevice,
+    reads: &[dna::PackedSeq],
+    scanner: &SuperkmerScanner,
+    router: &PartitionRouter,
+    shards: &[Mutex<Shard>],
+) -> u64 {
+    let total = AtomicU64::new(0);
+    device.execute(reads.len(), &|i| {
+        let read = &reads[i];
+        let mut guard = loop {
+            match shards.iter().find_map(|s| s.try_lock()) {
+                Some(g) => break g,
+                None => std::hint::spin_loop(),
+            }
+        };
+        let Shard { buffers, cursor } = &mut *guard;
+        let mut n = 0u64;
+        scanner.scan_runs(read, cursor, |first, last, m| {
+            let part = router.route_minimizer(&m);
+            let left = first.checked_sub(1).map(|j| read.base(j));
+            let right = (last + K < read.len()).then(|| read.base(last + K));
+            encode_superkmer_slice(read, first, last, K, left, right, &mut buffers[part]);
+            n += last as u64 - first as u64 + 1;
+        });
+        total.fetch_add(n, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed)
+}
+
+/// The seed emit kernel: owned superkmers, one shared-buffer lock per
+/// superkmer.
+fn locked_emit(
+    device: &CpuDevice,
+    reads: &[dna::PackedSeq],
+    scanner: &SuperkmerScanner,
+    router: &PartitionRouter,
+    buffers: &[Mutex<Vec<u8>>],
+) -> u64 {
+    let total = AtomicU64::new(0);
+    device.execute(reads.len(), &|i| {
+        let mut local = Vec::with_capacity(64);
+        let mut n = 0u64;
+        for sk in scanner.scan(&reads[i]) {
+            let part = router.route(&sk);
+            local.clear();
+            encode_superkmer(&sk, &mut local);
+            buffers[part].lock().extend_from_slice(&local);
+            n += sk.kmer_count() as u64;
+        }
+        total.fetch_add(n, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed)
+}
+
+/// The tentpole contract: with a warm cursor and warm buffers, scanning
+/// and encoding the whole corpus performs zero heap allocations.
+fn assert_zero_alloc_emit(reads: &[dna::PackedSeq]) {
+    let scanner = SuperkmerScanner::new(K, P).unwrap();
+    let router = PartitionRouter::new(PARTS).unwrap();
+    let mut cursor = scanner.cursor();
+    let mut buffers: Vec<Vec<u8>> = (0..PARTS).map(|_| Vec::new()).collect();
+    // Warm-up pass: grows the buffers and the cursor's deque once.
+    for read in reads {
+        scanner.scan_runs(read, &mut cursor, |first, last, m| {
+            let part = router.route_minimizer(&m);
+            let left = first.checked_sub(1).map(|j| read.base(j));
+            let right = (last + K < read.len()).then(|| read.base(last + K));
+            encode_superkmer_slice(read, first, last, K, left, right, &mut buffers[part]);
+        });
+    }
+    let staged: usize = buffers.iter().map(Vec::len).sum();
+    for b in &mut buffers {
+        b.clear(); // capacity retained, exactly like `StagingShard::clear`
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let mut superkmers = 0u64;
+    for read in reads {
+        scanner.scan_runs(read, &mut cursor, |first, last, m| {
+            let part = router.route_minimizer(&m);
+            let left = first.checked_sub(1).map(|j| read.base(j));
+            let right = (last + K < read.len()).then(|| read.base(last + K));
+            encode_superkmer_slice(read, first, last, K, left, right, &mut buffers[part]);
+            superkmers += 1;
+        });
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "Step-1 emit allocated {} times over {} reads",
+        after - before,
+        reads.len()
+    );
+    assert_eq!(buffers.iter().map(Vec::len).sum::<usize>(), staged, "warm pass diverged");
+    eprintln!(
+        "zero-alloc check: {} reads, {} superkmers, {} staged bytes, 0 heap allocations",
+        reads.len(),
+        superkmers,
+        staged
+    );
+}
+
+fn bench_step1(c: &mut Criterion) {
+    let reads = corpus();
+    let n_kmers: u64 = reads.iter().map(|r| (r.len() - K + 1) as u64).sum();
+    let scanner = SuperkmerScanner::new(K, P).unwrap();
+    let router = PartitionRouter::new(PARTS).unwrap();
+
+    assert_zero_alloc_emit(&reads);
+
+    // --- Scan strategies (single thread, no emit) -----------------------
+    let mut g = c.benchmark_group("step1_scan");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_kmers));
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &reads {
+                n += scanner.scan_naive(r).iter().map(|s| s.kmer_count()).sum::<usize>();
+            }
+            n
+        })
+    });
+    g.bench_function("batch_owned", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &reads {
+                n += scanner.scan(r).iter().map(|s| s.kmer_count()).sum::<usize>();
+            }
+            n
+        })
+    });
+    g.bench_function("streaming", |b| {
+        let mut cursor = scanner.cursor();
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &reads {
+                scanner.scan_runs(r, &mut cursor, |first, last, _| n += last - first + 1);
+            }
+            n
+        })
+    });
+    g.finish();
+
+    // --- Emit paths across thread counts --------------------------------
+    for threads in [1usize, 2, 4, 8] {
+        let device = CpuDevice::new(format!("bench-cpu{threads}"), threads);
+        let mut g = c.benchmark_group(format!("step1_emit_t{threads}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(n_kmers));
+
+        g.bench_function("locked_owned", |b| {
+            let buffers: Vec<Mutex<Vec<u8>>> = (0..PARTS).map(|_| Mutex::new(Vec::new())).collect();
+            b.iter(|| {
+                for buf in &buffers {
+                    buf.lock().clear();
+                }
+                locked_emit(&device, &reads, &scanner, &router, &buffers)
+            })
+        });
+
+        g.bench_function("sharded_streaming", |b| {
+            let shards: Vec<Mutex<Shard>> = (0..threads)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        buffers: (0..PARTS).map(|_| Vec::new()).collect(),
+                        cursor: scanner.cursor(),
+                    })
+                })
+                .collect();
+            b.iter(|| {
+                for s in &shards {
+                    for buf in &mut s.lock().buffers {
+                        buf.clear();
+                    }
+                }
+                sharded_emit(&device, &reads, &scanner, &router, &shards)
+            })
+        });
+        g.finish();
+    }
+
+    // --- End-to-end Step 1 (pipeline + partition files) ------------------
+    let seq_reads: Vec<dna::SeqRead> = reads
+        .iter()
+        .enumerate()
+        .map(|(i, s)| dna::SeqRead::new(format!("r{i}"), s.clone()))
+        .collect();
+    let mut g = c.benchmark_group("step1_end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_kmers));
+    for threads in [1usize, 4] {
+        g.bench_function(format!("run_step1_t{threads}"), |b| {
+            let dir = std::env::temp_dir().join(format!("parahash-bench-step1-{threads}"));
+            let cfg = parahash::ParaHashConfig::builder()
+                .k(K)
+                .p(P)
+                .partitions(PARTS)
+                .cpu_threads(threads)
+                .read_batch_bytes(64 << 10)
+                .work_dir(&dir)
+                .build()
+                .unwrap();
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                let io = pipeline::ThrottledIo::new(pipeline::IoMode::Unthrottled);
+                let (manifest, _) = parahash::run_step1(&cfg, &seq_reads, &io).unwrap();
+                manifest.total_kmers()
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step1);
+criterion_main!(benches);

@@ -101,7 +101,7 @@ impl PackedSeq {
 
     /// Iterates over the bases from left to right.
     pub fn bases(&self) -> Bases<'_> {
-        Bases { seq: self, index: 0 }
+        Bases { seq: self, index: 0, word: 0 }
     }
 
     /// Iterates over every k-mer of the sequence with a rolling window.
@@ -163,6 +163,40 @@ impl PackedSeq {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Appends the 2-bit codes of bases `[start, start+len)` to `out`,
+    /// packed four bases per byte LSB-first — the partition record payload
+    /// layout. The final byte's unused high bits are zero.
+    ///
+    /// This is a bit-shift copy straight out of the packed words: no
+    /// per-base decode, no intermediate sequence. It is what lets Step 1
+    /// serialise a superkmer core directly from the read
+    /// (`msp::encode_superkmer_slice`) without materialising a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()`.
+    pub fn write_packed_range(&self, start: usize, len: usize, out: &mut Vec<u8>) {
+        assert!(
+            start + len <= self.len,
+            "write_packed_range({start}, {len}) out of bounds for length {}",
+            self.len
+        );
+        out.reserve(len.div_ceil(4));
+        let mut produced = 0usize;
+        while produced < len {
+            let take = (len - produced).min(4);
+            let bit = 2 * (start + produced);
+            let (w, sh) = (bit / 64, (bit % 64) as u32);
+            let mut chunk = self.words[w] >> sh;
+            if sh > 56 && w + 1 < self.words.len() {
+                chunk |= self.words[w + 1] << (64 - sh);
+            }
+            let mask: u8 = if take == 4 { 0xFF } else { (1u8 << (2 * take)) - 1 };
+            out.push((chunk as u8) & mask);
+            produced += take;
+        }
+    }
 }
 
 impl fmt::Display for PackedSeq {
@@ -206,17 +240,33 @@ impl Ord for PackedSeq {
 
 /// Iterator over the bases of a [`PackedSeq`], created by
 /// [`PackedSeq::bases`].
+///
+/// Streams the packed words directly: one word load every 32 bases, one
+/// shift+mask per base — no per-base division or bounds re-check. This is
+/// the decode path under every scanning hot loop (minimizer scan, k-mer
+/// roll), so it matters that it compiles down to register arithmetic.
 #[derive(Debug, Clone)]
 pub struct Bases<'a> {
     seq: &'a PackedSeq,
     index: usize,
+    /// Remaining bits of the current word, shifted so the next base's
+    /// 2-bit code sits at bits 0..2. Refilled every `BASES_PER_WORD`.
+    word: u64,
 }
 
 impl Iterator for Bases<'_> {
     type Item = Base;
 
+    #[inline]
     fn next(&mut self) -> Option<Base> {
-        let b = self.seq.get(self.index)?;
+        if self.index >= self.seq.len {
+            return None;
+        }
+        if self.index.is_multiple_of(BASES_PER_WORD) {
+            self.word = self.seq.words[self.index / BASES_PER_WORD];
+        }
+        let b = Base::from_code((self.word & 0b11) as u8);
+        self.word >>= 2;
         self.index += 1;
         Some(b)
     }
@@ -356,6 +406,51 @@ mod tests {
         let mut s2 = s.clone();
         s2.extend([Base::C]);
         assert_eq!(s2.to_string(), "GATC");
+    }
+
+    #[test]
+    fn write_packed_range_matches_per_base_packing() {
+        // 70 bases so ranges cross both word boundaries.
+        let s = PackedSeq::from_ascii(
+            b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCACCGTATGCAATGCCGGAGGCTAT",
+        );
+        let reference = |start: usize, len: usize| -> Vec<u8> {
+            let mut out = Vec::new();
+            let mut byte = 0u8;
+            for i in 0..len {
+                byte |= s.base(start + i).code() << (2 * (i % 4));
+                if i % 4 == 3 {
+                    out.push(byte);
+                    byte = 0;
+                }
+            }
+            if !len.is_multiple_of(4) {
+                out.push(byte);
+            }
+            out
+        };
+        for start in [0, 1, 2, 3, 4, 30, 31, 32, 33, 61, 63, 64, 65] {
+            for len in [0, 1, 2, 3, 4, 5, 6] {
+                if start + len > s.len() {
+                    continue;
+                }
+                let mut got = vec![0xAB]; // pre-existing bytes are appended to
+                s.write_packed_range(start, len, &mut got);
+                assert_eq!(got[0], 0xAB);
+                assert_eq!(&got[1..], reference(start, len), "start={start} len={len}");
+            }
+        }
+        // Whole-sequence range hits the tail word.
+        let mut got = Vec::new();
+        s.write_packed_range(0, s.len(), &mut got);
+        assert_eq!(got, reference(0, s.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_packed_range_rejects_overrun() {
+        let mut out = Vec::new();
+        PackedSeq::from_ascii(b"ACGT").write_packed_range(2, 3, &mut out);
     }
 
     #[test]

@@ -54,10 +54,10 @@ mod writer;
 pub use frame::{
     append_frame, crc32, deframe, frame_payloads, DEFAULT_FRAME_TARGET, FRAME_HEADER_LEN,
 };
-pub use minimizer::{minimizer_of_kmer, MinimizerScanner};
+pub use minimizer::{minimizer_of_kmer, MinimizerCursor, MinimizerScanner};
 pub use partition::{partition_in_memory, PartitionRouter};
 pub use reader::PartitionReader;
-pub use record::{decode_superkmer, encode_superkmer, encoded_len};
+pub use record::{decode_superkmer, encode_superkmer, encode_superkmer_slice, encoded_len};
 pub use stats::{DistributionSummary, PartitionStats};
 pub use superkmer::{Superkmer, SuperkmerScanner};
 pub use view::{iter_views, PartitionSlices, SuperkmerView, ViewIter};

@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use dna::{Kmer, PackedSeq};
+use dna::{CanonicalKmerCursor, Kmer, PackedSeq};
 
 use crate::{MspError, Result};
 
@@ -117,6 +117,158 @@ impl MinimizerScanner {
         (0..=read.len() - self.k)
             .map(|i| minimizer_of_kmer(&read.kmer_at(i, self.k).expect("in range"), self.p))
             .collect()
+    }
+
+    /// Creates a reusable streaming cursor for this scanner's `k`/`p`.
+    /// One cursor per worker thread; see [`MinimizerCursor::scan_runs`].
+    pub fn cursor(&self) -> MinimizerCursor {
+        MinimizerCursor::new(self.k, self.p).expect("scanner params already validated")
+    }
+}
+
+/// Reusable per-worker state for the streaming minimizer scan.
+///
+/// Where [`MinimizerScanner::scan`] materialises the read's reverse
+/// complement plus two per-position minima vectors, the cursor streams:
+/// it rolls the forward p-mer window *and its reverse complement*
+/// incrementally (a [`CanonicalKmerCursor`] of length `p` — the rc p-mer
+/// is derived arithmetically from the forward window, never from a
+/// `revcomp()` copy of the read) and maintains a single monotone deque of
+/// **canonical** p-mers. The canonical minimizer of the k-mer at position
+/// `i` equals
+///
+/// ```text
+/// min over j in [i, i+K−P] of min(pmer_j, revcomp(pmer_j))
+/// ```
+///
+/// i.e. the windowed minimum of canonical p-mers — exactly what one deque
+/// over canonical p-mers yields — because the rc read's p-mers inside the
+/// rc k-mer window are the reverse complements of the forward p-mers
+/// inside the forward window. That collapses the two-strand scan into one
+/// deque with no second pass.
+///
+/// **Deque invariant:** entries are `(position, canonical p-mer)` with
+/// positions strictly increasing and values non-decreasing front-to-back;
+/// the front is the window minimum. Each p-mer enters and leaves at most
+/// once, so a read of `L` bases is scanned in O(L) with **zero heap
+/// allocation** after construction: the deque's capacity (at most
+/// `K−P+2` live entries) is reserved up front and reused across reads.
+///
+/// # Examples
+///
+/// ```
+/// use dna::PackedSeq;
+/// use msp::{MinimizerCursor, MinimizerScanner};
+///
+/// # fn main() -> msp::Result<()> {
+/// let read = PackedSeq::from_ascii(b"TGATGGATGAACCAGT");
+/// let scanner = MinimizerScanner::new(5, 3)?;
+/// let mut cursor = scanner.cursor();
+/// let mut runs = Vec::new();
+/// cursor.scan_runs(&read, |first, last, m| runs.push((first, last, m)));
+/// // Runs tile the k-mer index range and agree with the batch scan.
+/// let mins = scanner.scan(&read);
+/// assert_eq!(runs.first().unwrap().0, 0);
+/// assert_eq!(runs.last().unwrap().1, mins.len() - 1);
+/// for &(first, last, m) in &runs {
+///     for i in first..=last {
+///         assert_eq!(mins[i], m);
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinimizerCursor {
+    k: usize,
+    p: usize,
+    /// Number of p-mer positions under one k-mer: `k − p + 1`.
+    window: usize,
+    /// Rolling forward + reverse-complement p-mer windows.
+    pcur: CanonicalKmerCursor,
+    /// Monotone deque of `(p-mer position, canonical p-mer)`.
+    deque: VecDeque<(u32, Kmer)>,
+}
+
+impl MinimizerCursor {
+    /// Creates a cursor for k-mers of length `k` and minimizers of length
+    /// `p`, reserving all memory the scan will ever need.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspError::InvalidParams`] unless `1 ≤ p ≤ k ≤ MAX_K`.
+    pub fn new(k: usize, p: usize) -> Result<MinimizerCursor> {
+        if p < 1 || p > k || k > dna::MAX_K {
+            return Err(MspError::InvalidParams { k, p });
+        }
+        let window = k - p + 1;
+        Ok(MinimizerCursor {
+            k,
+            p,
+            window,
+            pcur: CanonicalKmerCursor::new(p).expect("1 <= p <= MAX_K"),
+            // At most `window + 1` entries are live between the push of a
+            // new p-mer and the expiry pop that follows it.
+            deque: VecDeque::with_capacity(window + 2),
+        })
+    }
+
+    /// The k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The minimizer length.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Streams `read` once, invoking `emit(first, last, minimizer)` for
+    /// each **maximal equal-minimizer run** of k-mer positions — the
+    /// superkmer boundaries of the paper's Definition 2. Produces exactly
+    /// the runs of [`MinimizerScanner::scan`] grouped by equality, without
+    /// allocating: no `revcomp` copy, no minima vectors, no output `Vec`.
+    ///
+    /// Emits nothing for reads shorter than `k`. The cursor resets itself,
+    /// so it can be reused across reads (and that reuse is what makes the
+    /// per-read hot loop allocation-free).
+    pub fn scan_runs<F: FnMut(usize, usize, Kmer)>(&mut self, read: &PackedSeq, mut emit: F) {
+        if read.len() < self.k {
+            return;
+        }
+        self.pcur.reset();
+        self.deque.clear();
+        let n_kmers = read.len() - self.k + 1;
+        let mut run_start = 0usize;
+        // Placeholder until the first window completes (kpos == 0 path).
+        let mut run_min: Kmer = Kmer::from_bases(1, [dna::Base::A]).expect("valid 1-mer");
+        for (i, base) in read.bases().enumerate() {
+            self.pcur.push(base);
+            if i + 1 < self.p {
+                continue;
+            }
+            let j = i + 1 - self.p; // p-mer position
+            let (canon, _) = self.pcur.canonical();
+            while self.deque.back().is_some_and(|&(_, back)| back > canon) {
+                self.deque.pop_back();
+            }
+            self.deque.push_back((j as u32, canon));
+            if j + 1 >= self.window {
+                let kpos = j + 1 - self.window; // k-mer position
+                while self.deque.front().is_some_and(|&(pos, _)| (pos as usize) < kpos) {
+                    self.deque.pop_front();
+                }
+                let m = self.deque.front().expect("deque non-empty").1;
+                if kpos == 0 {
+                    run_min = m;
+                } else if m != run_min {
+                    emit(run_start, kpos - 1, run_min);
+                    run_start = kpos;
+                    run_min = m;
+                }
+            }
+        }
+        emit(run_start, n_kmers - 1, run_min);
     }
 }
 
@@ -235,6 +387,94 @@ mod tests {
     #[should_panic(expected = "invalid minimizer length")]
     fn brute_force_rejects_p_zero() {
         minimizer_of_kmer(&"ACGT".parse().unwrap(), 0);
+    }
+
+    /// Reference run-cutting from a per-position minimizer vector.
+    fn runs_of(mins: &[Kmer]) -> Vec<(usize, usize, Kmer)> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for pos in 1..=mins.len() {
+            if pos == mins.len() || mins[pos] != mins[start] {
+                out.push((start, pos - 1, mins[start]));
+                start = pos;
+            }
+        }
+        out
+    }
+
+    fn collect_runs(cursor: &mut MinimizerCursor, read: &PackedSeq) -> Vec<(usize, usize, Kmer)> {
+        let mut runs = Vec::new();
+        cursor.scan_runs(read, |f, l, m| runs.push((f, l, m)));
+        runs
+    }
+
+    #[test]
+    fn scan_runs_matches_batch_scan() {
+        let reads = [
+            "ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCA",
+            "AAAAAAAAAAAAAAAAAAAA",
+            "ATATATATATATATATATAT",
+            "TGATGGATGATGGATGGTAGCAT",
+            "GATTACA",
+        ];
+        for r in reads {
+            let read = seq(r);
+            for (k, p) in [(4, 1), (4, 4), (5, 3), (7, 4), (7, 7), (15, 11), (20, 1)] {
+                if read.len() < k {
+                    continue;
+                }
+                let sc = MinimizerScanner::new(k, p).unwrap();
+                let mut cursor = sc.cursor();
+                let got = collect_runs(&mut cursor, &read);
+                let want = runs_of(&sc.scan(&read));
+                assert_eq!(got, want, "read={r} k={k} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_is_reusable_across_reads() {
+        let sc = MinimizerScanner::new(7, 4).unwrap();
+        let mut cursor = sc.cursor();
+        for r in ["ACGTTGCATGGACCAGTTACGGATCA", "TTTTTTTTTT", "GATTACAGATTACA"] {
+            let read = seq(r);
+            assert_eq!(collect_runs(&mut cursor, &read), runs_of(&sc.scan(&read)), "read={r}");
+        }
+    }
+
+    #[test]
+    fn scan_runs_short_read_emits_nothing() {
+        let mut cursor = MinimizerCursor::new(10, 4).unwrap();
+        assert!(collect_runs(&mut cursor, &seq("ACGT")).is_empty());
+        assert!(collect_runs(&mut cursor, &seq("")).is_empty());
+    }
+
+    #[test]
+    fn scan_runs_exactly_k_read_is_one_run() {
+        let sc = MinimizerScanner::new(6, 3).unwrap();
+        let read = seq("GATTAC");
+        let runs = collect_runs(&mut sc.cursor(), &read);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].0, 0);
+        assert_eq!(runs[0].1, 0);
+        assert_eq!(runs[0].2, minimizer_of_kmer(&read.kmer_at(0, 6).unwrap(), 3));
+    }
+
+    #[test]
+    fn scan_runs_homopolymer_is_one_run() {
+        // Every k-mer shares the same minimizer: exactly one run.
+        let read = seq(&"A".repeat(40));
+        let runs = collect_runs(&mut MinimizerCursor::new(9, 4).unwrap(), &read);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].0, 0);
+        assert_eq!(runs[0].1, 40 - 9);
+    }
+
+    #[test]
+    fn cursor_rejects_invalid_params() {
+        assert!(matches!(MinimizerCursor::new(5, 0), Err(MspError::InvalidParams { .. })));
+        assert!(matches!(MinimizerCursor::new(5, 6), Err(MspError::InvalidParams { .. })));
+        assert!(MinimizerCursor::new(dna::MAX_K, dna::MAX_K).is_ok());
     }
 
     #[test]

@@ -53,6 +53,69 @@ pub fn encode_superkmer(sk: &Superkmer, out: &mut Vec<u8>) {
     }
 }
 
+/// Serialises the superkmer covering k-mer positions `first..=last` of
+/// `read` directly into `out`, byte-identical to running
+/// [`encode_superkmer`] on the owned [`Superkmer`] for the same run —
+/// but with **zero intermediate allocation**: the core's 2-bit payload is
+/// bit-shifted straight out of the read's packed words
+/// ([`PackedSeq::write_packed_range`]), and no `Superkmer`/`PackedSeq`
+/// slice is ever materialised. This is Step 1's emit primitive.
+///
+/// `left_ext`/`right_ext` are the adjacency extension bases; callers
+/// scanning a whole read derive them as `read[first−1]` / `read[last+k]`
+/// when those positions exist (see [`crate::SuperkmerScanner`]).
+///
+/// # Examples
+///
+/// ```
+/// use dna::PackedSeq;
+/// use msp::{encode_superkmer, encode_superkmer_slice, SuperkmerScanner};
+///
+/// # fn main() -> msp::Result<()> {
+/// let read = PackedSeq::from_ascii(b"TGATGGATGAACCAGTTTGA");
+/// let scanner = SuperkmerScanner::new(5, 3)?;
+/// let mut owned = Vec::new();
+/// let mut borrowed = Vec::new();
+/// let mut first = 0usize;
+/// for sk in scanner.scan(&read) {
+///     encode_superkmer(&sk, &mut owned);
+///     let last = first + sk.kmer_count() - 1;
+///     encode_superkmer_slice(&read, first, last, 5, sk.left_ext(), sk.right_ext(), &mut borrowed);
+///     first = last + 1;
+/// }
+/// assert_eq!(owned, borrowed);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if the run does not fit the read (`last + k > read.len()` or
+/// `first > last`) or the core exceeds 65 535 bases.
+pub fn encode_superkmer_slice(
+    read: &PackedSeq,
+    first: usize,
+    last: usize,
+    k: usize,
+    left_ext: Option<Base>,
+    right_ext: Option<Base>,
+    out: &mut Vec<u8>,
+) {
+    assert!(first <= last, "empty superkmer run {first}..={last}");
+    let core_len = last - first + k;
+    let len = u16::try_from(core_len).expect("superkmer core exceeds u16 length");
+    out.extend_from_slice(&len.to_le_bytes());
+    let mut flags = 0u8;
+    if let Some(b) = left_ext {
+        flags |= 1 | (b.code() << 2);
+    }
+    if let Some(b) = right_ext {
+        flags |= 2 | (b.code() << 4);
+    }
+    out.push(flags);
+    read.write_packed_range(first, core_len, out);
+}
+
 /// Deserialises one superkmer from the front of `bytes`, returning it and
 /// the number of bytes consumed. `k` and `p` are the partitioning
 /// parameters the file was written with (recorded in the manifest).
@@ -171,6 +234,67 @@ mod tests {
         let buf = [4u8, 0, 0, 0b00011011];
         let err = decode_superkmer(&buf, 5, 3).unwrap_err();
         assert!(err.to_string().contains("cannot hold"), "{err}");
+    }
+
+    #[test]
+    fn slice_encoding_is_byte_identical_to_owned() {
+        // Reads long enough to fragment, plus word-boundary-crossing cores.
+        let reads = [
+            "TGATGGATGAACCAGTTTGAGGCATTAGGCAT",
+            &"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT".repeat(3),
+            &"A".repeat(80),
+        ];
+        for r in reads {
+            let read = PackedSeq::from_ascii(r.as_bytes());
+            for (k, p) in [(5, 3), (7, 4), (21, 11), (33, 15)] {
+                if read.len() < k {
+                    continue;
+                }
+                let scanner = crate::SuperkmerScanner::new(k, p).unwrap();
+                let mut first = 0usize;
+                for sk in scanner.scan(&read) {
+                    let last = first + sk.kmer_count() - 1;
+                    let mut owned = Vec::new();
+                    encode_superkmer(&sk, &mut owned);
+                    let mut borrowed = Vec::new();
+                    encode_superkmer_slice(
+                        &read,
+                        first,
+                        last,
+                        k,
+                        sk.left_ext(),
+                        sk.right_ext(),
+                        &mut borrowed,
+                    );
+                    assert_eq!(owned, borrowed, "r-len={} k={k} p={p} first={first}", read.len());
+                    first = last + 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_encoding_roundtrips_through_decoder() {
+        let read = PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCAGGCATT");
+        let scanner = crate::SuperkmerScanner::new(7, 4).unwrap();
+        let sks = scanner.scan(&read);
+        let mut first = 0usize;
+        for sk in &sks {
+            let last = first + sk.kmer_count() - 1;
+            let mut buf = Vec::new();
+            encode_superkmer_slice(&read, first, last, 7, sk.left_ext(), sk.right_ext(), &mut buf);
+            let (back, used) = decode_superkmer(&buf, 7, 4).unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(&back, sk);
+            first = last + 1;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty superkmer run")]
+    fn slice_encoding_rejects_inverted_run() {
+        let read = PackedSeq::from_ascii(b"ACGTACGT");
+        encode_superkmer_slice(&read, 2, 1, 4, None, None, &mut Vec::new());
     }
 
     #[test]

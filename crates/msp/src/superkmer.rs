@@ -154,6 +154,40 @@ impl SuperkmerScanner {
         self.superkmers_from_boundaries(read, &cut_runs(&mins))
     }
 
+    /// Creates a reusable streaming cursor for this scanner's parameters
+    /// (one per worker thread; see [`crate::MinimizerCursor::scan_runs`]).
+    pub fn cursor(&self) -> crate::MinimizerCursor {
+        self.scanner.cursor()
+    }
+
+    /// Streaming scan: invokes `emit(first, last, minimizer)` per maximal
+    /// equal-minimizer run, identical runs to
+    /// [`scan_boundaries`](Self::scan_boundaries) but with zero heap
+    /// allocation per read (the `cursor` carries all reusable state).
+    pub fn scan_runs<F: FnMut(usize, usize, Kmer)>(
+        &self,
+        read: &PackedSeq,
+        cursor: &mut crate::MinimizerCursor,
+        emit: F,
+    ) {
+        debug_assert_eq!(cursor.k(), self.k());
+        debug_assert_eq!(cursor.p(), self.p());
+        cursor.scan_runs(read, emit);
+    }
+
+    /// Streaming variant of [`scan_boundaries`](Self::scan_boundaries)
+    /// that clears and fills a caller-owned buffer, so the boundary
+    /// allocation is reused across reads (the SimGpu kernel path).
+    pub fn scan_runs_into(
+        &self,
+        read: &PackedSeq,
+        cursor: &mut crate::MinimizerCursor,
+        out: &mut Vec<(usize, usize, Kmer)>,
+    ) {
+        out.clear();
+        self.scan_runs(read, cursor, |first, last, m| out.push((first, last, m)));
+    }
+
     /// The *offsets-only* half of the scan: the `(first kmer index,
     /// last kmer index, minimizer)` of each maximal equal-minimizer run.
     ///
@@ -340,6 +374,24 @@ mod tests {
         }
         assert_eq!(boundaries.last().unwrap().1, read.len() - 7);
         assert_eq!(sc.superkmers_from_boundaries(&read, &boundaries), sc.scan(&read));
+    }
+
+    #[test]
+    fn scan_runs_into_equals_scan_boundaries() {
+        let sc = SuperkmerScanner::new(7, 4).unwrap();
+        let mut cursor = sc.cursor();
+        let mut buf = Vec::new();
+        for r in [
+            "ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGT",
+            "TTTTTTTTTTTTTTT",
+            "GATTACA",
+            "ACG", // shorter than k: both empty
+        ] {
+            let read = seq(r);
+            buf.push((99, 99, "A".parse().unwrap())); // must be cleared
+            sc.scan_runs_into(&read, &mut cursor, &mut buf);
+            assert_eq!(buf, sc.scan_boundaries(&read), "read={r}");
+        }
     }
 
     #[test]

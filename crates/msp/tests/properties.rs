@@ -1,9 +1,9 @@
 //! Property tests for the MSP invariants the paper's correctness rests on.
 
-use dna::{Base, PackedSeq};
+use dna::{Base, Kmer, PackedSeq};
 use msp::{
-    decode_superkmer, encode_superkmer, minimizer_of_kmer, partition_in_memory, MinimizerScanner,
-    PartitionRouter, SuperkmerScanner,
+    decode_superkmer, encode_superkmer, encode_superkmer_slice, minimizer_of_kmer,
+    partition_in_memory, MinimizerScanner, PartitionRouter, SuperkmerScanner,
 };
 use proptest::prelude::*;
 
@@ -13,6 +13,29 @@ fn base() -> impl Strategy<Value = Base> {
 
 fn seq(max: usize) -> impl Strategy<Value = PackedSeq> {
     prop::collection::vec(base(), 0..max).prop_map(|v| v.into_iter().collect())
+}
+
+/// Reference implementation of run-cutting: per-kmer minimizers from the
+/// brute-force scanner, grouped into maximal equal runs.
+fn naive_runs(k: usize, p: usize, read: &PackedSeq) -> Vec<(usize, usize, Kmer)> {
+    let mins = MinimizerScanner::new(k, p).unwrap().scan_naive(read);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for pos in 1..=mins.len() {
+        if pos == mins.len() || mins[pos] != mins[start] {
+            out.push((start, pos - 1, mins[start]));
+            start = pos;
+        }
+    }
+    out
+}
+
+/// Collects the streaming cursor's runs for one read.
+fn streamed_runs(scanner: &SuperkmerScanner, read: &PackedSeq) -> Vec<(usize, usize, Kmer)> {
+    let mut cursor = scanner.cursor();
+    let mut out = Vec::new();
+    scanner.scan_runs(read, &mut cursor, |first, last, m| out.push((first, last, m)));
+    out
 }
 
 proptest! {
@@ -145,4 +168,85 @@ proptest! {
         let expected: usize = reads.iter().map(|r| (r.len() + 1).saturating_sub(k)).sum();
         prop_assert_eq!(total, expected);
     }
+
+    /// The streaming cursor (single monotone deque over canonical p-mers)
+    /// must cut exactly the runs of the brute-force per-kmer scan — the
+    /// invariant the entire zero-allocation Step-1 path rests on.
+    #[test]
+    fn streaming_runs_equal_naive_runs(read in seq(300), k in 1usize..=64, p_frac in 0usize..=100) {
+        let p = 1 + (p_frac * (k - 1)).div_ceil(100).min(k - 1);
+        let scanner = SuperkmerScanner::new(k, p).unwrap();
+        prop_assert_eq!(streamed_runs(&scanner, &read), naive_runs(k, p, &read));
+    }
+
+    /// Same invariant on adversarially low-complexity input: homopolymers
+    /// (one global run), short-period repeats, and a planted mutation.
+    #[test]
+    fn streaming_runs_equal_naive_runs_low_complexity(
+        unit in prop::collection::vec(base(), 1..5),
+        reps in 1usize..120,
+        flip in 0usize..1000,
+        k in 1usize..=64,
+        p_frac in 0usize..=100,
+    ) {
+        let mut bases: Vec<Base> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        if let Some(b) = bases.get_mut(flip % reps.max(1)) {
+            *b = b.complement();
+        }
+        let read: PackedSeq = bases.into_iter().collect();
+        let p = 1 + (p_frac * (k - 1)).div_ceil(100).min(k - 1);
+        let scanner = SuperkmerScanner::new(k, p).unwrap();
+        prop_assert_eq!(streamed_runs(&scanner, &read), naive_runs(k, p, &read));
+    }
+
+    /// Direct-from-read slice encoding must be byte-identical to encoding
+    /// the owned `Superkmer`, for every run of the read — including the
+    /// first/last runs whose left/right extensions are absent.
+    #[test]
+    fn slice_encoding_equals_owned_encoding(read in seq(260), k in 1usize..=48, p_frac in 0usize..=100) {
+        let p = 1 + (p_frac * (k - 1)).div_ceil(100).min(k - 1);
+        let scanner = SuperkmerScanner::new(k, p).unwrap();
+        let sks = scanner.scan(&read);
+        let mut first = 0usize;
+        for sk in &sks {
+            let last = first + sk.kmer_count() - 1;
+            let mut owned = Vec::new();
+            encode_superkmer(sk, &mut owned);
+            let mut borrowed = Vec::new();
+            encode_superkmer_slice(&read, first, last, k, sk.left_ext(), sk.right_ext(), &mut borrowed);
+            prop_assert_eq!(owned, borrowed, "run {}..={} of k={} p={}", first, last, k, p);
+            first = last + 1;
+        }
+    }
+}
+
+/// Deterministic low-complexity edge cases the fuzzers may not pin down:
+/// reads shorter than k (no runs), reads of exactly k bases (one run),
+/// and pure homopolymers (every k-mer shares the minimizer → one run).
+#[test]
+fn streaming_runs_low_complexity_edges() {
+    let cases: Vec<(PackedSeq, usize, usize)> = vec![
+        (PackedSeq::from_ascii(&b"A".repeat(300)), 21, 11),
+        (PackedSeq::from_ascii(&b"ACGT".repeat(64)), 31, 15),
+        (PackedSeq::from_ascii(&b"AT".repeat(100)), 33, 7),
+        (PackedSeq::from_ascii(b"ACG"), 7, 3),   // shorter than k
+        (PackedSeq::from_ascii(b"TGATGGA"), 7, 3), // exactly k
+        (PackedSeq::from_ascii(b"G"), 1, 1),     // k = p = 1
+    ];
+    for (read, k, p) in cases {
+        let scanner = SuperkmerScanner::new(k, p).unwrap();
+        let got = streamed_runs(&scanner, &read);
+        assert_eq!(got, naive_runs(k, p, &read), "k={k} p={p} len={}", read.len());
+        if read.len() >= k {
+            assert!(!got.is_empty());
+        } else {
+            assert!(got.is_empty());
+        }
+    }
+    // A homopolymer is a single maximal run covering every k-mer.
+    let homo = PackedSeq::from_ascii(&b"T".repeat(200));
+    let scanner = SuperkmerScanner::new(9, 4).unwrap();
+    let runs = streamed_runs(&scanner, &homo);
+    assert_eq!(runs.len(), 1);
+    assert_eq!((runs[0].0, runs[0].1), (0, 200 - 9));
 }

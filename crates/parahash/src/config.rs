@@ -22,6 +22,7 @@ pub struct ParaHashConfig {
     pub(crate) auto_lambda: Option<usize>,
     pub(crate) strict: bool,
     pub(crate) retry: RetryPolicy,
+    pub(crate) indexed_fastq: bool,
     pub(crate) devices: Vec<Arc<dyn Device>>,
 }
 
@@ -87,6 +88,13 @@ impl ParaHashConfig {
     pub fn retry(&self) -> RetryPolicy {
         self.retry
     }
+
+    /// Whether [`crate::run_step1_fastq`] uses the two-pass indexed
+    /// batching (`true`) instead of the default single-pass streaming cut
+    /// (`false`).
+    pub fn indexed_fastq(&self) -> bool {
+        self.indexed_fastq
+    }
 }
 
 /// Builder for [`ParaHashConfig`].
@@ -123,6 +131,7 @@ pub struct ParaHashConfigBuilder {
     auto_lambda: Option<usize>,
     strict: bool,
     retry: RetryPolicy,
+    indexed_fastq: bool,
     cpu_threads: Option<usize>,
     gpus: Vec<SimGpuConfig>,
     extra_devices: Vec<Arc<dyn Device>>,
@@ -142,6 +151,7 @@ impl Default for ParaHashConfigBuilder {
             auto_lambda: None,
             strict: true,
             retry: RetryPolicy::default(),
+            indexed_fastq: false,
             cpu_threads: Some(0), // 0 = all available
             gpus: Vec::new(),
             extra_devices: Vec::new(),
@@ -229,6 +239,17 @@ impl ParaHashConfigBuilder {
         self
     }
 
+    /// Makes [`crate::run_step1_fastq`] run a two-pass *indexed* batching:
+    /// a pre-pass counts records per batch, then the pipeline re-reads the
+    /// file. The default (`false`) is the single-pass streaming cut, which
+    /// reads the file exactly once. The indexed mode exists for
+    /// byte-budget-exact batch cuts on storage where a second sequential
+    /// scan is cheaper than slightly uneven batches.
+    pub fn indexed_fastq(mut self, yes: bool) -> Self {
+        self.indexed_fastq = yes;
+        self
+    }
+
     /// Uses a CPU device with `threads` workers (0 = all available cores).
     /// This is the default; call [`no_cpu`](Self::no_cpu) for GPU-only runs.
     pub fn cpu_threads(mut self, threads: usize) -> Self {
@@ -312,6 +333,7 @@ impl ParaHashConfigBuilder {
             auto_lambda: self.auto_lambda,
             strict: self.strict,
             retry: self.retry,
+            indexed_fastq: self.indexed_fastq,
             devices,
         })
     }

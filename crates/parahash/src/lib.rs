@@ -43,13 +43,14 @@
 mod config;
 mod once_error;
 mod report;
+mod staging;
 mod step1;
 mod step2;
 mod system;
 
 pub use config::{ParaHashConfig, ParaHashConfigBuilder};
 pub use once_error::OnceError;
-pub use report::{RunReport, StepReport};
+pub use report::{RunReport, Step1Stats, StepReport};
 pub use step1::{run_step1, run_step1_fastq};
 pub use step2::{decode_subgraph, encode_subgraph, run_step2};
 pub use system::{ParaHash, RunOutcome};

@@ -4,6 +4,29 @@ use hashgraph::ContentionStats;
 use pipeline::perfmodel::{self, Regime, StepComponents};
 use pipeline::PipelineReport;
 
+/// Step-1 emit-path counters: how much work the sharded staging layer
+/// moved and how often the output stage flushed staged bytes into the
+/// partition writer. The Step-1 analogue of Step 2's
+/// [`ContentionStats`] — cheap (tallied once per batch on the output
+/// stage, never on the per-superkmer emit path) and useful for spotting
+/// skew: `staging_bytes / merge_flushes` is the mean flush size, and a
+/// `merge_flushes` near `batches × partitions` means every batch touched
+/// every partition (dense routing), while far fewer means sparse batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Step1Stats {
+    /// Superkmers emitted across all batches.
+    pub superkmers: u64,
+    /// K-mer occurrences covered by those superkmers.
+    pub kmers: u64,
+    /// Encoded bytes staged by workers and merged into partition files.
+    pub staging_bytes: u64,
+    /// Non-empty per-partition buffer drains performed by the output
+    /// stage (each is one bulk `append_encoded` call).
+    pub merge_flushes: u64,
+    /// Compute batches that reached the output stage.
+    pub batches: u64,
+}
+
 /// Timing and accounting of one pipelined step.
 #[derive(Debug, Clone)]
 pub struct StepReport {
@@ -18,6 +41,8 @@ pub struct StepReport {
     pub gpu_compute: Duration,
     /// Step-2 only: aggregated hash table contention counters.
     pub contention: Option<ContentionStats>,
+    /// Step-1 only: sharded-staging emit/merge counters.
+    pub step1_stats: Option<Step1Stats>,
     /// Step-2 only: how many tables had to be rebuilt bigger.
     pub resizes: usize,
     /// Peak in-flight partition buffer bytes: the largest loaded
@@ -149,6 +174,7 @@ mod tests {
             cpu_compute: Duration::from_millis(cpu_ms),
             gpu_compute: Duration::from_millis(gpu_ms),
             contention: None,
+            step1_stats: None,
             resizes: 0,
             peak_partition_bytes: 0,
             peak_table_bytes: 0,

@@ -1,21 +1,28 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use dna::SeqRead;
+use dna::{Kmer, PackedSeq, SeqRead};
 use hetsim::{Device, DeviceKind};
-use msp::{encode_superkmer, PartitionManifest, PartitionRouter, PartitionWriter, SuperkmerScanner};
+use msp::{
+    encode_superkmer_slice, PartitionManifest, PartitionRouter, PartitionWriter, SuperkmerScanner,
+};
 use parking_lot::Mutex;
 use pipeline::{run_coprocessed_with, CancelToken, ThrottledIo};
 
 use crate::once_error::OnceError;
-use crate::{ParaHashConfig, Result, StepReport};
+use crate::staging::{ShardPool, StagingShard, WorkerShards, WriteOnceSlots};
+use crate::{ParaHashConfig, Result, Step1Stats, StepReport};
 
-/// Output of one Step-1 compute launch: per-partition encoded superkmer
-/// bytes plus their record counts.
+/// Output of one Step-1 compute launch: the worker shards holding the
+/// per-partition encoded superkmer bytes and `(superkmers, kmers)`
+/// counts. The output stage drains them into the partition writer and
+/// returns them to the [`ShardPool`] so their capacity is reused.
 struct Batch1Out {
-    buffers: Vec<Vec<u8>>,
-    counts: Vec<(u64, u64)>, // (superkmers, kmers) per partition
+    shards: Vec<StagingShard>,
 }
+
+/// Boundary runs of one read: `(first kmer, last kmer, minimizer)`.
+type BoundaryRuns = Vec<(usize, usize, Kmer)>;
 
 /// Splits reads into the "equal-size input partitions" of Fig 3 by
 /// cumulative byte size.
@@ -46,6 +53,12 @@ fn batch_ranges(reads: &[SeqRead], batch_bytes: usize) -> Vec<std::ops::Range<us
 /// as in §III-D), encodes them to the 2-bit record format, and the output
 /// stage appends the bytes to the per-partition files.
 ///
+/// The compute stage is **allocation- and lock-free per read**: each
+/// worker checks a [`StagingShard`] out of a roster (one atomic CAS),
+/// streams the read through a reusable minimizer cursor, and encodes every
+/// superkmer straight from the read's packed words into the shard's
+/// thread-private partition buffer.
+///
 /// Returns the partition manifest (input to Step 2) and the step report.
 ///
 /// # Errors
@@ -72,9 +85,15 @@ pub fn run_step1(
 /// Streaming Step 1 over a FASTQ file: the input stage parses one batch
 /// of reads at a time, so the whole read set is **never resident in
 /// memory** — the property the paper's partition-by-partition workflow
-/// (Fig 3) depends on for big genomes. A cheap indexing pre-pass counts
-/// records per batch (the "partition the input file to equal size" cut);
-/// the pipeline then re-reads the file batch by batch.
+/// (Fig 3) depends on for big genomes.
+///
+/// By default the file is read **exactly once**: the input stage cuts a
+/// batch as soon as ~`read_batch_bytes` of sequence has been parsed
+/// (the batch count is conservatively bounded by the file size, and
+/// trailing batches are simply empty). With
+/// [`indexed_fastq(true)`](crate::ParaHashConfigBuilder::indexed_fastq)
+/// a two-pass variant runs instead: a cheap indexing pre-pass counts
+/// records per batch, then the pipeline re-reads the file.
 ///
 /// # Errors
 ///
@@ -90,6 +109,76 @@ pub fn run_step1_fastq(
     use std::io::BufReader;
 
     let path = path.as_ref();
+    if config.indexed_fastq {
+        return run_step1_fastq_indexed(config, path, io);
+    }
+
+    // Single pass: the batch count only has to *bound* the number of
+    // batches the input stage will produce. A FASTQ record spends at
+    // least its sequence length in file bytes (plus header, '+' line and
+    // qualities), so `file_len / read_batch_bytes + 1` batches of
+    // ~`read_batch_bytes` of sequence each can never fall short; the
+    // surplus batches parse nothing and flow through as empty.
+    let file_len = std::fs::metadata(path)?.len();
+    let n_batches = (file_len / config.read_batch_bytes.max(1) as u64) as usize + 1;
+
+    let mut reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
+    let peak_batch = AtomicU64::new(0);
+    let parse_failure: OnceError<crate::ParaHashError> = OnceError::new();
+    let cancel = CancelToken::new();
+    let result = {
+        let parse_failure = &parse_failure;
+        let peak_batch = &peak_batch;
+        let cancel_ref = &cancel;
+        run_step1_batches(
+            config,
+            n_batches,
+            move |_i| {
+                let mut batch = Vec::new();
+                let mut bytes = 0usize;
+                while bytes < config.read_batch_bytes {
+                    match reader.read_record() {
+                        Ok(Some(read)) => {
+                            bytes += read.approx_bytes();
+                            batch.push(read);
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            // A parse failure poisons everything after it
+                            // (the stream position is lost): stop feeding
+                            // the pipeline rather than scanning the rest.
+                            parse_failure.set(parse_error(e));
+                            cancel_ref.cancel();
+                            break;
+                        }
+                    }
+                }
+                peak_batch.fetch_max(bytes as u64, Ordering::Relaxed);
+                io.charge(bytes as u64);
+                batch
+            },
+            io,
+            cancel_ref,
+        )
+    };
+    if let Some(e) = parse_failure.into_inner() {
+        // Abandon the partial partition directory: it covers an unknown
+        // prefix of the input.
+        let _ = std::fs::remove_dir_all(config.work_dir.join("superkmers"));
+        return Err(e);
+    }
+    finalize_peak(result, peak_batch.into_inner())
+}
+
+/// The two-pass variant of [`run_step1_fastq`]: pass 1 indexes the file
+/// into record-exact batch cuts, pass 2 re-reads it through the pipeline.
+fn run_step1_fastq_indexed(
+    config: &ParaHashConfig,
+    path: &std::path::Path,
+    io: &ThrottledIo,
+) -> Result<(PartitionManifest, StepReport)> {
+    use std::io::BufReader;
+
     // Pass 1: index — records per batch, cut at ~read_batch_bytes of
     // sequence text.
     let mut batch_records: Vec<usize> = Vec::new();
@@ -135,9 +224,6 @@ pub fn run_step1_fastq(
                         }
                         Ok(None) => break,
                         Err(e) => {
-                            // A parse failure poisons everything after it
-                            // (the stream position is lost): stop feeding
-                            // the pipeline rather than scanning the rest.
                             parse_failure.set(parse_error(e));
                             cancel_ref.cancel();
                             break;
@@ -153,8 +239,6 @@ pub fn run_step1_fastq(
         )
     };
     if let Some(e) = parse_failure.into_inner() {
-        // Abandon the partial partition directory: it covers an unknown
-        // prefix of the input.
         let _ = std::fs::remove_dir_all(config.work_dir.join("superkmers"));
         return Err(e);
     }
@@ -178,6 +262,29 @@ fn finalize_peak(
     })
 }
 
+/// Routes and encodes one boundary run (`first..=last`, `minimizer`) of
+/// `read` into a shard's partition buffer: the single emit primitive of
+/// the Step-1 hot path. Zero allocation (buffer growth amortises to
+/// nothing once the shard is warm) and zero synchronisation — the caller
+/// holds the shard exclusively.
+#[inline]
+fn emit_run(
+    router: &PartitionRouter,
+    k: usize,
+    read: &PackedSeq,
+    (first, last): (usize, usize),
+    minimizer: &Kmer,
+    buffers: &mut [Vec<u8>],
+    counts: &mut [(u64, u64)],
+) {
+    let part = router.route_minimizer(minimizer);
+    let left_ext = first.checked_sub(1).map(|i| read.base(i));
+    let right_ext = (last + k < read.len()).then(|| read.base(last + k));
+    encode_superkmer_slice(read, first, last, k, left_ext, right_ext, &mut buffers[part]);
+    counts[part].0 += 1;
+    counts[part].1 += (last - first + 1) as u64;
+}
+
 /// The shared Step-1 pipeline over any batch source (in-memory slices or
 /// a streaming parser).
 fn run_step1_batches<B, FP>(
@@ -193,93 +300,116 @@ where
 {
     let scanner = SuperkmerScanner::new(config.k, config.p)?;
     let router = PartitionRouter::new(config.partitions)?;
+    let k = config.k;
     let dir = config.work_dir.join("superkmers");
     let mut writer = PartitionWriter::create(&dir, config.partitions, config.k, config.p)?;
     let write_error: OnceError<msp::MspError> = OnceError::new();
+    let mut stats = Step1Stats::default();
+
+    // All staging capacity lives in these two pools and is recycled
+    // across batches: at steady state the compute stage allocates
+    // nothing. Both free lists are locked once per batch, never per read.
+    let shard_pool = ShardPool::new(config.partitions, config.k, config.p);
+    let boundary_pool: Mutex<Vec<BoundaryRuns>> = Mutex::new(Vec::new());
 
     let pipeline_report = {
         let scanner = &scanner;
         let router = &router;
         let writer = &mut writer;
         let write_error = &write_error;
+        let shard_pool = &shard_pool;
+        let boundary_pool = &boundary_pool;
+        let stats = &mut stats;
         run_coprocessed_with(
             n_batches,
             config.devices(),
             cancel,
             produce,
-            // Stage 2: scan + encode on an idle device.
+            // Stage 2: scan + encode on an idle device. Emits go to
+            // thread-private shards — no locks, no per-read allocation.
             |device: &dyn Device, _idx, batch: B| {
                 let batch = batch.as_ref();
-                let n_parts = router.num_partitions();
-                let buffers: Vec<Mutex<Vec<u8>>> = (0..n_parts).map(|_| Mutex::new(Vec::new())).collect();
-                let sk_counts: Vec<AtomicU64> = (0..n_parts).map(|_| AtomicU64::new(0)).collect();
-                let km_counts: Vec<AtomicU64> = (0..n_parts).map(|_| AtomicU64::new(0)).collect();
-                let emit = |sk: &msp::Superkmer, local: &mut Vec<u8>| {
-                    let part = router.route(sk);
-                    local.clear();
-                    encode_superkmer(sk, local);
-                    buffers[part].lock().extend_from_slice(local);
-                    sk_counts[part].fetch_add(1, Ordering::Relaxed);
-                    km_counts[part].fetch_add(sk.kmer_count() as u64, Ordering::Relaxed);
-                };
+                let n_workers = device.parallelism().min(batch.len()).max(1);
+                let roster = WorkerShards::new(shard_pool.take(n_workers));
                 if device.kind() == DeviceKind::SimGpu {
                     // The paper's §III-D split: reads travel to the device
                     // 2-bit encoded (¼ byte per base), the *kernel* only
                     // computes superkmer ids and offsets (regular,
-                    // fixed-width output), and the irregular memory
-                    // movement — materialising and encoding superkmers —
-                    // stays on the host.
+                    // fixed-width output: one write-once slot per read),
+                    // and the irregular memory movement — materialising
+                    // and encoding superkmers — stays on the host.
                     let encoded: u64 = batch.iter().map(|r| r.len() as u64 / 4 + 1).sum();
                     device.transfer_to_device(encoded);
-                    let boundaries: Vec<Mutex<Vec<(usize, usize, dna::Kmer)>>> =
-                        (0..batch.len()).map(|_| Mutex::new(Vec::new())).collect();
+                    let slots = WriteOnceSlots::new(take_boundary_slots(
+                        boundary_pool,
+                        batch.len(),
+                    ));
                     device.execute(batch.len(), &|i| {
-                        *boundaries[i].lock() = scanner.scan_boundaries(batch[i].seq());
+                        // Work item i writes slot i — disjoint by
+                        // construction, so no lock is needed; the cursor
+                        // comes from a CAS-checked-out shard.
+                        let mut shard = roster.checkout();
+                        slots.with_mut(i, |runs| {
+                            scanner.scan_runs_into(batch[i].seq(), &mut shard.cursor, runs);
+                        });
                     });
-                    let mut local = Vec::with_capacity(64);
-                    for (read, bounds) in batch.iter().zip(&boundaries) {
-                        for sk in
-                            scanner.superkmers_from_boundaries(read.seq(), &bounds.lock())
-                        {
-                            emit(&sk, &mut local);
+                    // Host half: encode the runs into one shard's buffers.
+                    let boundaries = slots.into_inner();
+                    {
+                        let mut shard = roster.checkout();
+                        let StagingShard { buffers, counts, .. } = &mut *shard;
+                        for (read, runs) in batch.iter().zip(&boundaries) {
+                            let read = read.seq();
+                            for &(first, last, m) in runs {
+                                emit_run(router, k, read, (first, last), &m, buffers, counts);
+                            }
                         }
                     }
+                    boundary_pool.lock().extend(boundaries);
                 } else {
                     device.execute(batch.len(), &|i| {
-                        let mut local = Vec::with_capacity(64);
-                        for sk in scanner.scan(batch[i].seq()) {
-                            emit(&sk, &mut local);
-                        }
+                        let mut shard = roster.checkout();
+                        let read = batch[i].seq();
+                        let StagingShard { buffers, counts, cursor } = &mut *shard;
+                        scanner.scan_runs(read, cursor, |first, last, m| {
+                            emit_run(router, k, read, (first, last), &m, buffers, counts);
+                        });
                     });
                 }
-                let buffers: Vec<Vec<u8>> = buffers.into_iter().map(Mutex::into_inner).collect();
+                let shards = roster.into_shards();
                 if device.kind() == DeviceKind::SimGpu {
-                    let out_bytes: u64 = buffers.iter().map(|b| b.len() as u64).sum();
+                    let out_bytes: u64 =
+                        shards.iter().map(StagingShard::staged_bytes).sum();
                     device.transfer_from_device(out_bytes);
                 }
-                let counts: Vec<(u64, u64)> = sk_counts
-                    .iter()
-                    .zip(&km_counts)
-                    .map(|(s, k)| (s.load(Ordering::Relaxed), k.load(Ordering::Relaxed)))
-                    .collect();
-                (Batch1Out { buffers, counts }, batch.len() as u64)
+                let work = batch.len() as u64;
+                (Batch1Out { shards }, work)
             },
-            // Stage 3: append encoded bytes to the partition files.
+            // Stage 3: drain the shards into the partition files in bulk,
+            // then hand them back to the pool for the next batch.
             |_idx, out: Batch1Out| {
-                for (part, bytes) in out.buffers.iter().enumerate() {
-                    if bytes.is_empty() {
-                        continue;
-                    }
-                    let (sks, kms) = out.counts[part];
-                    io.charge(bytes.len() as u64);
-                    if let Err(e) = writer.append_encoded(part, bytes, sks, kms) {
-                        // A failed append means the partition files no
-                        // longer match the stats; abandon the run now
-                        // rather than scanning the remaining batches.
-                        write_error.set(e);
-                        cancel.cancel();
+                stats.batches += 1;
+                for shard in &out.shards {
+                    for (part, bytes) in shard.buffers.iter().enumerate() {
+                        if bytes.is_empty() {
+                            continue;
+                        }
+                        let (sks, kms) = shard.counts[part];
+                        stats.superkmers += sks;
+                        stats.kmers += kms;
+                        stats.staging_bytes += bytes.len() as u64;
+                        stats.merge_flushes += 1;
+                        io.charge(bytes.len() as u64);
+                        if let Err(e) = writer.append_encoded(part, bytes, sks, kms) {
+                            // A failed append means the partition files no
+                            // longer match the stats; abandon the run now
+                            // rather than scanning the remaining batches.
+                            write_error.set(e);
+                            cancel.cancel();
+                        }
                     }
                 }
+                shard_pool.put(out.shards);
             },
         )
     };
@@ -302,12 +432,24 @@ where
             cpu_compute,
             gpu_compute,
             contention: None,
+            step1_stats: Some(stats),
             resizes: 0,
             peak_partition_bytes: 0, // filled in by the caller
             peak_table_bytes: 0,     // Step 1 allocates no hash tables
             quarantined: Vec::new(),
         },
     ))
+}
+
+/// Checks `n` boundary-run vectors out of the recycle pool (topping up
+/// with fresh empties only while the pool is cold).
+fn take_boundary_slots(pool: &Mutex<Vec<BoundaryRuns>>, n: usize) -> Vec<BoundaryRuns> {
+    let mut free = pool.lock();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        out.push(free.pop().unwrap_or_default());
+    }
+    out
 }
 
 /// Splits per-device busy time into the model's `T_CPU` (sum over CPU
@@ -438,5 +580,73 @@ mod tests {
         let (manifest, _) = run_step1(&cfg, &rs, &io).unwrap();
         assert_eq!(manifest.total_kmers(), 3); // only the 9-mer read yields 9−7+1
         std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    #[test]
+    fn step1_report_carries_emit_stats() {
+        let cfg = config("parahash-step1-stats");
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let io = ThrottledIo::new(IoMode::Unthrottled);
+        let rs = reads();
+        let (manifest, report) = run_step1(&cfg, &rs, &io).unwrap();
+        let stats = report.step1_stats.expect("step 1 must report emit stats");
+        assert_eq!(stats.kmers, manifest.total_kmers());
+        assert_eq!(stats.superkmers, manifest.total_superkmers());
+        assert!(stats.superkmers > 0);
+        assert!(stats.staging_bytes > 0);
+        assert!(stats.merge_flushes >= 1);
+        assert!(stats.batches >= 1);
+        assert!(
+            stats.merge_flushes <= stats.batches * cfg.partitions() as u64 * 8,
+            "flushes bounded by batches × partitions × shards"
+        );
+        std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+    }
+
+    fn write_fastq(path: &std::path::Path, reads: &[SeqRead]) {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(path).unwrap();
+        for r in reads {
+            let seq: String = r.seq().bases().map(|b| b.to_ascii() as char).collect();
+            writeln!(f, "@{}\n{}\n+\n{}", r.id(), seq, "I".repeat(seq.len())).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_pass_and_indexed_fastq_agree() {
+        let rs = reads();
+        let path = std::env::temp_dir()
+            .join(format!("parahash-step1-fastq-{}.fastq", std::process::id()));
+        write_fastq(&path, &rs);
+
+        let run = |dir: &str, indexed: bool| {
+            let cfg = ParaHashConfig::builder()
+                .k(7)
+                .p(4)
+                .partitions(8)
+                .cpu_threads(2)
+                .read_batch_bytes(64)
+                .indexed_fastq(indexed)
+                .work_dir(std::env::temp_dir().join(dir))
+                .build()
+                .unwrap();
+            let _ = std::fs::remove_dir_all(cfg.work_dir());
+            let io = ThrottledIo::new(IoMode::Unthrottled);
+            let (manifest, report) = run_step1_fastq(&cfg, &path, &io).unwrap();
+            let per_part: Vec<(u64, u64)> = manifest
+                .stats()
+                .iter()
+                .map(|s| (s.superkmers, s.kmers))
+                .collect();
+            let totals = (manifest.total_superkmers(), manifest.total_kmers());
+            assert_eq!(report.pipeline.total_work(), rs.len() as u64, "indexed={indexed}");
+            std::fs::remove_dir_all(cfg.work_dir()).unwrap();
+            (per_part, totals)
+        };
+
+        let single = run("parahash-step1-fastq-single", false);
+        let indexed = run("parahash-step1-fastq-indexed", true);
+        assert_eq!(single, indexed, "single-pass and indexed batching must partition identically");
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -317,6 +317,7 @@ pub fn run_step2(
         cpu_compute,
         gpu_compute,
         contention: Some(total_contention.into_inner()),
+        step1_stats: None,
         resizes: total_resizes.into_inner(),
         peak_partition_bytes: peak_partition.into_inner(),
         peak_table_bytes: peak_table.into_inner(),
