@@ -1,0 +1,174 @@
+//! Fused-vs-two-phase end-to-end benchmarks and the table-pool
+//! amortised-zero-allocation proof.
+//!
+//! * **`e2e/*`** — full construction (Step 1 + Step 2) over one simulated
+//!   corpus: the classic two-phase flow (partitions round-trip through
+//!   disk, fresh hash table per partition) against the fused pipeline
+//!   (budget-governed in-memory partition handoff, streaming Step-2
+//!   scheduler, pooled tables), at 1 and 4 CPU threads. This is the
+//!   number the fused tentpole's acceptance criterion tracks.
+//! * **`table_pool/*`** — the pooling ablation in isolation: building a
+//!   partition-sized subgraph on a freshly allocated
+//!   `ConcurrentDbgTable` every iteration vs a recycled
+//!   `TablePool::checkout`.
+//!
+//! Before the timed benches run, `assert_amortised_zero_alloc_pool`
+//! drives 100 checkout→record→drop cycles through a warm pool and
+//! asserts the steady state performs **zero** heap allocations — the
+//! pooling contract, enforced on every bench run (including CI's smoke
+//! mode).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use dna::SeqRead;
+use hashgraph::{ConcurrentDbgTable, TablePool, VertexTable};
+use parahash::{ParaHash, ParaHashConfig};
+use pipeline::IoMode;
+
+/// Global allocator wrapper that counts allocations (one counter bump
+/// per `alloc`/`realloc` call).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const K: usize = 27;
+const P: usize = 11;
+const PARTS: usize = 16;
+
+fn corpus() -> Vec<SeqRead> {
+    let genome = GenomeSpec::new(60_000).seed(11).repeat_fraction(0.2).generate();
+    Sequencer::new(SequencingSpec {
+        read_len: 101,
+        coverage: 4.0,
+        seed: 11,
+        ..Default::default()
+    })
+    .sequence(&genome)
+}
+
+fn runner(dir: &str, threads: usize, budget: u64) -> ParaHash {
+    let config = ParaHashConfig::builder()
+        .k(K)
+        .p(P)
+        .partitions(PARTS)
+        .cpu_threads(threads)
+        .partition_memory_budget(budget)
+        .io_mode(IoMode::Unthrottled)
+        .work_dir(std::env::temp_dir().join(dir))
+        .build()
+        .unwrap();
+    let _ = std::fs::remove_dir_all(config.work_dir());
+    ParaHash::new(config).unwrap()
+}
+
+/// The pooling contract: once the pool is warm (one table allocated per
+/// capacity class in play), a checkout→record→snapshot→drop cycle
+/// performs zero heap allocations beyond what the work itself requires —
+/// and a record-only cycle performs exactly zero.
+fn assert_amortised_zero_alloc_pool() {
+    let pool = TablePool::new(K);
+    let kmers: Vec<dna::Kmer> = corpus()[0].seq().kmers(K).map(|k| k.canonical().0).collect();
+    // Warm-up: the single allocation this class will ever need.
+    {
+        let table = pool.checkout(4096);
+        for kmer in &kmers {
+            table.record(kmer, [Some(1), None]).unwrap();
+        }
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        let table = pool.checkout(4096);
+        for kmer in &kmers {
+            table.record(kmer, [Some(1), None]).unwrap();
+        }
+        assert!(table.distinct() > 0);
+    } // drop returns the table to its shelf each cycle
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "warm pool checkout/record/drop cycles must not allocate ({allocs} allocations in 100 cycles)"
+    );
+    assert_eq!(pool.allocations(), 1, "one class, one allocation, ever");
+    assert_eq!(pool.reuses(), 100);
+    eprintln!("table_pool steady state: 0 allocations across 100 cycles (1 warm-up allocation)");
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    assert_amortised_zero_alloc_pool();
+
+    let reads = corpus();
+    let total_kmers: u64 = reads.iter().map(|r| (r.len() - K + 1) as u64).sum();
+
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total_kmers));
+
+    for threads in [1usize, 4] {
+        g.bench_function(format!("two_phase/t{threads}"), |b| {
+            let ph = runner(&format!("parahash-bench-e2e-2p-t{threads}"), threads, 0);
+            b.iter(|| ph.run(&reads).unwrap().graph.distinct_vertices());
+            let _ = std::fs::remove_dir_all(ph.config().work_dir());
+        });
+        g.bench_function(format!("fused/t{threads}"), |b| {
+            let ph = runner(&format!("parahash-bench-e2e-fu-t{threads}"), threads, u64::MAX);
+            b.iter(|| ph.run_fused(&reads).unwrap().graph.distinct_vertices());
+            let _ = std::fs::remove_dir_all(ph.config().work_dir());
+        });
+    }
+    g.finish();
+
+    // Pooling ablation: one partition-sized build per iteration.
+    let kmers: Vec<dna::Kmer> = reads
+        .iter()
+        .take(200)
+        .flat_map(|r| r.seq().kmers(K).map(|k| k.canonical().0).collect::<Vec<_>>())
+        .collect();
+    let mut g = c.benchmark_group("table_pool");
+    g.throughput(Throughput::Elements(kmers.len() as u64));
+
+    g.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            let table = ConcurrentDbgTable::new(1 << 15, K);
+            for kmer in &kmers {
+                table.record(kmer, [Some(1), None]).unwrap();
+            }
+            table.distinct()
+        });
+    });
+    g.bench_function("pooled", |b| {
+        let pool = TablePool::new(K);
+        b.iter(|| {
+            let table = pool.checkout(1 << 15);
+            for kmer in &kmers {
+                table.record(kmer, [Some(1), None]).unwrap();
+            }
+            table.distinct()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -48,6 +48,7 @@ mod cleaning;
 mod contention;
 mod estimate;
 mod graph;
+mod pool;
 mod spectrum;
 mod stats;
 mod store;
@@ -63,6 +64,7 @@ pub use cleaning::{clip_tips, pop_bubbles};
 pub use contention::ContentionStats;
 pub use estimate::{expected_distinct_vertices, table_capacity_for, SizingParams};
 pub use graph::{DeBruijnGraph, EdgeDir, SubGraph, VertexData};
+pub use pool::{PooledTable, TablePool};
 pub use spectrum::Spectrum;
 pub use stats::AssemblyStats;
 pub use store::{load_graph, read_graph, save_graph, write_graph, StoreError};

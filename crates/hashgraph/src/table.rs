@@ -180,6 +180,29 @@ impl ConcurrentDbgTable {
         self.capacity * (2 + 32 + 4 + 32)
     }
 
+    /// Clears the table for reuse without touching its allocations — the
+    /// [`TablePool`](crate::TablePool) reset. Exclusive access (`&mut`)
+    /// makes every atomic plain memory, so this is three memsets.
+    ///
+    /// Key cells are deliberately *not* cleared: a key is only ever read
+    /// after observing `OCCUPIED` on its slot's state word, and every
+    /// state word returns to `EMPTY` here, so stale keys are unreachable
+    /// until a future insert overwrites them under its slot lock.
+    /// Counts and edge counters **must** clear — the record path bumps
+    /// them with `fetch_add`, which would absorb stale values silently.
+    pub fn reset(&mut self) {
+        for s in self.states.iter_mut() {
+            *s.get_mut() = EMPTY;
+        }
+        for c in self.counts.iter_mut() {
+            *c.get_mut() = 0;
+        }
+        for e in self.edges.iter_mut() {
+            *e.get_mut() = 0;
+        }
+        self.stats = Counters::default();
+    }
+
     /// Reads the key in `slot`; caller must have observed `OCCUPIED` with
     /// acquire ordering.
     #[inline]
@@ -480,6 +503,35 @@ mod tests {
         // Every probe step passed over an occupied-or-locked slot; tag
         // rejects can never exceed the occupied-slot rejections.
         assert!(c.tag_rejects <= c.probe_steps);
+    }
+
+    #[test]
+    fn reset_table_behaves_like_fresh() {
+        let seq = PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAG");
+        let record_all = |t: &ConcurrentDbgTable| {
+            for (i, kmer) in seq.kmers(6).enumerate() {
+                t.record(&kmer.canonical().0, [Some((i % 8) as u8), None]).unwrap();
+            }
+        };
+        let fresh = ConcurrentDbgTable::new(64, 6);
+        record_all(&fresh);
+
+        let mut reused = ConcurrentDbgTable::new(64, 6);
+        // Dirty it with a different workload, then reset.
+        let other = PackedSeq::from_ascii(b"TTTTTTAAAAAACCCCCCGGGGGGTTTTTT");
+        for kmer in other.kmers(6) {
+            reused.record(&kmer.canonical().0, [Some(7), Some(3)]).unwrap();
+        }
+        reused.reset();
+        assert_eq!(reused.distinct(), 0);
+        assert_eq!(reused.contention().insertions, 0);
+        record_all(&reused);
+
+        let mut a = fresh.snapshot().into_entries();
+        let mut b = reused.snapshot().into_entries();
+        a.sort_by_key(|x| x.0);
+        b.sort_by_key(|x| x.0);
+        assert_eq!(a, b, "reset table must reproduce a fresh table's contents");
     }
 
     #[test]

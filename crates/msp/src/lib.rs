@@ -47,6 +47,7 @@ mod partition;
 mod reader;
 mod record;
 mod stats;
+mod store;
 mod superkmer;
 mod view;
 mod writer;
@@ -59,6 +60,7 @@ pub use partition::{partition_in_memory, PartitionRouter};
 pub use reader::PartitionReader;
 pub use record::{decode_superkmer, encode_superkmer, encode_superkmer_slice, encoded_len};
 pub use stats::{DistributionSummary, PartitionStats};
+pub use store::{PartitionSink, PartitionStore, SealedPartition, SealedPayload};
 pub use superkmer::{Superkmer, SuperkmerScanner};
 pub use view::{iter_views, PartitionSlices, SuperkmerView, ViewIter};
 pub use writer::{PartitionManifest, PartitionWriter, QuarantinedPartition};

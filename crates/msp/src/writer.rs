@@ -197,6 +197,7 @@ impl PartitionWriter {
             p: self.p,
             stats: std::mem::take(&mut self.stats),
             quarantined: Vec::new(),
+            residency: None,
         };
         manifest.save()?;
         Ok(manifest)
@@ -225,9 +226,28 @@ pub struct PartitionManifest {
     p: usize,
     stats: Vec<PartitionStats>,
     quarantined: Vec<QuarantinedPartition>,
+    /// `Some` for manifests written by the fused pipeline's
+    /// [`PartitionStore`](crate::PartitionStore): `residency[i]` says
+    /// whether partition `i` stayed in memory (`true`) or was spilled to
+    /// its `part-NNNNN.skm` file (`false`). `None` for classic all-disk
+    /// manifests, where every partition is implicitly on disk.
+    residency: Option<Vec<bool>>,
 }
 
 impl PartitionManifest {
+    /// Assembles a manifest from parts — used by the sibling
+    /// [`PartitionStore`](crate::PartitionStore) module, which tracks its
+    /// own stats and residency.
+    pub(crate) fn from_parts(
+        dir: PathBuf,
+        k: usize,
+        p: usize,
+        stats: Vec<PartitionStats>,
+        quarantined: Vec<QuarantinedPartition>,
+        residency: Option<Vec<bool>>,
+    ) -> PartitionManifest {
+        PartitionManifest { dir, k, p, stats, quarantined, residency }
+    }
     /// The directory holding the partition files.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -257,6 +277,14 @@ impl PartitionManifest {
     /// (non-strict mode). Empty for a healthy run.
     pub fn quarantined(&self) -> &[QuarantinedPartition] {
         &self.quarantined
+    }
+
+    /// Per-partition residency recorded by the fused pipeline's
+    /// [`PartitionStore`](crate::PartitionStore) (`true` = stayed in
+    /// memory, `false` = spilled to disk), or `None` for classic all-disk
+    /// manifests.
+    pub fn residency(&self) -> Option<&[bool]> {
+        self.residency.as_deref()
     }
 
     /// Whether partition `index` has been quarantined.
@@ -319,6 +347,11 @@ impl PartitionManifest {
         for (i, s) in self.stats.iter().enumerate() {
             writeln!(f, "part {i} {} {} {}", s.superkmers, s.kmers, s.bytes)?;
         }
+        if let Some(residency) = &self.residency {
+            for (i, resident) in residency.iter().enumerate() {
+                writeln!(f, "{} {i}", if *resident { "resident" } else { "spilled" })?;
+            }
+        }
         for q in &self.quarantined {
             // Reasons are free text; fold any newlines so the line-oriented
             // format stays parseable.
@@ -376,9 +409,12 @@ impl PartitionManifest {
                 bytes: parse(parts[4])?,
             });
         }
-        // Optional quarantine lines (absent in manifests from healthy runs
-        // and in files written before quarantine existed).
+        // Optional trailing lines, in any order: `resident <i>` /
+        // `spilled <i>` residency marks (fused-pipeline manifests) and
+        // `quarantined <i> <reason>` marks. Both are absent in classic
+        // healthy-run manifests.
         let mut quarantined = Vec::new();
+        let mut residency: Option<Vec<bool>> = None;
         let mut lineno = 4 + n as u64;
         for line in lines {
             let line = line?;
@@ -386,27 +422,38 @@ impl PartitionManifest {
                 lineno += 1;
                 continue;
             }
-            let rest = line
-                .strip_prefix("quarantined ")
-                .ok_or_else(|| corrupt(lineno, format!("unexpected trailing line {line:?}")))?;
-            let (idx, reason) = rest.split_once(' ').unwrap_or((rest, ""));
-            let index: usize = idx
-                .parse()
-                .map_err(|e| corrupt(lineno, format!("bad quarantined index: {e}")))?;
-            if index >= n {
-                return Err(corrupt(
-                    lineno,
-                    format!("quarantined index {index} out of range (partitions {n})"),
-                ));
+            let index_in_range = |idx: &str, what: &str, lineno: u64| -> Result<usize> {
+                let index: usize = idx
+                    .parse()
+                    .map_err(|e| corrupt(lineno, format!("bad {what} index: {e}")))?;
+                if index >= n {
+                    return Err(corrupt(
+                        lineno,
+                        format!("{what} index {index} out of range (partitions {n})"),
+                    ));
+                }
+                Ok(index)
+            };
+            if let Some(rest) = line.strip_prefix("quarantined ") {
+                let (idx, reason) = rest.split_once(' ').unwrap_or((rest, ""));
+                let index = index_in_range(idx, "quarantined", lineno)?;
+                quarantined.push(QuarantinedPartition { index, reason: reason.to_string() });
+            } else if let Some(rest) = line.strip_prefix("resident ") {
+                let index = index_in_range(rest.trim(), "resident", lineno)?;
+                residency.get_or_insert_with(|| vec![false; n])[index] = true;
+            } else if let Some(rest) = line.strip_prefix("spilled ") {
+                let index = index_in_range(rest.trim(), "spilled", lineno)?;
+                residency.get_or_insert_with(|| vec![false; n])[index] = false;
+            } else {
+                return Err(corrupt(lineno, format!("unexpected trailing line {line:?}")));
             }
-            quarantined.push(QuarantinedPartition { index, reason: reason.to_string() });
             lineno += 1;
         }
-        Ok(PartitionManifest { dir, k, p, stats, quarantined })
+        Ok(PartitionManifest { dir, k, p, stats, quarantined, residency })
     }
 }
 
-fn partition_path(dir: &Path, index: usize) -> PathBuf {
+pub(crate) fn partition_path(dir: &Path, index: usize) -> PathBuf {
     dir.join(format!("part-{index:05}.skm"))
 }
 

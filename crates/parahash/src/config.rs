@@ -23,6 +23,7 @@ pub struct ParaHashConfig {
     pub(crate) strict: bool,
     pub(crate) retry: RetryPolicy,
     pub(crate) indexed_fastq: bool,
+    pub(crate) partition_memory_budget: u64,
     pub(crate) devices: Vec<Arc<dyn Device>>,
 }
 
@@ -95,6 +96,12 @@ impl ParaHashConfig {
     pub fn indexed_fastq(&self) -> bool {
         self.indexed_fastq
     }
+
+    /// Byte budget for resident partitions in the fused pipeline (see
+    /// [`ParaHashConfigBuilder::partition_memory_budget`]).
+    pub fn partition_memory_budget(&self) -> u64 {
+        self.partition_memory_budget
+    }
 }
 
 /// Builder for [`ParaHashConfig`].
@@ -132,6 +139,7 @@ pub struct ParaHashConfigBuilder {
     strict: bool,
     retry: RetryPolicy,
     indexed_fastq: bool,
+    partition_memory_budget: u64,
     cpu_threads: Option<usize>,
     gpus: Vec<SimGpuConfig>,
     extra_devices: Vec<Arc<dyn Device>>,
@@ -152,6 +160,7 @@ impl Default for ParaHashConfigBuilder {
             strict: true,
             retry: RetryPolicy::default(),
             indexed_fastq: false,
+            partition_memory_budget: 256 << 20, // 256 MiB resident by default
             cpu_threads: Some(0), // 0 = all available
             gpus: Vec::new(),
             extra_devices: Vec::new(),
@@ -250,6 +259,20 @@ impl ParaHashConfigBuilder {
         self
     }
 
+    /// Sets the byte budget for **resident** partitions in the fused
+    /// pipeline ([`crate::run_fused`] / [`crate::run_fused_fastq`]):
+    /// Step-1 partitions accumulate in memory until the budget is
+    /// exceeded, then the largest are spilled to the usual partition
+    /// files. `0` forces every partition to disk (the classic two-phase
+    /// data path, still fused in time); a huge budget keeps the whole
+    /// Step-1→Step-2 handoff off the disk. Default: 256 MiB. The
+    /// two-phase entry points ([`crate::run_step1`] + [`crate::run_step2`])
+    /// ignore this setting.
+    pub fn partition_memory_budget(mut self, bytes: u64) -> Self {
+        self.partition_memory_budget = bytes;
+        self
+    }
+
     /// Uses a CPU device with `threads` workers (0 = all available cores).
     /// This is the default; call [`no_cpu`](Self::no_cpu) for GPU-only runs.
     pub fn cpu_threads(mut self, threads: usize) -> Self {
@@ -334,6 +357,7 @@ impl ParaHashConfigBuilder {
             strict: self.strict,
             retry: self.retry,
             indexed_fastq: self.indexed_fastq,
+            partition_memory_budget: self.partition_memory_budget,
             devices,
         })
     }

@@ -16,6 +16,16 @@
 //! and the (possibly throttled) I/O channel, so the Case-1/Case-2 regimes
 //! of §IV are directly reproducible.
 //!
+//! Beyond the two-phase flow above, [`ParaHash::run_fused`] runs the
+//! steps **fused**: Step 1 stages partitions in a budget-governed
+//! in-memory [`msp::PartitionStore`] (spilling the largest to disk only
+//! when
+//! [`partition_memory_budget`](ParaHashConfigBuilder::partition_memory_budget)
+//! is exceeded) while Step 2 consumes sealed partitions concurrently
+//! from a streaming queue, recycling hash-table allocations through a
+//! [`hashgraph::TablePool`]. The fused result is byte-identical to the
+//! two-phase one — only where the partition bytes live changes.
+//!
 //! # Examples
 //!
 //! ```

@@ -54,6 +54,12 @@ pub struct StepReport {
     /// buffer and the table coexist during a launch — host-memory
     /// accounting must *add* them, not take the max.
     pub peak_table_bytes: u64,
+    /// Fused mode only: peak bytes held by the resident
+    /// [`msp::PartitionStore`] during Step 1 (0 in two-phase runs and in
+    /// Step-2 reports). Resident partitions coexist with the in-flight
+    /// batch and, later, with Step-2's tables — host-memory accounting
+    /// must *add* this component.
+    pub peak_resident_store_bytes: u64,
     /// Partitions set aside after repeated failures instead of aborting
     /// the run (non-strict mode only; always empty in strict mode).
     pub quarantined: Vec<msp::QuarantinedPartition>,
@@ -178,6 +184,7 @@ mod tests {
             resizes: 0,
             peak_partition_bytes: 0,
             peak_table_bytes: 0,
+            peak_resident_store_bytes: 0,
             quarantined: Vec::new(),
         }
     }

@@ -4,10 +4,11 @@ use std::time::Duration;
 use dna::{Kmer, PackedSeq, SeqRead};
 use hetsim::{Device, DeviceKind};
 use msp::{
-    encode_superkmer_slice, PartitionManifest, PartitionRouter, PartitionWriter, SuperkmerScanner,
+    encode_superkmer_slice, PartitionManifest, PartitionRouter, PartitionSink, PartitionWriter,
+    SuperkmerScanner,
 };
 use parking_lot::Mutex;
-use pipeline::{run_coprocessed_with, CancelToken, ThrottledIo};
+use pipeline::{run_coprocessed_with, CancelToken, PipelineReport, ThrottledIo};
 
 use crate::once_error::OnceError;
 use crate::staging::{ShardPool, StagingShard, WorkerShards, WriteOnceSlots};
@@ -69,17 +70,54 @@ pub fn run_step1(
     reads: &[SeqRead],
     io: &ThrottledIo,
 ) -> Result<(PartitionManifest, StepReport)> {
+    let dir = config.work_dir.join("superkmers");
+    let mut writer = PartitionWriter::create(&dir, config.partitions, config.k, config.p)?;
+    let cancel = CancelToken::new();
+    match step1_sink_reads(config, reads, io, &cancel, &mut writer) {
+        Ok((stats, pipeline_report, peak_batch)) => {
+            let manifest = writer.finish()?;
+            Ok((manifest, step1_report(config, stats, pipeline_report, peak_batch)))
+        }
+        Err(e) => {
+            // The partition directory holds an inconsistent prefix —
+            // remove it so Step 2 can never be pointed at it.
+            drop(writer);
+            let _ = std::fs::remove_dir_all(&dir);
+            Err(e)
+        }
+    }
+}
+
+/// The sink-agnostic body of [`run_step1`]: streams in-memory reads
+/// through the Step-1 pipeline into any [`PartitionSink`] (the classic
+/// all-disk writer or the fused pipeline's budget-governed
+/// [`msp::PartitionStore`]). Returns the emit stats, the pipeline report
+/// and the peak in-flight batch bytes; the caller owns manifest
+/// finalisation and error cleanup.
+pub(crate) fn step1_sink_reads<S: PartitionSink + Send>(
+    config: &ParaHashConfig,
+    reads: &[SeqRead],
+    io: &ThrottledIo,
+    cancel: &CancelToken,
+    sink: &mut S,
+) -> Result<(Step1Stats, PipelineReport, u64)> {
     let ranges = batch_ranges(reads, config.read_batch_bytes);
     let peak_batch = AtomicU64::new(0);
-    let cancel = CancelToken::new();
-    let result = run_step1_batches(config, ranges.len(), |i| {
-        let batch = &reads[ranges[i].clone()];
-        let bytes: usize = batch.iter().map(SeqRead::approx_bytes).sum();
-        peak_batch.fetch_max(bytes as u64, Ordering::Relaxed);
-        io.charge(bytes as u64);
-        batch
-    }, io, &cancel);
-    finalize_peak(result, peak_batch.into_inner())
+    let (stats, report) = run_step1_batches(
+        config,
+        ranges.len(),
+        |i| {
+            let batch = &reads[ranges[i].clone()];
+            let bytes: usize = batch.iter().map(SeqRead::approx_bytes).sum();
+            peak_batch.fetch_max(bytes as u64, Ordering::Relaxed);
+            io.charge(bytes as u64);
+            batch
+        },
+        io,
+        cancel,
+        sink,
+    )?;
+    Ok((stats, report, peak_batch.into_inner()))
 }
 
 /// Streaming Step 1 over a FASTQ file: the input stage parses one batch
@@ -106,37 +144,107 @@ pub fn run_step1_fastq(
     path: impl AsRef<std::path::Path>,
     io: &ThrottledIo,
 ) -> Result<(PartitionManifest, StepReport)> {
+    let dir = config.work_dir.join("superkmers");
+    let mut writer = PartitionWriter::create(&dir, config.partitions, config.k, config.p)?;
+    let cancel = CancelToken::new();
+    match step1_sink_fastq(config, path.as_ref(), io, &cancel, &mut writer) {
+        Ok((stats, pipeline_report, peak_batch)) => {
+            let manifest = writer.finish()?;
+            Ok((manifest, step1_report(config, stats, pipeline_report, peak_batch)))
+        }
+        Err(e) => {
+            // Abandon the partial partition directory: it covers an
+            // unknown prefix of the input.
+            drop(writer);
+            let _ = std::fs::remove_dir_all(&dir);
+            Err(e)
+        }
+    }
+}
+
+/// The sink-agnostic body of [`run_step1_fastq`] (both the single-pass
+/// and the indexed two-pass variants): streams a FASTQ file through the
+/// Step-1 pipeline into any [`PartitionSink`]. Parse failures poison the
+/// stream (the position is lost) and surface as `Err`; the caller owns
+/// manifest finalisation and directory cleanup.
+pub(crate) fn step1_sink_fastq<S: PartitionSink + Send>(
+    config: &ParaHashConfig,
+    path: &std::path::Path,
+    io: &ThrottledIo,
+    cancel: &CancelToken,
+    sink: &mut S,
+) -> Result<(Step1Stats, PipelineReport, u64)> {
     use std::io::BufReader;
 
-    let path = path.as_ref();
-    if config.indexed_fastq {
-        return run_step1_fastq_indexed(config, path, io);
-    }
-
-    // Single pass: the batch count only has to *bound* the number of
-    // batches the input stage will produce. A FASTQ record spends at
+    // Indexed (two-pass) mode: pass 1 indexes the file into record-exact
+    // batch cuts, pass 2 re-reads it through the pipeline. Single-pass
+    // mode needs no index: the batch count only has to *bound* the number
+    // of batches the input stage will produce. A FASTQ record spends at
     // least its sequence length in file bytes (plus header, '+' line and
     // qualities), so `file_len / read_batch_bytes + 1` batches of
     // ~`read_batch_bytes` of sequence each can never fall short; the
     // surplus batches parse nothing and flow through as empty.
-    let file_len = std::fs::metadata(path)?.len();
-    let n_batches = (file_len / config.read_batch_bytes.max(1) as u64) as usize + 1;
+    let batch_records: Option<Vec<usize>> = if config.indexed_fastq {
+        let mut cuts: Vec<usize> = Vec::new();
+        let reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
+        let mut records = 0usize;
+        let mut bytes = 0usize;
+        for record in reader {
+            let record = record.map_err(parse_error)?;
+            records += 1;
+            bytes += record.approx_bytes();
+            if bytes >= config.read_batch_bytes {
+                cuts.push(records);
+                records = 0;
+                bytes = 0;
+            }
+        }
+        if records > 0 {
+            cuts.push(records);
+        }
+        Some(cuts)
+    } else {
+        None
+    };
+    let n_batches = match &batch_records {
+        Some(cuts) => cuts.len(),
+        None => {
+            let file_len = std::fs::metadata(path)?.len();
+            (file_len / config.read_batch_bytes.max(1) as u64) as usize + 1
+        }
+    };
 
     let mut reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
     let peak_batch = AtomicU64::new(0);
     let parse_failure: OnceError<crate::ParaHashError> = OnceError::new();
-    let cancel = CancelToken::new();
     let result = {
         let parse_failure = &parse_failure;
         let peak_batch = &peak_batch;
-        let cancel_ref = &cancel;
+        let batch_records = &batch_records;
         run_step1_batches(
             config,
             n_batches,
-            move |_i| {
-                let mut batch = Vec::new();
+            move |i| {
+                let mut batch = match batch_records {
+                    Some(cuts) => Vec::with_capacity(cuts[i]),
+                    None => Vec::new(),
+                };
                 let mut bytes = 0usize;
-                while bytes < config.read_batch_bytes {
+                loop {
+                    match batch_records {
+                        // Indexed: stop at this batch's record count.
+                        Some(cuts) => {
+                            if batch.len() >= cuts[i] {
+                                break;
+                            }
+                        }
+                        // Single pass: cut once enough sequence arrived.
+                        None => {
+                            if bytes >= config.read_batch_bytes {
+                                break;
+                            }
+                        }
+                    }
                     match reader.read_record() {
                         Ok(Some(read)) => {
                             bytes += read.approx_bytes();
@@ -148,7 +256,7 @@ pub fn run_step1_fastq(
                             // (the stream position is lost): stop feeding
                             // the pipeline rather than scanning the rest.
                             parse_failure.set(parse_error(e));
-                            cancel_ref.cancel();
+                            cancel.cancel();
                             break;
                         }
                     }
@@ -158,91 +266,15 @@ pub fn run_step1_fastq(
                 batch
             },
             io,
-            cancel_ref,
+            cancel,
+            sink,
         )
     };
     if let Some(e) = parse_failure.into_inner() {
-        // Abandon the partial partition directory: it covers an unknown
-        // prefix of the input.
-        let _ = std::fs::remove_dir_all(config.work_dir.join("superkmers"));
         return Err(e);
     }
-    finalize_peak(result, peak_batch.into_inner())
-}
-
-/// The two-pass variant of [`run_step1_fastq`]: pass 1 indexes the file
-/// into record-exact batch cuts, pass 2 re-reads it through the pipeline.
-fn run_step1_fastq_indexed(
-    config: &ParaHashConfig,
-    path: &std::path::Path,
-    io: &ThrottledIo,
-) -> Result<(PartitionManifest, StepReport)> {
-    use std::io::BufReader;
-
-    // Pass 1: index — records per batch, cut at ~read_batch_bytes of
-    // sequence text.
-    let mut batch_records: Vec<usize> = Vec::new();
-    {
-        let reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
-        let mut records = 0usize;
-        let mut bytes = 0usize;
-        for record in reader {
-            let record = record.map_err(parse_error)?;
-            records += 1;
-            bytes += record.approx_bytes();
-            if bytes >= config.read_batch_bytes {
-                batch_records.push(records);
-                records = 0;
-                bytes = 0;
-            }
-        }
-        if records > 0 {
-            batch_records.push(records);
-        }
-    }
-
-    // Pass 2: the pipeline; the input stage parses sequentially.
-    let mut reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
-    let peak_batch = AtomicU64::new(0);
-    let parse_failure: OnceError<crate::ParaHashError> = OnceError::new();
-    let cancel = CancelToken::new();
-    let result = {
-        let parse_failure = &parse_failure;
-        let peak_batch = &peak_batch;
-        let cancel_ref = &cancel;
-        run_step1_batches(
-            config,
-            batch_records.len(),
-            move |i| {
-                let mut batch = Vec::with_capacity(batch_records[i]);
-                let mut bytes = 0usize;
-                for _ in 0..batch_records[i] {
-                    match reader.read_record() {
-                        Ok(Some(read)) => {
-                            bytes += read.approx_bytes();
-                            batch.push(read);
-                        }
-                        Ok(None) => break,
-                        Err(e) => {
-                            parse_failure.set(parse_error(e));
-                            cancel_ref.cancel();
-                            break;
-                        }
-                    }
-                }
-                peak_batch.fetch_max(bytes as u64, Ordering::Relaxed);
-                io.charge(bytes as u64);
-                batch
-            },
-            io,
-            cancel_ref,
-        )
-    };
-    if let Some(e) = parse_failure.into_inner() {
-        let _ = std::fs::remove_dir_all(config.work_dir.join("superkmers"));
-        return Err(e);
-    }
-    finalize_peak(result, peak_batch.into_inner())
+    let (stats, report) = result?;
+    Ok((stats, report, peak_batch.into_inner()))
 }
 
 fn parse_error(e: dna::DnaError) -> crate::ParaHashError {
@@ -252,14 +284,27 @@ fn parse_error(e: dna::DnaError) -> crate::ParaHashError {
     }
 }
 
-fn finalize_peak(
-    result: Result<(PartitionManifest, StepReport)>,
-    peak: u64,
-) -> Result<(PartitionManifest, StepReport)> {
-    result.map(|(manifest, mut report)| {
-        report.peak_partition_bytes = peak;
-        (manifest, report)
-    })
+/// Assembles Step 1's [`StepReport`] from the pipeline outputs.
+pub(crate) fn step1_report(
+    config: &ParaHashConfig,
+    stats: Step1Stats,
+    pipeline_report: PipelineReport,
+    peak_batch: u64,
+) -> StepReport {
+    let (cpu_compute, gpu_compute) = split_device_times(config, &pipeline_report.shares);
+    StepReport {
+        step: 1,
+        pipeline: pipeline_report,
+        cpu_compute,
+        gpu_compute,
+        contention: None,
+        step1_stats: Some(stats),
+        resizes: 0,
+        peak_partition_bytes: peak_batch,
+        peak_table_bytes: 0, // Step 1 allocates no hash tables
+        peak_resident_store_bytes: 0, // filled in by the fused driver
+        quarantined: Vec::new(),
+    }
 }
 
 /// Routes and encodes one boundary run (`first..=last`, `minimizer`) of
@@ -286,23 +331,24 @@ fn emit_run(
 }
 
 /// The shared Step-1 pipeline over any batch source (in-memory slices or
-/// a streaming parser).
-fn run_step1_batches<B, FP>(
+/// a streaming parser) and any [`PartitionSink`] (disk writer or the
+/// fused pipeline's budget-governed store).
+fn run_step1_batches<B, FP, S>(
     config: &ParaHashConfig,
     n_batches: usize,
     produce: FP,
     io: &ThrottledIo,
     cancel: &CancelToken,
-) -> Result<(PartitionManifest, StepReport)>
+    sink: &mut S,
+) -> Result<(Step1Stats, PipelineReport)>
 where
     B: AsRef<[SeqRead]> + Send,
     FP: FnMut(usize) -> B + Send,
+    S: PartitionSink + Send,
 {
     let scanner = SuperkmerScanner::new(config.k, config.p)?;
     let router = PartitionRouter::new(config.partitions)?;
     let k = config.k;
-    let dir = config.work_dir.join("superkmers");
-    let mut writer = PartitionWriter::create(&dir, config.partitions, config.k, config.p)?;
     let write_error: OnceError<msp::MspError> = OnceError::new();
     let mut stats = Step1Stats::default();
 
@@ -315,7 +361,7 @@ where
     let pipeline_report = {
         let scanner = &scanner;
         let router = &router;
-        let writer = &mut writer;
+        let sink = &mut *sink;
         let write_error = &write_error;
         let shard_pool = &shard_pool;
         let boundary_pool = &boundary_pool;
@@ -400,9 +446,9 @@ where
                         stats.staging_bytes += bytes.len() as u64;
                         stats.merge_flushes += 1;
                         io.charge(bytes.len() as u64);
-                        if let Err(e) = writer.append_encoded(part, bytes, sks, kms) {
-                            // A failed append means the partition files no
-                            // longer match the stats; abandon the run now
+                        if let Err(e) = sink.append_encoded(part, bytes, sks, kms) {
+                            // A failed append means the partition data no
+                            // longer matches the stats; abandon the run now
                             // rather than scanning the remaining batches.
                             write_error.set(e);
                             cancel.cancel();
@@ -415,30 +461,9 @@ where
     };
 
     if let Some(e) = write_error.into_inner() {
-        // The partition directory holds an inconsistent prefix — remove
-        // it so Step 2 can never be pointed at it.
-        drop(writer);
-        let _ = std::fs::remove_dir_all(&dir);
         return Err(e.into());
     }
-    let manifest = writer.finish()?;
-
-    let (cpu_compute, gpu_compute) = split_device_times(config, &pipeline_report.shares);
-    Ok((
-        manifest,
-        StepReport {
-            step: 1,
-            pipeline: pipeline_report,
-            cpu_compute,
-            gpu_compute,
-            contention: None,
-            step1_stats: Some(stats),
-            resizes: 0,
-            peak_partition_bytes: 0, // filled in by the caller
-            peak_table_bytes: 0,     // Step 1 allocates no hash tables
-            quarantined: Vec::new(),
-        },
-    ))
+    Ok((stats, pipeline_report))
 }
 
 /// Checks `n` boundary-run vectors out of the recycle pool (topping up

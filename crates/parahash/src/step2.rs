@@ -1,13 +1,19 @@
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use hashgraph::{
-    table_capacity_for, ConcurrentDbgTable, ContentionStats, DeBruijnGraph, HashGraphError,
-    SubGraph, VertexTable,
+    table_capacity_for, ContentionStats, DeBruijnGraph, HashGraphError, SubGraph, TablePool,
+    VertexTable,
 };
 use hetsim::{Device, DeviceKind};
-use msp::{PartitionManifest, PartitionSlices, QuarantinedPartition};
+use msp::{
+    PartitionManifest, PartitionSlices, QuarantinedPartition, SealedPartition, SealedPayload,
+};
 use parking_lot::Mutex;
-use pipeline::{run_coprocessed_with, CancelToken, ThrottledIo};
+use pipeline::{
+    run_coprocessed_streaming, run_coprocessed_with, CancelToken, PipelineReport,
+    SharedCounterQueue, ThrottledIo,
+};
 
 use crate::once_error::OnceError;
 use crate::step1::split_device_times;
@@ -129,46 +135,13 @@ pub fn run_step2(
     io: &ThrottledIo,
 ) -> Result<(DeBruijnGraph, StepReport)> {
     let n = manifest.num_partitions();
-    let mut graph = DeBruijnGraph::new(config.k);
-    let total_contention = Mutex::new(ContentionStats::default());
-    let total_resizes = AtomicUsize::new(0);
-    let peak_table = AtomicU64::new(0);
-    let peak_partition = AtomicU64::new(0);
-    let first_error: OnceError<ParaHashError> = OnceError::new();
     let cancel = CancelToken::new();
-    let quarantined: Mutex<Vec<QuarantinedPartition>> = Mutex::new(Vec::new());
-    let sub_dir = config.work_dir.join("subgraphs");
-    if config.write_subgraphs {
-        std::fs::create_dir_all(&sub_dir)?;
-    }
-
-    // The first *fatal* error cancels the whole pipeline so remaining
-    // partitions are abandoned instead of processed to completion.
-    let fatal = |e: ParaHashError| {
-        first_error.set(e);
-        cancel.cancel();
-    };
-    // Partition-local failures (unreadable or corrupt file) either abort
-    // (strict) or set the partition aside and keep going.
-    let partition_failed = |idx: usize, e: ParaHashError| {
-        if config.strict {
-            fatal(e);
-        } else {
-            quarantined
-                .lock()
-                .push(QuarantinedPartition { index: idx, reason: e.to_string() });
-        }
-    };
+    let shared = Step2Shared::new(config, &cancel)?;
+    let mut graph = DeBruijnGraph::new(config.k);
 
     let pipeline_report = {
+        let shared = &shared;
         let graph = &mut graph;
-        let total_contention = &total_contention;
-        let total_resizes = &total_resizes;
-        let peak_table = &peak_table;
-        let peak_partition = &peak_partition;
-        let sub_dir = &sub_dir;
-        let fatal = &fatal;
-        let partition_failed = &partition_failed;
         run_coprocessed_with(
             n,
             config.devices(),
@@ -179,7 +152,7 @@ pub fn run_step2(
             |i| match io.read_file(manifest.partition_path(i)) {
                 Ok(bytes) => Some(bytes),
                 Err(e) => {
-                    partition_failed(i, ParaHashError::Io(e));
+                    shared.partition_failed(i, ParaHashError::Io(e));
                     None
                 }
             },
@@ -188,142 +161,304 @@ pub fn run_step2(
                 let Some(bytes) = bytes else {
                     return (None, 0);
                 };
-                peak_partition.fetch_max(bytes.len() as u64, Ordering::Relaxed);
-                let transfer_in = bytes.len() as u64;
-                // Zero-copy decode of the framed file: verify every
-                // frame's CRC32 once, index the record boundaries, then
-                // replay borrowed `SuperkmerView`s straight out of the
-                // partition buffer — no per-record heap allocation.
-                let slices = match PartitionSlices::index_framed(&bytes, config.k, config.p) {
-                    Ok(slices) => slices,
-                    Err(e) => {
-                        partition_failed(idx, e.into());
-                        return (None, 0);
-                    }
-                };
-                let n_kmers = manifest.stats()[idx].kmers;
-                let mut capacity = table_capacity_for(n_kmers, config.sizing);
-                let mut resizes = 0usize;
-                loop {
-                    let table = ConcurrentDbgTable::new(capacity, config.k);
-                    let table_bytes = table.approx_bytes() as u64;
-                    peak_table.fetch_max(table_bytes, Ordering::Relaxed);
-                    let is_gpu = device.kind() == DeviceKind::SimGpu;
-                    if is_gpu {
-                        if let Err(e) = device.alloc(table_bytes) {
-                            fatal(e.into());
-                            return (None, 0);
-                        }
-                        device.transfer_to_device(transfer_in);
-                    }
-                    // The kernel: one superkmer per data-parallel item,
-                    // decoded in place from the partition buffer. The
-                    // `OnceError` check lets surviving items bail out
-                    // cheaply once any item has failed.
-                    let kernel_error: OnceError<HashGraphError> = OnceError::new();
-                    device.execute(slices.len(), &|i| {
-                        if kernel_error.is_set() {
-                            return;
-                        }
-                        let view = slices.view(i);
-                        if let Err(e) = hashgraph::record_superkmer_view(&table, &view) {
-                            kernel_error.set(e);
-                        }
-                    });
-                    let err = kernel_error.into_inner();
-                    match err {
-                        None => {
-                            let subgraph = table.snapshot();
-                            if is_gpu {
-                                device
-                                    .transfer_from_device((subgraph.len() * VERTEX_BYTES) as u64);
-                                device.free(table_bytes);
-                            }
-                            let work = subgraph.len() as u64;
-                            return (
-                                Some(Part2Out {
-                                    subgraph,
-                                    contention: table.contention(),
-                                    resizes,
-                                }),
-                                work,
-                            );
-                        }
-                        Some(HashGraphError::CapacityExhausted { .. }) => {
-                            if is_gpu {
-                                device.free(table_bytes);
-                            }
-                            resizes += 1;
-                            capacity = capacity.saturating_mul(2).max(32);
-                        }
-                        Some(e) => {
-                            if is_gpu {
-                                device.free(table_bytes);
-                            }
-                            fatal(e.into());
-                            return (None, 0);
-                        }
-                    }
-                }
+                shared.build(device, idx, &bytes, manifest.stats()[idx].kmers)
             },
             // Stage 3: absorb (and optionally persist) the subgraph.
-            // Failure sentinels are skipped outright — an error partition
-            // must never leave a bogus `sub-XXXXX.dbg` behind or leak
-            // empty entries into the merged graph.
-            |idx, out: Option<Part2Out>| {
-                let Some(out) = out else {
-                    return;
-                };
-                total_contention.lock().merge(&out.contention);
-                total_resizes.fetch_add(out.resizes, Ordering::Relaxed);
-                if config.write_subgraphs {
-                    let bytes = encode_subgraph(&out.subgraph);
-                    let path = sub_dir.join(format!("sub-{idx:05}.dbg"));
-                    if let Err(e) = io.write_file(&path, &bytes) {
-                        // A half-written subgraph is worse than none.
-                        let _ = std::fs::remove_file(&path);
-                        partition_failed(idx, ParaHashError::Io(e));
-                        return; // quarantined partitions stay out of the graph
-                    }
-                }
-                graph.absorb(out.subgraph);
-            },
+            |idx, out: Option<Part2Out>| shared.consume(io, graph, idx, out),
         )
     };
 
-    let quarantined = quarantined.into_inner();
-    if let Some(e) = first_error.into_inner() {
-        // Abort path: whatever subgraph files were persisted describe a
-        // partial run — delete them so nothing downstream mistakes them
-        // for a complete graph.
-        if config.write_subgraphs {
-            let _ = std::fs::remove_dir_all(&sub_dir);
-        }
-        return Err(e);
-    }
-    if !quarantined.is_empty() {
+    let (graph, report) = shared.finish(pipeline_report, graph)?;
+    if !report.quarantined.is_empty() {
         // Persist the quarantine marks so any later consumer of the
         // partition directory knows which subgraphs are missing.
         let mut marked = manifest.clone();
-        for q in &quarantined {
+        for q in &report.quarantined {
             marked.quarantine(q.index, q.reason.clone());
         }
         marked.save()?;
     }
-    let (cpu_compute, gpu_compute) = split_device_times(config, &pipeline_report.shares);
-    let report = StepReport {
-        step: 2,
-        pipeline: pipeline_report,
-        cpu_compute,
-        gpu_compute,
-        contention: Some(total_contention.into_inner()),
-        step1_stats: None,
-        resizes: total_resizes.into_inner(),
-        peak_partition_bytes: peak_partition.into_inner(),
-        peak_table_bytes: peak_table.into_inner(),
-        quarantined,
-    };
     Ok((graph, report))
+}
+
+/// Streaming Step 2 for the fused pipeline: partitions arrive as
+/// [`SealedPartition`]s over a [`SharedCounterQueue`] as Step 1 seals
+/// them, instead of being enumerated from a finished manifest. Resident
+/// payloads skip the disk entirely; spilled payloads are read back with
+/// the usual retry policy. Shares all failure semantics with
+/// [`run_step2`], except quarantine marks are *not* persisted here — the
+/// fused driver owns the manifest and records them after the run.
+///
+/// The caller is responsible for closing `feed` (abort) or finishing it
+/// (end of stream); a fatal error in here cancels the shared token, which
+/// the Step-1 side must observe.
+///
+/// # Errors
+///
+/// Same as [`run_step2`].
+pub(crate) fn run_step2_streaming(
+    config: &ParaHashConfig,
+    feed: &SharedCounterQueue<SealedPartition>,
+    io: &ThrottledIo,
+    cancel: &CancelToken,
+) -> Result<(DeBruijnGraph, StepReport)> {
+    let shared = Step2Shared::new(config, cancel)?;
+    let mut graph = DeBruijnGraph::new(config.k);
+
+    let pipeline_report = {
+        let shared = &shared;
+        let graph = &mut graph;
+        run_coprocessed_streaming(
+            feed,
+            config.devices(),
+            cancel,
+            // Stage 1: materialise the sealed payload. Resident bytes are
+            // handed over by value — the fused win: no disk round-trip.
+            |sealed: SealedPartition| {
+                let idx = sealed.index;
+                let kmers = sealed.kmers;
+                let bytes = match sealed.payload {
+                    SealedPayload::Resident(bytes) => Some(bytes),
+                    SealedPayload::Spilled(path) => match io.read_file(&path) {
+                        Ok(bytes) => Some(bytes),
+                        Err(e) => {
+                            shared.partition_failed(idx, ParaHashError::Io(e));
+                            None
+                        }
+                    },
+                };
+                (idx, bytes.map(|b| (b, kmers)))
+            },
+            // Stage 2: identical hash construction to the two-phase path.
+            |device: &dyn Device, idx, input: Option<(Vec<u8>, u64)>| {
+                let Some((bytes, kmers)) = input else {
+                    return (None, 0);
+                };
+                shared.build(device, idx, &bytes, kmers)
+            },
+            |idx, out: Option<Part2Out>| shared.consume(io, graph, idx, out),
+        )
+    };
+    shared.finish(pipeline_report, graph)
+}
+
+/// The machinery both Step-2 entry points share: failure routing
+/// (fatal-vs-quarantine), the pooled capacity-retry hash construction,
+/// subgraph absorption/persistence, and report assembly.
+struct Step2Shared<'a> {
+    config: &'a ParaHashConfig,
+    cancel: &'a CancelToken,
+    /// Recycles table allocations across partitions (and across the
+    /// capacity-retry rebuilds): the alloc+zero churn of one fresh
+    /// `ConcurrentDbgTable` per partition becomes a handful of
+    /// allocations total, because partition sizes cluster into a few
+    /// capacity classes.
+    pool: TablePool,
+    total_contention: Mutex<ContentionStats>,
+    total_resizes: AtomicUsize,
+    peak_table: AtomicU64,
+    peak_partition: AtomicU64,
+    first_error: OnceError<ParaHashError>,
+    quarantined: Mutex<Vec<QuarantinedPartition>>,
+    sub_dir: PathBuf,
+}
+
+impl<'a> Step2Shared<'a> {
+    fn new(config: &'a ParaHashConfig, cancel: &'a CancelToken) -> Result<Step2Shared<'a>> {
+        let sub_dir = config.work_dir.join("subgraphs");
+        if config.write_subgraphs {
+            std::fs::create_dir_all(&sub_dir)?;
+        }
+        Ok(Step2Shared {
+            config,
+            cancel,
+            pool: TablePool::new(config.k),
+            total_contention: Mutex::new(ContentionStats::default()),
+            total_resizes: AtomicUsize::new(0),
+            peak_table: AtomicU64::new(0),
+            peak_partition: AtomicU64::new(0),
+            first_error: OnceError::new(),
+            quarantined: Mutex::new(Vec::new()),
+            sub_dir,
+        })
+    }
+
+    /// The first *fatal* error cancels the whole pipeline so remaining
+    /// partitions are abandoned instead of processed to completion.
+    fn fatal(&self, e: ParaHashError) {
+        self.first_error.set(e);
+        self.cancel.cancel();
+    }
+
+    /// Partition-local failures (unreadable or corrupt file) either abort
+    /// (strict) or set the partition aside and keep going.
+    fn partition_failed(&self, idx: usize, e: ParaHashError) {
+        if self.config.strict {
+            self.fatal(e);
+        } else {
+            self.quarantined
+                .lock()
+                .push(QuarantinedPartition { index: idx, reason: e.to_string() });
+        }
+    }
+
+    /// The compute stage: index the framed partition bytes once, then
+    /// hash-construct with pooled tables, retrying with a bigger checkout
+    /// if the Property-1 estimate under-sized the table.
+    fn build(
+        &self,
+        device: &dyn Device,
+        idx: usize,
+        bytes: &[u8],
+        n_kmers: u64,
+    ) -> (Option<Part2Out>, u64) {
+        self.peak_partition.fetch_max(bytes.len() as u64, Ordering::Relaxed);
+        let transfer_in = bytes.len() as u64;
+        // Zero-copy decode of the framed bytes: verify every frame's
+        // CRC32 once, index the record boundaries, then replay borrowed
+        // `SuperkmerView`s straight out of the partition buffer — no
+        // per-record heap allocation. Indexing happens once, *outside*
+        // the capacity-retry loop — a retry re-reads nothing and
+        // re-verifies nothing, it only swaps in a bigger table.
+        let slices = match PartitionSlices::index_framed(bytes, self.config.k, self.config.p) {
+            Ok(slices) => slices,
+            Err(e) => {
+                self.partition_failed(idx, e.into());
+                return (None, 0);
+            }
+        };
+        let mut capacity = table_capacity_for(n_kmers, self.config.sizing);
+        let mut resizes = 0usize;
+        loop {
+            // Checked out from the pool: a recycled allocation when one
+            // of this capacity class is shelved, a fresh one otherwise.
+            // Dropping the guard (every exit path below) shelves it.
+            let table = self.pool.checkout(capacity);
+            let table_bytes = table.approx_bytes() as u64;
+            self.peak_table.fetch_max(table_bytes, Ordering::Relaxed);
+            let is_gpu = device.kind() == DeviceKind::SimGpu;
+            if is_gpu {
+                if let Err(e) = device.alloc(table_bytes) {
+                    self.fatal(e.into());
+                    return (None, 0);
+                }
+                device.transfer_to_device(transfer_in);
+            }
+            // The kernel: one superkmer per data-parallel item, decoded
+            // in place from the partition buffer. The `OnceError` check
+            // lets surviving items bail out cheaply once any item has
+            // failed.
+            let kernel_error: OnceError<HashGraphError> = OnceError::new();
+            device.execute(slices.len(), &|i| {
+                if kernel_error.is_set() {
+                    return;
+                }
+                let view = slices.view(i);
+                if let Err(e) = hashgraph::record_superkmer_view(&*table, &view) {
+                    kernel_error.set(e);
+                }
+            });
+            match kernel_error.into_inner() {
+                None => {
+                    let subgraph = table.snapshot();
+                    if is_gpu {
+                        device.transfer_from_device((subgraph.len() * VERTEX_BYTES) as u64);
+                        device.free(table_bytes);
+                    }
+                    let work = subgraph.len() as u64;
+                    return (
+                        Some(Part2Out {
+                            subgraph,
+                            contention: table.contention(),
+                            resizes,
+                        }),
+                        work,
+                    );
+                }
+                Some(HashGraphError::CapacityExhausted { .. }) => {
+                    if is_gpu {
+                        device.free(table_bytes);
+                    }
+                    resizes += 1;
+                    // Double from the capacity actually granted (the pool
+                    // rounds up to its class), so the retry is guaranteed
+                    // a strictly larger class.
+                    capacity = table.capacity().saturating_mul(2).max(32);
+                }
+                Some(e) => {
+                    if is_gpu {
+                        device.free(table_bytes);
+                    }
+                    self.fatal(e.into());
+                    return (None, 0);
+                }
+            }
+        }
+    }
+
+    /// The output stage: absorb (and optionally persist) the subgraph.
+    /// Failure sentinels are skipped outright — an error partition must
+    /// never leave a bogus `sub-XXXXX.dbg` behind or leak empty entries
+    /// into the merged graph.
+    fn consume(
+        &self,
+        io: &ThrottledIo,
+        graph: &mut DeBruijnGraph,
+        idx: usize,
+        out: Option<Part2Out>,
+    ) {
+        let Some(out) = out else {
+            return;
+        };
+        self.total_contention.lock().merge(&out.contention);
+        self.total_resizes.fetch_add(out.resizes, Ordering::Relaxed);
+        if self.config.write_subgraphs {
+            let bytes = encode_subgraph(&out.subgraph);
+            let path = self.sub_dir.join(format!("sub-{idx:05}.dbg"));
+            if let Err(e) = io.write_file(&path, &bytes) {
+                // A half-written subgraph is worse than none.
+                let _ = std::fs::remove_file(&path);
+                self.partition_failed(idx, ParaHashError::Io(e));
+                return; // quarantined partitions stay out of the graph
+            }
+        }
+        graph.absorb(out.subgraph);
+    }
+
+    /// Turns the accumulated counters into the step report — or, on the
+    /// abort path, deletes partial subgraph output and surfaces the first
+    /// fatal error.
+    fn finish(
+        self,
+        pipeline_report: PipelineReport,
+        graph: DeBruijnGraph,
+    ) -> Result<(DeBruijnGraph, StepReport)> {
+        let quarantined = self.quarantined.into_inner();
+        if let Some(e) = self.first_error.into_inner() {
+            // Abort path: whatever subgraph files were persisted describe
+            // a partial run — delete them so nothing downstream mistakes
+            // them for a complete graph.
+            if self.config.write_subgraphs {
+                let _ = std::fs::remove_dir_all(&self.sub_dir);
+            }
+            return Err(e);
+        }
+        let (cpu_compute, gpu_compute) = split_device_times(self.config, &pipeline_report.shares);
+        let report = StepReport {
+            step: 2,
+            pipeline: pipeline_report,
+            cpu_compute,
+            gpu_compute,
+            contention: Some(self.total_contention.into_inner()),
+            step1_stats: None,
+            resizes: self.total_resizes.into_inner(),
+            peak_partition_bytes: self.peak_partition.into_inner(),
+            peak_table_bytes: self.peak_table.into_inner(),
+            peak_resident_store_bytes: 0,
+            quarantined,
+        };
+        Ok((graph, report))
+    }
 }
 
 #[cfg(test)]

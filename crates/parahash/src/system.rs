@@ -5,9 +5,11 @@ use std::time::Instant;
 
 use dna::{FastqReader, SeqRead};
 use hashgraph::DeBruijnGraph;
-use pipeline::ThrottledIo;
+use pipeline::{CancelToken, PipelineReport, SharedCounterQueue, ThrottledIo};
 
-use crate::{run_step1, run_step2, ParaHashConfig, Result, RunReport};
+use crate::step1::{step1_report, step1_sink_fastq, step1_sink_reads};
+use crate::step2::run_step2_streaming;
+use crate::{run_step1, run_step2, ParaHashConfig, ParaHashError, Result, RunReport, Step1Stats};
 
 /// The assembled system: run both steps against a read set and collect
 /// the full report.
@@ -127,6 +129,182 @@ impl ParaHash {
         })?;
         self.run(&reads)
     }
+
+    /// **Fused** construction: Step 1 stages partitions in a
+    /// budget-governed in-memory [`msp::PartitionStore`] (spilling the
+    /// largest to disk only when
+    /// [`partition_memory_budget`](crate::ParaHashConfigBuilder::partition_memory_budget)
+    /// is exceeded) and Step 2 runs *concurrently on its own thread*,
+    /// consuming sealed partitions from a streaming queue the moment
+    /// Step 1 hands them over — no full-dataset disk round-trip and no
+    /// inter-step barrier. The result is byte-identical to
+    /// [`run`](Self::run): only where the partition bytes live changes,
+    /// never what they contain.
+    ///
+    /// The manifest (with `resident`/`spilled` residency marks) is still
+    /// written to `work_dir/superkmers/manifest.txt`, so a fused run's
+    /// partition directory is inspectable and any quarantined partitions
+    /// are recorded exactly as in the two-phase flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any step failure; a Step-1 failure takes precedence
+    /// and cleans up the partial partition directory.
+    pub fn run_fused(&self, reads: &[SeqRead]) -> Result<RunOutcome> {
+        let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
+        self.run_fused_with_io(reads, &io)
+    }
+
+    /// [`run_fused`](Self::run_fused) against a caller-owned I/O channel —
+    /// the fused analogue of handing [`run_step1`]/[`run_step2`] your own
+    /// [`ThrottledIo`], so fault-injection hooks and retry counters remain
+    /// observable across the fused run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_fused`](Self::run_fused).
+    pub fn run_fused_with_io(&self, reads: &[SeqRead], io: &ThrottledIo) -> Result<RunOutcome> {
+        let mut config = self.config.clone();
+        if let Some(sample) = config.auto_lambda {
+            if let Some(lambda) = dna::quality::estimate_lambda(reads, sample) {
+                config.sizing.lambda = lambda.max(0.05);
+            }
+        }
+        fused_run(&config, io, |cfg, io, cancel, store| {
+            step1_sink_reads(cfg, reads, io, cancel, store)
+        })
+    }
+
+    /// Fused construction streamed from a FASTQ file: combines
+    /// [`run_fused`](Self::run_fused)'s in-memory partition handoff with
+    /// [`run_fastq_streaming`](Self::run_fastq_streaming)'s one-batch-at-a-
+    /// time input parsing, so neither the read set nor (within budget) the
+    /// partitions ever hit the disk. λ auto-sizing is not applied (the
+    /// reads are never all in hand); pass an explicit
+    /// [`sizing`](crate::ParaHashConfigBuilder::sizing) instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures and any step failure.
+    pub fn run_fused_fastq(&self, path: impl AsRef<Path>) -> Result<RunOutcome> {
+        let path = path.as_ref();
+        let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
+        fused_run(&self.config, &io, |cfg, io, cancel, store| {
+            step1_sink_fastq(cfg, path, io, cancel, store)
+        })
+    }
+}
+
+/// The fused driver shared by [`ParaHash::run_fused`] and
+/// [`ParaHash::run_fused_fastq`]: Step 1 feeds a [`msp::PartitionStore`]
+/// on the calling thread while Step 2 consumes sealed partitions from a
+/// [`SharedCounterQueue`] on a second thread. A shared [`CancelToken`]
+/// links the two — a fatal error on either side drains the other.
+fn fused_run(
+    config: &ParaHashConfig,
+    io: &ThrottledIo,
+    step1: impl FnOnce(
+        &ParaHashConfig,
+        &ThrottledIo,
+        &CancelToken,
+        &mut msp::PartitionStore,
+    ) -> Result<(Step1Stats, PipelineReport, u64)>,
+) -> Result<RunOutcome> {
+    let started = Instant::now();
+    let cancel = CancelToken::new();
+    // Capacity = partition count: Step 1 seals each partition exactly
+    // once, so the queue never wraps and `push` never blocks.
+    let feed: SharedCounterQueue<msp::SealedPartition> =
+        SharedCounterQueue::new(config.partitions);
+    let dir = config.work_dir.join("superkmers");
+
+    type Step1Done = (Step1Stats, PipelineReport, u64, u64, msp::PartitionManifest);
+    let (step1_out, step2_out) = std::thread::scope(|s| {
+        let step2_handle = s.spawn(|| run_step2_streaming(config, &feed, io, &cancel));
+        let step1_out = (|| -> Result<Option<Step1Done>> {
+            let mut store = msp::PartitionStore::create(
+                &dir,
+                config.partitions,
+                config.k,
+                config.p,
+                config.partition_memory_budget,
+            )?;
+            let (stats, preport, peak_batch) = step1(config, io, &cancel, &mut store)?;
+            if cancel.is_cancelled() {
+                // Step 2 failed underneath us; its error wins below.
+                return Ok(None);
+            }
+            let peak_resident = store.peak_resident_bytes();
+            let manifest = store.finish_manifest()?;
+            // Hand every partition over — resident ones by value, spilled
+            // ones as their file path — then mark end-of-stream so the
+            // Step-2 input stage terminates once the queue drains.
+            for i in 0..config.partitions {
+                feed.push(store.seal(i)?);
+            }
+            feed.finish();
+            Ok(Some((stats, preport, peak_batch, peak_resident, manifest)))
+        })();
+        if !matches!(step1_out, Ok(Some(_))) {
+            // Step-1 failure (or observed cancellation): wake the Step-2
+            // side so its input stage stops waiting and the thread exits.
+            cancel.cancel();
+            feed.close();
+        }
+        let step2_out = match step2_handle.join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (step1_out, step2_out)
+    });
+
+    let (stats, preport, peak_batch, peak_resident, mut manifest) = match step1_out {
+        Ok(Some(done)) => done,
+        Ok(None) => {
+            // Step 1 was cancelled by a Step-2 fatal error: the partition
+            // directory covers an unknown prefix of the input.
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(step2_out.err().unwrap_or_else(|| {
+                ParaHashError::InvalidConfig(
+                    "fused run cancelled without a recorded error".into(),
+                )
+            }));
+        }
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(e);
+        }
+    };
+    let (graph, step2) = step2_out?;
+    // The streaming Step 2 does not own the manifest, so the fused driver
+    // persists its quarantine marks (the two-phase flow does this inside
+    // `run_step2`).
+    if !step2.quarantined.is_empty() {
+        for q in &step2.quarantined {
+            manifest.quarantine(q.index, q.reason.clone());
+        }
+        manifest.save()?;
+    }
+    let mut step1 = step1_report(config, stats, preport, peak_batch);
+    step1.peak_resident_store_bytes = peak_resident;
+    let total_elapsed = started.elapsed();
+    let report = RunReport {
+        // Fused accounting: resident partitions coexist with both the
+        // in-flight Step-1 batch and Step-2's buffer+table, so the
+        // store's peak *adds* to the larger of the two steps' transients.
+        peak_host_bytes: graph.approx_bytes() as u64
+            + peak_resident
+            + step1
+                .peak_partition_bytes
+                .max(step2.peak_partition_bytes + step2.peak_table_bytes),
+        partition_bytes: manifest.total_bytes(),
+        distinct_vertices: graph.distinct_vertices(),
+        total_kmers: graph.total_kmer_occurrences(),
+        step1,
+        step2,
+        total_elapsed,
+    };
+    Ok(RunOutcome { graph, report })
 }
 
 #[cfg(test)]
@@ -251,6 +429,62 @@ mod tests {
         assert!(outcome.report.step1.pipeline.partitions >= 3, "expected several input batches");
         assert_eq!(outcome.graph, ph.run(&reads()).unwrap().graph);
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn fused_all_resident_matches_two_phase() {
+        let cfg = ParaHashConfig::builder()
+            .k(9)
+            .p(5)
+            .partitions(5)
+            .cpu_threads(2)
+            .partition_memory_budget(u64::MAX)
+            .work_dir(std::env::temp_dir().join("parahash-sys-fused-resident"))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let ph = ParaHash::new(cfg).unwrap();
+        let rs = reads();
+        let fused = ph.run_fused(&rs).unwrap();
+        let two_phase = ph.run(&rs).unwrap();
+        assert_eq!(fused.graph, two_phase.graph, "fusion must not change the result");
+        assert!(
+            fused.report.step1.peak_resident_store_bytes > 0,
+            "a huge budget must keep partitions resident"
+        );
+        assert_eq!(fused.report.step2.pipeline.partitions, 5);
+        assert_eq!(fused.report.total_kmers, two_phase.report.total_kmers);
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+    }
+
+    #[test]
+    fn fused_zero_budget_spills_and_still_matches() {
+        let cfg = ParaHashConfig::builder()
+            .k(9)
+            .p(5)
+            .partitions(5)
+            .cpu_threads(2)
+            .partition_memory_budget(0)
+            .work_dir(std::env::temp_dir().join("parahash-sys-fused-spill"))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let ph = ParaHash::new(cfg).unwrap();
+        let rs = reads();
+        let fused = ph.run_fused(&rs).unwrap();
+        assert_eq!(
+            fused.report.step1.peak_resident_store_bytes, 0,
+            "budget 0 means nothing is ever resident"
+        );
+        // Every non-empty partition left a spill file behind.
+        let dir = ph.config().work_dir().join("superkmers");
+        let spilled = (0..5)
+            .filter(|&i| dir.join(format!("part-{i:05}.skm")).exists())
+            .count();
+        assert!(spilled > 0, "zero budget must produce spill files");
+        let two_phase = ph.run(&rs).unwrap();
+        assert_eq!(fused.graph, two_phase.graph);
         std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
     }
 

@@ -39,6 +39,6 @@ pub use cancel::CancelToken;
 pub use io::{IoMode, IoOp, RetryPolicy, ThrottledIo};
 pub use queue::SharedCounterQueue;
 pub use scheduler::{
-    run_coprocessed, run_coprocessed_with, run_sequential, DeviceShare, PipelineReport, Span,
-    Stage,
+    run_coprocessed, run_coprocessed_streaming, run_coprocessed_with, run_sequential, DeviceShare,
+    PipelineReport, Span, Stage,
 };

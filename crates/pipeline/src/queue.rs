@@ -42,6 +42,12 @@ pub struct SharedCounterQueue<T> {
     /// Paper's `cns`/`wrt`: next queuing id to hand to a consumer.
     head: AtomicUsize,
     closed: AtomicBool,
+    /// Graceful end-of-stream: no further pushes will arrive, but items
+    /// already published must still drain (unlike [`close`], which
+    /// abandons them).
+    ///
+    /// [`close`]: SharedCounterQueue::close
+    finished: AtomicBool,
     wait_lock: Mutex<()>,
     wait_cv: Condvar,
 }
@@ -55,6 +61,7 @@ impl<T> SharedCounterQueue<T> {
             tail: AtomicUsize::new(0),
             head: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
             wait_lock: Mutex::new(()),
             wait_cv: Condvar::new(),
         }
@@ -91,8 +98,10 @@ impl<T> SharedCounterQueue<T> {
     }
 
     /// Claims the next queuing id and blocks until that item is published.
-    /// Returns `None` once all `capacity` items have been claimed, or when
-    /// the queue is closed and the claimed slot will never be filled.
+    /// Returns `None` once all `capacity` items have been claimed, when
+    /// the queue is closed and the claimed slot will never be filled, or
+    /// when the stream [`finish`](SharedCounterQueue::finish)ed before the
+    /// claimed slot was produced.
     pub fn pop(&self) -> Option<T> {
         let pos = self.head.fetch_add(1, Ordering::AcqRel);
         if pos >= self.capacity() {
@@ -107,9 +116,22 @@ impl<T> SharedCounterQueue<T> {
             if self.closed.load(Ordering::Acquire) {
                 return None;
             }
+            // Graceful end-of-stream. Order matters: `finished` is read
+            // *before* `tail`, and the producer publishes (tail AcqRel)
+            // before storing `finished` (Release) — so observing
+            // `finished` guarantees every push's tail increment is
+            // visible. `pos < tail` with the slot not yet ready means a
+            // producer is mid-publish: keep waiting for the ready flag.
+            if self.finished.load(Ordering::Acquire) && pos >= self.tail.load(Ordering::Acquire) {
+                return None;
+            }
             let mut guard = self.wait_lock.lock();
             // Re-check under the lock to avoid missing a notify.
-            if self.ready[pos].load(Ordering::Acquire) || self.closed.load(Ordering::Acquire) {
+            if self.ready[pos].load(Ordering::Acquire)
+                || self.closed.load(Ordering::Acquire)
+                || (self.finished.load(Ordering::Acquire)
+                    && pos >= self.tail.load(Ordering::Acquire))
+            {
                 continue;
             }
             self.wait_cv.wait(&mut guard);
@@ -148,6 +170,29 @@ impl<T> SharedCounterQueue<T> {
     /// Whether [`close`](SharedCounterQueue::close) has been called.
     pub fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
+    }
+
+    /// Declares the stream complete: no further [`push`]es will arrive.
+    /// Items already published still drain normally; consumers blocked on
+    /// (or later claiming) a slot beyond the last push return `None`.
+    ///
+    /// This is the streaming pipeline's graceful counterpart to
+    /// [`close`]: `capacity` becomes an upper bound instead of an exact
+    /// item count, so a producer that discovers the stream is shorter
+    /// than `capacity` (e.g. fewer sealed partitions than planned) can
+    /// release its consumers without abandoning in-flight items.
+    ///
+    /// [`push`]: SharedCounterQueue::push
+    /// [`close`]: SharedCounterQueue::close
+    pub fn finish(&self) {
+        self.finished.store(true, Ordering::Release);
+        let _guard = self.wait_lock.lock();
+        self.wait_cv.notify_all();
+    }
+
+    /// Whether [`finish`](SharedCounterQueue::finish) has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
     }
 }
 
@@ -246,6 +291,68 @@ mod tests {
         let mut all = got.lock().clone();
         all.sort();
         assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn finish_drains_published_items_then_ends() {
+        let q = SharedCounterQueue::new(8);
+        q.push(1);
+        q.push(2);
+        q.finish();
+        assert!(q.is_finished());
+        // Published items still drain in order …
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        // … and the short stream then ends despite spare capacity.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn finish_releases_blocked_consumers() {
+        let q = Arc::new(SharedCounterQueue::<u32>::new(10));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q.push(9); // exactly one blocked consumer is satisfied
+        q.finish();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(results.iter().filter(|r| **r == Some(9)).count(), 1);
+        assert_eq!(results.iter().filter(|r| r.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn finish_under_contention_loses_nothing() {
+        for _ in 0..50 {
+            let n = 64;
+            let q = Arc::new(SharedCounterQueue::new(n));
+            let got = Arc::new(Mutex::new(Vec::new()));
+            std::thread::scope(|s| {
+                let prod = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..n / 2 {
+                        prod.push(i); // short stream: half the capacity
+                    }
+                    prod.finish();
+                });
+                for _ in 0..3 {
+                    let q = Arc::clone(&q);
+                    let got = Arc::clone(&got);
+                    s.spawn(move || {
+                        while let Some(v) = q.pop() {
+                            got.lock().push(v);
+                        }
+                    });
+                }
+            });
+            let mut all = got.lock().clone();
+            all.sort();
+            assert_eq!(all, (0..n / 2).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -327,6 +327,196 @@ where
     }
 }
 
+/// Closes the external feed queue *and* both internal pipeline queues on
+/// a panic unwind — the streaming variant of [`PanicGuard`], which must
+/// also release whoever is blocked feeding the pipeline.
+struct StreamingPanicGuard<'a, T, A, B> {
+    feed: &'a SharedCounterQueue<T>,
+    in_q: &'a SharedCounterQueue<A>,
+    out_q: &'a SharedCounterQueue<B>,
+    cancel: &'a CancelToken,
+}
+
+impl<T, A, B> Drop for StreamingPanicGuard<'_, T, A, B> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.cancel.cancel();
+            self.feed.close();
+            self.in_q.close();
+            self.out_q.close();
+        }
+    }
+}
+
+/// The streaming variant of [`run_coprocessed_with`]: instead of driving
+/// `produce(i)` for a fixed `i in 0..total`, the input stage pops work
+/// descriptors from an external `feed` queue that **grows as upstream
+/// work completes** — this is what fuses Step 1 and Step 2, with Step 1's
+/// output stage sealing partitions into the feed while Step 2's devices
+/// are already consuming earlier ones.
+///
+/// * The `feed`'s capacity is an *upper bound* on the stream length; the
+///   upstream producer calls [`SharedCounterQueue::finish`] (short
+///   stream) or pushes exactly `capacity` items. Either way the input
+///   stage drains the feed, forwards each descriptor through
+///   `produce(t) -> (partition_index, input)`, and then declares its own
+///   queue finished.
+/// * Device drivers claim from the internal queue exactly as in
+///   [`run_coprocessed_with`]; the last driver to exit finishes the
+///   output queue so the output stage ends deterministically without
+///   knowing the stream length up front.
+/// * Cancellation and panic semantics are preserved: the first observer
+///   of the [`CancelToken`] closes the feed and both internal queues, so
+///   a fatal error in any stage releases the upstream producer too;
+///   panicking stages trip a guard that does the same before the scope
+///   join re-propagates.
+///
+/// The returned report's `partitions` counts the items actually consumed
+/// (the stream length), not the feed capacity.
+///
+/// # Panics
+///
+/// Panics if `devices` is empty or if any stage callback panics.
+pub fn run_coprocessed_streaming<T, I, O, FP, FC, FO>(
+    feed: &SharedCounterQueue<T>,
+    devices: &[Arc<dyn Device>],
+    cancel: &CancelToken,
+    produce: FP,
+    process: FC,
+    mut consume: FO,
+) -> PipelineReport
+where
+    T: Send,
+    I: Send,
+    O: Send,
+    FP: FnMut(T) -> (usize, I) + Send,
+    FC: Fn(&dyn Device, usize, I) -> (O, u64) + Sync,
+    FO: FnMut(usize, O) + Send,
+{
+    assert!(!devices.is_empty(), "co-processing needs at least one device");
+    let started = Instant::now();
+    let bound = feed.capacity();
+    let in_queue: SharedCounterQueue<(usize, I)> = SharedCounterQueue::new(bound);
+    let out_queue: SharedCounterQueue<(usize, O, usize, u64, Duration)> =
+        SharedCounterQueue::new(bound);
+    let spans: Mutex<Vec<Span>> = Mutex::new(Vec::with_capacity(3 * bound));
+    let record = |stage: Stage, worker: &str, partition: usize, t0: Instant| {
+        spans.lock().push(Span {
+            stage,
+            worker: worker.to_owned(),
+            partition,
+            start: t0 - started,
+            end: started.elapsed(),
+        });
+    };
+
+    let mut input_time = Duration::ZERO;
+    let mut output_time = Duration::ZERO;
+    let mut shares: Vec<DeviceShare> = devices
+        .iter()
+        .map(|d| DeviceShare { name: d.name().to_owned(), partitions: 0, work_units: 0, busy: Duration::ZERO })
+        .collect();
+    let mut consumed = 0usize;
+
+    // Drivers still running; the last one out finishes the output queue.
+    let active_drivers = std::sync::atomic::AtomicUsize::new(devices.len());
+
+    std::thread::scope(|s| {
+        let in_q = &in_queue;
+        let out_q = &out_queue;
+        let active = &active_drivers;
+        let record = &record;
+
+        // Stage 1: input, fed by the upstream queue.
+        let input_handle = s.spawn({
+            let mut produce = produce;
+            move || {
+                let _guard = StreamingPanicGuard { feed, in_q, out_q, cancel };
+                let mut spent = Duration::ZERO;
+                while !cancel.is_cancelled() {
+                    let Some(t) = feed.pop() else { break };
+                    let t0 = Instant::now();
+                    let (index, item) = produce(t);
+                    spent += t0.elapsed();
+                    record(Stage::Input, "io", index, t0);
+                    in_q.push((index, item));
+                }
+                // Graceful: published items drain, blocked drivers wake.
+                in_q.finish();
+                if cancel.is_cancelled() {
+                    feed.close();
+                    in_q.close();
+                    out_q.close();
+                }
+                spent
+            }
+        });
+
+        // Stage 2: one driver per device.
+        let process = &process;
+        for (dev_idx, device) in devices.iter().enumerate() {
+            let device = Arc::clone(device);
+            s.spawn(move || {
+                let _guard = StreamingPanicGuard { feed, in_q, out_q, cancel };
+                while !cancel.is_cancelled() {
+                    let Some((index, item)) = in_q.pop() else { break };
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let (output, work) = process(device.as_ref(), index, item);
+                    let busy = t0.elapsed();
+                    record(Stage::Compute, device.name(), index, t0);
+                    out_q.push((index, output, dev_idx, work, busy));
+                }
+                if active.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                    out_q.finish();
+                }
+                if cancel.is_cancelled() {
+                    feed.close();
+                    in_q.close();
+                    out_q.close();
+                }
+            });
+        }
+
+        // Stage 3: output, on the scope owner.
+        let _guard = StreamingPanicGuard { feed, in_q, out_q, cancel };
+        while let Some((index, output, dev_idx, work, busy)) = out_queue.pop() {
+            let t0 = Instant::now();
+            consume(index, output);
+            output_time += t0.elapsed();
+            record(Stage::Output, "io", index, t0);
+            let share = &mut shares[dev_idx];
+            share.partitions += 1;
+            share.work_units += work;
+            share.busy += busy;
+            consumed += 1;
+            if cancel.is_cancelled() {
+                break;
+            }
+        }
+        if cancel.is_cancelled() {
+            feed.close();
+            in_queue.close();
+            out_queue.close();
+        }
+        input_time = input_handle.join().expect("input stage panicked");
+    });
+
+    let mut spans = spans.into_inner();
+    spans.sort_by_key(|s| s.start);
+    PipelineReport {
+        elapsed: started.elapsed(),
+        input_time,
+        output_time,
+        shares,
+        partitions: consumed,
+        spans,
+        cancelled: cancel.is_cancelled(),
+    }
+}
+
 /// The non-pipelined baseline for Fig 12: input **all** partitions, then
 /// compute **all** on the single given device, then output **all**. The
 /// report's `input_time`/`output_time`/device-busy sum to (almost exactly)
@@ -697,6 +887,132 @@ mod tests {
             )
         }));
         assert!(result.is_err(), "input panic must propagate");
+    }
+
+    #[test]
+    fn streaming_consumes_everything_fed_concurrently() {
+        let feed = SharedCounterQueue::new(40);
+        let cancel = CancelToken::new();
+        let seen = Mutex::new(Vec::new());
+        let report = std::thread::scope(|s| {
+            s.spawn(|| {
+                // Upstream producer trickles descriptors in while the
+                // pipeline is already running — the fused-mode shape.
+                for i in 0..40usize {
+                    std::thread::sleep(Duration::from_micros(100));
+                    feed.push(i);
+                }
+                feed.finish();
+            });
+            run_coprocessed_streaming(
+                &feed,
+                &[cpu(2)],
+                &cancel,
+                |t| (t, t * 10),
+                |_, _, v| (v + 1, 1u64),
+                |idx, out| seen.lock().push((idx, out)),
+            )
+        });
+        let mut got = seen.into_inner();
+        got.sort();
+        assert_eq!(got, (0..40).map(|i| (i, i * 10 + 1)).collect::<Vec<_>>());
+        assert_eq!(report.partitions, 40);
+        assert!(!report.cancelled);
+    }
+
+    #[test]
+    fn streaming_short_stream_ends_despite_spare_capacity() {
+        let feed = SharedCounterQueue::new(64);
+        let cancel = CancelToken::new();
+        for i in 0..5usize {
+            feed.push(i);
+        }
+        feed.finish(); // only 5 of 64 will ever arrive
+        let consumed = Mutex::new(0usize);
+        let report = run_coprocessed_streaming(
+            &feed,
+            &[cpu(1), cpu(2)],
+            &cancel,
+            |t| (t, t),
+            |_, _, v| (v, 1u64),
+            |_, _| *consumed.lock() += 1,
+        );
+        assert_eq!(*consumed.lock(), 5);
+        assert_eq!(report.partitions, 5);
+        assert_eq!(report.total_work(), 5);
+    }
+
+    #[test]
+    fn streaming_empty_stream_completes() {
+        let feed = SharedCounterQueue::<usize>::new(8);
+        let cancel = CancelToken::new();
+        feed.finish();
+        let report = run_coprocessed_streaming(
+            &feed,
+            &[cpu(1)],
+            &cancel,
+            |t| (t, t),
+            |_, _, v: usize| (v, 0u64),
+            |_, _| {},
+        );
+        assert_eq!(report.partitions, 0);
+        assert!(!report.cancelled);
+    }
+
+    #[test]
+    fn streaming_cancel_releases_upstream_feeder() {
+        let feed = SharedCounterQueue::new(32);
+        let cancel = CancelToken::new();
+        let report = std::thread::scope(|s| {
+            s.spawn(|| {
+                // The feeder never finishes on its own; only the
+                // pipeline's cancel-close can release the pop below.
+                for i in 0..4usize {
+                    feed.push(i);
+                }
+            });
+            run_coprocessed_streaming(
+                &feed,
+                &[cpu(1)],
+                &cancel,
+                |t| (t, t),
+                |_, idx, v| {
+                    if idx == 1 {
+                        cancel.cancel();
+                    }
+                    (v, 1u64)
+                },
+                |_, _| {},
+            )
+        });
+        assert!(report.cancelled);
+        assert!(feed.is_closed(), "cancel must close the upstream feed");
+    }
+
+    #[test]
+    fn streaming_panicking_process_propagates() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let feed = SharedCounterQueue::new(16);
+            let cancel = CancelToken::new();
+            for i in 0..16usize {
+                feed.push(i);
+            }
+            feed.finish();
+            run_coprocessed_streaming(
+                &feed,
+                &[cpu(1)],
+                &cancel,
+                |t| (t, t),
+                |_, idx, v: usize| {
+                    if idx == 3 {
+                        panic!("injected streaming compute panic");
+                    }
+                    (v, 1u64)
+                },
+                |_, _| {},
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate, not deadlock");
     }
 
     #[test]
