@@ -235,4 +235,96 @@ mod tests {
         assert!(pool.allocations() <= 4, "allocations {}", pool.allocations());
         assert_eq!(pool.allocations() + pool.reuses(), 80);
     }
+
+    /// Eight threads hammer one capacity class. Each checkout writes a
+    /// thread-unique k-mer set and then audits the table: any extra entry
+    /// would mean the pool handed the same table to two threads at once,
+    /// and any *stale* entry (or a count/edge surviving from a previous
+    /// tenant) would mean [`ConcurrentDbgTable::reset`] missed state.
+    #[test]
+    fn stress_no_table_is_handed_out_twice_and_reset_is_complete() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 50;
+        let pool = TablePool::new(9);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let pool = &pool;
+                s.spawn(move || {
+                    // A thread-unique 9-mer alphabet: the base pattern is
+                    // salted with the thread id so overlapping tenancy
+                    // becomes visible as foreign entries.
+                    let salt = b"ACGT"[t % 4];
+                    let seq: Vec<u8> = (0..40)
+                        .map(|i| if i % 5 == t % 5 { salt } else { b"ACGT"[(i * 7 + t) % 4] })
+                        .collect();
+                    let packed = PackedSeq::from_ascii(&seq);
+                    let own: Vec<Kmer> =
+                        packed.kmers(9).map(|kmer| kmer.canonical().0).collect();
+                    for round in 0..ROUNDS {
+                        let table = pool.checkout(512);
+                        // Reset must leave no counts and no edges behind.
+                        assert_eq!(
+                            table.distinct(),
+                            0,
+                            "thread {t} round {round}: stale entries survived reset"
+                        );
+                        let exts = [Some((t % 4) as u8), Some(((t + round) % 4) as u8)];
+                        for kmer in &own {
+                            table.record(kmer, exts).unwrap();
+                        }
+                        std::thread::yield_now();
+                        // Audit: exactly our own writes, nothing foreign.
+                        let mut got: Vec<Kmer> =
+                            table.snapshot().into_entries().into_iter().map(|e| e.0).collect();
+                        got.sort_unstable();
+                        got.dedup();
+                        let mut want = own.clone();
+                        want.sort_unstable();
+                        want.dedup();
+                        assert_eq!(
+                            got, want,
+                            "thread {t} round {round}: table shared with another tenant"
+                        );
+                    }
+                });
+            }
+        });
+        // Every round either allocated or reused; the shelf never hands
+        // out more tables than there are concurrent tenants.
+        assert_eq!(pool.allocations() + pool.reuses(), (THREADS * ROUNDS) as u64);
+        assert!(
+            pool.allocations() <= THREADS as u64,
+            "more live tables than threads: {}",
+            pool.allocations()
+        );
+    }
+
+    /// A reused table reports zeroed per-vertex data, not just an empty
+    /// index: re-record one k-mer after heavy prior use and demand the
+    /// fresh-table vertex payload (counts and edge sets) byte-for-byte.
+    #[test]
+    fn reset_zeroes_counts_and_edges() {
+        let pool = TablePool::new(7);
+        let seq = PackedSeq::from_ascii(b"ACGTACGTTGCAGGCATCAGGCATTAGACCA");
+        {
+            let dirty = pool.checkout(128);
+            // Saturate counts and set many edge bits.
+            for _ in 0..300 {
+                for kmer in seq.kmers(7) {
+                    dirty.record(&kmer.canonical().0, [Some(0), Some(3)]).unwrap();
+                }
+            }
+        }
+        let reused = pool.checkout(128);
+        assert_eq!(pool.reuses(), 1);
+        let kmer: Kmer = "ACGTACG".parse().unwrap();
+        reused.record(&kmer.canonical().0, [None, Some(2)]).unwrap();
+        let fresh = ConcurrentDbgTable::new(128, 7);
+        fresh.record(&kmer.canonical().0, [None, Some(2)]).unwrap();
+        assert_eq!(
+            reused.snapshot().into_entries(),
+            fresh.snapshot().into_entries(),
+            "vertex payload after reuse must match a fresh table exactly"
+        );
+    }
 }

@@ -79,6 +79,47 @@ pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(payload);
 }
 
+/// How a framed buffer failed verification — recovery treats the two
+/// classes very differently (see `docs/RECOVERY.md`): a **truncated
+/// tail** is the expected signature of a crash mid-append (the valid
+/// prefix is still trustworthy), while **interior corruption** means
+/// the medium itself lied and the whole artifact is suspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// The buffer ends mid-header or mid-payload: every earlier frame
+    /// verified, only the final (partial) frame is damaged.
+    TruncatedTail,
+    /// A checksum mismatch inside the buffer: bytes after this frame may
+    /// also be garbage.
+    InteriorCorruption,
+}
+
+impl std::fmt::Display for FrameFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameFault::TruncatedTail => write!(f, "truncated tail"),
+            FrameFault::InteriorCorruption => write!(f, "interior corruption"),
+        }
+    }
+}
+
+fn frame_error(
+    partition: Option<usize>,
+    frame: usize,
+    pos: usize,
+    fault: FrameFault,
+    detail: String,
+) -> MspError {
+    let ctx = match partition {
+        Some(p) => format!("partition {p}, "),
+        None => String::new(),
+    };
+    MspError::CorruptRecord {
+        offset: pos as u64,
+        reason: format!("{ctx}frame {frame} at byte {pos}: {fault} — {detail}"),
+    }
+}
+
 /// Splits a framed buffer into its verified payload slices.
 ///
 /// # Errors
@@ -87,17 +128,35 @@ pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
 /// the offending frame) when a header is truncated, a payload runs past
 /// the buffer, or a checksum does not match.
 pub fn frame_payloads(bytes: &[u8]) -> Result<Vec<&[u8]>> {
+    frame_payloads_in(bytes, None)
+}
+
+/// [`frame_payloads`] with a partition id baked into error payloads, so
+/// recovery logs name the damaged artifact. Errors state the partition
+/// id (when given), the zero-based frame index, the absolute byte
+/// offset, and whether the damage is a [`FrameFault::TruncatedTail`]
+/// (crash signature — valid prefix intact) or
+/// [`FrameFault::InteriorCorruption`] (checksum mismatch).
+///
+/// # Errors
+///
+/// Same classes as [`frame_payloads`].
+pub fn frame_payloads_in(bytes: &[u8], partition: Option<usize>) -> Result<Vec<&[u8]>> {
     let mut payloads = Vec::new();
     let mut pos = 0usize;
+    let mut frame = 0usize;
     while pos < bytes.len() {
         if bytes.len() - pos < FRAME_HEADER_LEN {
-            return Err(MspError::CorruptRecord {
-                offset: pos as u64,
-                reason: format!(
+            return Err(frame_error(
+                partition,
+                frame,
+                pos,
+                FrameFault::TruncatedTail,
+                format!(
                     "frame header truncated: {} bytes left, need {FRAME_HEADER_LEN}",
                     bytes.len() - pos
                 ),
-            });
+            ));
         }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         let want = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
@@ -105,27 +164,32 @@ pub fn frame_payloads(bytes: &[u8]) -> Result<Vec<&[u8]>> {
         let end = match start.checked_add(len) {
             Some(end) if end <= bytes.len() => end,
             _ => {
-                return Err(MspError::CorruptRecord {
-                    offset: pos as u64,
-                    reason: format!(
+                return Err(frame_error(
+                    partition,
+                    frame,
+                    pos,
+                    FrameFault::TruncatedTail,
+                    format!(
                         "frame payload of {len} bytes truncated to {}",
-                        bytes.len() - start
+                        bytes.len().saturating_sub(start)
                     ),
-                });
+                ));
             }
         };
         let payload = &bytes[start..end];
         let got = crc32(payload);
         if got != want {
-            return Err(MspError::CorruptRecord {
-                offset: pos as u64,
-                reason: format!(
-                    "frame checksum mismatch: stored {want:#010x}, computed {got:#010x}"
-                ),
-            });
+            return Err(frame_error(
+                partition,
+                frame,
+                pos,
+                FrameFault::InteriorCorruption,
+                format!("frame checksum mismatch: stored {want:#010x}, computed {got:#010x}"),
+            ));
         }
         payloads.push(payload);
         pos = end;
+        frame += 1;
     }
     Ok(payloads)
 }
@@ -138,7 +202,17 @@ pub fn frame_payloads(bytes: &[u8]) -> Result<Vec<&[u8]>> {
 ///
 /// Same as [`frame_payloads`].
 pub fn deframe(bytes: &[u8]) -> Result<Vec<u8>> {
-    let payloads = frame_payloads(bytes)?;
+    deframe_in(bytes, None)
+}
+
+/// [`deframe`] with a partition id baked into error payloads (see
+/// [`frame_payloads_in`]).
+///
+/// # Errors
+///
+/// Same as [`frame_payloads`].
+pub fn deframe_in(bytes: &[u8], partition: Option<usize>) -> Result<Vec<u8>> {
+    let payloads = frame_payloads_in(bytes, partition)?;
     let total: usize = payloads.iter().map(|p| p.len()).sum();
     let mut out = Vec::with_capacity(total);
     for p in payloads {
@@ -210,6 +284,36 @@ mod tests {
             }
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn error_payload_names_partition_frame_offset_and_class() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"frame zero");
+        let second_start = buf.len();
+        append_frame(&mut buf, b"frame one");
+
+        // Interior corruption in frame 1.
+        let mut bad = buf.clone();
+        bad[second_start + FRAME_HEADER_LEN] ^= 0xFF;
+        let err = deframe_in(&bad, Some(42)).unwrap_err().to_string();
+        assert!(err.contains("partition 42"), "{err}");
+        assert!(err.contains("frame 1"), "{err}");
+        assert!(err.contains(&format!("byte {second_start}")), "{err}");
+        assert!(err.contains("interior corruption"), "{err}");
+
+        // Torn tail: cut mid-way through frame 1's payload.
+        let cut = &buf[..buf.len() - 3];
+        let err = frame_payloads_in(cut, Some(7)).unwrap_err().to_string();
+        assert!(err.contains("partition 7"), "{err}");
+        assert!(err.contains("frame 1"), "{err}");
+        assert!(err.contains("truncated tail"), "{err}");
+
+        // Cut mid-header of frame 1 is also a torn tail.
+        let cut = &buf[..second_start + 3];
+        let err = frame_payloads_in(cut, None).unwrap_err().to_string();
+        assert!(err.contains("truncated tail"), "{err}");
+        assert!(!err.contains("partition"), "{err}");
     }
 
     #[test]

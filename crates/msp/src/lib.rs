@@ -53,7 +53,8 @@ mod view;
 mod writer;
 
 pub use frame::{
-    append_frame, crc32, deframe, frame_payloads, DEFAULT_FRAME_TARGET, FRAME_HEADER_LEN,
+    append_frame, crc32, deframe, deframe_in, frame_payloads, frame_payloads_in, FrameFault,
+    DEFAULT_FRAME_TARGET, FRAME_HEADER_LEN,
 };
 pub use minimizer::{minimizer_of_kmer, MinimizerCursor, MinimizerScanner};
 pub use partition::{partition_in_memory, PartitionRouter};

@@ -28,6 +28,8 @@ use std::fs::{self, File};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use pipeline::{commit, failpoint};
+
 use crate::frame::{append_frame, crc32, DEFAULT_FRAME_TARGET, FRAME_HEADER_LEN};
 use crate::writer::partition_path;
 use crate::{MspError, PartitionManifest, PartitionRouter, PartitionStats, Result};
@@ -311,7 +313,13 @@ impl PartitionStore {
     /// Converts a resident slot to a spill file: the already-framed
     /// backing bytes stream straight out; pending records stay buffered
     /// (they keep framing as usual, just to disk now).
+    ///
+    /// The spill file is staged as `part-NNNNN.skm.tmp` and only renamed
+    /// to its final name (fsync, rename, dir fsync) when the partition is
+    /// [sealed](Self::seal) — a crash mid-spill leaves an obviously
+    /// uncommitted `*.tmp`, never a plausible-looking partial partition.
     fn spill(&mut self, partition: usize) -> Result<()> {
+        failpoint::hit("msp.store.spill")?;
         let cost = self.slots[partition].resident_cost();
         let slot = &mut self.slots[partition];
         let backing = match std::mem::replace(&mut slot.backing, Backing::Sealed) {
@@ -321,7 +329,8 @@ impl PartitionStore {
                 panic!("spill of non-resident partition {partition}");
             }
         };
-        let mut file = BufWriter::new(File::create(partition_path(&self.dir, partition))?);
+        let staged = commit::tmp_path(&partition_path(&self.dir, partition));
+        let mut file = BufWriter::new(File::create(staged)?);
         file.write_all(&backing)?;
         slot.backing = Backing::Spilled(file);
         self.residency[partition] = false;
@@ -393,10 +402,17 @@ impl PartitionStore {
                 self.resident_bytes -= cost;
                 SealedPayload::Resident(v)
             }
-            Backing::Spilled(mut file) => {
-                file.flush()?;
+            Backing::Spilled(file) => {
+                // Commit the staged spill: flush buffers, fsync the data,
+                // rename `*.skm.tmp` → `*.skm`, fsync the directory. Only
+                // now does the final name exist.
+                let file = file.into_inner().map_err(|e| MspError::Io(e.into()))?;
+                file.sync_all()?;
                 drop(file);
-                SealedPayload::Spilled(partition_path(&self.dir, index))
+                let path = partition_path(&self.dir, index);
+                fs::rename(commit::tmp_path(&path), &path)?;
+                commit::sync_dir(&self.dir);
+                SealedPayload::Spilled(path)
             }
             Backing::Sealed => panic!("partition {index} sealed twice"),
         };
@@ -506,7 +522,14 @@ mod tests {
         for (i, &hit) in touched.iter().enumerate() {
             if hit {
                 assert!(!store.is_resident(i));
-                assert!(partition_path(&dir, i).exists());
+                // Spills stage to `*.tmp`; the final name appears at seal.
+                let final_path = partition_path(&dir, i);
+                assert!(commit::tmp_path(&final_path).exists());
+                assert!(!final_path.exists(), "final name must wait for seal");
+                let sealed = store.seal(i).unwrap();
+                assert!(matches!(sealed.payload, SealedPayload::Spilled(_)));
+                assert!(final_path.exists());
+                assert!(!commit::tmp_path(&final_path).exists());
             }
         }
         fs::remove_dir_all(&dir).unwrap();

@@ -247,6 +247,23 @@ impl<'a> PartitionSlices<'a> {
     /// framed buffer) for a truncated frame, a checksum mismatch, or a
     /// record that is inconsistent within its frame.
     pub fn index_framed(bytes: &'a [u8], k: usize, p: usize) -> Result<PartitionSlices<'a>> {
+        Self::index_framed_in(bytes, k, p, None)
+    }
+
+    /// [`index_framed`](Self::index_framed) with a partition id baked
+    /// into error payloads, so recovery logs name the damaged artifact
+    /// (partition id, frame index, byte offset, truncated-tail vs
+    /// interior-corruption — see [`crate::frame_payloads_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`index_framed`](Self::index_framed).
+    pub fn index_framed_in(
+        bytes: &'a [u8],
+        k: usize,
+        p: usize,
+        partition: Option<usize>,
+    ) -> Result<PartitionSlices<'a>> {
         if p < 1 || p > k || k > dna::MAX_K {
             return Err(MspError::InvalidParams { k, p });
         }
@@ -260,7 +277,7 @@ impl<'a> PartitionSlices<'a> {
         // Verify all frame checksums up front; offsets below are absolute
         // because each payload is a sub-slice of `bytes`.
         let base = bytes.as_ptr() as usize;
-        for payload in crate::frame::frame_payloads(bytes)? {
+        for payload in crate::frame::frame_payloads_in(bytes, partition)? {
             let frame_start = payload.as_ptr() as usize - base;
             let mut offset = 0usize;
             while offset < payload.len() {

@@ -2,6 +2,8 @@ use std::fs::{self, File};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use pipeline::{commit, failpoint};
+
 use crate::frame::{crc32, DEFAULT_FRAME_TARGET};
 use crate::{encode_superkmer, MspError, PartitionRouter, PartitionStats, Result, Superkmer};
 
@@ -66,9 +68,14 @@ impl PartitionWriter {
         let router = PartitionRouter::new(num_partitions)?;
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+        // Partition files are staged as `*.skm.tmp` and only renamed to
+        // their final names (fsync file, rename, fsync dir) in
+        // [`finish`](Self::finish) — a crash mid-run can never leave a
+        // half-written file at a name recovery would trust.
         let mut files = Vec::with_capacity(num_partitions);
         for i in 0..num_partitions {
-            files.push(BufWriter::new(File::create(partition_path(&dir, i))?));
+            let staged = commit::tmp_path(&partition_path(&dir, i));
+            files.push(BufWriter::new(File::create(staged)?));
         }
         Ok(PartitionWriter {
             dir,
@@ -170,6 +177,7 @@ impl PartitionWriter {
         if payload.is_empty() {
             return Ok(());
         }
+        failpoint::hit("msp.frame.append")?;
         let file = &mut self.files[partition];
         file.write_all(&(payload.len() as u32).to_le_bytes())?;
         file.write_all(&crc32(payload).to_le_bytes())?;
@@ -178,19 +186,29 @@ impl PartitionWriter {
         Ok(())
     }
 
-    /// Flushes every pending frame and file, writes `manifest.txt`, and
-    /// returns the manifest.
+    /// Flushes every pending frame and file, atomically commits each
+    /// staged `*.skm.tmp` to its final `part-NNNNN.skm` name (fsync,
+    /// rename, dir fsync), writes `manifest.txt` (also atomically), and
+    /// returns the manifest. Until this returns, the directory holds
+    /// only obviously-uncommitted `*.tmp` files and no manifest — a
+    /// crash anywhere before the manifest commit leaves nothing a later
+    /// run could mistake for a complete Step-1 output.
     ///
     /// # Errors
     ///
-    /// Propagates flush/write failures.
+    /// Propagates flush/fsync/rename failures.
     pub fn finish(mut self) -> Result<PartitionManifest> {
         for i in 0..self.files.len() {
             self.flush_frame(i)?;
         }
-        for f in &mut self.files {
-            f.flush()?;
+        for (i, f) in self.files.drain(..).enumerate() {
+            let file = f.into_inner().map_err(|e| MspError::Io(e.into()))?;
+            file.sync_all()?;
+            drop(file);
+            let path = partition_path(&self.dir, i);
+            fs::rename(commit::tmp_path(&path), &path)?;
         }
+        commit::sync_dir(&self.dir);
         let manifest = PartitionManifest {
             dir: self.dir.clone(),
             k: self.k,
@@ -333,32 +351,38 @@ impl PartitionManifest {
         dir.join("manifest.txt")
     }
 
-    /// Writes `manifest.txt` into the partition directory.
+    /// Writes `manifest.txt` into the partition directory, atomically:
+    /// the full contents are staged to `manifest.txt.tmp`, fsynced, and
+    /// renamed over the old manifest, so a reader (or a resumed run)
+    /// sees either the previous manifest or the new one — never a torn
+    /// mixture. Quarantine marks are kept deduplicated by
+    /// [`quarantine`](Self::quarantine), so repeated non-strict runs
+    /// rewrite one line per partition instead of appending duplicates.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn save(&self) -> Result<()> {
-        let mut f = BufWriter::new(File::create(Self::manifest_path(&self.dir))?);
-        writeln!(f, "parahash-msp-manifest v1")?;
-        writeln!(f, "k {}", self.k)?;
-        writeln!(f, "p {}", self.p)?;
-        writeln!(f, "partitions {}", self.stats.len())?;
+        let mut out = Vec::with_capacity(64 + 32 * self.stats.len());
+        writeln!(out, "parahash-msp-manifest v1")?;
+        writeln!(out, "k {}", self.k)?;
+        writeln!(out, "p {}", self.p)?;
+        writeln!(out, "partitions {}", self.stats.len())?;
         for (i, s) in self.stats.iter().enumerate() {
-            writeln!(f, "part {i} {} {} {}", s.superkmers, s.kmers, s.bytes)?;
+            writeln!(out, "part {i} {} {} {}", s.superkmers, s.kmers, s.bytes)?;
         }
         if let Some(residency) = &self.residency {
             for (i, resident) in residency.iter().enumerate() {
-                writeln!(f, "{} {i}", if *resident { "resident" } else { "spilled" })?;
+                writeln!(out, "{} {i}", if *resident { "resident" } else { "spilled" })?;
             }
         }
         for q in &self.quarantined {
             // Reasons are free text; fold any newlines so the line-oriented
             // format stays parseable.
             let reason = q.reason.replace(['\n', '\r'], " ");
-            writeln!(f, "quarantined {} {reason}", q.index)?;
+            writeln!(out, "quarantined {} {reason}", q.index)?;
         }
-        f.flush()?;
+        commit::commit_bytes(&Self::manifest_path(&self.dir), &out)?;
         Ok(())
     }
 
@@ -437,7 +461,17 @@ impl PartitionManifest {
             if let Some(rest) = line.strip_prefix("quarantined ") {
                 let (idx, reason) = rest.split_once(' ').unwrap_or((rest, ""));
                 let index = index_in_range(idx, "quarantined", lineno)?;
-                quarantined.push(QuarantinedPartition { index, reason: reason.to_string() });
+                // Merge duplicate marks for the same partition (older
+                // manifests could accumulate one line per non-strict
+                // run); the last line wins, matching `quarantine`'s
+                // update-in-place semantics.
+                match quarantined.iter_mut().find(|q: &&mut QuarantinedPartition| q.index == index)
+                {
+                    Some(q) => q.reason = reason.to_string(),
+                    None => {
+                        quarantined.push(QuarantinedPartition { index, reason: reason.to_string() })
+                    }
+                }
             } else if let Some(rest) = line.strip_prefix("resident ") {
                 let index = index_in_range(rest.trim(), "resident", lineno)?;
                 residency.get_or_insert_with(|| vec![false; n])[index] = true;
@@ -596,6 +630,60 @@ mod tests {
         );
         fs::remove_dir_all(&dir).unwrap();
     }
+
+    #[test]
+    fn partitions_are_staged_as_tmp_until_finish() {
+        let dir = tmpdir("staged");
+        let scanner = SuperkmerScanner::new(7, 4).unwrap();
+        let mut w = PartitionWriter::create(&dir, 2, 7, 4).unwrap();
+        let read = PackedSeq::from_ascii(b"ACGTTGCATGGACCAGTTACGGATCAGG");
+        for sk in scanner.scan(&read) {
+            w.write(&sk).unwrap();
+        }
+        // Before finish: only obviously-uncommitted tmp files, no manifest.
+        for i in 0..2 {
+            let final_path = partition_path(&dir, i);
+            assert!(!final_path.exists(), "final name must not exist pre-commit");
+            assert!(pipeline::commit::tmp_path(&final_path).exists());
+        }
+        assert!(!dir.join("manifest.txt").exists());
+        let manifest = w.finish().unwrap();
+        // After finish: committed names only, no tmp leftovers.
+        for i in 0..2 {
+            assert!(manifest.partition_path(i).exists());
+            assert!(!pipeline::commit::tmp_path(&manifest.partition_path(i)).exists());
+        }
+        assert!(dir.join("manifest.txt").exists());
+        assert!(!dir.join("manifest.txt.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_quarantine_lines_merge_on_load() {
+        let dir = tmpdir("quarantine-dup");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("manifest.txt"),
+            "parahash-msp-manifest v1\nk 5\np 3\npartitions 2\npart 0 0 0 0\npart 1 0 0 0\n\
+             quarantined 1 first failure\nquarantined 1 second failure\nquarantined 0 other\n",
+        )
+        .unwrap();
+        let loaded = PartitionManifest::load(&dir).unwrap();
+        assert_eq!(loaded.quarantined().len(), 2, "{:?}", loaded.quarantined());
+        assert_eq!(loaded.quarantined()[0].index, 1);
+        assert_eq!(loaded.quarantined()[0].reason, "second failure");
+        // Save rewrites exactly one line per quarantined partition.
+        loaded.save().unwrap();
+        let text = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        assert_eq!(text.matches("quarantined 1 ").count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // NOTE: arming the real `msp.frame.append` site in a unit test would
+    // race with sibling tests flushing frames on other threads (the
+    // registry is process-global); real-site coverage lives in the
+    // crash-recovery integration suite, which arms sites in forked child
+    // processes via PARAHASH_FAILPOINTS.
 
     #[test]
     fn quarantine_line_with_bad_index_is_rejected() {

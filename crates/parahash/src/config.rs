@@ -5,7 +5,59 @@ use hashgraph::SizingParams;
 use hetsim::{CpuDevice, Device, SimGpuConfig, SimGpuDevice};
 use pipeline::{IoMode, RetryPolicy};
 
-use crate::{ParaHashError, Result};
+use crate::Result;
+
+/// A specific configuration rule violated at
+/// [`ParaHashConfigBuilder::build`] time. Each variant names the
+/// offending values and the rule, so the rejection is actionable
+/// instead of surfacing later as a panic or debug assertion deep in the
+/// pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `k` is zero or exceeds the packed-word maximum [`dna::MAX_K`].
+    KOutOfRange {
+        /// The rejected k-mer length.
+        k: usize,
+    },
+    /// The minimizer length must satisfy `1 <= p <= k`: a minimizer is
+    /// a substring of the k-mer, so `p > k` has no substring to
+    /// minimise over and `p == 0` selects nothing. (`p == k` is legal —
+    /// the minimizer is the whole canonical k-mer, every k-mer becomes
+    /// its own superkmer — just slow.)
+    MinimizerNotShorter {
+        /// The rejected minimizer length.
+        p: usize,
+        /// The k-mer length it was checked against.
+        k: usize,
+    },
+    /// `partitions` must be at least 1.
+    NoPartitions,
+    /// No `work_dir` was provided.
+    MissingWorkDir,
+    /// The device roster ended up empty (`no_cpu()` without any GPU or
+    /// extra device).
+    NoDevices,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::KOutOfRange { k } => {
+                write!(f, "k={k} out of range 1..={} (packed-word maximum)", dna::MAX_K)
+            }
+            ConfigError::MinimizerNotShorter { p, k } => write!(
+                f,
+                "p={p} must satisfy 1 <= p <= k (k={k}): minimizers are substrings of k-mers"
+            ),
+            ConfigError::NoPartitions => write!(f, "partitions must be >= 1"),
+            ConfigError::MissingWorkDir => write!(f, "work_dir is required"),
+            ConfigError::NoDevices => write!(f, "at least one compute device is required"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Complete configuration of a ParaHash run. Construct through
 /// [`ParaHashConfig::builder`].
@@ -24,6 +76,7 @@ pub struct ParaHashConfig {
     pub(crate) retry: RetryPolicy,
     pub(crate) indexed_fastq: bool,
     pub(crate) partition_memory_budget: u64,
+    pub(crate) resume: bool,
     pub(crate) devices: Vec<Arc<dyn Device>>,
 }
 
@@ -102,6 +155,12 @@ impl ParaHashConfig {
     pub fn partition_memory_budget(&self) -> u64 {
         self.partition_memory_budget
     }
+
+    /// Whether runs should resume from the work directory's `run.journal`
+    /// when one exists (see [`ParaHashConfigBuilder::resume`]).
+    pub fn resume(&self) -> bool {
+        self.resume
+    }
 }
 
 /// Builder for [`ParaHashConfig`].
@@ -140,6 +199,7 @@ pub struct ParaHashConfigBuilder {
     retry: RetryPolicy,
     indexed_fastq: bool,
     partition_memory_budget: u64,
+    resume: bool,
     cpu_threads: Option<usize>,
     gpus: Vec<SimGpuConfig>,
     extra_devices: Vec<Arc<dyn Device>>,
@@ -161,6 +221,7 @@ impl Default for ParaHashConfigBuilder {
             retry: RetryPolicy::default(),
             indexed_fastq: false,
             partition_memory_budget: 256 << 20, // 256 MiB resident by default
+            resume: false,
             cpu_threads: Some(0), // 0 = all available
             gpus: Vec::new(),
             extra_devices: Vec::new(),
@@ -273,6 +334,21 @@ impl ParaHashConfigBuilder {
         self
     }
 
+    /// Makes the run entry points ([`crate::ParaHash::run`] /
+    /// [`run_fused`](crate::ParaHash::run_fused) and the FASTQ variants)
+    /// resume from `work_dir/run.journal` when one exists: the journal
+    /// is replayed, surviving artifacts are CRC-verified, committed
+    /// subgraphs are reloaded instead of rebuilt, and only
+    /// missing/invalid partitions are re-run. A journal written under a
+    /// different config/input fingerprint is refused with
+    /// [`crate::ParaHashError::FingerprintMismatch`]. Equivalent to
+    /// calling [`crate::ParaHash::resume`] explicitly. Off by default —
+    /// a fresh run truncates any previous journal.
+    pub fn resume(mut self, yes: bool) -> Self {
+        self.resume = yes;
+        self
+    }
+
     /// Uses a CPU device with `threads` workers (0 = all available cores).
     /// This is the default; call [`no_cpu`](Self::no_cpu) for GPU-only runs.
     pub fn cpu_threads(mut self, threads: usize) -> Self {
@@ -303,28 +379,21 @@ impl ParaHashConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`ParaHashError::InvalidConfig`] when parameters are out of
-    /// range, the work dir is missing, or no compute device is configured.
+    /// Returns [`ParaHashError::Config`] — with the specific
+    /// [`ConfigError`] rule — when parameters are out of range
+    /// (`k` beyond [`dna::MAX_K`], `p > k` or `p == 0`, zero partitions), the work
+    /// dir is missing, or no compute device is configured.
     pub fn build(self) -> Result<ParaHashConfig> {
         if self.k == 0 || self.k > dna::MAX_K {
-            return Err(ParaHashError::InvalidConfig(format!(
-                "k={} out of range 1..={}",
-                self.k,
-                dna::MAX_K
-            )));
+            return Err(ConfigError::KOutOfRange { k: self.k }.into());
         }
         if self.p == 0 || self.p > self.k {
-            return Err(ParaHashError::InvalidConfig(format!(
-                "p={} out of range 1..=k ({})",
-                self.p, self.k
-            )));
+            return Err(ConfigError::MinimizerNotShorter { p: self.p, k: self.k }.into());
         }
         if self.partitions == 0 {
-            return Err(ParaHashError::InvalidConfig("partitions must be >= 1".into()));
+            return Err(ConfigError::NoPartitions.into());
         }
-        let work_dir = self
-            .work_dir
-            .ok_or_else(|| ParaHashError::InvalidConfig("work_dir is required".into()))?;
+        let work_dir = self.work_dir.ok_or(ConfigError::MissingWorkDir)?;
 
         let mut devices: Vec<Arc<dyn Device>> = Vec::new();
         if let Some(threads) = self.cpu_threads {
@@ -340,9 +409,7 @@ impl ParaHashConfigBuilder {
         }
         devices.extend(self.extra_devices);
         if devices.is_empty() {
-            return Err(ParaHashError::InvalidConfig(
-                "at least one compute device is required".into(),
-            ));
+            return Err(ConfigError::NoDevices.into());
         }
         Ok(ParaHashConfig {
             k: self.k,
@@ -358,6 +425,7 @@ impl ParaHashConfigBuilder {
             retry: self.retry,
             indexed_fastq: self.indexed_fastq,
             partition_memory_budget: self.partition_memory_budget,
+            resume: self.resume,
             devices,
         })
     }
@@ -366,6 +434,7 @@ impl ParaHashConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ParaHashError;
 
     fn base() -> ParaHashConfigBuilder {
         ParaHashConfig::builder().work_dir("/tmp/parahash-config-test")
@@ -390,6 +459,49 @@ mod tests {
         assert!(base().partitions(0).build().is_err());
         assert!(ParaHashConfig::builder().build().is_err(), "work_dir required");
         assert!(base().no_cpu().build().is_err(), "needs a device");
+    }
+
+    fn config_err(result: Result<ParaHashConfig>) -> ConfigError {
+        match result {
+            Err(ParaHashError::Config(e)) => e,
+            Err(other) => panic!("expected ParaHashError::Config, got {other}"),
+            Ok(_) => panic!("expected rejection"),
+        }
+    }
+
+    #[test]
+    fn k_beyond_packed_word_maximum_is_named() {
+        let e = config_err(base().k(dna::MAX_K + 1).p(11).build());
+        assert_eq!(e, ConfigError::KOutOfRange { k: dna::MAX_K + 1 });
+        assert!(e.to_string().contains("packed-word maximum"), "{e}");
+        assert_eq!(config_err(base().k(0).build()), ConfigError::KOutOfRange { k: 0 });
+    }
+
+    #[test]
+    fn minimizer_length_is_validated_at_build_time() {
+        // p > k is rejected here, not deep in the scanner.
+        let e = config_err(base().k(7).p(9).build());
+        assert_eq!(e, ConfigError::MinimizerNotShorter { p: 9, k: 7 });
+        assert!(e.to_string().contains("1 <= p <= k"), "{e}");
+        assert!(matches!(
+            config_err(base().k(7).p(0).build()),
+            ConfigError::MinimizerNotShorter { p: 0, k: 7 }
+        ));
+        assert!(base().k(7).p(7).build().is_ok(), "p == k is the degenerate-but-legal maximum");
+        assert!(base().k(7).p(6).build().is_ok());
+    }
+
+    #[test]
+    fn zero_partitions_and_missing_pieces_are_named() {
+        assert_eq!(config_err(base().partitions(0).build()), ConfigError::NoPartitions);
+        assert_eq!(config_err(ParaHashConfig::builder().build()), ConfigError::MissingWorkDir);
+        assert_eq!(config_err(base().no_cpu().build()), ConfigError::NoDevices);
+    }
+
+    #[test]
+    fn resume_flag_roundtrips() {
+        assert!(!base().build().unwrap().resume(), "fresh runs by default");
+        assert!(base().resume(true).build().unwrap().resume());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 //! ```
 
 mod config;
+mod journal;
 mod once_error;
 mod report;
 mod staging;
@@ -58,11 +59,12 @@ mod step1;
 mod step2;
 mod system;
 
-pub use config::{ParaHashConfig, ParaHashConfigBuilder};
+pub use config::{ConfigError, ParaHashConfig, ParaHashConfigBuilder};
+pub use journal::{Fingerprint, JournalEvent, JournalState, RunJournal};
 pub use once_error::OnceError;
 pub use report::{RunReport, Step1Stats, StepReport};
 pub use step1::{run_step1, run_step1_fastq};
-pub use step2::{decode_subgraph, encode_subgraph, run_step2};
+pub use step2::{decode_subgraph, decode_subgraph_checked, encode_subgraph, run_step2};
 pub use system::{ParaHash, RunOutcome};
 
 /// Errors from a ParaHash run.
@@ -71,6 +73,9 @@ pub use system::{ParaHash, RunOutcome};
 pub enum ParaHashError {
     /// Configuration rejected at build time.
     InvalidConfig(String),
+    /// A specific configuration parameter rejected at build time (see
+    /// [`ConfigError`] for the precise rule that was violated).
+    Config(ConfigError),
     /// Step-1 partitioning failure.
     Msp(msp::MspError),
     /// Step-2 construction failure.
@@ -79,16 +84,43 @@ pub enum ParaHashError {
     Device(hetsim::HetsimError),
     /// Filesystem failure.
     Io(std::io::Error),
+    /// `run.journal` could not be replayed (malformed record that is not
+    /// a torn tail, or an event that contradicts the run shape).
+    Journal {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A resume was requested but the journal's config fingerprint does
+    /// not match the current configuration/input — resuming would mix
+    /// artifacts from two different runs.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the journal.
+        journal: Fingerprint,
+        /// Fingerprint of the config/input the resume was asked to use.
+        current: Fingerprint,
+    },
 }
 
 impl std::fmt::Display for ParaHashError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParaHashError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ParaHashError::Config(e) => write!(f, "invalid configuration: {e}"),
             ParaHashError::Msp(e) => write!(f, "msp step failed: {e}"),
             ParaHashError::HashGraph(e) => write!(f, "hashing step failed: {e}"),
             ParaHashError::Device(e) => write!(f, "device failure: {e}"),
             ParaHashError::Io(e) => write!(f, "i/o failure: {e}"),
+            ParaHashError::Journal { offset, reason } => {
+                write!(f, "corrupt run journal at byte {offset}: {reason}")
+            }
+            ParaHashError::FingerprintMismatch { journal, current } => write!(
+                f,
+                "refusing to resume: journal fingerprint {journal} does not match the \
+                 current run's fingerprint {current} (config or input changed since the \
+                 interrupted run — start a fresh run instead)"
+            ),
         }
     }
 }
@@ -100,8 +132,14 @@ impl std::error::Error for ParaHashError {
             ParaHashError::HashGraph(e) => Some(e),
             ParaHashError::Device(e) => Some(e),
             ParaHashError::Io(e) => Some(e),
-            ParaHashError::InvalidConfig(_) => None,
+            _ => None,
         }
+    }
+}
+
+impl From<ConfigError> for ParaHashError {
+    fn from(e: ConfigError) -> Self {
+        ParaHashError::Config(e)
     }
 }
 

@@ -446,7 +446,13 @@ where
                         stats.staging_bytes += bytes.len() as u64;
                         stats.merge_flushes += 1;
                         io.charge(bytes.len() as u64);
-                        if let Err(e) = sink.append_encoded(part, bytes, sks, kms) {
+                        // `step1.staging.flush` is the canonical crash
+                        // site *before* any partition data reaches its
+                        // sink — everything staged so far is discarded.
+                        let appended = pipeline::failpoint::hit("step1.staging.flush")
+                            .map_err(msp::MspError::Io)
+                            .and_then(|()| sink.append_encoded(part, bytes, sks, kms));
+                        if let Err(e) = appended {
                             // A failed append means the partition data no
                             // longer matches the stats; abandon the run now
                             // rather than scanning the remaining batches.

@@ -1,3 +1,4 @@
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -11,10 +12,11 @@ use msp::{
 };
 use parking_lot::Mutex;
 use pipeline::{
-    run_coprocessed_streaming, run_coprocessed_with, CancelToken, PipelineReport,
+    failpoint, run_coprocessed_streaming, run_coprocessed_with, CancelToken, PipelineReport,
     SharedCounterQueue, ThrottledIo,
 };
 
+use crate::journal::{JournalEvent, RunJournal};
 use crate::once_error::OnceError;
 use crate::step1::split_device_times;
 use crate::{ParaHashConfig, ParaHashError, Result, StepReport};
@@ -36,11 +38,19 @@ const VERTEX_BYTES: usize = 32 + 4 + 32;
 /// fixed-width records preceded by a u64 count and a u8 k, followed by a
 /// u32 CRC32 trailer over everything before it (so bit-rot in a persisted
 /// subgraph is detected on reload, mirroring the partition-file frames).
+///
+/// Records are written in **canonical (sorted-by-k-mer) order**, not the
+/// hash table's slot order: slot order depends on insertion interleaving
+/// under multithreaded construction, and the crash-recovery guarantee is
+/// that a resumed run's subgraph files are *byte-identical* to an
+/// uninterrupted run's — only a canonical order survives that comparison.
 pub fn encode_subgraph(sub: &SubGraph) -> Vec<u8> {
-    let mut out = Vec::with_capacity(9 + sub.len() * VERTEX_BYTES + 4);
-    out.extend_from_slice(&(sub.len() as u64).to_le_bytes());
+    let mut entries: Vec<&(dna::Kmer, hashgraph::VertexData)> = sub.entries().iter().collect();
+    entries.sort_by_key(|(kmer, _)| *kmer);
+    let mut out = Vec::with_capacity(9 + entries.len() * VERTEX_BYTES + 4);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     out.push(sub.k() as u8);
-    for (kmer, data) in sub.entries() {
+    for (kmer, data) in entries {
         for w in kmer.words() {
             out.extend_from_slice(&w.to_le_bytes());
         }
@@ -60,44 +70,101 @@ pub fn encode_subgraph(sub: &SubGraph) -> Vec<u8> {
 /// Returns `None` when the buffer is truncated, fails its CRC32 trailer,
 /// declares an invalid k-mer, or carries trailing bytes beyond the
 /// declared record count — a short count with appended garbage is
-/// corruption, not a smaller subgraph.
+/// corruption, not a smaller subgraph. When the caller needs to know
+/// *why* a buffer was rejected, use [`decode_subgraph_checked`].
 pub fn decode_subgraph(bytes: &[u8]) -> Option<SubGraph> {
+    decode_subgraph_checked(bytes, None).ok()
+}
+
+/// [`decode_subgraph`] with a diagnosable error instead of `None`.
+///
+/// The error names the partition the subgraph belongs to (when the
+/// caller supplies it), the byte offset at which the problem was
+/// detected, and classifies the damage:
+///
+/// * **truncated tail** — the buffer ends before the bytes its header
+///   promises; the expected signature of a crash mid-write (impossible
+///   for files written through the atomic commit protocol, but persisted
+///   subgraphs may come from elsewhere).
+/// * **interior corruption** — the length bookkeeping is intact but the
+///   content is not (CRC32 trailer mismatch, invalid k-mer, undeclared
+///   trailing bytes): bit-rot or tampering, not a torn write.
+///
+/// # Errors
+///
+/// [`ParaHashError::Msp`] wrapping [`msp::MspError::CorruptRecord`] with
+/// the offset and classification above.
+pub fn decode_subgraph_checked(bytes: &[u8], partition: Option<usize>) -> Result<SubGraph> {
+    let bad = |offset: usize, fault: &str, detail: String| -> ParaHashError {
+        let whose = match partition {
+            Some(i) => format!("subgraph for partition {i}, "),
+            None => String::new(),
+        };
+        ParaHashError::Msp(msp::MspError::CorruptRecord {
+            offset: offset as u64,
+            reason: format!("{whose}byte {offset}: {fault} — {detail}"),
+        })
+    };
     // u64 count + u8 k + u32 crc is the minimum (empty) encoding.
     if bytes.len() < 9 + 4 {
-        return None;
+        return Err(bad(
+            bytes.len(),
+            "truncated tail",
+            format!("{} bytes is shorter than the minimal (13-byte) empty encoding", bytes.len()),
+        ));
+    }
+    let n = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let k = bytes[8] as usize;
+    let expected = 9usize.saturating_add(n.saturating_mul(VERTEX_BYTES)).saturating_add(4);
+    if bytes.len() < expected {
+        return Err(bad(
+            bytes.len(),
+            "truncated tail",
+            format!(
+                "header declares {n} record(s) ({expected} bytes total) but the buffer holds {}",
+                bytes.len()
+            ),
+        ));
+    }
+    if bytes.len() > expected {
+        return Err(bad(
+            expected,
+            "interior corruption",
+            format!("{} byte(s) beyond the declared {n} record(s)", bytes.len() - expected),
+        ));
     }
     let (body, trailer) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(trailer.try_into().ok()?);
-    if msp::crc32(body) != stored {
-        return None;
+    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    let computed = msp::crc32(body);
+    if computed != stored {
+        return Err(bad(
+            body.len(),
+            "interior corruption",
+            format!("CRC32 trailer mismatch (stored {stored:#010x}, computed {computed:#010x})"),
+        ));
     }
-    let n = u64::from_le_bytes(body[..8].try_into().ok()?) as usize;
-    let k = body[8] as usize;
     let mut offset = 9;
-    let mut entries = Vec::with_capacity(n.min(body.len() / VERTEX_BYTES + 1));
-    for _ in 0..n {
-        if body.len() < offset + VERTEX_BYTES {
-            return None;
-        }
+    let mut entries = Vec::with_capacity(n);
+    for rec in 0..n {
+        let record_start = offset;
         let mut words = [0u64; 4];
         for w in &mut words {
-            *w = u64::from_le_bytes(body[offset..offset + 8].try_into().ok()?);
+            *w = u64::from_le_bytes(body[offset..offset + 8].try_into().unwrap());
             offset += 8;
         }
-        let kmer = dna::Kmer::from_words(words, k).ok()?;
-        let count = u32::from_le_bytes(body[offset..offset + 4].try_into().ok()?);
+        let kmer = dna::Kmer::from_words(words, k).map_err(|e| {
+            bad(record_start, "interior corruption", format!("record {rec}: invalid k-mer: {e}"))
+        })?;
+        let count = u32::from_le_bytes(body[offset..offset + 4].try_into().unwrap());
         offset += 4;
         let mut edges = [0u32; 8];
         for e in &mut edges {
-            *e = u32::from_le_bytes(body[offset..offset + 4].try_into().ok()?);
+            *e = u32::from_le_bytes(body[offset..offset + 4].try_into().unwrap());
             offset += 4;
         }
         entries.push((kmer, hashgraph::VertexData { count, edges }));
     }
-    if offset != body.len() {
-        return None; // trailing garbage beyond the declared records
-    }
-    Some(SubGraph::new(k, entries))
+    Ok(SubGraph::new(k, entries))
 }
 
 /// Step 2 of ParaHash: pipelined, co-processed subgraph construction.
@@ -134,9 +201,25 @@ pub fn run_step2(
     manifest: &PartitionManifest,
     io: &ThrottledIo,
 ) -> Result<(DeBruijnGraph, StepReport)> {
+    run_step2_with(config, manifest, io, None, &BTreeSet::new())
+}
+
+/// [`run_step2`] with crash-recovery hooks: an optional [`RunJournal`]
+/// that receives a `subgraph-committed` record after every atomic
+/// subgraph commit (and `quarantined` records at the end), and a `skip`
+/// set of partitions whose subgraphs were already committed by an
+/// interrupted run — they flow through the pipeline as no-ops and the
+/// resume driver absorbs their persisted subgraphs instead.
+pub(crate) fn run_step2_with(
+    config: &ParaHashConfig,
+    manifest: &PartitionManifest,
+    io: &ThrottledIo,
+    journal: Option<&RunJournal>,
+    skip: &BTreeSet<usize>,
+) -> Result<(DeBruijnGraph, StepReport)> {
     let n = manifest.num_partitions();
     let cancel = CancelToken::new();
-    let shared = Step2Shared::new(config, &cancel)?;
+    let shared = Step2Shared::new(config, &cancel, journal)?;
     let mut graph = DeBruijnGraph::new(config.k);
 
     let pipeline_report = {
@@ -148,12 +231,19 @@ pub fn run_step2(
             &cancel,
             // Stage 1: load a partition file (pays input I/O, with
             // transient-error retries inside `ThrottledIo`). `None` is
-            // the sentinel for an already-recorded failure.
-            |i| match io.read_file(manifest.partition_path(i)) {
-                Ok(bytes) => Some(bytes),
-                Err(e) => {
-                    shared.partition_failed(i, ParaHashError::Io(e));
-                    None
+            // the sentinel for an already-recorded failure — or, on a
+            // resumed run, for a partition whose subgraph is already
+            // committed and will be absorbed from disk by the driver.
+            |i| {
+                if skip.contains(&i) {
+                    return None;
+                }
+                match io.read_file(manifest.partition_path(i)) {
+                    Ok(bytes) => Some(bytes),
+                    Err(e) => {
+                        shared.partition_failed(i, ParaHashError::Io(e));
+                        None
+                    }
                 }
             },
             // Stage 2: hash-construct the subgraph on an idle device.
@@ -201,8 +291,10 @@ pub(crate) fn run_step2_streaming(
     feed: &SharedCounterQueue<SealedPartition>,
     io: &ThrottledIo,
     cancel: &CancelToken,
+    journal: Option<&RunJournal>,
+    skip: &BTreeSet<usize>,
 ) -> Result<(DeBruijnGraph, StepReport)> {
-    let shared = Step2Shared::new(config, cancel)?;
+    let shared = Step2Shared::new(config, cancel, journal)?;
     let mut graph = DeBruijnGraph::new(config.k);
 
     let pipeline_report = {
@@ -214,8 +306,13 @@ pub(crate) fn run_step2_streaming(
             cancel,
             // Stage 1: materialise the sealed payload. Resident bytes are
             // handed over by value — the fused win: no disk round-trip.
+            // A partition in the resume `skip` set flows through as a
+            // no-op; its committed subgraph is absorbed by the driver.
             |sealed: SealedPartition| {
                 let idx = sealed.index;
+                if skip.contains(&idx) {
+                    return (idx, None);
+                }
                 let kmers = sealed.kmers;
                 let bytes = match sealed.payload {
                     SealedPayload::Resident(bytes) => Some(bytes),
@@ -261,10 +358,18 @@ struct Step2Shared<'a> {
     first_error: OnceError<ParaHashError>,
     quarantined: Mutex<Vec<QuarantinedPartition>>,
     sub_dir: PathBuf,
+    /// When set, every durable state change (subgraph committed,
+    /// partition quarantined) is appended to the run journal so a
+    /// crashed run can be resumed without redoing the work.
+    journal: Option<&'a RunJournal>,
 }
 
 impl<'a> Step2Shared<'a> {
-    fn new(config: &'a ParaHashConfig, cancel: &'a CancelToken) -> Result<Step2Shared<'a>> {
+    fn new(
+        config: &'a ParaHashConfig,
+        cancel: &'a CancelToken,
+        journal: Option<&'a RunJournal>,
+    ) -> Result<Step2Shared<'a>> {
         let sub_dir = config.work_dir.join("subgraphs");
         if config.write_subgraphs {
             std::fs::create_dir_all(&sub_dir)?;
@@ -272,6 +377,7 @@ impl<'a> Step2Shared<'a> {
         Ok(Step2Shared {
             config,
             cancel,
+            journal,
             pool: TablePool::new(config.k),
             total_contention: Mutex::new(ContentionStats::default()),
             total_resizes: AtomicUsize::new(0),
@@ -415,11 +521,24 @@ impl<'a> Step2Shared<'a> {
         if self.config.write_subgraphs {
             let bytes = encode_subgraph(&out.subgraph);
             let path = self.sub_dir.join(format!("sub-{idx:05}.dbg"));
-            if let Err(e) = io.write_file(&path, &bytes) {
-                // A half-written subgraph is worse than none.
-                let _ = std::fs::remove_file(&path);
+            // Atomic commit (tmp + fsync + rename + dir fsync): a crash
+            // anywhere in here leaves either no `sub-XXXXX.dbg` or a
+            // complete, checksummed one — never a torn file.
+            let committed = failpoint::hit("step2.subgraph.write")
+                .and_then(|()| io.commit_file(&path, &bytes));
+            if let Err(e) = committed {
                 self.partition_failed(idx, ParaHashError::Io(e));
                 return; // quarantined partitions stay out of the graph
+            }
+            // The journal record is written strictly *after* the rename:
+            // `subgraph-committed` in the journal implies the file is
+            // durable and whole. (The converse is allowed — a file with
+            // no record is simply re-verified or redone on resume.)
+            if let Some(journal) = self.journal {
+                if let Err(e) = journal.append(&JournalEvent::SubgraphCommitted(idx)) {
+                    self.fatal(e);
+                    return;
+                }
             }
         }
         graph.absorb(out.subgraph);
@@ -442,6 +561,14 @@ impl<'a> Step2Shared<'a> {
                 let _ = std::fs::remove_dir_all(&self.sub_dir);
             }
             return Err(e);
+        }
+        // Quarantine marks are durable state too: record them so a
+        // resumed run knows these partitions were *examined and set
+        // aside*, not merely unprocessed.
+        if let Some(journal) = self.journal {
+            for q in &quarantined {
+                journal.append(&JournalEvent::Quarantined(q.index, q.reason.clone()))?;
+            }
         }
         let (cpu_compute, gpu_compute) = split_device_times(self.config, &pipeline_report.shares);
         let report = StepReport {

@@ -1,15 +1,21 @@
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dna::{FastqReader, SeqRead};
 use hashgraph::DeBruijnGraph;
+use msp::{PartitionManifest, SealedPayload};
 use pipeline::{CancelToken, PipelineReport, SharedCounterQueue, ThrottledIo};
 
+use crate::journal::{Fingerprint, JournalEvent, RunJournal};
 use crate::step1::{step1_report, step1_sink_fastq, step1_sink_reads};
-use crate::step2::run_step2_streaming;
-use crate::{run_step1, run_step2, ParaHashConfig, ParaHashError, Result, RunReport, Step1Stats};
+use crate::step2::{decode_subgraph_checked, run_step2_streaming, run_step2_with};
+use crate::{
+    run_step1, run_step1_fastq, ParaHashConfig, ParaHashError, Result, RunReport, Step1Stats,
+    StepReport,
+};
 
 /// The assembled system: run both steps against a read set and collect
 /// the full report.
@@ -48,12 +54,45 @@ impl ParaHash {
     }
 
     /// Constructs the De Bruijn graph of `reads`, running both pipelined
-    /// steps.
+    /// steps. Progress is journaled to `work_dir/run.journal`; when the
+    /// config was built with [`resume(true)`](crate::ParaHashConfigBuilder::resume)
+    /// and a journal from an interrupted run exists, the run picks up
+    /// where that one died (see [`resume`](Self::resume)).
     ///
     /// # Errors
     ///
     /// Propagates any step failure (I/O, corruption, device memory).
     pub fn run(&self, reads: &[SeqRead]) -> Result<RunOutcome> {
+        self.run_inner(reads, self.config.resume)
+    }
+
+    /// Resumes an interrupted [`run`](Self::run) (or
+    /// [`run_fused`](Self::run_fused)) from its `run.journal`,
+    /// regardless of the config's `resume` flag:
+    ///
+    /// * the journal is replayed (a torn final record — the signature of
+    ///   a crash mid-append — is dropped);
+    /// * if its config fingerprint (k, p, partitions, input digest)
+    ///   differs from this run's, the resume is refused with
+    ///   [`ParaHashError::FingerprintMismatch`];
+    /// * Step 1 is skipped iff every partition was sealed and the
+    ///   manifest survives; otherwise it re-runs from scratch;
+    /// * partitions whose subgraphs were committed (journaled *and*
+    ///   still decoding cleanly on disk) are skipped — their persisted
+    ///   subgraphs are absorbed directly; everything else re-runs.
+    ///
+    /// When no journal exists this is simply a fresh run.
+    ///
+    /// # Errors
+    ///
+    /// [`ParaHashError::FingerprintMismatch`] as above,
+    /// [`ParaHashError::Journal`] for a journal whose valid-CRC records
+    /// are malformed, plus every [`run`](Self::run) failure mode.
+    pub fn resume(&self, reads: &[SeqRead]) -> Result<RunOutcome> {
+        self.run_inner(reads, true)
+    }
+
+    fn run_inner(&self, reads: &[SeqRead], resume: bool) -> Result<RunOutcome> {
         let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
         let started = Instant::now();
         // Optional data-driven sizing: recover Property-1's λ from the
@@ -65,24 +104,9 @@ impl ParaHash {
                 config.sizing.lambda = lambda.max(0.05);
             }
         }
-        let (manifest, step1) = run_step1(&config, reads, &io)?;
-        let (graph, step2) = run_step2(&config, &manifest, &io)?;
-        let total_elapsed = started.elapsed();
-        let report = RunReport {
-            // During a Step-2 launch the loaded partition buffer and its
-            // hash table coexist, so they add; Step 1 holds one batch.
-            peak_host_bytes: graph.approx_bytes() as u64
-                + step1
-                    .peak_partition_bytes
-                    .max(step2.peak_partition_bytes + step2.peak_table_bytes),
-            partition_bytes: manifest.total_bytes(),
-            distinct_vertices: graph.distinct_vertices(),
-            total_kmers: graph.total_kmer_occurrences(),
-            step1,
-            step2,
-            total_elapsed,
-        };
-        Ok(RunOutcome { graph, report })
+        let fingerprint = fingerprint_of(&config, Fingerprint::digest_reads(reads));
+        let plan = ResumePlan::prepare(&config, fingerprint, resume)?;
+        two_phase(&config, &io, started, plan, |cfg, io| run_step1(cfg, reads, io))
     }
 
     /// Streams a FASTQ file through construction **without loading the
@@ -96,24 +120,14 @@ impl ParaHash {
     ///
     /// Propagates parse failures and any step failure.
     pub fn run_fastq_streaming(&self, path: impl AsRef<Path>) -> Result<RunOutcome> {
+        let path = path.as_ref();
         let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
         let started = Instant::now();
-        let (manifest, step1) = crate::run_step1_fastq(&self.config, path, &io)?;
-        let (graph, step2) = run_step2(&self.config, &manifest, &io)?;
-        let total_elapsed = started.elapsed();
-        let report = RunReport {
-            peak_host_bytes: graph.approx_bytes() as u64
-                + step1
-                    .peak_partition_bytes
-                    .max(step2.peak_partition_bytes + step2.peak_table_bytes),
-            partition_bytes: manifest.total_bytes(),
-            distinct_vertices: graph.distinct_vertices(),
-            total_kmers: graph.total_kmer_occurrences(),
-            step1,
-            step2,
-            total_elapsed,
-        };
-        Ok(RunOutcome { graph, report })
+        // The streamed input is never all in hand, so its digest is the
+        // cheap path+length one (see `Fingerprint::digest_path`).
+        let fingerprint = fingerprint_of(&self.config, Fingerprint::digest_path(path)?);
+        let plan = ResumePlan::prepare(&self.config, fingerprint, self.config.resume)?;
+        two_phase(&self.config, &io, started, plan, |cfg, io| run_step1_fastq(cfg, path, io))
     }
 
     /// Parses a FASTQ file and runs construction on its reads.
@@ -164,13 +178,38 @@ impl ParaHash {
     ///
     /// Same as [`run_fused`](Self::run_fused).
     pub fn run_fused_with_io(&self, reads: &[SeqRead], io: &ThrottledIo) -> Result<RunOutcome> {
+        self.run_fused_inner(reads, io, self.config.resume)
+    }
+
+    /// Resumes an interrupted run through the **fused** flow — the fused
+    /// analogue of [`resume`](Self::resume). Step 1 always re-runs
+    /// (resident partition payloads died with the crashed process), but
+    /// partitions whose subgraphs were journaled as committed and still
+    /// verify on disk are skipped by Step 2 and absorbed directly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`resume`](Self::resume).
+    pub fn resume_fused(&self, reads: &[SeqRead]) -> Result<RunOutcome> {
+        let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
+        self.run_fused_inner(reads, &io, true)
+    }
+
+    fn run_fused_inner(
+        &self,
+        reads: &[SeqRead],
+        io: &ThrottledIo,
+        resume: bool,
+    ) -> Result<RunOutcome> {
         let mut config = self.config.clone();
         if let Some(sample) = config.auto_lambda {
             if let Some(lambda) = dna::quality::estimate_lambda(reads, sample) {
                 config.sizing.lambda = lambda.max(0.05);
             }
         }
-        fused_run(&config, io, |cfg, io, cancel, store| {
+        let fingerprint = fingerprint_of(&config, Fingerprint::digest_reads(reads));
+        let plan = ResumePlan::prepare(&config, fingerprint, resume)?;
+        fused_run(&config, io, plan, |cfg, io, cancel, store| {
             step1_sink_reads(cfg, reads, io, cancel, store)
         })
     }
@@ -189,10 +228,173 @@ impl ParaHash {
     pub fn run_fused_fastq(&self, path: impl AsRef<Path>) -> Result<RunOutcome> {
         let path = path.as_ref();
         let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
-        fused_run(&self.config, &io, |cfg, io, cancel, store| {
+        let fingerprint = fingerprint_of(&self.config, Fingerprint::digest_path(path)?);
+        let plan = ResumePlan::prepare(&self.config, fingerprint, self.config.resume)?;
+        fused_run(&self.config, &io, plan, |cfg, io, cancel, store| {
             step1_sink_fastq(cfg, path, io, cancel, store)
         })
     }
+}
+
+/// This run's identity: the parameters whose artifacts a journal
+/// describes, plus the input digest supplied by the entry point.
+fn fingerprint_of(config: &ParaHashConfig, input_digest: u64) -> Fingerprint {
+    Fingerprint { k: config.k, p: config.p, partitions: config.partitions, input_digest }
+}
+
+/// The resume decision made before any step runs: the (created or
+/// reopened) journal, whether Step 1's artifacts survived whole, and
+/// which committed subgraphs verified on disk.
+struct ResumePlan {
+    journal: RunJournal,
+    /// Every partition was journaled as sealed *and* the manifest loads:
+    /// Step 1's output is complete on disk, skip the step.
+    skip_step1: bool,
+    /// Subgraphs journaled as committed whose files still decode
+    /// cleanly: Step 2 skips these partitions and the driver absorbs the
+    /// persisted subgraphs instead. A committed record whose file is
+    /// missing or damaged is silently dropped from this set — the
+    /// partition simply re-runs.
+    committed: BTreeSet<usize>,
+}
+
+impl ResumePlan {
+    fn prepare(config: &ParaHashConfig, fingerprint: Fingerprint, resume: bool) -> Result<ResumePlan> {
+        let fresh = |journal| ResumePlan { journal, skip_step1: false, committed: BTreeSet::new() };
+        // A vacant journal (zero complete records) is the signature of a
+        // crash at creation: nothing was journaled, nothing was done —
+        // treat it exactly like a missing journal.
+        if !resume
+            || !RunJournal::exists(&config.work_dir)
+            || RunJournal::is_vacant(&config.work_dir)?
+        {
+            return Ok(fresh(RunJournal::create(&config.work_dir, fingerprint)?));
+        }
+        let state = RunJournal::replay(&config.work_dir)?;
+        if state.fingerprint != fingerprint {
+            return Err(ParaHashError::FingerprintMismatch {
+                journal: state.fingerprint,
+                current: fingerprint,
+            });
+        }
+        if state.complete {
+            // The previous run finished; there is nothing to resume.
+            // Start over with a fresh journal.
+            return Ok(fresh(RunJournal::create(&config.work_dir, fingerprint)?));
+        }
+        let journal = RunJournal::reopen(&config.work_dir, &state)?;
+        // Staged-but-uncommitted artifacts from the crashed run are dead
+        // weight (every live artifact lost its `.tmp` suffix at commit):
+        // sweep them so they cannot be mistaken for real files.
+        pipeline::commit::sweep_tmp(&config.work_dir.join("superkmers"));
+        pipeline::commit::sweep_tmp(&config.work_dir.join("subgraphs"));
+        let skip_step1 = (0..config.partitions).all(|i| state.sealed.contains(&i))
+            && PartitionManifest::load(config.work_dir.join("superkmers")).is_ok();
+        // Only trust `subgraph-committed` records whose files verify
+        // end-to-end right now: the journal says the rename happened,
+        // the CRC trailer says the bytes are still whole.
+        let committed = if config.write_subgraphs {
+            let sub_dir = config.work_dir.join("subgraphs");
+            state
+                .committed
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let path = sub_dir.join(format!("sub-{i:05}.dbg"));
+                    std::fs::read(&path)
+                        .ok()
+                        .is_some_and(|bytes| decode_subgraph_checked(&bytes, Some(i)).is_ok())
+                })
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
+        Ok(ResumePlan { journal, skip_step1, committed })
+    }
+
+    /// Absorbs the skipped partitions' persisted subgraphs into the
+    /// final graph — the redo-free half of a resumed Step 2.
+    fn absorb_committed(&self, config: &ParaHashConfig, graph: &mut DeBruijnGraph) -> Result<()> {
+        let sub_dir = config.work_dir.join("subgraphs");
+        for &i in &self.committed {
+            let bytes = std::fs::read(sub_dir.join(format!("sub-{i:05}.dbg")))?;
+            graph.absorb(decode_subgraph_checked(&bytes, Some(i))?);
+        }
+        Ok(())
+    }
+}
+
+/// Step-1 report for a resumed run that skipped Step 1 entirely: every
+/// counter is zero — the work was done (and reported) by the interrupted
+/// run, not this one.
+fn skipped_step1_report() -> StepReport {
+    StepReport {
+        step: 1,
+        pipeline: PipelineReport {
+            elapsed: Duration::ZERO,
+            input_time: Duration::ZERO,
+            output_time: Duration::ZERO,
+            shares: Vec::new(),
+            partitions: 0,
+            spans: Vec::new(),
+            cancelled: false,
+        },
+        cpu_compute: Duration::ZERO,
+        gpu_compute: Duration::ZERO,
+        contention: None,
+        step1_stats: Some(Step1Stats::default()),
+        resizes: 0,
+        peak_partition_bytes: 0,
+        peak_table_bytes: 0,
+        peak_resident_store_bytes: 0,
+        quarantined: Vec::new(),
+    }
+}
+
+/// The two-phase driver shared by [`ParaHash::run`] and
+/// [`ParaHash::run_fastq_streaming`]: Step 1 (unless the resume plan
+/// says its artifacts survived), `partition-sealed` journaling, Step 2
+/// with committed-subgraph skipping, absorption of surviving subgraphs,
+/// and the final `run-complete` record.
+fn two_phase(
+    config: &ParaHashConfig,
+    io: &ThrottledIo,
+    started: Instant,
+    plan: ResumePlan,
+    step1: impl FnOnce(&ParaHashConfig, &ThrottledIo) -> Result<(PartitionManifest, StepReport)>,
+) -> Result<RunOutcome> {
+    let (manifest, step1) = if plan.skip_step1 {
+        (PartitionManifest::load(config.work_dir.join("superkmers"))?, skipped_step1_report())
+    } else {
+        let out = step1(config, io)?;
+        // Two-phase Step 1 is all-or-nothing (partition files only leave
+        // their `.tmp` names at `finish()`), so every partition seals at
+        // once, right here.
+        for i in 0..config.partitions {
+            plan.journal.append(&JournalEvent::PartitionSealed(i))?;
+        }
+        out
+    };
+    let (mut graph, step2) =
+        run_step2_with(config, &manifest, io, Some(&plan.journal), &plan.committed)?;
+    plan.absorb_committed(config, &mut graph)?;
+    plan.journal.append(&JournalEvent::RunComplete)?;
+    let total_elapsed = started.elapsed();
+    let report = RunReport {
+        // During a Step-2 launch the loaded partition buffer and its
+        // hash table coexist, so they add; Step 1 holds one batch.
+        peak_host_bytes: graph.approx_bytes() as u64
+            + step1
+                .peak_partition_bytes
+                .max(step2.peak_partition_bytes + step2.peak_table_bytes),
+        partition_bytes: manifest.total_bytes(),
+        distinct_vertices: graph.distinct_vertices(),
+        total_kmers: graph.total_kmer_occurrences(),
+        step1,
+        step2,
+        total_elapsed,
+    };
+    Ok(RunOutcome { graph, report })
 }
 
 /// The fused driver shared by [`ParaHash::run_fused`] and
@@ -203,6 +405,7 @@ impl ParaHash {
 fn fused_run(
     config: &ParaHashConfig,
     io: &ThrottledIo,
+    plan: ResumePlan,
     step1: impl FnOnce(
         &ParaHashConfig,
         &ThrottledIo,
@@ -217,10 +420,17 @@ fn fused_run(
     let feed: SharedCounterQueue<msp::SealedPartition> =
         SharedCounterQueue::new(config.partitions);
     let dir = config.work_dir.join("superkmers");
+    // Fused resume always re-runs Step 1: resident payloads died with
+    // the crashed process, so `skip_step1` cannot be honoured here. The
+    // committed-subgraph skips still apply — re-partitioning the same
+    // input yields the same per-partition k-mer content, and the
+    // canonical subgraph encoding makes the surviving files exact.
+    let journal = &plan.journal;
 
     type Step1Done = (Step1Stats, PipelineReport, u64, u64, msp::PartitionManifest);
     let (step1_out, step2_out) = std::thread::scope(|s| {
-        let step2_handle = s.spawn(|| run_step2_streaming(config, &feed, io, &cancel));
+        let step2_handle =
+            s.spawn(|| run_step2_streaming(config, &feed, io, &cancel, Some(journal), &plan.committed));
         let step1_out = (|| -> Result<Option<Step1Done>> {
             let mut store = msp::PartitionStore::create(
                 &dir,
@@ -240,7 +450,15 @@ fn fused_run(
             // ones as their file path — then mark end-of-stream so the
             // Step-2 input stage terminates once the queue drains.
             for i in 0..config.partitions {
-                feed.push(store.seal(i)?);
+                let sealed = store.seal(i)?;
+                // Only a *spilled* partition is durable: journaling a
+                // resident one as sealed would claim bytes that exist
+                // nowhere but in this process's memory.
+                let durable = matches!(sealed.payload, SealedPayload::Spilled(_));
+                feed.push(sealed);
+                if durable {
+                    journal.append(&JournalEvent::PartitionSealed(i))?;
+                }
             }
             feed.finish();
             Ok(Some((stats, preport, peak_batch, peak_resident, manifest)))
@@ -275,7 +493,7 @@ fn fused_run(
             return Err(e);
         }
     };
-    let (graph, step2) = step2_out?;
+    let (mut graph, step2) = step2_out?;
     // The streaming Step 2 does not own the manifest, so the fused driver
     // persists its quarantine marks (the two-phase flow does this inside
     // `run_step2`).
@@ -285,6 +503,8 @@ fn fused_run(
         }
         manifest.save()?;
     }
+    plan.absorb_committed(config, &mut graph)?;
+    plan.journal.append(&JournalEvent::RunComplete)?;
     let mut step1 = step1_report(config, stats, preport, peak_batch);
     step1.peak_resident_store_bytes = peak_resident;
     let total_elapsed = started.elapsed();

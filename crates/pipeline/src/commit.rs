@@ -1,0 +1,166 @@
+//! Atomic artifact commits: write-tmp, fsync, rename, fsync-dir.
+//!
+//! Every durable artifact in the pipeline (partition files, subgraph
+//! files, manifests, journals) is committed with the same protocol so
+//! that a crash at *any* instant leaves either the old file, the new
+//! file, or a clearly-temporary `*.tmp` that recovery ignores — never a
+//! half-written file at the final name that a later run mistakes for
+//! valid:
+//!
+//! 1. write the full contents to `<path>.tmp`
+//! 2. `fsync` the tmp file (data reaches the platter before the name)
+//! 3. `rename(<path>.tmp, <path>)` — atomic on POSIX within a filesystem
+//! 4. `fsync` the parent directory (the rename itself is durable)
+//!
+//! Readers use [`is_tmp`] to skip uncommitted leftovers, and recovery
+//! deletes them. Directory fsync failures on filesystems that do not
+//! support it (some network/overlay mounts) are deliberately ignored —
+//! the rename is still atomic, only its durability window widens.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Suffix appended to a path while its contents are being staged.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// The staging path for `path`: same directory, `.tmp` appended to the
+/// file name (`part-00001.skm` → `part-00001.skm.tmp`).
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Whether `path` names a staging (`*.tmp`) file left by an interrupted
+/// commit. Recovery skips and deletes these.
+pub fn is_tmp(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.ends_with(TMP_SUFFIX))
+}
+
+/// Fsyncs `dir` so a rename inside it is durable. Errors from
+/// filesystems that cannot fsync directories are ignored (see module
+/// docs).
+pub fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: tmp write, fsync, rename,
+/// dir fsync. On error the tmp file is removed (best effort) and `path`
+/// is untouched.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, fsyncing or renaming the
+/// staging file.
+pub fn commit_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    match result {
+        Ok(()) => {
+            if let Some(dir) = path.parent() {
+                sync_dir(dir);
+            }
+            Ok(())
+        }
+        Err(err) => {
+            let _ = fs::remove_file(&tmp);
+            Err(err)
+        }
+    }
+}
+
+/// Promotes an already-written-and-flushed staging file to its final
+/// name: fsync `tmp`, rename to `path`, fsync the directory. Used when
+/// the artifact was streamed to the tmp file incrementally (partition
+/// spills) rather than buffered in memory.
+///
+/// # Errors
+///
+/// Any I/O error from opening/fsyncing the staging file or renaming it.
+pub fn commit_staged(tmp: &Path, path: &Path) -> io::Result<()> {
+    // Re-open to fsync: callers may have dropped their handle already.
+    File::open(tmp)?.sync_all()?;
+    fs::rename(tmp, path)?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir);
+    }
+    Ok(())
+}
+
+/// Deletes every `*.tmp` staging file directly inside `dir` (leftovers
+/// from a crashed commit). Returns how many were removed. Missing
+/// directory counts as zero.
+pub fn sweep_tmp(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_file() && is_tmp(&p) && fs::remove_file(&p).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmp_path_appends_suffix() {
+        let p = Path::new("/x/y/part-00001.skm");
+        assert_eq!(tmp_path(p), Path::new("/x/y/part-00001.skm.tmp"));
+        assert!(is_tmp(&tmp_path(p)));
+        assert!(!is_tmp(p));
+    }
+
+    #[test]
+    fn commit_bytes_is_visible_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("plcommit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("a.bin");
+        commit_bytes(&target, b"one").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"one");
+        commit_bytes(&target, b"two-longer").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"two-longer");
+        assert!(!tmp_path(&target).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_tmp() {
+        let dir = std::env::temp_dir().join(format!("plsweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("keep.skm"), b"k").unwrap();
+        std::fs::write(dir.join("drop.skm.tmp"), b"d").unwrap();
+        std::fs::write(dir.join("drop2.tmp"), b"d").unwrap();
+        assert_eq!(sweep_tmp(&dir), 2);
+        assert!(dir.join("keep.skm").exists());
+        assert!(!dir.join("drop.skm.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_staged_promotes() {
+        let dir = std::env::temp_dir().join(format!("plstage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("b.bin");
+        let tmp = tmp_path(&target);
+        std::fs::write(&tmp, b"streamed").unwrap();
+        commit_staged(&tmp, &target).unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"streamed");
+        assert!(!tmp.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! Deterministic failpoints for crash-safety testing.
+//!
+//! A *failpoint* is a named site in the pipeline where a test can inject
+//! a deterministic fault: the Nth time the process passes the site, it
+//! either returns an [`io::Error`], panics, or aborts the whole process
+//! (the closest in-process stand-in for `kill -9`). Sites are consulted
+//! via [`hit`], which is a single relaxed atomic load when nothing is
+//! armed — cheap enough to leave in release builds, which is exactly
+//! what the crash-recovery suite needs: it re-executes the test binary
+//! as a child, arms a failpoint through the environment, and lets the
+//! child die mid-run.
+//!
+//! Sites are armed either programmatically ([`arm`]) or through the
+//! `PARAHASH_FAILPOINTS` environment variable, read once on first use:
+//!
+//! ```text
+//! PARAHASH_FAILPOINTS="msp.frame.append=abort@3;journal.append=io-error@1"
+//! ```
+//!
+//! Each clause is `site=action@n` where `action` is `io-error`, `panic`
+//! or `abort`, and `n` (1-based) is the hit count that triggers it. The
+//! canonical site names are listed by [`sites`]; arming an unknown site
+//! is allowed (useful for downstream crates) but [`sites`] is what the
+//! crash-recovery matrix iterates.
+//!
+//! This registry subsumes the ad-hoc fault-injection hook from the
+//! original retry work ([`crate::ThrottledIo::set_fault_hook`]): the
+//! hook remains for *transient*-error tests (retry/backoff), while
+//! failpoints model *hard* faults (crash, torn write, unrecoverable
+//! I/O error at a specific site).
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+
+use parking_lot::Mutex;
+
+/// What happens when an armed failpoint triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// `hit` returns `Err(io::ErrorKind::Other)` tagged with the site name.
+    ReturnError,
+    /// `hit` panics with the site name (exercises unwind cleanup paths).
+    Panic,
+    /// The process aborts on the spot — no unwinding, no destructors,
+    /// the moral equivalent of an OOM kill or power loss.
+    AbortProcess,
+}
+
+#[derive(Debug)]
+struct ArmedSite {
+    /// 1-based hit count at which the action fires.
+    trigger: u64,
+    action: FailAction,
+    /// Passes through this site so far (while armed).
+    hits: AtomicU64,
+}
+
+#[derive(Default)]
+struct Registry {
+    sites: HashMap<&'static str, Arc<ArmedSite>>,
+}
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: std::sync::OnceLock<Mutex<Registry>> = std::sync::OnceLock::new();
+    let reg = REGISTRY.get_or_init(|| Mutex::new(Registry::default()));
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("PARAHASH_FAILPOINTS") {
+            if let Err(err) = arm_from_spec(reg, &spec) {
+                // Misconfigured crash tests should fail loudly, not
+                // silently run to completion.
+                panic!("invalid PARAHASH_FAILPOINTS: {err}");
+            }
+        }
+    });
+    reg
+}
+
+fn leak_name(name: &str) -> &'static str {
+    // Site names come from a small fixed vocabulary; leaking the handful
+    // of env-provided strings is fine and keeps lookup allocation-free.
+    Box::leak(name.to_owned().into_boxed_str())
+}
+
+fn arm_from_spec(reg: &Mutex<Registry>, spec: &str) -> Result<(), String> {
+    for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+        let (site, rest) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("clause `{clause}` missing `=`"))?;
+        let (action, trigger) = rest
+            .split_once('@')
+            .ok_or_else(|| format!("clause `{clause}` missing `@n`"))?;
+        let action = match action {
+            "io-error" => FailAction::ReturnError,
+            "panic" => FailAction::Panic,
+            "abort" => FailAction::AbortProcess,
+            other => return Err(format!("unknown action `{other}` in `{clause}`")),
+        };
+        let trigger: u64 = trigger
+            .parse()
+            .map_err(|_| format!("bad trigger count in `{clause}`"))?;
+        if trigger == 0 {
+            return Err(format!("trigger count must be >= 1 in `{clause}`"));
+        }
+        reg.lock().sites.insert(
+            leak_name(site.trim()),
+            Arc::new(ArmedSite { trigger, action, hits: AtomicU64::new(0) }),
+        );
+        ANY_ARMED.store(true, Ordering::Release);
+    }
+    Ok(())
+}
+
+/// Canonical failpoint sites threaded through the pipeline. The
+/// crash-recovery suite iterates this list; new sites must be added
+/// here when they are wired in.
+pub const SITES: &[&str] = &[
+    "step1.staging.flush",
+    "msp.store.spill",
+    "msp.frame.append",
+    "step2.subgraph.write",
+    "journal.append",
+];
+
+/// The canonical list of registered failpoint sites.
+pub fn sites() -> &'static [&'static str] {
+    SITES
+}
+
+/// Arms `site` to fire `action` on the `trigger`-th hit (1-based).
+/// Re-arming a site resets its hit counter.
+pub fn arm(site: &str, action: FailAction, trigger: u64) {
+    assert!(trigger >= 1, "trigger is 1-based");
+    let name = leak_name(site);
+    registry()
+        .lock()
+        .sites
+        .insert(name, Arc::new(ArmedSite { trigger, action, hits: AtomicU64::new(0) }));
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms `site`; passes through it become free again.
+pub fn disarm(site: &str) {
+    let mut reg = registry().lock();
+    reg.sites.remove(site);
+    if reg.sites.is_empty() {
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Disarms every site.
+pub fn clear_all() {
+    let mut reg = registry().lock();
+    reg.sites.clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Times `site` has been passed while armed (for test assertions).
+pub fn hits(site: &str) -> u64 {
+    registry()
+        .lock()
+        .sites
+        .get(site)
+        .map(|s| s.hits.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+/// Consults the registry at `site`. Free (one relaxed load) when nothing
+/// is armed anywhere; otherwise counts the hit and, on the armed
+/// trigger, performs the action: returns an error, panics, or aborts
+/// the process.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] (kind `Other`, message naming the site)
+/// when the site is armed with [`FailAction::ReturnError`] and this is
+/// the triggering hit.
+#[inline]
+pub fn hit(site: &str) -> io::Result<()> {
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        // Fast path — but still force env init on first ever call so
+        // child processes armed via the environment take effect.
+        if ENV_INIT.is_completed() {
+            return Ok(());
+        }
+        registry();
+        if !ANY_ARMED.load(Ordering::Acquire) {
+            return Ok(());
+        }
+    }
+    let armed = registry().lock().sites.get(site).cloned();
+    let Some(armed) = armed else { return Ok(()) };
+    let n = armed.hits.fetch_add(1, Ordering::Relaxed) + 1;
+    if n != armed.trigger {
+        return Ok(());
+    }
+    match armed.action {
+        FailAction::ReturnError => Err(io::Error::other(format!("failpoint `{site}` injected I/O error"))),
+        FailAction::Panic => panic!("failpoint `{site}` injected panic"),
+        FailAction::AbortProcess => {
+            // Flush nothing: the whole point is to model sudden death.
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; tests share it, so each uses its
+    // own uniquely-named site and cleans up after itself.
+
+    #[test]
+    fn unarmed_site_is_free() {
+        assert!(hit("test.unarmed").is_ok());
+        assert_eq!(hits("test.unarmed"), 0);
+    }
+
+    #[test]
+    fn arms_on_nth_hit_and_disarms() {
+        arm("test.nth", FailAction::ReturnError, 3);
+        assert!(hit("test.nth").is_ok());
+        assert!(hit("test.nth").is_ok());
+        let err = hit("test.nth").unwrap_err();
+        assert!(err.to_string().contains("test.nth"), "{err}");
+        // After the trigger the site stays armed but quiet.
+        assert!(hit("test.nth").is_ok());
+        assert_eq!(hits("test.nth"), 4);
+        disarm("test.nth");
+        assert!(hit("test.nth").is_ok());
+        assert_eq!(hits("test.nth"), 0);
+    }
+
+    #[test]
+    fn rearming_resets_counter() {
+        arm("test.rearm", FailAction::ReturnError, 1);
+        assert!(hit("test.rearm").is_err());
+        arm("test.rearm", FailAction::ReturnError, 2);
+        assert!(hit("test.rearm").is_ok());
+        assert!(hit("test.rearm").is_err());
+        disarm("test.rearm");
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        arm("test.panic", FailAction::Panic, 1);
+        let res = std::panic::catch_unwind(|| hit("test.panic"));
+        disarm("test.panic");
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn spec_parsing_rejects_garbage() {
+        let reg = Mutex::new(Registry::default());
+        assert!(arm_from_spec(&reg, "no-equals").is_err());
+        assert!(arm_from_spec(&reg, "a=io-error").is_err());
+        assert!(arm_from_spec(&reg, "a=nuke@1").is_err());
+        assert!(arm_from_spec(&reg, "a=panic@0").is_err());
+        assert!(arm_from_spec(&reg, "a=abort@2; b=io-error@1").is_ok());
+        assert_eq!(reg.lock().sites.len(), 2);
+    }
+
+    #[test]
+    fn canonical_sites_listed() {
+        assert!(sites().contains(&"journal.append"));
+        assert!(sites().contains(&"msp.frame.append"));
+    }
+}

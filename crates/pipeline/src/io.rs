@@ -251,6 +251,24 @@ impl ThrottledIo {
         Ok(())
     }
 
+    /// Atomically commits a whole file (tmp + fsync + rename + dir
+    /// fsync, see [`crate::commit`]), charging its size. Accumulates
+    /// into the write ledger. Transient errors are retried per the
+    /// [`RetryPolicy`] — each retry restarts the whole commit, which is
+    /// safe because an interrupted attempt leaves only a `*.tmp` file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error once retries (if any)
+    /// are exhausted.
+    pub fn commit_file(&self, path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+        let start = Instant::now();
+        self.with_retries(path.as_ref(), IoOp::Write, |p| crate::commit::commit_bytes(p, bytes))?;
+        self.charge(bytes.len() as u64);
+        *self.write_time.lock() += start.elapsed();
+        Ok(())
+    }
+
     /// Total time spent in [`read_file`](Self::read_file) so far.
     pub fn total_read_time(&self) -> Duration {
         *self.read_time.lock()

@@ -28,8 +28,14 @@
 //! * [`RetryPolicy`] — bounded retry with exponential backoff for
 //!   transient I/O inside [`ThrottledIo`], with a fault-injection hook for
 //!   the failure-injection test suite.
+//! * [`commit`] — the atomic artifact commit protocol (tmp + fsync +
+//!   rename + dir fsync) shared by every durable file the pipeline writes.
+//! * [`failpoint`] — deterministic named crash/fault injection sites used
+//!   by the crash-recovery suite (see `docs/RECOVERY.md`).
 
 mod cancel;
+pub mod commit;
+pub mod failpoint;
 mod io;
 pub mod perfmodel;
 mod queue;

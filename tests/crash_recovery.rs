@@ -1,0 +1,226 @@
+//! Crash-safety: kill a run at every registered failpoint site, resume
+//! it, and demand the final graph *and the persisted subgraph files* are
+//! byte-identical to an uninterrupted run's.
+//!
+//! The kill is a real one: the parent re-execs this test binary as a
+//! child process (`child_runner`), arms one failpoint site with the
+//! `abort` action via `PARAHASH_FAILPOINTS`, and lets the child die by
+//! `SIGABRT` mid-run — fsyncs and atomic renames are exercised for
+//! real, not simulated. The parent then resumes in the same work
+//! directory and compares against a reference run.
+//!
+//! Sites are crossed with several trigger counts ("seeds") so the crash
+//! lands at different points of each run, and both the two-phase and the
+//! fused flow are covered.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dna::SeqRead;
+use parahash::{ParaHash, ParaHashConfig, ParaHashError, RunJournal};
+
+const K: usize = 15;
+const P: usize = 5;
+const PARTITIONS: usize = 6;
+
+/// Deterministic pseudo-random read set (simple LCG): identical in the
+/// parent, the child, and every resume — the whole point of the
+/// fingerprint check.
+fn reads() -> Vec<SeqRead> {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..200)
+        .map(|i| {
+            let seq: Vec<u8> = (0..80).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            SeqRead::from_ascii(format!("r{i}"), &seq)
+        })
+        .collect()
+}
+
+fn config(dir: &Path, fused: bool) -> ParaHashConfig {
+    let mut b = ParaHashConfig::builder()
+        .k(K)
+        .p(P)
+        .partitions(PARTITIONS)
+        .cpu_threads(2)
+        .write_subgraphs(true)
+        .work_dir(dir.to_path_buf());
+    if fused {
+        // Budget 0 forces every partition through the spill path, so the
+        // `msp.store.spill` site is guaranteed to fire.
+        b = b.partition_memory_budget(0);
+    }
+    b.build().expect("valid config")
+}
+
+/// The subgraph files of a finished run, keyed by partition index.
+fn subgraph_bytes(dir: &Path) -> BTreeMap<usize, Vec<u8>> {
+    (0..PARTITIONS)
+        .map(|i| {
+            let path = dir.join("subgraphs").join(format!("sub-{i:05}.dbg"));
+            (i, std::fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display())))
+        })
+        .collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parahash-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the reference (uninterrupted) flow and returns its graph and
+/// subgraph bytes.
+fn reference(fused: bool, tag: &str) -> (hashgraph::DeBruijnGraph, BTreeMap<usize, Vec<u8>>) {
+    let dir = fresh_dir(tag);
+    let ph = ParaHash::new(config(&dir, fused)).unwrap();
+    let rs = reads();
+    let outcome =
+        if fused { ph.run_fused(&rs).unwrap() } else { ph.run(&rs).unwrap() };
+    let bytes = subgraph_bytes(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    (outcome.graph, bytes)
+}
+
+/// Spawns this test binary as a child that runs the pipeline with one
+/// failpoint armed to `abort`. Returns whether the child terminated
+/// abnormally (it should — the abort fires mid-run).
+fn spawn_crashing_child(dir: &Path, fused: bool, site: &str, trigger: u32) -> bool {
+    let exe = std::env::current_exe().expect("own test binary");
+    let status = Command::new(exe)
+        .args(["child_runner", "--exact", "--nocapture"])
+        .env("PARAHASH_CRASH_CHILD_DIR", dir)
+        .env("PARAHASH_CRASH_CHILD_MODE", if fused { "fused" } else { "two-phase" })
+        .env("PARAHASH_FAILPOINTS", format!("{site}=abort@{trigger}"))
+        .status()
+        .expect("spawn child");
+    !status.success()
+}
+
+/// The child half of the harness: does nothing unless the parent set the
+/// environment up, in which case it runs the pipeline and (with an
+/// `abort` failpoint armed) dies partway through.
+#[test]
+fn child_runner() {
+    let Ok(dir) = std::env::var("PARAHASH_CRASH_CHILD_DIR") else { return };
+    let fused = std::env::var("PARAHASH_CRASH_CHILD_MODE").as_deref() == Ok("fused");
+    let ph = ParaHash::new(config(Path::new(&dir), fused)).unwrap();
+    let rs = reads();
+    // With an `abort` failpoint armed the process dies inside here; if
+    // the trigger count exceeds the site's hits, the run completes and
+    // the parent's assertion on the exit status catches the misfire.
+    let _ = if fused { ph.run_fused(&rs) } else { ph.run(&rs) };
+}
+
+/// The matrix driver: crash at `site` under several trigger counts,
+/// resume, compare with the reference.
+fn crash_matrix(fused: bool, sites: &[&str], triggers: &[u32]) {
+    let mode = if fused { "fused" } else { "two-phase" };
+    let (ref_graph, ref_bytes) = reference(fused, &format!("ref-{mode}"));
+    for site in sites {
+        for &trigger in triggers {
+            let tag = format!("{mode}-{}-{trigger}", site.replace('.', "_"));
+            let dir = fresh_dir(&tag);
+            assert!(
+                spawn_crashing_child(&dir, fused, site, trigger),
+                "child must die at {site}@{trigger} ({mode})"
+            );
+            let ph = ParaHash::new(config(&dir, fused)).unwrap();
+            let rs = reads();
+            let outcome = if fused { ph.resume_fused(&rs) } else { ph.resume(&rs) }
+                .unwrap_or_else(|e| panic!("resume after {site}@{trigger} ({mode}): {e}"));
+            assert_eq!(outcome.graph, ref_graph, "graph after {site}@{trigger} ({mode})");
+            assert_eq!(
+                subgraph_bytes(&dir),
+                ref_bytes,
+                "subgraph files must be byte-identical after {site}@{trigger} ({mode})"
+            );
+            let state = RunJournal::replay(&dir).unwrap();
+            assert!(state.complete, "resumed journal must end complete ({site}@{trigger} {mode})");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn two_phase_crash_at_every_site_resumes_byte_identical() {
+    crash_matrix(
+        false,
+        &["step1.staging.flush", "msp.frame.append", "step2.subgraph.write", "journal.append"],
+        &[1, 2, 3],
+    );
+}
+
+#[test]
+fn fused_crash_at_every_site_resumes_byte_identical() {
+    crash_matrix(
+        true,
+        &["step1.staging.flush", "msp.store.spill", "step2.subgraph.write", "journal.append"],
+        &[1, 2, 3],
+    );
+}
+
+#[test]
+fn resume_refuses_a_mismatched_fingerprint() {
+    let dir = fresh_dir("fpr-mismatch");
+    let ph = ParaHash::new(config(&dir, false)).unwrap();
+    ph.run(&reads()).unwrap();
+    // Same work dir, different input: the journal belongs to another run.
+    let other = vec![SeqRead::from_ascii("x", b"ACGTACGTACGTACGTACGT")];
+    match ph.resume(&other) {
+        Err(ParaHashError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    // A non-resume run in the same dir simply starts fresh.
+    ParaHash::new(config(&dir, false)).unwrap().run(&other).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_journal_is_a_fresh_run() {
+    let dir = fresh_dir("no-journal");
+    let ph = ParaHash::new(config(&dir, false)).unwrap();
+    let (ref_graph, _) = reference(false, "ref-nojournal");
+    let outcome = ph.resume(&reads()).unwrap();
+    assert_eq!(outcome.graph, ref_graph);
+    assert!(RunJournal::replay(&dir).unwrap().complete);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_skips_verified_subgraphs_and_redoes_damaged_ones() {
+    let dir = fresh_dir("partial");
+    let ph = ParaHash::new(config(&dir, false)).unwrap();
+    let rs = reads();
+    let full = ph.run(&rs).unwrap();
+    let before = subgraph_bytes(&dir);
+
+    // Simulate the interruption: drop the journal's trailing
+    // `run-complete` record (frame-aware cut), then damage one committed
+    // subgraph file. Resume must redo exactly that partition.
+    let journal_path = dir.join("run.journal");
+    let bytes = std::fs::read(&journal_path).unwrap();
+    let mut cut = 0usize;
+    let mut last = 0usize;
+    while cut < bytes.len() {
+        let len = u32::from_le_bytes(bytes[cut..cut + 4].try_into().unwrap()) as usize;
+        last = cut;
+        cut += 8 + len;
+    }
+    std::fs::write(&journal_path, &bytes[..last]).unwrap();
+    let victim = dir.join("subgraphs").join("sub-00002.dbg");
+    let mut damaged = std::fs::read(&victim).unwrap();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0x20;
+    std::fs::write(&victim, &damaged).unwrap();
+
+    let resumed = ph.resume(&rs).unwrap();
+    assert_eq!(resumed.graph, full.graph);
+    assert_eq!(subgraph_bytes(&dir), before, "damaged partition must be rewritten identically");
+    assert!(RunJournal::replay(&dir).unwrap().complete);
+    let _ = std::fs::remove_dir_all(&dir);
+}
