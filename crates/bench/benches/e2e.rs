@@ -7,10 +7,13 @@
 //!   (budget-governed in-memory partition handoff, streaming Step-2
 //!   scheduler, pooled tables), at 1 and 4 CPU threads. This is the
 //!   number the fused tentpole's acceptance criterion tracks.
-//! * **`table_pool/*`** — the pooling ablation in isolation: building a
-//!   partition-sized subgraph on a freshly allocated
-//!   `ConcurrentDbgTable` every iteration vs a recycled
-//!   `TablePool::checkout`.
+//! * **`table_pool/*`** — the pooling ablation in isolation: what the
+//!   pool actually saves is the table *lifecycle*, so the two arms
+//!   measure exactly that — allocate+initialise+drop a fresh
+//!   `ConcurrentDbgTable` vs checkout (memset reset of a recycled
+//!   table)+drop. Earlier revisions filled each table with a large
+//!   record loop inside both arms, which dominated the timing and made
+//!   the two means indistinguishable.
 //!
 //! Before the timed benches run, `assert_amortised_zero_alloc_pool`
 //! drives 100 checkout→record→drop cycles through a warm pool and
@@ -139,32 +142,25 @@ fn bench_e2e(c: &mut Criterion) {
     }
     g.finish();
 
-    // Pooling ablation: one partition-sized build per iteration.
-    let kmers: Vec<dna::Kmer> = reads
-        .iter()
-        .take(200)
-        .flat_map(|r| r.seq().kmers(K).map(|k| k.canonical().0).collect::<Vec<_>>())
-        .collect();
+    // Pooling ablation: one partition-sized table lifecycle per
+    // iteration — no record loop, that cost is identical in both arms
+    // and drowns the difference this group exists to measure.
+    const SLOTS: usize = 1 << 15;
     let mut g = c.benchmark_group("table_pool");
-    g.throughput(Throughput::Elements(kmers.len() as u64));
+    g.throughput(Throughput::Elements(SLOTS as u64));
 
     g.bench_function("fresh_alloc", |b| {
         b.iter(|| {
-            let table = ConcurrentDbgTable::new(1 << 15, K);
-            for kmer in &kmers {
-                table.record(kmer, [Some(1), None]).unwrap();
-            }
-            table.distinct()
+            let table = ConcurrentDbgTable::new(SLOTS, K);
+            table.capacity()
         });
     });
     g.bench_function("pooled", |b| {
         let pool = TablePool::new(K);
+        drop(pool.checkout(SLOTS)); // warm the shelf
         b.iter(|| {
-            let table = pool.checkout(1 << 15);
-            for kmer in &kmers {
-                table.record(kmer, [Some(1), None]).unwrap();
-            }
-            table.distinct()
+            let table = pool.checkout(SLOTS);
+            table.capacity()
         });
     });
     g.finish();

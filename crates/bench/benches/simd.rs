@@ -1,0 +1,206 @@
+//! SIMD kernel ablations: each vectorized hot-loop kernel against the
+//! scalar reference it must match byte-for-byte.
+//!
+//! * **`simd_pack/*`** — ASCII→2-bit packing: the per-base scalar loop
+//!   (`pack_ascii_scalar`, the `PARAHASH_FORCE_SCALAR` path) against the
+//!   portable SWAR kernel and the best machine kernel
+//!   (`pack_ascii_vector`: AVX2 → SSE2 on x86_64, SWAR elsewhere).
+//!   Acceptance target: vector ≥ 1.5× scalar.
+//! * **`simd_scan/*`** — the minimizer streaming scan: the generic
+//!   multi-word `MinimizerCursor` path (forced scalar) against the
+//!   single-`u64` fast path that consumes one packed word (32 bases) per
+//!   load. Acceptance target: fast ≥ 2× generic.
+//!
+//! Before the timed benches run, `assert_zero_alloc_simd` streams the
+//! whole corpus through both vector kernels with warm buffers and
+//! asserts **zero** heap allocations, mirroring the Step-1 emit contract
+//! in `benches/step1.rs`. Enforced on every bench run (including CI's
+//! smoke mode).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use msp::SuperkmerScanner;
+
+/// Global allocator wrapper that counts allocations (one counter bump
+/// per `alloc`/`realloc` call).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const K: usize = 27;
+const P: usize = 11;
+
+fn packed_corpus() -> Vec<dna::PackedSeq> {
+    let genome = GenomeSpec::new(60_000).seed(11).repeat_fraction(0.2).generate();
+    Sequencer::new(SequencingSpec {
+        read_len: 101,
+        coverage: 4.0,
+        seed: 11,
+        ..Default::default()
+    })
+    .sequence(&genome)
+    .into_iter()
+    .map(|r| r.into_seq())
+    .collect()
+}
+
+/// The same reads as raw ASCII lines, the shape the FASTQ parser hands
+/// to the packer.
+fn ascii_corpus(reads: &[dna::PackedSeq]) -> Vec<Vec<u8>> {
+    reads.iter().map(|r| r.to_ascii()).collect()
+}
+
+/// The vectorized kernels must be allocation-free with warm buffers:
+/// packing reuses one word buffer, scanning reuses one cursor.
+fn assert_zero_alloc_simd(reads: &[dna::PackedSeq], ascii: &[Vec<u8>]) {
+    let scanner = SuperkmerScanner::new(K, P).unwrap();
+
+    let mut words = Vec::new();
+    for line in ascii {
+        words.clear();
+        dna::simd::pack_ascii_vector(line, &mut words); // warm-up sizes the buffer
+    }
+    let guard = dna::simd::override_guard();
+    dna::simd::set_force_scalar_override(Some(false));
+    let mut cursor = scanner.cursor(); // captures the fast path
+    dna::simd::set_force_scalar_override(None);
+    drop(guard);
+    let mut runs = 0usize;
+    for read in reads {
+        scanner.scan_runs(read, &mut cursor, |_, _, _| runs += 1); // warm deque
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let mut packed_words = 0usize;
+    for line in ascii {
+        words.clear();
+        dna::simd::pack_ascii_vector(line, &mut words);
+        packed_words += words.len();
+    }
+    let mut runs2 = 0usize;
+    for read in reads {
+        scanner.scan_runs(read, &mut cursor, |_, _, _| runs2 += 1);
+    }
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "SIMD pack+scan over {} reads allocated {allocs} times with warm buffers",
+        reads.len()
+    );
+    assert_eq!(runs2, runs, "warm pass diverged");
+    eprintln!(
+        "zero-alloc check: {} reads, {} packed words, {} minimizer runs, 0 heap allocations",
+        reads.len(),
+        packed_words,
+        runs
+    );
+}
+
+fn bench_simd(c: &mut Criterion) {
+    let reads = packed_corpus();
+    let ascii = ascii_corpus(&reads);
+    let n_bases: u64 = reads.iter().map(|r| r.len() as u64).sum();
+    let n_kmers: u64 = reads.iter().map(|r| (r.len() - K + 1) as u64).sum();
+
+    assert_zero_alloc_simd(&reads, &ascii);
+
+    // --- ASCII→2-bit packing ---------------------------------------------
+    let mut g = c.benchmark_group("simd_pack");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n_bases));
+    let mut words: Vec<u64> = Vec::with_capacity(64);
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for line in &ascii {
+                words.clear();
+                dna::simd::pack_ascii_scalar(line, &mut words);
+                n += words.len();
+            }
+            n
+        })
+    });
+    g.bench_function("swar", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for line in &ascii {
+                words.clear();
+                dna::simd::pack_ascii_swar(line, &mut words);
+                n += words.len();
+            }
+            n
+        })
+    });
+    g.bench_function("vector", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for line in &ascii {
+                words.clear();
+                dna::simd::pack_ascii_vector(line, &mut words);
+                n += words.len();
+            }
+            n
+        })
+    });
+    g.finish();
+
+    // --- Minimizer streaming scan ----------------------------------------
+    let scanner = SuperkmerScanner::new(K, P).unwrap();
+    // Cursors capture the scalar gate at construction: build one of each
+    // under the override, then bench with the gate back at its default.
+    let guard = dna::simd::override_guard();
+    dna::simd::set_force_scalar_override(Some(true));
+    let mut generic_cursor = scanner.cursor();
+    dna::simd::set_force_scalar_override(Some(false));
+    let mut fast_cursor = scanner.cursor();
+    dna::simd::set_force_scalar_override(None);
+    drop(guard);
+
+    let mut g = c.benchmark_group("simd_scan");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n_kmers));
+    g.bench_function("generic", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &reads {
+                scanner.scan_runs(r, &mut generic_cursor, |first, last, _| n += last - first + 1);
+            }
+            n
+        })
+    });
+    g.bench_function("fast_u64", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &reads {
+                scanner.scan_runs(r, &mut fast_cursor, |first, last, _| n += last - first + 1);
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simd);
+criterion_main!(benches);

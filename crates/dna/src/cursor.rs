@@ -65,6 +65,11 @@ pub struct CanonicalKmerCursor {
     last_shift: u32,
     /// Mask clearing bits beyond base `k−1` in word `nwords−1`.
     tail_mask: u64,
+    /// Single-word fast path: `k ≤ 32` and the scalar escape hatch is
+    /// off. Captured at construction (see [`crate::simd::force_scalar`]);
+    /// the specialised rolls are the exact `nwords == 1` instance of the
+    /// generic loops, so both paths are bit-identical by construction.
+    narrow: bool,
 }
 
 impl CanonicalKmerCursor {
@@ -87,6 +92,7 @@ impl CanonicalKmerCursor {
             last_word: (k - 1) / BASES_PER_WORD,
             last_shift: 62 - 2 * ((k - 1) % BASES_PER_WORD) as u32,
             tail_mask: if rem == 0 { u64::MAX } else { u64::MAX << (64 - 2 * rem) },
+            narrow: k <= BASES_PER_WORD && !crate::simd::force_scalar(),
         })
     }
 
@@ -122,6 +128,18 @@ impl CanonicalKmerCursor {
     /// plus one masked insert each — no O(k) re-derivation.
     #[inline]
     pub fn push(&mut self, base: Base) {
+        if self.narrow {
+            // k ≤ 32: both windows live in word 0 — no carry loops, no
+            // indexing. Identical arithmetic to the generic path below
+            // with `n == 1` (all carries are zero).
+            self.fwd[0] = (self.fwd[0] << 2) | ((base.code() as u64) << self.last_shift);
+            self.rc[0] = ((self.rc[0] >> 2) & self.tail_mask)
+                | ((base.complement().code() as u64) << 62);
+            if self.filled < self.k {
+                self.filled += 1;
+            }
+            return;
+        }
         let n = self.nwords;
         // Forward: drop the leftmost base, append `base` at position k−1.
         // Tail bits stay zero: position k−1 receives old position k, which
@@ -177,7 +195,10 @@ impl CanonicalKmerCursor {
     #[inline]
     pub fn canonical(&self) -> (Kmer, Orientation) {
         assert!(self.is_full(), "cursor holds {} of {} bases", self.filled, self.k);
-        if self.fwd <= self.rc {
+        // Narrow windows decide on word 0 alone (words 1..4 stay zero).
+        let use_fwd =
+            if self.narrow { self.fwd[0] <= self.rc[0] } else { self.fwd <= self.rc };
+        if use_fwd {
             (Kmer::from_words_unchecked(self.fwd, self.k), Orientation::Forward)
         } else {
             (Kmer::from_words_unchecked(self.rc, self.k), Orientation::Reverse)
@@ -286,6 +307,29 @@ mod tests {
         assert!(CanonicalKmerCursor::new(0).is_err());
         assert!(CanonicalKmerCursor::new(MAX_K + 1).is_err());
         assert!(CanonicalKmerCursor::new(MAX_K).is_ok());
+    }
+
+    #[test]
+    fn narrow_and_generic_paths_agree() {
+        let _guard = crate::simd::override_guard();
+        let s = PackedSeq::from_ascii(
+            b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCAGGCATTAGCCAGT",
+        );
+        for k in [1usize, 2, 5, 16, 31, 32] {
+            crate::simd::set_force_scalar_override(Some(true));
+            let mut generic = CanonicalKmerCursor::new(k).unwrap();
+            crate::simd::set_force_scalar_override(Some(false));
+            let mut narrow = CanonicalKmerCursor::new(k).unwrap();
+            crate::simd::set_force_scalar_override(None);
+            assert!(!generic.narrow && narrow.narrow, "gate must pick the paths, k={k}");
+            for b in s.bases() {
+                generic.push(b);
+                narrow.push(b);
+                if generic.is_full() {
+                    assert_eq!(generic.canonical(), narrow.canonical(), "k={k}");
+                }
+            }
+        }
     }
 
     #[test]

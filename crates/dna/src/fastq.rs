@@ -1,4 +1,5 @@
 use std::io::{BufRead, Write};
+use std::ops::Range;
 
 use crate::{DnaError, SeqRead};
 
@@ -103,6 +104,253 @@ impl<R: BufRead> Iterator for FastqReader<R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         self.read_record().transpose()
+    }
+}
+
+/// Borrowed view of one FASTQ record inside a larger byte slice.
+///
+/// Produced by [`FastqSliceReader::read_record_view`]; nothing is copied,
+/// so parallel ingest can parse straight out of a memory-mapped file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordView<'a> {
+    /// Header line with the leading `@` stripped.
+    pub id: &'a [u8],
+    /// Raw sequence line (not yet normalised to ACGT).
+    pub seq: &'a [u8],
+    /// Quality line; always the same length as `seq`.
+    pub qual: &'a [u8],
+}
+
+/// Zero-copy FASTQ parser over an in-memory byte slice.
+///
+/// Mirrors [`FastqReader`] exactly — same structural rules, same
+/// tolerance for blank lines and CR-LF endings, same error wording — but
+/// borrows records out of the slice instead of buffering lines, so the
+/// hot ingest path allocates nothing per record.
+///
+/// # Examples
+///
+/// ```
+/// use dna::FastqSliceReader;
+///
+/// # fn main() -> Result<(), dna::DnaError> {
+/// let text = b"@r1\nACGT\n+\nIIII\n";
+/// let mut reader = FastqSliceReader::new(text);
+/// let view = reader.read_record_view()?.unwrap();
+/// assert_eq!(view.seq, b"ACGT");
+/// assert!(reader.read_record_view()?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FastqSliceReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u64,
+}
+
+impl<'a> FastqSliceReader<'a> {
+    /// Parses from the start of `bytes`, which must be a record boundary.
+    pub fn new(bytes: &'a [u8]) -> FastqSliceReader<'a> {
+        FastqSliceReader::with_base_line(bytes, 0)
+    }
+
+    /// Like [`FastqSliceReader::new`], but error line numbers start after
+    /// `base_line` — use when `bytes` is a chunk of a larger file.
+    pub fn with_base_line(bytes: &'a [u8], base_line: u64) -> FastqSliceReader<'a> {
+        FastqSliceReader { bytes, pos: 0, line: base_line }
+    }
+
+    /// Byte offset of the next unparsed line within the slice.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Next line with trailing `\n`/`\r` trimmed; `None` at EOF.
+    fn next_line(&mut self) -> Option<&'a [u8]> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let rest = &self.bytes[self.pos..];
+        let (line, advance) = match rest.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&rest[..nl], nl + 1),
+            None => (rest, rest.len()),
+        };
+        self.pos += advance;
+        self.line += 1;
+        let mut line = line;
+        while let [head @ .., b'\r' | b'\n'] = line {
+            line = head;
+        }
+        Some(line)
+    }
+
+    fn malformed(&self, reason: impl Into<String>) -> DnaError {
+        DnaError::MalformedRecord { line: self.line, reason: reason.into() }
+    }
+
+    /// Parses one record without copying; `Ok(None)` at a clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::MalformedRecord`] on the same structural
+    /// problems [`FastqReader::read_record`] rejects.
+    pub fn read_record_view(&mut self) -> Result<Option<RecordView<'a>>, DnaError> {
+        let header = loop {
+            match self.next_line() {
+                None => return Ok(None),
+                Some(b"") => continue, // tolerate blank separator lines
+                Some(l) => break l,
+            }
+        };
+        let id = header.strip_prefix(b"@").ok_or_else(|| {
+            self.malformed(format!(
+                "expected '@' header, got {:?}",
+                String::from_utf8_lossy(header)
+            ))
+        })?;
+        let seq = self
+            .next_line()
+            .ok_or_else(|| self.malformed("record truncated before sequence line"))?;
+        match self.next_line() {
+            Some(l) if l.first() == Some(&b'+') => {}
+            Some(l) => {
+                return Err(self.malformed(format!(
+                    "expected '+' separator, got {:?}",
+                    String::from_utf8_lossy(l)
+                )));
+            }
+            None => return Err(self.malformed("record truncated before '+' separator")),
+        }
+        let qual = self
+            .next_line()
+            .ok_or_else(|| self.malformed("record truncated before quality line"))?;
+        if qual.len() != seq.len() {
+            return Err(self.malformed(format!(
+                "quality length {} does not match sequence length {}",
+                qual.len(),
+                seq.len()
+            )));
+        }
+        Ok(Some(RecordView { id, seq, qual }))
+    }
+
+    /// Parses one record into an owned [`SeqRead`]; `Ok(None)` at EOF.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FastqSliceReader::read_record_view`].
+    pub fn read_record(&mut self) -> Result<Option<SeqRead>, DnaError> {
+        Ok(self.read_record_view()?.map(|v| {
+            SeqRead::from_ascii(String::from_utf8_lossy(v.id).into_owned(), v.seq)
+                .with_quality(v.qual.to_vec())
+        }))
+    }
+}
+
+impl<'a> Iterator for FastqSliceReader<'a> {
+    type Item = Result<SeqRead, DnaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
+}
+
+/// Index just past the next `\n` at or after `start` (slice length if
+/// the last line is unterminated).
+fn line_after(bytes: &[u8], start: usize) -> usize {
+    match bytes[start.min(bytes.len())..].iter().position(|&b| b == b'\n') {
+        Some(nl) => start + nl + 1,
+        None => bytes.len(),
+    }
+}
+
+/// The line beginning at `start`, with the trailing `\n`/`\r` trimmed.
+fn line_at(bytes: &[u8], start: usize) -> &[u8] {
+    let end = line_after(bytes, start);
+    let mut line = &bytes[start.min(end)..end];
+    while let [head @ .., b'\r' | b'\n'] = line {
+        line = head;
+    }
+    line
+}
+
+/// A line start looks like a record boundary if it begins with `@` and
+/// the line two ahead begins with `+` (header/sequence/separator shape),
+/// and parsing up to two records from it succeeds. Quality strings can
+/// begin with `@`, so the shape check alone is not sufficient; the parse
+/// check rejects those impostors for any realistic input. (A file built
+/// adversarially so a mid-record offset parses as two clean records
+/// would still chunk wrong — forcing the sequential reader via
+/// `PARAHASH_FORCE_SCALAR=1` handles such inputs.)
+fn is_record_start(bytes: &[u8], start: usize) -> bool {
+    let mut reader = FastqSliceReader::new(&bytes[start..]);
+    match reader.read_record_view() {
+        Ok(Some(_)) => {}
+        _ => return false,
+    }
+    reader.read_record_view().is_ok()
+}
+
+/// Finds the first FASTQ record boundary at or after byte `from`.
+///
+/// Scans forward line by line (resynchronising at the next `\n` when
+/// `from` lands mid-line), skipping blank lines, and returns the offset
+/// of the first line that passes [`is_record_start`]. `None` when no
+/// boundary exists before the end of the slice.
+pub fn next_record_start(bytes: &[u8], from: usize) -> Option<usize> {
+    if from > bytes.len() {
+        return None;
+    }
+    let mut pos = if from == 0 || bytes[from - 1] == b'\n' {
+        from
+    } else {
+        line_after(bytes, from)
+    };
+    while pos < bytes.len() {
+        let line = line_at(bytes, pos);
+        if !line.is_empty() && line[0] == b'@' {
+            let sep_start = line_after(bytes, line_after(bytes, pos));
+            let sep = line_at(bytes, sep_start);
+            if sep.first() == Some(&b'+') && is_record_start(bytes, pos) {
+                return Some(pos);
+            }
+        }
+        pos = line_after(bytes, pos);
+    }
+    None
+}
+
+/// Splits a FASTQ byte slice into contiguous ranges of roughly
+/// `target_bytes` each, cut only at record boundaries.
+///
+/// The ranges tile `0..bytes.len()` exactly; parsing each range with
+/// [`FastqSliceReader`] yields the same records as parsing the whole
+/// slice sequentially. The final range absorbs any tail smaller than
+/// `target_bytes`, and a slice with no interior boundary comes back as a
+/// single range.
+pub fn chunk_record_ranges(bytes: &[u8], target_bytes: usize) -> Vec<Range<usize>> {
+    let mut ranges = Vec::new();
+    if bytes.is_empty() {
+        return ranges;
+    }
+    let target = target_bytes.max(1);
+    let mut start = 0usize;
+    loop {
+        let Some(goal) = start.checked_add(target).filter(|&g| g < bytes.len()) else {
+            ranges.push(start..bytes.len());
+            return ranges;
+        };
+        match next_record_start(bytes, goal) {
+            Some(cut) if cut < bytes.len() => {
+                ranges.push(start..cut);
+                start = cut;
+            }
+            _ => {
+                ranges.push(start..bytes.len());
+                return ranges;
+            }
+        }
     }
 }
 
@@ -224,5 +472,118 @@ mod tests {
         let mut buf = Vec::new();
         FastqWriter::new(&mut buf).write_record(&SeqRead::from_ascii("x", b"ACG")).unwrap();
         assert_eq!(std::str::from_utf8(&buf).unwrap(), "@x\nACG\n+\nIII\n");
+    }
+
+    fn parse_slice(text: &str) -> Result<Vec<SeqRead>, DnaError> {
+        FastqSliceReader::new(text.as_bytes()).collect()
+    }
+
+    #[test]
+    fn slice_reader_matches_streaming_reader() {
+        let cases = [
+            "@a\nACGT\n+\n!!!!\n@b\nGG\n+anything\nII\n",
+            "",
+            "\n\n",
+            "@a\r\nACGT\r\n+\r\nIIII\r\n",
+            "@a\nANNT\n+\nIIII\n",
+            "\n@a\nAC\n+\nII\n\n\n@b\nGT\n+\nII", // blank lines + no final \n
+            ">a\nACGT\n+\nIIII\n",
+            "@a\nACGT\n",
+            "@a\nACGT\n+\n",
+            "@a\n",
+            "@a\nACGT\n+\nII\n",
+            "@a\nACGT\nIIII\nIIII\n",
+        ];
+        for text in cases {
+            let via_stream = parse(text);
+            let via_slice = parse_slice(text);
+            match (via_stream, via_slice) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "records diverged on {text:?}"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.to_string(), b.to_string(), "errors diverged on {text:?}");
+                }
+                (a, b) => panic!("outcome diverged on {text:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn slice_reader_reports_offset_lines() {
+        let err = FastqSliceReader::with_base_line(b">x\nAC\n+\nII\n", 10)
+            .read_record_view()
+            .unwrap_err();
+        assert!(matches!(err, DnaError::MalformedRecord { line: 11, .. }));
+    }
+
+    #[test]
+    fn record_views_borrow_without_copying() {
+        let text = b"@read/1\nACGTN\n+\nIIIII\n";
+        let mut r = FastqSliceReader::new(text);
+        let v = r.read_record_view().unwrap().unwrap();
+        assert_eq!(v.id, b"read/1");
+        assert_eq!(v.seq, b"ACGTN");
+        assert_eq!(v.qual, b"IIIII");
+        assert_eq!(r.pos(), text.len());
+        assert!(r.read_record_view().unwrap().is_none());
+    }
+
+    /// Corpus with traps: quality lines starting with `@` and `+`, CRLF,
+    /// blank lines between records, unterminated final line.
+    fn tricky_corpus() -> String {
+        let mut s = String::new();
+        s.push_str("@r0\nACGTACGT\n+\n@@@@@@@@\n");
+        s.push_str("\n@r1\r\nGGGG\r\n+r1\r\n+@+@\r\n");
+        s.push_str("@r2\nTTTTTTTTTTTT\n+\nIIIIIIIIIIII\n");
+        s.push_str("@r3\nAC\n+\n@I");
+        s
+    }
+
+    fn record_starts(text: &str) -> Vec<usize> {
+        // Every record in `tricky_corpus` begins with "@r<digit>".
+        (0..text.len().saturating_sub(2))
+            .filter(|&i| {
+                (i == 0 || text.as_bytes()[i - 1] == b'\n')
+                    && text[i..].starts_with("@r")
+                    && text.as_bytes()[i + 2].is_ascii_digit()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn next_record_start_finds_every_true_boundary() {
+        let text = tricky_corpus();
+        let starts = record_starts(&text);
+        assert_eq!(starts.len(), 4);
+        for from in 0..=text.len() {
+            let expected = starts.iter().copied().find(|&s| s >= from);
+            assert_eq!(
+                next_record_start(text.as_bytes(), from),
+                expected,
+                "wrong boundary from offset {from}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_tile_and_preserve_records() {
+        let text = tricky_corpus();
+        let whole = parse_slice(&text).unwrap();
+        for target in 1..=text.len() + 4 {
+            let ranges = chunk_record_ranges(text.as_bytes(), target);
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(text.len()));
+            let mut rejoined = Vec::new();
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "ranges must tile at target {target}");
+            }
+            for r in &ranges {
+                rejoined
+                    .extend(parse_slice(&text[r.clone()]).unwrap_or_else(|e| {
+                        panic!("chunk {r:?} at target {target} failed: {e}")
+                    }));
+            }
+            assert_eq!(rejoined, whole, "records diverged at target {target}");
+        }
+        assert!(chunk_record_ranges(b"", 64).is_empty());
     }
 }

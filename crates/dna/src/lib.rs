@@ -11,6 +11,11 @@
 //! * [`Kmer`] — a fixed-length (≤ [`MAX_K`]) multi-word k-mer with
 //!   reverse-complement, canonical form and neighbour operations.
 //! * [`SeqRead`] plus streaming FASTA/FASTQ parsers and writers.
+//! * [`simd`] — runtime-dispatched word-parallel packing kernels and the
+//!   `PARAHASH_FORCE_SCALAR` escape hatch gating every vector path.
+//! * [`gzip`] + [`InputBytes`] + [`FastqSliceReader`] — the
+//!   memory-mapped, record-chunked input layer behind parallel FASTQ
+//!   ingest.
 //!
 //! # Examples
 //!
@@ -29,16 +34,23 @@ mod cursor;
 mod error;
 mod fasta;
 mod fastq;
+pub mod gzip;
+mod input;
 mod kmer;
 mod packed;
 pub mod quality;
 mod read;
+pub mod simd;
 
 pub use base::Base;
 pub use cursor::CanonicalKmerCursor;
 pub use error::DnaError;
 pub use fasta::{FastaReader, FastaWriter};
-pub use fastq::{FastqReader, FastqWriter};
+pub use fastq::{
+    chunk_record_ranges, next_record_start, FastqReader, FastqSliceReader, FastqWriter,
+    RecordView,
+};
+pub use input::InputBytes;
 pub use kmer::{Kmer, Orientation, MAX_K};
 pub use packed::{Bases, Kmers, PackedSeq};
 pub use read::SeqRead;

@@ -46,12 +46,37 @@ impl PackedSeq {
 
     /// Builds a sequence from ASCII characters; unknown characters
     /// normalise to `A` (see [`Base::from_ascii`]).
+    ///
+    /// Packs a whole word (32 bases) per step through the runtime-
+    /// dispatched kernels in [`crate::simd`]; `PARAHASH_FORCE_SCALAR`
+    /// routes it back to the per-base reference loop.
     pub fn from_ascii(ascii: &[u8]) -> PackedSeq {
-        let mut s = PackedSeq::with_capacity(ascii.len());
-        for &ch in ascii {
-            s.push(Base::from_ascii(ch));
-        }
+        let mut s = PackedSeq::new();
+        s.extend_from_ascii(ascii);
         s
+    }
+
+    /// Empties the sequence, keeping the word allocation — the reuse
+    /// primitive that lets parsing hot loops recycle one `PackedSeq`
+    /// across records instead of allocating per record.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Appends ASCII characters (unknown normalise to `A`), using the
+    /// word-parallel packer when the current length is word-aligned —
+    /// in particular always after [`clear`](Self::clear).
+    pub fn extend_from_ascii(&mut self, ascii: &[u8]) {
+        if self.len.is_multiple_of(BASES_PER_WORD) {
+            crate::simd::pack_ascii(ascii, &mut self.words);
+            self.len += ascii.len();
+        } else {
+            for &ch in ascii {
+                self.push(Base::from_ascii(ch));
+            }
+        }
     }
 
     /// Number of bases in the sequence.
@@ -183,6 +208,34 @@ impl PackedSeq {
             self.len
         );
         out.reserve(len.div_ceil(4));
+        if len >= BASES_PER_WORD && !crate::simd::force_scalar() {
+            // Word-batched: emit 8 output bytes (32 bases) per step by
+            // splicing two adjacent words, then finish the sub-word tail
+            // with the scalar loop. 32-base steps keep the byte stream
+            // aligned with the scalar path (bytes hold 4 bases each).
+            let mut pos = start;
+            let mut remaining = len;
+            while remaining >= BASES_PER_WORD {
+                let bit = 2 * pos;
+                let (w, sh) = (bit / 64, (bit % 64) as u32);
+                let mut chunk = self.words[w] >> sh;
+                if sh > 0 {
+                    chunk |= self.words.get(w + 1).copied().unwrap_or(0) << (64 - sh);
+                }
+                out.extend_from_slice(&chunk.to_le_bytes());
+                pos += BASES_PER_WORD;
+                remaining -= BASES_PER_WORD;
+            }
+            self.write_packed_range_scalar(pos, remaining, out);
+        } else {
+            self.write_packed_range_scalar(start, len, out);
+        }
+    }
+
+    /// The scalar reference serializer behind
+    /// [`write_packed_range`](Self::write_packed_range): one output byte
+    /// (4 bases) per iteration.
+    fn write_packed_range_scalar(&self, start: usize, len: usize, out: &mut Vec<u8>) {
         let mut produced = 0usize;
         while produced < len {
             let take = (len - produced).min(4);
@@ -444,6 +497,43 @@ mod tests {
         let mut got = Vec::new();
         s.write_packed_range(0, s.len(), &mut got);
         assert_eq!(got, reference(0, s.len()));
+    }
+
+    #[test]
+    fn write_packed_range_fast_path_matches_scalar() {
+        // 150 bases: long ranges hit the 32-base word-batched path.
+        let ascii: Vec<u8> = (0..150).map(|i| b"ACGTTGCATGGACCAGT"[i % 17]).collect();
+        let s = PackedSeq::from_ascii(&ascii);
+        for start in [0, 1, 3, 31, 32, 33, 63, 64, 65, 100] {
+            for len in [0, 1, 31, 32, 33, 64, 65, 85] {
+                if start + len > s.len() {
+                    continue;
+                }
+                let mut fast = Vec::new();
+                s.write_packed_range(start, len, &mut fast);
+                let mut scalar = Vec::new();
+                s.write_packed_range_scalar(start, len, &mut scalar);
+                assert_eq!(fast, scalar, "start={start} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_ascii_matches_push_loop() {
+        let chunks: [&[u8]; 4] = [b"ACGT", b"NNNNNNNNNNNNNNNNNNNNNNNNNNNN", b"acgtacgt", b"T"];
+        let mut fast = PackedSeq::new();
+        let mut slow = PackedSeq::new();
+        for chunk in chunks {
+            fast.extend_from_ascii(chunk);
+            for &ch in chunk {
+                slow.push(Base::from_ascii(ch));
+            }
+        }
+        assert_eq!(fast, slow);
+        fast.clear();
+        assert!(fast.is_empty());
+        fast.extend_from_ascii(b"GATTACA");
+        assert_eq!(fast.to_string(), "GATTACA");
     }
 
     #[test]

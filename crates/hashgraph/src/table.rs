@@ -53,6 +53,37 @@ pub trait VertexTable: Sync {
     fn contention(&self) -> ContentionStats;
 }
 
+/// Per-slot duplicity count and eight edge-multiplicity counters, padded
+/// to one cache line. Packing them together (instead of two slot-major
+/// arrays) means the counter bumps after a successful probe touch exactly
+/// one line, and the line never straddles two slots — so concurrent bumps
+/// on different slots never false-share.
+#[repr(align(64))]
+struct SlotCounters {
+    count: AtomicU32,
+    edges: [AtomicU32; 8],
+}
+
+impl SlotCounters {
+    fn new() -> SlotCounters {
+        SlotCounters { count: AtomicU32::new(0), edges: std::array::from_fn(|_| AtomicU32::new(0)) }
+    }
+}
+
+/// Best-effort prefetch of the cache line holding `ptr` into all levels.
+/// A no-op on non-x86 targets.
+#[inline]
+fn prefetch<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a pure performance hint; it cannot fault and
+    // places no validity requirements on the address.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
 /// Key storage cell: written exactly once while the slot is `locked`,
 /// immutable (and therefore safely shared) once the slot is `occupied`.
 struct KeyCell(UnsafeCell<[u64; 4]>);
@@ -85,6 +116,13 @@ unsafe impl Sync for KeyCell {}
 /// (`(hash × capacity) >> 64`) rather than `hash % capacity`, replacing
 /// the 64-bit division on every record with one widening multiply.
 ///
+/// Each slot's duplicity count and eight edge counters live together in
+/// one 64-byte-aligned [`SlotCounters`] cache line, and the record path
+/// issues software prefetches for the home slot's key and counter lines
+/// the moment the slot index is known — the probe's dependent loads then
+/// mostly hit L1. `PARAHASH_FORCE_SCALAR` disables the prefetch hints
+/// along with every other vectorized path.
+///
 /// Capacity is fixed at construction (sized via Property 1 — see
 /// [`crate::table_capacity_for`]); exceeding it returns
 /// [`HashGraphError::CapacityExhausted`] rather than resizing.
@@ -114,9 +152,13 @@ pub struct ConcurrentDbgTable {
     /// Per-slot `state | tag << 8` words; see the type-level docs.
     states: Box<[AtomicU16]>,
     keys: Box<[KeyCell]>,
-    counts: Box<[AtomicU32]>,
-    /// `capacity × 8` edge counters, slot-major.
-    edges: Box<[AtomicU32]>,
+    /// One cache line of counters per slot (count + 8 edge counters).
+    counters: Box<[SlotCounters]>,
+    /// Issue software prefetches for the home slot's key and counter
+    /// lines as soon as the slot index is known. Captured at construction
+    /// from the scalar escape hatch so forced-scalar runs exercise the
+    /// plain load path.
+    prefetch: bool,
     stats: Counters,
 }
 
@@ -157,8 +199,8 @@ impl ConcurrentDbgTable {
             capacity,
             states: (0..capacity).map(|_| AtomicU16::new(EMPTY)).collect(),
             keys: (0..capacity).map(|_| KeyCell(UnsafeCell::new([0; 4]))).collect(),
-            counts: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
-            edges: (0..capacity * 8).map(|_| AtomicU32::new(0)).collect(),
+            counters: (0..capacity).map(|_| SlotCounters::new()).collect(),
+            prefetch: !dna::simd::force_scalar(),
             stats: Counters::default(),
         }
     }
@@ -174,10 +216,10 @@ impl ConcurrentDbgTable {
     }
 
     /// Approximate allocation size in bytes, for memory accounting
-    /// (2-byte tagged state word + 32-byte key + 4-byte count + 32 bytes
-    /// of edge counters per slot).
+    /// (2-byte tagged state word + 32-byte key + one 64-byte counter
+    /// cache line per slot).
     pub fn approx_bytes(&self) -> usize {
-        self.capacity * (2 + 32 + 4 + 32)
+        self.capacity * (2 + 32 + std::mem::size_of::<SlotCounters>())
     }
 
     /// Clears the table for reuse without touching its allocations — the
@@ -194,11 +236,11 @@ impl ConcurrentDbgTable {
         for s in self.states.iter_mut() {
             *s.get_mut() = EMPTY;
         }
-        for c in self.counts.iter_mut() {
-            *c.get_mut() = 0;
-        }
-        for e in self.edges.iter_mut() {
-            *e.get_mut() = 0;
+        for c in self.counters.iter_mut() {
+            *c.count.get_mut() = 0;
+            for e in c.edges.iter_mut() {
+                *e.get_mut() = 0;
+            }
         }
         self.stats = Counters::default();
     }
@@ -215,10 +257,11 @@ impl ConcurrentDbgTable {
 
     #[inline]
     fn bump(&self, slot: usize, edge_slots: [Option<u8>; 2]) {
-        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        let counters = &self.counters[slot];
+        counters.count.fetch_add(1, Ordering::Relaxed);
         for e in edge_slots.into_iter().flatten() {
             debug_assert!(e < 8, "edge slot {e} out of range");
-            self.edges[slot * 8 + e as usize].fetch_add(1, Ordering::Relaxed);
+            counters.edges[e as usize].fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -237,6 +280,14 @@ impl VertexTable for ConcurrentDbgTable {
         // Multiply-shift range reduction: maps the full 64-bit hash onto
         // [0, capacity) with one widening multiply — no division.
         let mut slot = ((hash as u128 * self.capacity as u128) >> 64) as usize;
+        if self.prefetch {
+            // Pull the home slot's key and counter lines toward the core
+            // while the state-word load below is still in flight — on a
+            // hit (the common, update-heavy case) both are needed within
+            // a few instructions.
+            prefetch(&self.keys[slot]);
+            prefetch(&self.counters[slot]);
+        }
         // 8-bit fingerprint from the hash's low byte (the reduction above
         // consumes mostly high bits, keeping tag and slot independent).
         let tag = ((hash & 0xFF) as u16) << 8;
@@ -313,13 +364,14 @@ impl VertexTable for ConcurrentDbgTable {
             }
             let kmer = Kmer::from_words(self.read_key(slot), self.k)
                 .expect("stored keys are valid k-mers");
+            let counters = &self.counters[slot];
             let mut edges = [0u32; 8];
             for (e, out) in edges.iter_mut().enumerate() {
-                *out = self.edges[slot * 8 + e].load(Ordering::Relaxed);
+                *out = counters.edges[e].load(Ordering::Relaxed);
             }
             entries.push((
                 kmer,
-                VertexData { count: self.counts[slot].load(Ordering::Relaxed), edges },
+                VertexData { count: counters.count.load(Ordering::Relaxed), edges },
             ));
         }
         SubGraph::new(self.k, entries)
@@ -552,5 +604,28 @@ mod tests {
     fn table_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<ConcurrentDbgTable>();
+    }
+
+    #[test]
+    fn slot_counters_fill_exactly_one_cache_line() {
+        assert_eq!(std::mem::size_of::<SlotCounters>(), 64);
+        assert_eq!(std::mem::align_of::<SlotCounters>(), 64);
+    }
+
+    #[test]
+    fn scalar_override_disables_prefetch() {
+        let _guard = dna::simd::override_guard();
+        dna::simd::set_force_scalar_override(Some(true));
+        let scalar = ConcurrentDbgTable::new(16, 5);
+        dna::simd::set_force_scalar_override(Some(false));
+        let vector = ConcurrentDbgTable::new(16, 5);
+        dna::simd::set_force_scalar_override(None);
+        assert!(!scalar.prefetch && vector.prefetch);
+        // Either way the table behaves identically.
+        for t in [&scalar, &vector] {
+            let v = canon("ACGTA");
+            t.record(&v, [Some(1), None]).unwrap();
+            assert_eq!(t.snapshot().entries()[0].1.edges[1], 1);
+        }
     }
 }

@@ -58,7 +58,7 @@ pub use frame::{
 };
 pub use minimizer::{minimizer_of_kmer, MinimizerCursor, MinimizerScanner};
 pub use partition::{partition_in_memory, PartitionRouter};
-pub use reader::PartitionReader;
+pub use reader::{FastqChunks, PartitionReader};
 pub use record::{decode_superkmer, encode_superkmer, encode_superkmer_slice, encoded_len};
 pub use stats::{DistributionSummary, PartitionStats};
 pub use store::{PartitionSink, PartitionStore, SealedPartition, SealedPayload};

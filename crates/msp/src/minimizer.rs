@@ -188,6 +188,15 @@ pub struct MinimizerCursor {
     pcur: CanonicalKmerCursor,
     /// Monotone deque of `(p-mer position, canonical p-mer)`.
     deque: VecDeque<(u32, Kmer)>,
+    /// Single-word fast path: `p ≤ 32` and the scalar escape hatch is
+    /// off. Captured at construction so a cursor never switches paths
+    /// mid-stream.
+    fast: bool,
+    /// Ring buffer of the last `window` canonical p-mers (as MSB-aligned
+    /// `u64`s) for the fast path's lazy window minimum: slot `j mod
+    /// window` holds position `j`'s p-mer, read only on the rare rescans
+    /// after the tracked minimum falls out of the window.
+    ring64: Vec<u64>,
 }
 
 impl MinimizerCursor {
@@ -210,6 +219,8 @@ impl MinimizerCursor {
             // At most `window + 1` entries are live between the push of a
             // new p-mer and the expiry pop that follows it.
             deque: VecDeque::with_capacity(window + 2),
+            fast: p <= 32 && !dna::simd::force_scalar(),
+            ring64: vec![0; window],
         })
     }
 
@@ -235,6 +246,9 @@ impl MinimizerCursor {
     pub fn scan_runs<F: FnMut(usize, usize, Kmer)>(&mut self, read: &PackedSeq, mut emit: F) {
         if read.len() < self.k {
             return;
+        }
+        if self.fast {
+            return self.scan_runs_fast(read, &mut emit);
         }
         self.pcur.reset();
         self.deque.clear();
@@ -269,6 +283,104 @@ impl MinimizerCursor {
             }
         }
         emit(run_start, n_kmers - 1, run_min);
+    }
+
+    /// Word-at-a-time scan for `p ≤ 32`: the canonical p-mer fits one
+    /// MSB-aligned `u64`, so both strands roll with two shifts and an OR
+    /// per base, comparisons are plain integer compares, and the packed
+    /// read is consumed a 64-bit word (32 bases) at a time instead of
+    /// through the per-base iterator. Bitwise-identical to the generic
+    /// path — a `u64` holding the top word of a left-aligned [`Kmer`]
+    /// orders exactly like the four-word key (words 1..3 are zero for
+    /// `p ≤ 32`), and the update steps are the one-word instances of
+    /// [`CanonicalKmerCursor`]'s shift loops.
+    ///
+    /// The window minimum here is *lazy* rather than the generic path's
+    /// monotone deque: track the current minimum's value and (latest)
+    /// position, and only when that position slides out of the window
+    /// rescan the `window` buffered p-mers in [`ring64`](Self::ring64).
+    /// The common per-base cost is one ring store plus one compare; the
+    /// O(window) rescan fires only when the minimum expires (≈ 1/window
+    /// of positions on random sequence). Both strategies compute the same
+    /// windowed minimum *value*, and runs depend only on values, so the
+    /// emitted runs are identical.
+    fn scan_runs_fast<F: FnMut(usize, usize, Kmer)>(&mut self, read: &PackedSeq, emit: &mut F) {
+        let p = self.p;
+        let window = self.window;
+        // New forward base lands at bits [64−2p, 65−2p); the expiring one
+        // shifts out of the top. `p = 32` makes the mask a no-op `!0`.
+        let shift = 64 - 2 * p;
+        let pmask = !0u64 << shift;
+        let materialise = |v: u64| {
+            Kmer::from_words([v, 0, 0, 0], p).expect("p-mer tail bits are zero")
+        };
+        let ring = &mut self.ring64[..window];
+        let len = read.len();
+        let n_kmers = len - self.k + 1;
+        let mut fwd = 0u64;
+        let mut rc = 0u64;
+        let mut run_start = 0usize;
+        let mut run_min = 0u64; // placeholder until kpos == 0 assigns
+        let mut min_val = u64::MAX;
+        let mut min_pos = 0usize;
+        let mut slot = 0usize; // == j mod window
+        let mut seen = 0usize; // bases consumed so far
+        for (w, &packed) in read.words().iter().enumerate() {
+            let mut word = packed;
+            let in_word = (len - w * 32).min(32);
+            for _ in 0..in_word {
+                let code = word & 3;
+                word >>= 2;
+                fwd = (fwd << 2) | (code << shift);
+                rc = ((rc >> 2) & pmask) | ((code ^ 3) << 62);
+                seen += 1;
+                if seen < p {
+                    continue;
+                }
+                let j = seen - p; // p-mer position
+                let canon = fwd.min(rc);
+                ring[slot] = canon;
+                // `<=` keeps min_pos at the *latest* minimal position,
+                // postponing expiry rescans as long as possible.
+                if canon <= min_val {
+                    min_val = canon;
+                    min_pos = j;
+                } else if min_pos + window <= j {
+                    // The minimum fell out of the window [j+1−window, j]:
+                    // rescan the ring oldest-first (the rescan only fires
+                    // once j ≥ window, so every slot holds an in-window
+                    // p-mer).
+                    min_val = u64::MAX;
+                    let mut s = slot + 1;
+                    for d in 0..window {
+                        if s >= window {
+                            s = 0;
+                        }
+                        let v = ring[s];
+                        if v <= min_val {
+                            min_val = v;
+                            min_pos = j + 1 - window + d;
+                        }
+                        s += 1;
+                    }
+                }
+                slot += 1;
+                if slot == window {
+                    slot = 0;
+                }
+                if j + 1 >= window {
+                    let kpos = j + 1 - window; // k-mer position
+                    if kpos == 0 {
+                        run_min = min_val;
+                    } else if min_val != run_min {
+                        emit(run_start, kpos - 1, materialise(run_min));
+                        run_start = kpos;
+                        run_min = min_val;
+                    }
+                }
+            }
+        }
+        emit(run_start, n_kmers - 1, materialise(run_min));
     }
 }
 
@@ -475,6 +587,55 @@ mod tests {
         assert!(matches!(MinimizerCursor::new(5, 0), Err(MspError::InvalidParams { .. })));
         assert!(matches!(MinimizerCursor::new(5, 6), Err(MspError::InvalidParams { .. })));
         assert!(MinimizerCursor::new(dna::MAX_K, dna::MAX_K).is_ok());
+    }
+
+    #[test]
+    fn fast_and_generic_paths_agree() {
+        let _guard = dna::simd::override_guard();
+        // Deterministic xorshift corpus: varied lengths straddling word
+        // boundaries plus low-complexity tails.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut read_of = |len: usize, tail_a: usize| {
+            let mut s = String::new();
+            for i in 0..len {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let ch = if i + tail_a >= len {
+                    'A'
+                } else {
+                    ['A', 'C', 'G', 'T'][(state >> 33) as usize % 4]
+                };
+                s.push(ch);
+            }
+            s
+        };
+        let reads: Vec<String> = [31, 32, 33, 63, 64, 65, 200]
+            .iter()
+            .flat_map(|&len| [read_of(len, 0), read_of(len, len / 3)])
+            .collect();
+        for (k, p) in [(5, 1), (7, 7), (15, 7), (31, 16), (33, 32), (64, 32), (45, 13)] {
+            dna::simd::set_force_scalar_override(Some(true));
+            let mut generic = MinimizerCursor::new(k, p).unwrap();
+            dna::simd::set_force_scalar_override(Some(false));
+            let mut fast = MinimizerCursor::new(k, p).unwrap();
+            dna::simd::set_force_scalar_override(None);
+            assert!(!generic.fast && fast.fast, "construction must capture the mode");
+            for r in &reads {
+                let read = seq(r);
+                assert_eq!(
+                    collect_runs(&mut fast, &read),
+                    collect_runs(&mut generic, &read),
+                    "k={k} p={p} read={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_p_uses_generic_path() {
+        let cursor = MinimizerCursor::new(80, 40).unwrap();
+        assert!(!cursor.fast, "p > 32 cannot take the single-word path");
     }
 
     #[test]

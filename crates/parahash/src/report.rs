@@ -25,6 +25,9 @@ pub struct Step1Stats {
     pub merge_flushes: u64,
     /// Compute batches that reached the output stage.
     pub batches: u64,
+    /// Input bases consumed (sequence characters parsed and scanned).
+    /// Divided by Step 1's elapsed time this is the ingest throughput.
+    pub bases: u64,
 }
 
 /// Timing and accounting of one pipelined step.
@@ -147,6 +150,17 @@ impl RunReport {
             self.partition_bytes,
             self.peak_host_bytes >> 20,
         );
+        if let Some(stats) = &self.step1.step1_stats {
+            if stats.bases > 0 {
+                let secs = self.step1.pipeline.elapsed.as_secs_f64();
+                let rate = if secs > 0.0 { stats.bases as f64 / secs } else { 0.0 };
+                s.push_str(&format!(
+                    " | ingest {} bases @ {:.1} Mbases/s",
+                    stats.bases,
+                    rate / 1e6,
+                ));
+            }
+        }
         let q = self.quarantined_partitions();
         if q > 0 {
             s.push_str(&format!(" | {q} partition(s) QUARANTINED — graph is incomplete"));
@@ -224,6 +238,24 @@ mod tests {
         assert!(s.contains("10 distinct"));
         assert!(s.contains("1234 partition bytes"));
         assert!(!s.contains("QUARANTINED"), "healthy runs stay quiet: {s}");
+    }
+
+    #[test]
+    fn summary_reports_ingest_throughput() {
+        let mut r = RunReport {
+            step1: fake_step(10, 0, 1, 1, 2),
+            step2: fake_step(20, 0, 1, 1, 2),
+            total_elapsed: Duration::from_millis(35),
+            distinct_vertices: 10,
+            total_kmers: 50,
+            peak_host_bytes: 4 << 20,
+            partition_bytes: 1234,
+        };
+        assert!(!r.summary().contains("ingest"), "no stats, no ingest line");
+        r.step1.step1_stats = Some(Step1Stats { bases: 2_000_000, ..Default::default() });
+        let s = r.summary();
+        assert!(s.contains("ingest 2000000 bases @"), "{s}");
+        assert!(s.contains("Mbases/s"), "{s}");
     }
 
     #[test]

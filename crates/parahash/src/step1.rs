@@ -16,10 +16,12 @@ use crate::{ParaHashConfig, Result, Step1Stats, StepReport};
 
 /// Output of one Step-1 compute launch: the worker shards holding the
 /// per-partition encoded superkmer bytes and `(superkmers, kmers)`
-/// counts. The output stage drains them into the partition writer and
-/// returns them to the [`ShardPool`] so their capacity is reused.
+/// counts, plus the number of input bases the launch consumed. The
+/// output stage drains the shards into the partition writer and returns
+/// them to the [`ShardPool`] so their capacity is reused.
 struct Batch1Out {
     shards: Vec<StagingShard>,
+    bases: u64,
 }
 
 /// Boundary runs of one read: `(first kmer, last kmer, minimizer)`.
@@ -184,12 +186,46 @@ pub(crate) fn step1_sink_fastq<S: PartitionSink + Send>(
     // qualities), so `file_len / read_batch_bytes + 1` batches of
     // ~`read_batch_bytes` of sequence each can never fall short; the
     // surplus batches parse nothing and flow through as empty.
+    // Parallel chunked ingest: map the file (inflating gzip members in
+    // parallel), cut it into record-aligned chunks, and let every Step-1
+    // worker parse its own slice — the sequential `FastqReader` below
+    // otherwise caps ingest at one core. Only taken when it cannot
+    // change observable behaviour: the indexed two-pass mode promises
+    // exact batch cuts, simulated GPUs meter per-batch transfers, and
+    // `PARAHASH_FORCE_SCALAR` pins every fallback path.
+    if !config.indexed_fastq
+        && !dna::simd::force_scalar()
+        && config.devices().iter().all(|d| d.kind() == DeviceKind::Cpu)
+    {
+        return step1_sink_fastq_chunks(config, path, io, cancel, sink);
+    }
+
+    // Gzip inputs are inflated up front so the sequential path accepts
+    // exactly the same files as the chunked one — the scalar escape
+    // hatch (and the indexed/GPU modes) must not change which inputs
+    // parse, only how fast.
+    let inflated: Option<Vec<u8>> = {
+        use std::io::Read;
+        let mut magic = [0u8; 2];
+        let n = std::fs::File::open(path)?.read(&mut magic)?;
+        if n == 2 && dna::gzip::is_gzip(&magic) {
+            Some(dna::gzip::decompress(&std::fs::read(path)?).map_err(parse_error)?)
+        } else {
+            None
+        }
+    };
+    let open_reader = || -> Result<Box<dyn Iterator<Item = dna::Result<dna::SeqRead>> + Send + '_>> {
+        Ok(match &inflated {
+            Some(text) => Box::new(dna::FastqSliceReader::new(text)),
+            None => Box::new(dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?))),
+        })
+    };
+
     let batch_records: Option<Vec<usize>> = if config.indexed_fastq {
         let mut cuts: Vec<usize> = Vec::new();
-        let reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
         let mut records = 0usize;
         let mut bytes = 0usize;
-        for record in reader {
+        for record in open_reader()? {
             let record = record.map_err(parse_error)?;
             records += 1;
             bytes += record.approx_bytes();
@@ -209,12 +245,15 @@ pub(crate) fn step1_sink_fastq<S: PartitionSink + Send>(
     let n_batches = match &batch_records {
         Some(cuts) => cuts.len(),
         None => {
-            let file_len = std::fs::metadata(path)?.len();
+            let file_len = match &inflated {
+                Some(text) => text.len() as u64,
+                None => std::fs::metadata(path)?.len(),
+            };
             (file_len / config.read_batch_bytes.max(1) as u64) as usize + 1
         }
     };
 
-    let mut reader = dna::FastqReader::new(BufReader::new(std::fs::File::open(path)?));
+    let mut reader = open_reader()?;
     let peak_batch = AtomicU64::new(0);
     let parse_failure: OnceError<crate::ParaHashError> = OnceError::new();
     let result = {
@@ -245,13 +284,13 @@ pub(crate) fn step1_sink_fastq<S: PartitionSink + Send>(
                             }
                         }
                     }
-                    match reader.read_record() {
-                        Ok(Some(read)) => {
+                    match reader.next() {
+                        Some(Ok(read)) => {
                             bytes += read.approx_bytes();
                             batch.push(read);
                         }
-                        Ok(None) => break,
-                        Err(e) => {
+                        None => break,
+                        Some(Err(e)) => {
                             // A parse failure poisons everything after it
                             // (the stream position is lost): stop feeding
                             // the pipeline rather than scanning the rest.
@@ -281,6 +320,138 @@ fn parse_error(e: dna::DnaError) -> crate::ParaHashError {
     match e {
         dna::DnaError::Io(io) => crate::ParaHashError::Io(io),
         other => crate::ParaHashError::InvalidConfig(format!("bad fastq input: {other}")),
+    }
+}
+
+/// Parallel chunked FASTQ ingest: the whole file is mapped (or inflated,
+/// for gzip) once, split into record-aligned chunks of
+/// ~`read_batch_bytes`, and each chunk flows through the pipeline as one
+/// batch whose compute stage re-splits it across the device's workers —
+/// every Step-1 worker parses *and* scans its own byte slice, so ingest
+/// is no longer serialised on one parser thread.
+///
+/// Per-partition output multisets are identical to the sequential path:
+/// chunk and sub-chunk cuts land only on record boundaries, every record
+/// is parsed by exactly one worker, and superkmer routing is
+/// order-independent. Batch *counts* differ from the sequential path
+/// (chunks replace byte-budget batches), which no consumer observes —
+/// stats are cross-checked against manifest totals only.
+fn step1_sink_fastq_chunks<S: PartitionSink + Send>(
+    config: &ParaHashConfig,
+    path: &std::path::Path,
+    io: &ThrottledIo,
+    cancel: &CancelToken,
+    sink: &mut S,
+) -> Result<(Step1Stats, PipelineReport, u64)> {
+    let chunks = msp::FastqChunks::open(path, config.read_batch_bytes.max(1))?;
+    let scanner = SuperkmerScanner::new(config.k, config.p)?;
+    let router = PartitionRouter::new(config.partitions)?;
+    let k = config.k;
+    let write_error: OnceError<msp::MspError> = OnceError::new();
+    let parse_failure: OnceError<crate::ParaHashError> = OnceError::new();
+    let mut stats = Step1Stats::default();
+    let peak_batch = AtomicU64::new(0);
+    let shard_pool = ShardPool::new(config.partitions, config.k, config.p);
+
+    let pipeline_report = {
+        let chunks = &chunks;
+        let scanner = &scanner;
+        let router = &router;
+        let sink = &mut *sink;
+        let write_error = &write_error;
+        let parse_failure = &parse_failure;
+        let shard_pool = &shard_pool;
+        let stats = &mut stats;
+        let peak_batch = &peak_batch;
+        run_coprocessed_with(
+            chunks.n_chunks(),
+            config.devices(),
+            cancel,
+            |i| {
+                let len = chunks.ranges()[i].len() as u64;
+                peak_batch.fetch_max(len, Ordering::Relaxed);
+                io.charge(len);
+                i
+            },
+            |device: &dyn Device, _idx, chunk_idx: usize| {
+                let chunk = chunks.chunk(chunk_idx);
+                let n_workers = device.parallelism().max(1);
+                // Re-split the chunk at record boundaries, one sub-slice
+                // per worker (the cut search yields at most `n_workers`
+                // ranges for this target).
+                let subs =
+                    dna::chunk_record_ranges(chunk, chunk.len().div_ceil(n_workers).max(1));
+                debug_assert!(subs.len() <= n_workers);
+                let roster = WorkerShards::new(shard_pool.take(n_workers));
+                let records = AtomicU64::new(0);
+                let bases = AtomicU64::new(0);
+                device.execute(subs.len(), &|w| {
+                    let sub = &chunk[subs[w].clone()];
+                    let mut shard = roster.checkout();
+                    let mut reader = dna::FastqSliceReader::new(sub);
+                    let mut scratch = PackedSeq::new();
+                    let mut sub_records = 0u64;
+                    let mut sub_bases = 0u64;
+                    loop {
+                        match reader.read_record_view() {
+                            Ok(Some(view)) => {
+                                sub_records += 1;
+                                sub_bases += view.seq.len() as u64;
+                                scratch.clear();
+                                scratch.extend_from_ascii(view.seq);
+                                let read = &scratch;
+                                let StagingShard { buffers, counts, cursor } = &mut *shard;
+                                scanner.scan_runs(read, cursor, |first, last, m| {
+                                    emit_run(router, k, read, (first, last), &m, buffers, counts);
+                                });
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                // Report the line relative to the whole
+                                // file: the slice parser only knows its
+                                // own offset.
+                                let sub_start = chunks.ranges()[chunk_idx].start + subs[w].start;
+                                parse_failure.set(parse_error(offset_parse_lines(
+                                    e,
+                                    &chunks.bytes()[..sub_start],
+                                )));
+                                cancel.cancel();
+                                break;
+                            }
+                        }
+                    }
+                    records.fetch_add(sub_records, Ordering::Relaxed);
+                    bases.fetch_add(sub_bases, Ordering::Relaxed);
+                });
+                let out =
+                    Batch1Out { shards: roster.into_shards(), bases: bases.into_inner() };
+                (out, records.into_inner())
+            },
+            |_idx, out: Batch1Out| {
+                drain_batch(out, stats, io, sink, write_error, cancel, shard_pool);
+            },
+        )
+    };
+
+    if let Some(e) = parse_failure.into_inner() {
+        return Err(e);
+    }
+    if let Some(e) = write_error.into_inner() {
+        return Err(e.into());
+    }
+    Ok((stats, pipeline_report, peak_batch.into_inner()))
+}
+
+/// Rebases a chunk-relative [`dna::DnaError::MalformedRecord`] line
+/// number onto the whole file by counting the newlines before the chunk.
+/// Only runs on the (already doomed) error path.
+fn offset_parse_lines(e: dna::DnaError, prefix: &[u8]) -> dna::DnaError {
+    match e {
+        dna::DnaError::MalformedRecord { line, reason } => {
+            let before = prefix.iter().filter(|&&b| b == b'\n').count() as u64;
+            dna::DnaError::MalformedRecord { line: before + line, reason }
+        }
+        other => other,
     }
 }
 
@@ -375,6 +546,7 @@ where
             // thread-private shards — no locks, no per-read allocation.
             |device: &dyn Device, _idx, batch: B| {
                 let batch = batch.as_ref();
+                let bases: u64 = batch.iter().map(|r| r.len() as u64).sum();
                 let n_workers = device.parallelism().min(batch.len()).max(1);
                 let roster = WorkerShards::new(shard_pool.take(n_workers));
                 if device.kind() == DeviceKind::SimGpu {
@@ -429,39 +601,12 @@ where
                     device.transfer_from_device(out_bytes);
                 }
                 let work = batch.len() as u64;
-                (Batch1Out { shards }, work)
+                (Batch1Out { shards, bases }, work)
             },
             // Stage 3: drain the shards into the partition files in bulk,
             // then hand them back to the pool for the next batch.
             |_idx, out: Batch1Out| {
-                stats.batches += 1;
-                for shard in &out.shards {
-                    for (part, bytes) in shard.buffers.iter().enumerate() {
-                        if bytes.is_empty() {
-                            continue;
-                        }
-                        let (sks, kms) = shard.counts[part];
-                        stats.superkmers += sks;
-                        stats.kmers += kms;
-                        stats.staging_bytes += bytes.len() as u64;
-                        stats.merge_flushes += 1;
-                        io.charge(bytes.len() as u64);
-                        // `step1.staging.flush` is the canonical crash
-                        // site *before* any partition data reaches its
-                        // sink — everything staged so far is discarded.
-                        let appended = pipeline::failpoint::hit("step1.staging.flush")
-                            .map_err(msp::MspError::Io)
-                            .and_then(|()| sink.append_encoded(part, bytes, sks, kms));
-                        if let Err(e) = appended {
-                            // A failed append means the partition data no
-                            // longer matches the stats; abandon the run now
-                            // rather than scanning the remaining batches.
-                            write_error.set(e);
-                            cancel.cancel();
-                        }
-                    }
-                }
-                shard_pool.put(out.shards);
+                drain_batch(out, stats, io, sink, write_error, cancel, shard_pool);
             },
         )
     };
@@ -470,6 +615,49 @@ where
         return Err(e.into());
     }
     Ok((stats, pipeline_report))
+}
+
+/// Output-stage drain shared by the batched and chunked Step-1 pipelines:
+/// flushes every shard's partition buffers into the sink, tallies the
+/// emit stats, and recycles the shards into the pool.
+fn drain_batch<S: PartitionSink>(
+    out: Batch1Out,
+    stats: &mut Step1Stats,
+    io: &ThrottledIo,
+    sink: &mut S,
+    write_error: &OnceError<msp::MspError>,
+    cancel: &CancelToken,
+    shard_pool: &ShardPool,
+) {
+    stats.batches += 1;
+    stats.bases += out.bases;
+    for shard in &out.shards {
+        for (part, bytes) in shard.buffers.iter().enumerate() {
+            if bytes.is_empty() {
+                continue;
+            }
+            let (sks, kms) = shard.counts[part];
+            stats.superkmers += sks;
+            stats.kmers += kms;
+            stats.staging_bytes += bytes.len() as u64;
+            stats.merge_flushes += 1;
+            io.charge(bytes.len() as u64);
+            // `step1.staging.flush` is the canonical crash site *before*
+            // any partition data reaches its sink — everything staged so
+            // far is discarded.
+            let appended = pipeline::failpoint::hit("step1.staging.flush")
+                .map_err(msp::MspError::Io)
+                .and_then(|()| sink.append_encoded(part, bytes, sks, kms));
+            if let Err(e) = appended {
+                // A failed append means the partition data no longer
+                // matches the stats; abandon the run now rather than
+                // scanning the remaining batches.
+                write_error.set(e);
+                cancel.cancel();
+            }
+        }
+    }
+    shard_pool.put(out.shards);
 }
 
 /// Checks `n` boundary-run vectors out of the recycle pool (topping up
