@@ -31,24 +31,32 @@ use crate::{DnaError, SeqRead};
 pub struct FastqReader<R> {
     reader: R,
     line: u64,
-    buf: String,
+    buf: Vec<u8>,
 }
 
 impl<R: BufRead> FastqReader<R> {
     /// Wraps a buffered reader.
     pub fn new(reader: R) -> FastqReader<R> {
-        FastqReader { reader, line: 0, buf: String::new() }
+        FastqReader { reader, line: 0, buf: Vec::new() }
     }
 
     /// Reads the next line into the internal buffer; `Ok(None)` at EOF.
-    fn next_line(&mut self) -> Result<Option<&str>, DnaError> {
+    ///
+    /// Lines are raw bytes, exactly as [`FastqSliceReader`] sees them —
+    /// sequence and quality strings are not required to be UTF-8, and
+    /// both readers must agree on every input.
+    fn next_line(&mut self) -> Result<Option<&[u8]>, DnaError> {
         self.buf.clear();
-        let n = self.reader.read_line(&mut self.buf)?;
+        let n = self.reader.read_until(b'\n', &mut self.buf)?;
         if n == 0 {
             return Ok(None);
         }
         self.line += 1;
-        Ok(Some(self.buf.trim_end_matches(['\n', '\r'])))
+        let mut line = self.buf.as_slice();
+        while let [head @ .., b'\r' | b'\n'] = line {
+            line = head;
+        }
+        Ok(Some(line))
     }
 
     fn malformed(&self, reason: impl Into<String>) -> DnaError {
@@ -66,26 +74,34 @@ impl<R: BufRead> FastqReader<R> {
         let header = loop {
             match self.next_line()? {
                 None => return Ok(None),
-                Some("") => continue, // tolerate blank separator lines
-                Some(l) => break l.to_owned(),
+                Some(b"") => continue, // tolerate blank separator lines
+                Some(l) => break l.to_vec(),
             }
         };
-        let id = header
-            .strip_prefix('@')
-            .ok_or_else(|| self.malformed(format!("expected '@' header, got {header:?}")))?
-            .to_owned();
+        let id = match header.strip_prefix(b"@") {
+            Some(id) => String::from_utf8_lossy(id).into_owned(),
+            None => {
+                return Err(self.malformed(format!(
+                    "expected '@' header, got {:?}",
+                    String::from_utf8_lossy(&header)
+                )));
+            }
+        };
         let seq = match self.next_line()? {
-            Some(l) => l.as_bytes().to_vec(),
+            Some(l) => l.to_vec(),
             None => return Err(self.malformed("record truncated before sequence line")),
         };
-        let sep = self.next_line()?.map(str::to_owned);
-        match sep {
-            Some(l) if l.starts_with('+') => {}
-            Some(l) => return Err(self.malformed(format!("expected '+' separator, got {l:?}"))),
+        match self.next_line()? {
+            Some(l) if l.first() == Some(&b'+') => {}
+            Some(l) => {
+                let reason =
+                    format!("expected '+' separator, got {:?}", String::from_utf8_lossy(l));
+                return Err(self.malformed(reason));
+            }
             None => return Err(self.malformed("record truncated before '+' separator")),
         }
         let qual = match self.next_line()? {
-            Some(l) => l.as_bytes().to_vec(),
+            Some(l) => l.to_vec(),
             None => return Err(self.malformed("record truncated before quality line")),
         };
         if qual.len() != seq.len() {
@@ -279,10 +295,12 @@ fn line_at(bytes: &[u8], start: usize) -> &[u8] {
 /// the line two ahead begins with `+` (header/sequence/separator shape),
 /// and parsing up to two records from it succeeds. Quality strings can
 /// begin with `@`, so the shape check alone is not sufficient; the parse
-/// check rejects those impostors for any realistic input. (A file built
-/// adversarially so a mid-record offset parses as two clean records
-/// would still chunk wrong — forcing the sequential reader via
-/// `PARAHASH_FORCE_SCALAR=1` handles such inputs.)
+/// check rejects those impostors for realistic inputs, but a file can be
+/// built so that a mid-record offset parses as two clean records (a
+/// quality line starting `@` whose following lines happen to line up).
+/// This is therefore only a *candidate* test: true boundaries require an
+/// anchored parse from a known boundary, which is exactly what
+/// [`chunk_record_ranges`] does.
 fn is_record_start(bytes: &[u8], start: usize) -> bool {
     let mut reader = FastqSliceReader::new(&bytes[start..]);
     match reader.read_record_view() {
@@ -292,12 +310,20 @@ fn is_record_start(bytes: &[u8], start: usize) -> bool {
     reader.read_record_view().is_ok()
 }
 
-/// Finds the first FASTQ record boundary at or after byte `from`.
+/// Finds the first *plausible* FASTQ record boundary at or after byte
+/// `from`.
 ///
 /// Scans forward line by line (resynchronising at the next `\n` when
 /// `from` lands mid-line), skipping blank lines, and returns the offset
 /// of the first line that passes [`is_record_start`]. `None` when no
 /// boundary exists before the end of the slice.
+///
+/// Because FASTQ quality strings may contain any character — including a
+/// leading `@` or `+` — phase cannot be decided from a mid-file offset
+/// alone, and an adversarial file can make this heuristic return a
+/// mid-record offset. Callers that hold the bytes back to a *known*
+/// boundary must validate candidates against an anchored parse;
+/// [`chunk_record_ranges`] does so and is immune to impostors.
 pub fn next_record_start(bytes: &[u8], from: usize) -> Option<usize> {
     if from > bytes.len() {
         return None;
@@ -326,31 +352,50 @@ pub fn next_record_start(bytes: &[u8], from: usize) -> Option<usize> {
 ///
 /// The ranges tile `0..bytes.len()` exactly; parsing each range with
 /// [`FastqSliceReader`] yields the same records as parsing the whole
-/// slice sequentially. The final range absorbs any tail smaller than
-/// `target_bytes`, and a slice with no interior boundary comes back as a
-/// single range.
+/// slice sequentially — including a final record with no trailing
+/// newline, and including *adversarial* files whose quality lines start
+/// with `@` and mimic record starts. The final range absorbs any tail
+/// smaller than `target_bytes`, and a slice with no interior boundary
+/// comes back as a single range.
+///
+/// Every cut is taken from a single forward parse anchored at offset 0 —
+/// the one offset known to be a record boundary — so a cut can only land
+/// where the sequential parser itself finishes a record; guessing the
+/// phase of an `@`-line (header vs quality) never enters into it. A
+/// malformed record stops the cutting: the rest of the slice becomes one
+/// range, whose consumer then reports the same error a sequential read
+/// would.
 pub fn chunk_record_ranges(bytes: &[u8], target_bytes: usize) -> Vec<Range<usize>> {
     let mut ranges = Vec::new();
     if bytes.is_empty() {
         return ranges;
     }
     let target = target_bytes.max(1);
+    let mut reader = FastqSliceReader::new(bytes);
     let mut start = 0usize;
     loop {
         let Some(goal) = start.checked_add(target).filter(|&g| g < bytes.len()) else {
             ranges.push(start..bytes.len());
             return ranges;
         };
-        match next_record_start(bytes, goal) {
-            Some(cut) if cut < bytes.len() => {
-                ranges.push(start..cut);
-                start = cut;
-            }
-            _ => {
-                ranges.push(start..bytes.len());
-                return ranges;
+        while reader.pos() < goal {
+            match reader.read_record_view() {
+                Ok(Some(_)) => {}
+                // Clean EOF (trailing blank lines) or a malformed record:
+                // no further boundary is knowable.
+                _ => {
+                    ranges.push(start..bytes.len());
+                    return ranges;
+                }
             }
         }
+        let cut = reader.pos();
+        if cut >= bytes.len() {
+            ranges.push(start..bytes.len());
+            return ranges;
+        }
+        ranges.push(start..cut);
+        start = cut;
     }
 }
 
@@ -478,33 +523,86 @@ mod tests {
         FastqSliceReader::new(text.as_bytes()).collect()
     }
 
+    /// The two parsers' contract: byte-identical outcomes — same records,
+    /// or same error Display (text *and* line number) — on any input.
+    fn assert_readers_agree(bytes: &[u8]) {
+        let via_stream: Result<Vec<_>, _> = FastqReader::new(bytes).collect();
+        let via_slice: Result<Vec<_>, _> = FastqSliceReader::new(bytes).collect();
+        match (via_stream, via_slice) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "records diverged on {bytes:?}"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "errors diverged on {bytes:?}");
+            }
+            (a, b) => panic!("outcome diverged on {bytes:?}: {a:?} vs {b:?}"),
+        }
+    }
+
     #[test]
     fn slice_reader_matches_streaming_reader() {
-        let cases = [
-            "@a\nACGT\n+\n!!!!\n@b\nGG\n+anything\nII\n",
-            "",
-            "\n\n",
-            "@a\r\nACGT\r\n+\r\nIIII\r\n",
-            "@a\nANNT\n+\nIIII\n",
-            "\n@a\nAC\n+\nII\n\n\n@b\nGT\n+\nII", // blank lines + no final \n
-            ">a\nACGT\n+\nIIII\n",
-            "@a\nACGT\n",
-            "@a\nACGT\n+\n",
-            "@a\n",
-            "@a\nACGT\n+\nII\n",
-            "@a\nACGT\nIIII\nIIII\n",
+        let cases: &[&[u8]] = &[
+            b"@a\nACGT\n+\n!!!!\n@b\nGG\n+anything\nII\n",
+            b"",
+            b"\n\n",
+            b"@a\r\nACGT\r\n+\r\nIIII\r\n",
+            b"@a\nANNT\n+\nIIII\n",
+            b"\n@a\nAC\n+\nII\n\n\n@b\nGT\n+\nII", // blank lines + no final \n
+            b">a\nACGT\n+\nIIII\n",
+            b"@a\nACGT\n",
+            b"@a\nACGT\n+\n",
+            b"@a\n",
+            b"@a\nACGT\n+\nII\n",
+            b"@a\nACGT\nIIII\nIIII\n",
         ];
-        for text in cases {
-            let via_stream = parse(text);
-            let via_slice = parse_slice(text);
-            match (via_stream, via_slice) {
-                (Ok(a), Ok(b)) => assert_eq!(a, b, "records diverged on {text:?}"),
-                (Err(a), Err(b)) => {
-                    assert_eq!(a.to_string(), b.to_string(), "errors diverged on {text:?}");
-                }
-                (a, b) => panic!("outcome diverged on {text:?}: {a:?} vs {b:?}"),
-            }
+        for bytes in cases {
+            assert_readers_agree(bytes);
         }
+    }
+
+    #[test]
+    fn readers_agree_on_malformed_and_non_utf8_input() {
+        let cases: &[&[u8]] = &[
+            // Truncated records, with and without CRLF endings.
+            b"@a\r\nACGT\r\n",
+            b"@a\r\nACGT\r\n+\r\n",
+            b"@a\r\n",
+            b"@a\r\nACGT\r\n+\r\nII\r\n", // CRLF quality/sequence mismatch
+            // Empty sequence line: the '+' may become the "sequence" or
+            // the quality may mismatch — both readers must agree which.
+            b"@a\n\n+\n\n",
+            b"@a\n\nACGT\n+\nIIII\n",
+            b"@a\n\n+\nIIII\n",
+            // Non-UTF-8 bytes in sequence, quality, header, separator:
+            // neither reader may bail with an encoding error when the
+            // other parses (sequence content is bytes, not text).
+            b"@a\nAC\xFFGT\n+\nIIIII\n",
+            b"@a\xF0\x28\nACGT\n+\nIIII\n",
+            b"@a\nACGT\n+\xFF\nIIII\n",
+            b"@a\nACGT\n\xFF+\nIIII\n",
+            b"\xFFa\nACGT\n+\nIIII\n",
+            // Non-UTF-8 *and* truncated mid-record.
+            b"@a\nAC\xFFGT\n+\n",
+        ];
+        for bytes in cases {
+            assert_readers_agree(bytes);
+        }
+    }
+
+    #[test]
+    fn rebased_slice_errors_match_streaming_line_numbers() {
+        // One good record, then a malformed one: parsing the second
+        // record as a chunk with `with_base_line` must reproduce the
+        // streaming reader's error verbatim, absolute line number
+        // included.
+        let text = b"@r0\nACGT\n+\nIIII\n@bad\nACGT\n+\nII\n";
+        let stream_err =
+            FastqReader::new(&text[..]).collect::<Result<Vec<_>, _>>().unwrap_err();
+        let off = text.iter().position(|&b| b == b'b').unwrap() - 1; // "@bad"
+        let lines_before = text[..off].iter().filter(|&&b| b == b'\n').count() as u64;
+        let chunk_err = FastqSliceReader::with_base_line(&text[off..], lines_before)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(stream_err.to_string(), chunk_err.to_string());
+        assert!(stream_err.to_string().contains("line 8"), "{stream_err}");
     }
 
     #[test]
@@ -585,5 +683,92 @@ mod tests {
             assert_eq!(rejoined, whole, "records diverged at target {target}");
         }
         assert!(chunk_record_ranges(b"", 64).is_empty());
+    }
+
+    /// Adversarial corpus: `@AAA` is record r0's *quality* line, but the
+    /// lines after it are laid out so that parsing from `@AAA` yields two
+    /// structurally clean records (`@AAA/@r1/+GGG/+ab` and
+    /// `@III/@r2/+CGT/+xy`) — the exact impostor the old shape-plus-parse
+    /// candidate check accepted, cutting a chunk mid-record.
+    fn adversarial_corpus() -> &'static str {
+        "@r0\nAAAA\n+\n@AAA\n@r1\n+GGG\n+ab\n@III\n@r2\n+CGT\n+xy\n@@@@\n"
+    }
+
+    #[test]
+    fn adversarial_quality_header_cannot_split_mid_record() {
+        let text = adversarial_corpus();
+        // The impostor really does fool the candidate heuristic…
+        let fake = text.find("@AAA").unwrap();
+        assert!(
+            is_record_start(text.as_bytes(), fake),
+            "corpus must exercise the impostor path: @AAA parses as two records"
+        );
+        // …but never the chunker: the anchored parse cuts only where the
+        // sequential parser finishes a record.
+        let whole = parse_slice(text).unwrap();
+        assert_eq!(whole.len(), 3);
+        assert_eq!(whole[0].quality(), Some(&b"@AAA"[..]));
+        for target in 1..=text.len() + 4 {
+            let ranges = chunk_record_ranges(text.as_bytes(), target);
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(text.len()));
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "ranges must tile at target {target}");
+                assert_ne!(pair[1].start, fake, "cut on the impostor at target {target}");
+            }
+            let mut rejoined = Vec::new();
+            for r in &ranges {
+                rejoined.extend(parse_slice(&text[r.clone()]).unwrap_or_else(|e| {
+                    panic!("chunk {r:?} at target {target} split mid-record: {e}")
+                }));
+            }
+            assert_eq!(rejoined, whole, "records diverged at target {target}");
+        }
+    }
+
+    #[test]
+    fn final_record_without_newline_chunks_like_sequential_reader() {
+        // The last record ends at EOF with no trailing `\n`; every chunk
+        // target must reproduce exactly what the streaming reader sees.
+        let text = "@r0\nACGTACGT\n+\n@@@@@@@@\n@r1\nGGGG\n+\nIIII\n@r2\nAC\n+\n@I";
+        let sequential = parse(text).unwrap();
+        assert_eq!(sequential.len(), 3);
+        assert_eq!(sequential[2].quality(), Some(&b"@I"[..]));
+        for target in 1..=text.len() + 4 {
+            let ranges = chunk_record_ranges(text.as_bytes(), target);
+            assert_eq!(ranges.last().map(|r| r.end), Some(text.len()));
+            let mut rejoined = Vec::new();
+            for r in &ranges {
+                rejoined.extend(parse_slice(&text[r.clone()]).unwrap_or_else(|e| {
+                    panic!("chunk {r:?} at target {target} failed: {e}")
+                }));
+            }
+            assert_eq!(rejoined, sequential, "diverged from FastqReader at target {target}");
+        }
+    }
+
+    #[test]
+    fn malformed_tail_stays_in_one_chunk() {
+        // A malformed record (quality/sequence length mismatch) freezes
+        // cutting: everything from the last good cut onward is a single
+        // range, so the consumer hits the identical error a sequential
+        // parse reports.
+        let text = "@r0\nACGT\n+\nIIII\n@bad\nACGT\n+\nII\n@r1\nGG\n+\nII\n";
+        let seq_err = parse_slice(text).unwrap_err().to_string();
+        for target in 1..=text.len() + 4 {
+            let ranges = chunk_record_ranges(text.as_bytes(), target);
+            assert_eq!(ranges.last().map(|r| r.end), Some(text.len()));
+            let chunk_err = ranges
+                .iter()
+                .find_map(|r| parse_slice(&text[r.clone()]).err())
+                .unwrap_or_else(|| {
+                    panic!("malformed record must surface from some chunk at target {target}")
+                })
+                .to_string();
+            // Line numbers are chunk-relative here (callers rebase via
+            // `with_base_line`); compare the reason text after "line N: ".
+            let reason = |s: &str| s.split_once(": ").map(|(_, r)| r.to_owned());
+            assert_eq!(reason(&chunk_err), reason(&seq_err), "error diverged at target {target}");
+        }
     }
 }

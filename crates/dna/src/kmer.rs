@@ -301,8 +301,25 @@ impl Kmer {
     /// Uses a splitmix64-style finalizer over the packed words, seeded by
     /// `k` so that e.g. `A` and `AA` hash differently.
     pub fn hash64(&self) -> u64 {
-        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (self.k as u64);
-        for &w in &self.words {
+        Kmer::hash64_of_words(&self.words, self.k as usize)
+    }
+
+    /// [`hash64`](Self::hash64) computed directly over a tail-clean packed
+    /// word array, without constructing a `Kmer`. The single source of
+    /// truth for the vertex-table hash: fast replay paths that roll a bare
+    /// `u64` (k ≤ 32) hash `[word, 0, 0, 0]` through this and are
+    /// guaranteed the same slot, tag, and probe sequence as the scalar
+    /// path that materialises the `Kmer`.
+    ///
+    /// Only the `ceil(k/32)` words a k-mer can occupy are mixed — the
+    /// remaining words of a tail-clean array are zero by invariant, and
+    /// `k` seeds the state, so skipping them changes no collision
+    /// behaviour while roughly quartering the finalizer chain for the
+    /// common k ≤ 32 case.
+    #[inline]
+    pub fn hash64_of_words(words: &[u64; WORDS], k: usize) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (k as u64);
+        for &w in &words[..k.div_ceil(BASES_PER_WORD).min(WORDS)] {
             h ^= w;
             h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
             h ^= h >> 27;

@@ -208,28 +208,40 @@ impl PackedSeq {
             self.len
         );
         out.reserve(len.div_ceil(4));
-        if len >= BASES_PER_WORD && !crate::simd::force_scalar() {
-            // Word-batched: emit 8 output bytes (32 bases) per step by
-            // splicing two adjacent words, then finish the sub-word tail
-            // with the scalar loop. 32-base steps keep the byte stream
-            // aligned with the scalar path (bytes hold 4 bases each).
-            let mut pos = start;
-            let mut remaining = len;
-            while remaining >= BASES_PER_WORD {
-                let bit = 2 * pos;
-                let (w, sh) = (bit / 64, (bit % 64) as u32);
-                let mut chunk = self.words[w] >> sh;
-                if sh > 0 {
-                    chunk |= self.words.get(w + 1).copied().unwrap_or(0) << (64 - sh);
-                }
-                out.extend_from_slice(&chunk.to_le_bytes());
-                pos += BASES_PER_WORD;
-                remaining -= BASES_PER_WORD;
-            }
-            self.write_packed_range_scalar(pos, remaining, out);
-        } else {
+        if crate::simd::force_scalar() {
             self.write_packed_range_scalar(start, len, out);
+            return;
         }
+        // Word-batched shift-and-merge: every start offset (aligned or
+        // not) emits 8 output bytes (32 bases) per step by splicing two
+        // adjacent words, and the sub-word tail is one masked word load
+        // instead of a base-at-a-time loop. 32-base steps keep the byte
+        // stream aligned with the scalar path (bytes hold 4 bases each).
+        let mut pos = start;
+        let mut remaining = len;
+        while remaining >= BASES_PER_WORD {
+            out.extend_from_slice(&self.load_codes(pos).to_le_bytes());
+            pos += BASES_PER_WORD;
+            remaining -= BASES_PER_WORD;
+        }
+        if remaining > 0 {
+            let chunk = self.load_codes(pos) & ((1u64 << (2 * remaining)) - 1);
+            out.extend_from_slice(&chunk.to_le_bytes()[..remaining.div_ceil(4)]);
+        }
+    }
+
+    /// Up to 32 base codes starting at `pos`, LSB-first in a single word:
+    /// the shift-and-merge load shared by the word-batched serializer.
+    /// Codes past the end of the sequence read as zero.
+    #[inline]
+    fn load_codes(&self, pos: usize) -> u64 {
+        let bit = 2 * pos;
+        let (w, sh) = (bit / 64, (bit % 64) as u32);
+        let mut chunk = self.words[w] >> sh;
+        if sh > 0 {
+            chunk |= self.words.get(w + 1).copied().unwrap_or(0) << (64 - sh);
+        }
+        chunk
     }
 
     /// The scalar reference serializer behind
@@ -505,7 +517,7 @@ mod tests {
         let ascii: Vec<u8> = (0..150).map(|i| b"ACGTTGCATGGACCAGT"[i % 17]).collect();
         let s = PackedSeq::from_ascii(&ascii);
         for start in [0, 1, 3, 31, 32, 33, 63, 64, 65, 100] {
-            for len in [0, 1, 31, 32, 33, 64, 65, 85] {
+            for len in [0, 1, 2, 3, 5, 7, 15, 30, 31, 32, 33, 50, 64, 65, 85] {
                 if start + len > s.len() {
                     continue;
                 }

@@ -127,6 +127,19 @@ pub fn pack_ascii_scalar(ascii: &[u8], words: &mut Vec<u64>) {
     }
 }
 
+/// Reverses the order of the 32 two-bit base codes in `w` (code `i`
+/// moves to field `31 − i`) in six bit-ops: the word-parallel bridge
+/// between the LSB-first packed-payload layout and the MSB-first
+/// left-aligned `Kmer` word layout. Self-inverse.
+#[inline]
+pub fn reverse_codes(mut w: u64) -> u64 {
+    // Swap adjacent 2-bit fields, then adjacent nibbles: every byte now
+    // holds its four codes reversed; swapping the bytes finishes the job.
+    w = ((w & 0x3333_3333_3333_3333) << 2) | ((w >> 2) & 0x3333_3333_3333_3333);
+    w = ((w & 0x0F0F_0F0F_0F0F_0F0F) << 4) | ((w >> 4) & 0x0F0F_0F0F_0F0F_0F0F);
+    w.swap_bytes()
+}
+
 /// The best vector kernel for this machine, ignoring the scalar gate
 /// (benches call this directly to compare against the scalar baseline).
 pub fn pack_ascii_vector(ascii: &[u8], words: &mut Vec<u64>) {
@@ -377,6 +390,27 @@ mod tests {
         for len in [0, 1, 7, 8, 9, 31, 32, 33, 63, 64, 65, 95, 96, 97, 127, 128, 129, 200] {
             check_all_kernels(&pattern[..len]);
         }
+    }
+
+    #[test]
+    fn reverse_codes_reverses_every_field() {
+        // Reference: move field i to field 31 − i, one field at a time.
+        let reference = |w: u64| -> u64 {
+            let mut out = 0u64;
+            for i in 0..32 {
+                out |= ((w >> (2 * i)) & 3) << (2 * (31 - i));
+            }
+            out
+        };
+        let mut x: u64 = 0x243F_6A88_85A3_08D3; // arbitrary pi digits
+        for _ in 0..64 {
+            assert_eq!(reverse_codes(x), reference(x), "w={x:#018x}");
+            assert_eq!(reverse_codes(reverse_codes(x)), x, "self-inverse at {x:#018x}");
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        assert_eq!(reverse_codes(0), 0);
+        assert_eq!(reverse_codes(u64::MAX), u64::MAX);
+        assert_eq!(reverse_codes(3), 3 << 62);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use dna::{Base, CanonicalKmerCursor, Orientation};
+use dna::{Base, CanonicalKmerCursor, Kmer, Orientation};
 use msp::{Superkmer, SuperkmerView};
 
 use crate::{
@@ -102,6 +102,242 @@ pub fn record_superkmer_view<T: VertexTable + ?Sized>(
         view.left_ext(),
         view.right_ext(),
     )
+}
+
+/// The Step-2 replay dispatcher: a word-parallel single-`u64` fast path
+/// for k ≤ 32, with [`record_superkmer_view`] as the scalar reference
+/// for wide k (or when `PARAHASH_FORCE_SCALAR` is set).
+///
+/// The narrow path mirrors `MinimizerCursor`'s p ≤ 32 trick on the
+/// *replay* side: the superkmer core is decoded 32 bases per 8-byte load
+/// ([`SuperkmerView::code_words`]), both strands roll in one `u64` each
+/// (two shifts + OR per base), canonical choice is a single integer
+/// compare, and the table is fed through
+/// [`VertexTable::record_narrow`] — no `Kmer` is materialised per
+/// position. Output (graph bytes *and* contention counters) is identical
+/// to the cursor path: same canonical words, same hash, same probe walk.
+///
+/// Like every vectorized kernel in the workspace, the mode is captured at
+/// construction from [`dna::simd::force_scalar`], so a kernel built under
+/// `PARAHASH_FORCE_SCALAR=1` replays through the scalar cursor for its
+/// whole lifetime.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayKernel {
+    k: usize,
+    /// Single-word fast path enabled (k ≤ 32 and not forced scalar).
+    narrow: bool,
+}
+
+impl ReplayKernel {
+    /// Builds a kernel for k-mer length `k`, capturing the scalar
+    /// override at construction.
+    pub fn new(k: usize) -> ReplayKernel {
+        ReplayKernel { k, narrow: (1..=32).contains(&k) && !dna::simd::force_scalar() }
+    }
+
+    /// Whether replays will take the single-word fast path.
+    pub fn is_narrow(&self) -> bool {
+        self.narrow
+    }
+
+    /// Replays one borrowed superkmer record into `table`, taking the
+    /// narrow fast path when enabled. Allocation-free on both paths.
+    ///
+    /// For replaying a *stream* of records, prefer [`ReplayPipeline`],
+    /// which carries its prefetch lookahead across record boundaries;
+    /// this convenience wrapper drains per record, so short superkmers
+    /// cap its lookahead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors ([`HashGraphError::CapacityExhausted`],
+    /// [`HashGraphError::WrongK`]).
+    pub fn record_view<T: VertexTable + ?Sized>(
+        &self,
+        table: &T,
+        view: &SuperkmerView<'_>,
+    ) -> Result<()> {
+        let mut pipe = ReplayPipeline::new(*self, table);
+        pipe.record_view(view)?;
+        pipe.flush()
+    }
+}
+
+/// Branchless [`edge_slots_for`] over raw base codes: with `rev` the
+/// canonical orientation as a flag, the slot arithmetic (`Out(b)` = code,
+/// `In(b)` = 4 + code, reverse complements = code ^ 3 and side swap)
+/// folds into two masked adds — no data-dependent branch on the ~50/50
+/// orientation, which the predictor cannot learn.
+#[inline]
+fn edge_slots_narrow(rev: bool, left: Option<u8>, right: Option<u8>) -> [Option<u8>; 2] {
+    let r = rev as u8;
+    let m = r * 3;
+    [left.map(|c| (c ^ m) + ((r ^ 1) << 2)), right.map(|c| (c ^ m) + (r << 2))]
+}
+
+/// The single-`u64` two-strand rolling scan shared by [`ReplayKernel`]
+/// and [`ReplayPipeline`]: decodes `view`'s core 32 bases per 8-byte
+/// load and emits `(canonical word, hash, edge slots)` for every
+/// position, in scan order. Caller guarantees `view.k() == k ≤ 32`.
+#[inline]
+fn scan_narrow_view<E>(k: usize, view: &SuperkmerView<'_>, mut emit: E) -> Result<()>
+where
+    E: FnMut(u64, u64, [Option<u8>; 2]) -> Result<()>,
+{
+    let core_len = view.core_len();
+    let last = core_len - k; // start index of the final k-mer
+    // `Kmer` word layout: base 0 in the top two bits, so base k−1 of
+    // the window sits at this shift and the tail below it stays zero.
+    let last_shift = (64 - 2 * k) as u32;
+    let tail_mask = u64::MAX << last_shift;
+    let mut words = view.code_words();
+    let w0 = words.next_chunk();
+    // Seed the first window straight from the payload word instead of
+    // rolling k−1 warm-up bases (superkmers average only a handful of
+    // k-mers, so the warm-up would dominate): the LSB-first payload
+    // order reversed per 2-bit field *is* the MSB-first forward strand,
+    // and the complemented payload left-shifted into alignment is the
+    // reverse strand (complement = code ^ 3 for every field at once).
+    let mut fwd = dna::simd::reverse_codes(w0) & tail_mask;
+    let mut rc = (!w0) << last_shift;
+    // Position the chunk cursor on base k, mirroring the rolling loop's
+    // eager-refill cadence (refill after consuming base 31 of a word).
+    let mut chunk = if k == 32 { words.next_chunk() } else { w0 >> (2 * k) };
+    {
+        let right =
+            if last > 0 { Some((chunk & 3) as u8) } else { view.right_ext().map(|b| b.code()) };
+        // Numeric word compare = lexicographic; ties Forward, exactly
+        // like `CanonicalKmerCursor::canonical`.
+        let rev = fwd > rc;
+        let word = if rev { rc } else { fwd };
+        let hash = Kmer::hash64_of_words(&[word, 0, 0, 0], k);
+        emit(word, hash, edge_slots_narrow(rev, view.left_ext().map(|b| b.code()), right))?;
+    }
+    for j in k..core_len {
+        let code = chunk & 3;
+        chunk >>= 2;
+        if (j + 1) % 32 == 0 {
+            // Eager refill: `chunk & 3` below is always base j+1
+            // (zero-padded past the core, where right_ext wins).
+            chunk = words.next_chunk();
+        }
+        // Base j−k — the new window's left neighbour — is about to
+        // shift out of fwd's top two bits; capture it first.
+        let left = Some((fwd >> 62) as u8);
+        fwd = (fwd << 2) | (code << last_shift);
+        rc = ((rc >> 2) & tail_mask) | ((code ^ 3) << 62);
+        let right = if j - (k - 1) < last {
+            Some((chunk & 3) as u8)
+        } else {
+            view.right_ext().map(|b| b.code())
+        };
+        let rev = fwd > rc;
+        let word = if rev { rc } else { fwd };
+        let hash = Kmer::hash64_of_words(&[word, 0, 0, 0], k);
+        emit(word, hash, edge_slots_narrow(rev, left, right))?;
+    }
+    Ok(())
+}
+
+/// Prefetch lookahead of [`ReplayPipeline`]'s drain loop, in k-mer
+/// positions. Deep enough that a slot's three cache lines (state word,
+/// key cell, counter line) have a DRAM round-trip's worth of probe
+/// compute to arrive in.
+const PIPE: usize = 16;
+
+/// Buffered positions per [`ReplayPipeline`] drain. Large enough that
+/// the un-prefetched tail of each drain ([`PIPE`] positions) is noise,
+/// small enough that the buffer (24 bytes per entry, 6 KiB total) stays
+/// resident in L1 alongside the scan state.
+const BUF: usize = 256;
+
+/// Software-pipelined Step-2 replay over a stream of superkmer records.
+///
+/// The probe's table lines (state word, key cell, counter line) are
+/// random-access and usually cold, while the decode scan is pure
+/// register arithmetic — interleaving them in one loop makes the scan's
+/// rolling state spill and starves the probe of lookahead. The pipeline
+/// therefore splits the phases: [`record_view`](Self::record_view)
+/// appends each position's `(canonical word, hash, edge slots)` to a
+/// [`BUF`]-entry buffer, and whenever the buffer fills, a tight drain
+/// loop walks it, prefetching position `i + `[`PIPE`]'s home slot
+/// ([`VertexTable::prefetch_narrow`]) before recording position `i`
+/// ([`VertexTable::record_narrow_hashed`]) — by the time each probe
+/// runs, its lines have been in flight for [`PIPE`] probes' worth of
+/// work. Unlike [`ReplayKernel::record_view`], the buffer carries over
+/// between records, so batches stay full across superkmer boundaries
+/// (partition superkmers average only a handful of k-mers each). Call
+/// [`flush`](Self::flush) after the last record; records land in scan
+/// order, so graph bytes and contention counters are identical to the
+/// unpipelined path. A table error for a buffered position surfaces on
+/// the push or flush that drains it.
+///
+/// Wide k (or forced-scalar kernels) fall back to the cursor replay
+/// record-by-record, exactly like [`ReplayKernel::record_view`].
+pub struct ReplayPipeline<'t, T: VertexTable + ?Sized> {
+    kernel: ReplayKernel,
+    table: &'t T,
+    buf: [(u64, u64, [Option<u8>; 2]); BUF],
+    len: usize,
+}
+
+impl<'t, T: VertexTable + ?Sized> ReplayPipeline<'t, T> {
+    /// A pipeline feeding `table`, dispatching per `kernel`'s mode.
+    pub fn new(kernel: ReplayKernel, table: &'t T) -> ReplayPipeline<'t, T> {
+        ReplayPipeline { kernel, table, buf: [(0, 0, [None, None]); BUF], len: 0 }
+    }
+
+    /// Enqueues one record's k-mers, draining the buffer whenever it
+    /// fills. A table error for a buffered position surfaces on the
+    /// push or [`flush`](Self::flush) that drains it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors ([`HashGraphError::CapacityExhausted`],
+    /// [`HashGraphError::WrongK`]).
+    pub fn record_view(&mut self, view: &SuperkmerView<'_>) -> Result<()> {
+        if !self.kernel.narrow || view.k() != self.kernel.k {
+            return record_superkmer_view(self.table, view);
+        }
+        scan_narrow_view(self.kernel.k, view, |word, hash, edges| self.push(word, hash, edges))
+    }
+
+    #[inline]
+    fn push(&mut self, word: u64, hash: u64, edges: [Option<u8>; 2]) -> Result<()> {
+        self.buf[self.len] = (word, hash, edges);
+        self.len += 1;
+        if self.len == BUF {
+            self.drain()?;
+        }
+        Ok(())
+    }
+
+    /// The prefetch-ahead probe loop over the buffered positions. On
+    /// error the rest of the batch is dropped (table errors are
+    /// terminal: the run aborts and rebuilds with a larger capacity).
+    fn drain(&mut self) -> Result<()> {
+        let n = std::mem::take(&mut self.len);
+        for i in 0..n {
+            if i + PIPE < n {
+                self.table.prefetch_narrow(self.buf[i + PIPE].1);
+            }
+            let (w, h, e) = self.buf[i];
+            self.table.record_narrow_hashed(w, h, e)?;
+        }
+        Ok(())
+    }
+
+    /// Drains every still-buffered position. Must be called after the
+    /// last [`record_view`](Self::record_view); dropping an unflushed
+    /// pipeline silently discards its pending records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors ([`HashGraphError::CapacityExhausted`],
+    /// [`HashGraphError::WrongK`]).
+    pub fn flush(&mut self) -> Result<()> {
+        self.drain()
+    }
 }
 
 /// The pre-cursor replay: derives each position's canonical k-mer from
@@ -442,6 +678,138 @@ mod tests {
     }
 
     #[test]
+    fn replay_kernel_matches_scalar_cursor_exactly() {
+        // The word-parallel kernel must match the cursor replay on graph
+        // content *and* contention counters, for narrow k, the k = 32
+        // boundary, and the k = 33 fallback; extension flags included.
+        let _guard = dna::simd::override_guard();
+        let reads = test_reads();
+        for (k, p) in [(5, 3), (7, 4), (15, 11), (31, 11), (32, 11), (32, 32), (33, 11)] {
+            let parts = msp::partition_in_memory(&reads, k, p, 1).unwrap();
+            let mut buf = Vec::new();
+            for sk in &parts[0] {
+                msp::encode_superkmer(sk, &mut buf);
+            }
+            let slices = msp::PartitionSlices::index(&buf, k, p).unwrap();
+
+            dna::simd::set_force_scalar_override(Some(false));
+            let kernel = ReplayKernel::new(k);
+            dna::simd::set_force_scalar_override(None);
+            assert_eq!(kernel.is_narrow(), k <= 32, "k={k}");
+
+            let via_kernel = ConcurrentDbgTable::new(4096, k);
+            let via_cursor = ConcurrentDbgTable::new(4096, k);
+            for i in 0..slices.len() {
+                kernel.record_view(&via_kernel, &slices.view(i)).unwrap();
+                record_superkmer_view(&via_cursor, &slices.view(i)).unwrap();
+            }
+            assert_eq!(via_kernel.snapshot(), via_cursor.snapshot(), "k={k} p={p}");
+            let (a, b) = (via_kernel.contention(), via_cursor.contention());
+            assert_eq!(
+                (a.insertions, a.updates, a.probe_steps, a.tag_rejects),
+                (b.insertions, b.updates, b.probe_steps, b.tag_rejects),
+                "k={k} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_scalar_kernel_takes_cursor_path() {
+        let _guard = dna::simd::override_guard();
+        dna::simd::set_force_scalar_override(Some(true));
+        let kernel = ReplayKernel::new(15);
+        dna::simd::set_force_scalar_override(None);
+        assert!(!kernel.is_narrow(), "forced-scalar kernels must not use the word path");
+        // Captured at construction: the kernel stays scalar even after
+        // the override is lifted, and still produces the same graph.
+        let reads = test_reads();
+        let parts = msp::partition_in_memory(&reads, 15, 11, 1).unwrap();
+        let mut buf = Vec::new();
+        for sk in &parts[0] {
+            msp::encode_superkmer(sk, &mut buf);
+        }
+        let slices = msp::PartitionSlices::index(&buf, 15, 11).unwrap();
+        let scalar = ConcurrentDbgTable::new(4096, 15);
+        let reference = ConcurrentDbgTable::new(4096, 15);
+        for i in 0..slices.len() {
+            kernel.record_view(&scalar, &slices.view(i)).unwrap();
+            record_superkmer_view(&reference, &slices.view(i)).unwrap();
+        }
+        assert_eq!(scalar.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn pipeline_matches_kernel_across_record_boundaries() {
+        // The buffered pipeline defers records and carries its buffer
+        // across superkmer boundaries; graph bytes and every contention
+        // counter must still match the per-record kernel replay, for
+        // narrow k, the k = 32 boundary, and the k = 33 fallback. Many
+        // short reads keep records tiny so the buffer crosses hundreds
+        // of record boundaries per drain.
+        let _guard = dna::simd::override_guard();
+        dna::simd::set_force_scalar_override(Some(false));
+        let reads = test_reads();
+        for (k, p) in [(5, 3), (15, 11), (31, 11), (32, 11), (33, 11)] {
+            let parts = msp::partition_in_memory(&reads, k, p, 1).unwrap();
+            let mut buf = Vec::new();
+            for sk in &parts[0] {
+                msp::encode_superkmer(sk, &mut buf);
+            }
+            let slices = msp::PartitionSlices::index(&buf, k, p).unwrap();
+            let kernel = ReplayKernel::new(k);
+            let via_pipe = ConcurrentDbgTable::new(4096, k);
+            let via_kernel = ConcurrentDbgTable::new(4096, k);
+            let mut pipe = ReplayPipeline::new(kernel, &via_pipe);
+            for i in 0..slices.len() {
+                pipe.record_view(&slices.view(i)).unwrap();
+                kernel.record_view(&via_kernel, &slices.view(i)).unwrap();
+            }
+            pipe.flush().unwrap();
+            assert_eq!(via_pipe.snapshot(), via_kernel.snapshot(), "k={k} p={p}");
+            let (a, b) = (via_pipe.contention(), via_kernel.contention());
+            assert_eq!(
+                (a.insertions, a.updates, a.probe_steps, a.tag_rejects),
+                (b.insertions, b.updates, b.probe_steps, b.tag_rejects),
+                "k={k} p={p}"
+            );
+        }
+        dna::simd::set_force_scalar_override(None);
+    }
+
+    #[test]
+    fn pipeline_surfaces_capacity_errors() {
+        // A deferred record's CapacityExhausted must surface on the push
+        // or flush that drains it, never be swallowed.
+        let _guard = dna::simd::override_guard();
+        dna::simd::set_force_scalar_override(Some(false));
+        let kernel = ReplayKernel::new(7);
+        dna::simd::set_force_scalar_override(None);
+        let reads = test_reads();
+        let parts = msp::partition_in_memory(&reads, 7, 4, 1).unwrap();
+        let mut buf = Vec::new();
+        for sk in &parts[0] {
+            msp::encode_superkmer(sk, &mut buf);
+        }
+        let slices = msp::PartitionSlices::index(&buf, 7, 4).unwrap();
+        let tiny = ConcurrentDbgTable::new(2, 7);
+        let mut pipe = ReplayPipeline::new(kernel, &tiny);
+        let mut result = Ok(());
+        for i in 0..slices.len() {
+            result = pipe.record_view(&slices.view(i));
+            if result.is_err() {
+                break;
+            }
+        }
+        if result.is_ok() {
+            result = pipe.flush();
+        }
+        assert!(
+            matches!(result, Err(HashGraphError::CapacityExhausted { .. })),
+            "expected CapacityExhausted, got {result:?}"
+        );
+    }
+
+    #[test]
     fn serial_matches_parallel() {
         let reads = test_reads();
         let parts = msp::partition_in_memory(&reads, 7, 4, 1).unwrap();
@@ -452,5 +820,103 @@ mod tests {
         a.sort_by_key(|x| x.0);
         b.sort_by_key(|x| x.0);
         assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod scan_timing {
+    use super::*;
+    use std::time::Instant;
+
+    // Ad-hoc throughput probe for the narrow scan, run manually with
+    // `cargo test -p hashgraph --release -- --ignored scan_timing --nocapture`.
+    #[test]
+    #[ignore]
+    fn scan_throughput() {
+        const K: usize = 27;
+        const P: usize = 11;
+        let mut state: u64 = 12345;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let reads: Vec<dna::PackedSeq> = (0..800)
+            .map(|_| {
+                let s: Vec<u8> = (0..101).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+                dna::PackedSeq::from_ascii(&s)
+            })
+            .collect();
+        let scanner = msp::SuperkmerScanner::new(K, P).unwrap();
+        let mut bytes = Vec::new();
+        for r in &reads {
+            for sk in scanner.scan(r) {
+                msp::encode_superkmer(&sk, &mut bytes);
+            }
+        }
+        let slices = msp::PartitionSlices::index(&bytes, K, P).unwrap();
+        let n = slices.total_kmers();
+        let kernel = ReplayKernel::new(K);
+        assert!(kernel.is_narrow());
+
+        // Warm table + pre-scanned stream, built once outside the reps.
+        let table = ConcurrentDbgTable::new(n * 2, K);
+        let mut pipe = ReplayPipeline::new(kernel, &table);
+        for i in 0..slices.len() {
+            pipe.record_view(&slices.view(i)).unwrap();
+        }
+        pipe.flush().unwrap();
+        let mut stream = Vec::new();
+        for i in 0..slices.len() {
+            scan_narrow_view(K, &slices.view(i), |w, h, e| {
+                stream.push((w, h, e));
+                Ok(())
+            })
+            .unwrap();
+        }
+
+        // Min over reps: the box is a noisy shared VM, so the minimum is
+        // the only stable statistic.
+        let (mut scan_min, mut full_min) = (f64::INFINITY, f64::INFINITY);
+        let mut tbl_min = [f64::INFINITY; 4];
+        let mut acc = 0u64;
+        for _rep in 0..10 {
+            // scan only, no table
+            let t = Instant::now();
+            acc = 0;
+            for i in 0..slices.len() {
+                scan_narrow_view(K, &slices.view(i), |w, h, e| {
+                    acc ^= w ^ h ^ e[0].unwrap_or(0) as u64;
+                    Ok(())
+                })
+                .unwrap();
+            }
+            scan_min = scan_min.min(t.elapsed().as_nanos() as f64 / n as f64);
+
+            // full pipeline into the warm table
+            let t = Instant::now();
+            let mut pipe = ReplayPipeline::new(kernel, &table);
+            for i in 0..slices.len() {
+                pipe.record_view(&slices.view(i)).unwrap();
+            }
+            pipe.flush().unwrap();
+            full_min = full_min.min(t.elapsed().as_nanos() as f64 / n as f64);
+
+            // table only: replay the pre-scanned stream directly
+            for (di, d) in [0usize, 8, 16, 32].into_iter().enumerate() {
+                let t = Instant::now();
+                for i in 0..stream.len() {
+                    if let Some(&(_, ph, _)) = stream.get(i + d) {
+                        table.prefetch_narrow(ph);
+                    }
+                    let (w, h, e) = stream[i];
+                    table.record_narrow_hashed(w, h, e).unwrap();
+                }
+                tbl_min[di] = tbl_min[di].min(t.elapsed().as_nanos() as f64 / stream.len() as f64);
+            }
+        }
+        eprintln!("scan only: {scan_min:.1} ns/kmer (acc {acc}), full warm replay: {full_min:.1} ns/kmer, n={n}");
+        for (di, d) in [0usize, 8, 16, 32].into_iter().enumerate() {
+            eprintln!("  table only, prefetch d={d}: {:.1} ns/kmer", tbl_min[di]);
+        }
     }
 }

@@ -43,6 +43,52 @@ pub trait VertexTable: Sync {
     /// [`HashGraphError::WrongK`] for a key of the wrong length.
     fn record(&self, key: &Kmer, edge_slots: [Option<u8>; 2]) -> Result<()>;
 
+    /// [`record`](Self::record) for a canonical k-mer of k ≤ 32 whose
+    /// packed bases fit entirely in `word` (left-aligned MSB-first, tail
+    /// bits zero — the layout of `Kmer`'s first word). The word-parallel
+    /// Step-2 replay kernel feeds the table through this, skipping the
+    /// `Kmer` materialisation per position.
+    ///
+    /// The default implementation reassembles the `Kmer` and delegates to
+    /// [`record`](Self::record), so every table is automatically correct;
+    /// tables with a cheaper route (hashing the word array directly) may
+    /// override it, provided the observable behaviour stays identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`record`](Self::record).
+    fn record_narrow(&self, word: u64, edge_slots: [Option<u8>; 2]) -> Result<()> {
+        debug_assert!(self.k() <= 32, "record_narrow requires k <= 32, got {}", self.k());
+        let key = Kmer::from_words([word, 0, 0, 0], self.k()).expect("1 <= k <= 32");
+        self.record(&key, edge_slots)
+    }
+
+    /// Hint that a narrow key whose [`Kmer::hash64_of_words`] value is
+    /// `hash` will shortly be recorded. Tables backed by hash-addressed
+    /// storage may start pulling the target slot's cache lines toward
+    /// the core; a pure performance hint with no observable effect. The
+    /// default does nothing.
+    fn prefetch_narrow(&self, hash: u64) {
+        let _ = hash;
+    }
+
+    /// [`record_narrow`](Self::record_narrow) with the key's
+    /// [`Kmer::hash64_of_words`] value supplied by the caller — the
+    /// replay kernel already computed it to issue
+    /// [`prefetch_narrow`](Self::prefetch_narrow) a few positions ahead,
+    /// so the table need not re-run the mix chain. `hash` **must** equal
+    /// `Kmer::hash64_of_words(&[word, 0, 0, 0], k)`; the default ignores
+    /// it and delegates, so implementations only honour the caller's
+    /// hash by explicit opt-in.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`record`](Self::record).
+    fn record_narrow_hashed(&self, word: u64, hash: u64, edge_slots: [Option<u8>; 2]) -> Result<()> {
+        let _ = hash;
+        self.record_narrow(word, edge_slots)
+    }
+
     /// Copies the current contents out as a subgraph.
     fn snapshot(&self) -> SubGraph;
 
@@ -162,10 +208,15 @@ pub struct ConcurrentDbgTable {
     stats: Counters,
 }
 
+/// Table-wide behaviour counters. `updates` is **derived** at read time
+/// (Σ slot duplicity counts − insertions) rather than maintained as its
+/// own atomic: every successful record already bumps its slot's count,
+/// so keeping a second shared-line RMW per k-mer in the hot path would
+/// only re-count what the slots record. See
+/// [`ConcurrentDbgTable::contention`].
 #[derive(Default)]
 struct Counters {
     insertions: std::sync::atomic::AtomicU64,
-    updates: std::sync::atomic::AtomicU64,
     cas_failures: std::sync::atomic::AtomicU64,
     lock_waits: std::sync::atomic::AtomicU64,
     probe_steps: std::sync::atomic::AtomicU64,
@@ -257,26 +308,40 @@ impl ConcurrentDbgTable {
 
     #[inline]
     fn bump(&self, slot: usize, edge_slots: [Option<u8>; 2]) {
-        let counters = &self.counters[slot];
+        // SAFETY: `slot` comes from the probe walk, which reduces every
+        // index mod `capacity`, and `counters` has `capacity` entries.
+        let counters = unsafe { self.counters.get_unchecked(slot) };
         counters.count.fetch_add(1, Ordering::Relaxed);
         for e in edge_slots.into_iter().flatten() {
             debug_assert!(e < 8, "edge slot {e} out of range");
-            counters.edges[e as usize].fetch_add(1, Ordering::Relaxed);
+            // `& 7` keeps the index provably in range (and is a no-op
+            // for every slot `EdgeDir::slot` can produce) so the
+            // compiler drops the bounds check from the hot loop.
+            counters.edges[(e & 7) as usize].fetch_add(1, Ordering::Relaxed);
         }
     }
-}
 
-impl VertexTable for ConcurrentDbgTable {
-    fn k(&self) -> usize {
-        self.k
+    /// The state-transfer probe loop shared by [`VertexTable::record`]
+    /// and [`VertexTable::record_narrow`]: `words` must be the tail-clean
+    /// packed key and `hash` its [`Kmer::hash64_of_words`] value, so both
+    /// entry points take the same slot, tag, and probe sequence.
+    fn probe_record(&self, words: [u64; 4], hash: u64, edge_slots: [Option<u8>; 2]) -> Result<()> {
+        self.probe_record_impl::<false>(words, hash, edge_slots)
     }
 
-    fn record(&self, key: &Kmer, edge_slots: [Option<u8>; 2]) -> Result<()> {
-        if key.k() != self.k {
-            return Err(HashGraphError::WrongK { expected: self.k, got: key.k() });
-        }
-        let words = *key.words();
-        let hash = key.hash64();
+    /// [`probe_record`](Self::probe_record) monomorphised over the key
+    /// width. With `NARROW` (k ≤ 32, so every key the table will ever
+    /// hold is tail-clean with words 1–3 zero) key equality is decided
+    /// on word 0 alone — one 8-byte load instead of four. The probe
+    /// *decisions* are identical either way, so slot walk, tag rejects
+    /// and every other counter match the wide path bit for bit.
+    #[inline]
+    fn probe_record_impl<const NARROW: bool>(
+        &self,
+        words: [u64; 4],
+        hash: u64,
+        edge_slots: [Option<u8>; 2],
+    ) -> Result<()> {
         // Multiply-shift range reduction: maps the full 64-bit hash onto
         // [0, capacity) with one widening multiply — no division.
         let mut slot = ((hash as u128 * self.capacity as u128) >> 64) as usize;
@@ -294,8 +359,14 @@ impl VertexTable for ConcurrentDbgTable {
         let relaxed = Ordering::Relaxed;
         for _probe in 0..self.capacity {
             let mut spins = 0u32;
+            // SAFETY (all `get_unchecked` below): the multiply-shift
+            // reduction and the `% capacity` advance keep `slot` in
+            // `[0, capacity)`, and `states`/`keys` both have `capacity`
+            // entries. Dropping the bounds checks matters here: this
+            // loop runs once per k-mer occurrence of the whole build.
+            let state = unsafe { self.states.get_unchecked(slot) };
             loop {
-                let word = self.states[slot].load(Ordering::Acquire);
+                let word = state.load(Ordering::Acquire);
                 match word & STATE_MASK {
                     OCCUPIED => {
                         if word & TAG_MASK != tag {
@@ -305,15 +376,22 @@ impl VertexTable for ConcurrentDbgTable {
                             self.stats.tag_rejects.fetch_add(1, relaxed);
                             break; // probe onwards
                         }
-                        if self.read_key(slot) == words {
+                        let matches = if NARROW {
+                            // SAFETY: as for `read_key` — the cell is
+                            // immutable after the Acquire load of
+                            // OCCUPIED; only word 0 is inspected.
+                            unsafe { (*self.keys.get_unchecked(slot).0.get())[0] == words[0] }
+                        } else {
+                            self.read_key(slot) == words
+                        };
+                        if matches {
                             self.bump(slot, edge_slots);
-                            self.stats.updates.fetch_add(1, relaxed);
                             return Ok(());
                         }
                         break; // tag collision, different key: probe on
                     }
                     EMPTY => {
-                        match self.states[slot].compare_exchange(
+                        match state.compare_exchange(
                             EMPTY,
                             LOCKED | tag,
                             Ordering::AcqRel,
@@ -323,8 +401,8 @@ impl VertexTable for ConcurrentDbgTable {
                                 // We own the slot: the single multi-word
                                 // write of its lifetime.
                                 // SAFETY: see KeyCell — we hold the lock.
-                                unsafe { *self.keys[slot].0.get() = words };
-                                self.states[slot].store(OCCUPIED | tag, Ordering::Release);
+                                unsafe { *self.keys.get_unchecked(slot).0.get() = words };
+                                state.store(OCCUPIED | tag, Ordering::Release);
                                 self.bump(slot, edge_slots);
                                 self.stats.insertions.fetch_add(1, relaxed);
                                 return Ok(());
@@ -354,6 +432,54 @@ impl VertexTable for ConcurrentDbgTable {
             self.stats.probe_steps.fetch_add(1, relaxed);
         }
         Err(HashGraphError::CapacityExhausted { capacity: self.capacity })
+    }
+}
+
+impl VertexTable for ConcurrentDbgTable {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn record(&self, key: &Kmer, edge_slots: [Option<u8>; 2]) -> Result<()> {
+        if key.k() != self.k {
+            return Err(HashGraphError::WrongK { expected: self.k, got: key.k() });
+        }
+        self.probe_record(*key.words(), key.hash64(), edge_slots)
+    }
+
+    /// The narrow fast path: hash the single-word key array directly —
+    /// [`Kmer::hash64_of_words`] is the same function `Kmer::hash64`
+    /// delegates to, so slot, fingerprint tag, probe order, and every
+    /// contention counter are bit-identical to [`record`](Self::record).
+    fn record_narrow(&self, word: u64, edge_slots: [Option<u8>; 2]) -> Result<()> {
+        debug_assert!(self.k <= 32, "record_narrow requires k <= 32, got {}", self.k);
+        let words = [word, 0, 0, 0];
+        self.probe_record_impl::<true>(words, Kmer::hash64_of_words(&words, self.k), edge_slots)
+    }
+
+    /// Pulls the home slot's state, key and counter lines toward the
+    /// core. Issued by the replay kernel several positions before the
+    /// matching [`record_narrow_hashed`](VertexTable::record_narrow_hashed),
+    /// so the (random-access) table lines arrive while the rolling scan
+    /// is still chewing through the next few bases.
+    fn prefetch_narrow(&self, hash: u64) {
+        if self.prefetch {
+            let slot = ((hash as u128 * self.capacity as u128) >> 64) as usize;
+            prefetch(&self.states[slot]);
+            prefetch(&self.keys[slot]);
+            prefetch(&self.counters[slot]);
+        }
+    }
+
+    fn record_narrow_hashed(&self, word: u64, hash: u64, edge_slots: [Option<u8>; 2]) -> Result<()> {
+        debug_assert!(self.k <= 32, "record_narrow requires k <= 32, got {}", self.k);
+        let words = [word, 0, 0, 0];
+        debug_assert_eq!(
+            hash,
+            Kmer::hash64_of_words(&words, self.k),
+            "caller-supplied hash must match the key"
+        );
+        self.probe_record_impl::<true>(words, hash, edge_slots)
     }
 
     fn snapshot(&self) -> SubGraph {
@@ -385,9 +511,15 @@ impl VertexTable for ConcurrentDbgTable {
 
     fn contention(&self) -> ContentionStats {
         let r = Ordering::Relaxed;
+        let insertions = self.stats.insertions.load(r);
+        // Every successful record bumps its slot's duplicity count exactly
+        // once, so Σ counts = insertions + updates; the subtraction
+        // saturates because a record in flight bumps its slot count
+        // before the insertions counter.
+        let occurrences: u64 = self.counters.iter().map(|c| c.count.load(r) as u64).sum();
         ContentionStats {
-            insertions: self.stats.insertions.load(r),
-            updates: self.stats.updates.load(r),
+            insertions,
+            updates: occurrences.saturating_sub(insertions),
             cas_failures: self.stats.cas_failures.load(r),
             lock_waits: self.stats.lock_waits.load(r),
             probe_steps: self.stats.probe_steps.load(r),
@@ -440,6 +572,32 @@ mod tests {
             assert_eq!(d.count, expected[k], "count mismatch for {k}");
         }
         assert_eq!(t.distinct(), expected.len());
+    }
+
+    #[test]
+    fn record_narrow_matches_record_exactly() {
+        // Same key stream through both entry points: identical snapshot
+        // *and* identical contention counters (same hash → same slots,
+        // tags, and probe walks).
+        for k in [4usize, 31, 32] {
+            let via_kmer = ConcurrentDbgTable::new(64, k);
+            let via_word = ConcurrentDbgTable::new(64, k);
+            let seq = PackedSeq::from_ascii(
+                b"ACGTTGCATGGACCAGTTACGGATCAGGCATTAGCCAGTACGGATCACCGTATGCAATGCCGGAGGCTAT",
+            );
+            for (i, kmer) in seq.kmers(k).enumerate() {
+                let c = kmer.canonical().0;
+                let edges = [Some((i % 8) as u8), if i % 3 == 0 { None } else { Some(7) }];
+                via_kmer.record(&c, edges).unwrap();
+                via_word.record_narrow(c.words()[0], edges).unwrap();
+            }
+            assert_eq!(via_kmer.snapshot(), via_word.snapshot(), "k={k}");
+            let (a, b) = (via_kmer.contention(), via_word.contention());
+            assert_eq!(a.insertions, b.insertions, "k={k}");
+            assert_eq!(a.updates, b.updates, "k={k}");
+            assert_eq!(a.probe_steps, b.probe_steps, "k={k}");
+            assert_eq!(a.tag_rejects, b.tag_rejects, "k={k}");
+        }
     }
 
     #[test]

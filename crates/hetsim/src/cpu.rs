@@ -50,12 +50,25 @@ impl Device for CpuDevice {
     }
 
     fn execute(&self, items: usize, kernel: &(dyn Fn(usize) + Sync)) -> KernelReport {
+        self.execute_chunks(items, &|range| {
+            for i in range {
+                kernel(i);
+            }
+        })
+    }
+
+    /// The CPU's native granularity: each worker's load-balancing batch is
+    /// handed to `kernel` as one contiguous range (single-threaded, the
+    /// whole item space is one range).
+    fn execute_chunks(
+        &self,
+        items: usize,
+        kernel: &(dyn Fn(std::ops::Range<usize>) + Sync),
+    ) -> KernelReport {
         let start = Instant::now();
         if items > 0 {
             if self.threads == 1 {
-                for i in 0..items {
-                    kernel(i);
-                }
+                kernel(0..items);
             } else {
                 // Atomic work counter: threads grab batches, which keeps
                 // load balanced when per-item cost is uneven (one CPU
@@ -70,9 +83,7 @@ impl Device for CpuDevice {
                             if lo >= items {
                                 break;
                             }
-                            for i in lo..(lo + batch).min(items) {
-                                kernel(i);
-                            }
+                            kernel(lo..(lo + batch).min(items));
                         });
                     }
                 });

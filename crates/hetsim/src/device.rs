@@ -55,6 +55,22 @@ pub trait Device: Send + Sync {
     /// timing. Blocks until all items are done.
     fn execute(&self, items: usize, kernel: &(dyn Fn(usize) + Sync)) -> KernelReport;
 
+    /// [`execute`](Self::execute) at the device's scheduling granularity:
+    /// `kernel` is handed each contiguous index *range* a single worker
+    /// processes sequentially, covering `0..items` exactly once. Kernels
+    /// with cheap per-batch state (a software-pipelined replay, a local
+    /// accumulator) amortise it over the whole range instead of paying it
+    /// per item. The default degrades to one-item ranges; devices with a
+    /// coarser internal granularity (the CPU worker pool's load-balancing
+    /// batches) override it to expose their true chunks.
+    fn execute_chunks(
+        &self,
+        items: usize,
+        kernel: &(dyn Fn(std::ops::Range<usize>) + Sync),
+    ) -> KernelReport {
+        self.execute(items, &|i| kernel(i..i + 1))
+    }
+
     /// Moves `bytes` of input into device memory, paying the transfer
     /// cost. Returns the metered duration.
     fn transfer_to_device(&self, bytes: u64) -> Duration;

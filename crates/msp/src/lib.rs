@@ -63,7 +63,7 @@ pub use record::{decode_superkmer, encode_superkmer, encode_superkmer_slice, enc
 pub use stats::{DistributionSummary, PartitionStats};
 pub use store::{PartitionSink, PartitionStore, SealedPartition, SealedPayload};
 pub use superkmer::{Superkmer, SuperkmerScanner};
-pub use view::{iter_views, PartitionSlices, SuperkmerView, ViewIter};
+pub use view::{iter_views, CodeWords, PartitionSlices, SuperkmerView, ViewIter};
 pub use writer::{PartitionManifest, PartitionWriter, QuarantinedPartition};
 
 /// Errors from MSP partition I/O and parameter validation.

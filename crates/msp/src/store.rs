@@ -147,6 +147,9 @@ pub struct PartitionStore {
     resident_bytes: u64,
     peak_resident_bytes: u64,
     spills: u64,
+    /// Run-scope token carried by the staged spill `*.tmp` names (empty
+    /// = unscoped). See [`pipeline::commit::tmp_path_scoped`].
+    run_token: String,
 }
 
 impl PartitionStore {
@@ -164,6 +167,26 @@ impl PartitionStore {
         k: usize,
         p: usize,
         budget_bytes: u64,
+    ) -> Result<PartitionStore> {
+        PartitionStore::create_scoped(dir, num_partitions, k, p, budget_bytes, "")
+    }
+
+    /// [`create`](Self::create) with a run-scope token: spill files are
+    /// staged as `part-NNNNN.skm.{token}.tmp`, so sweeps scoped to other
+    /// runs sharing the directory cannot delete this run's live staging
+    /// ([`pipeline::commit::sweep_tmp_scoped`]). An empty token keeps
+    /// the plain `.tmp` names.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`create`](Self::create).
+    pub fn create_scoped(
+        dir: impl AsRef<Path>,
+        num_partitions: usize,
+        k: usize,
+        p: usize,
+        budget_bytes: u64,
+        run_token: &str,
     ) -> Result<PartitionStore> {
         if p < 1 || p > k || k > dna::MAX_K {
             return Err(MspError::InvalidParams { k, p });
@@ -187,6 +210,7 @@ impl PartitionStore {
             resident_bytes: 0,
             peak_resident_bytes: 0,
             spills: 0,
+            run_token: run_token.to_owned(),
         })
     }
 
@@ -329,7 +353,7 @@ impl PartitionStore {
                 panic!("spill of non-resident partition {partition}");
             }
         };
-        let staged = commit::tmp_path(&partition_path(&self.dir, partition));
+        let staged = commit::tmp_path_scoped(&partition_path(&self.dir, partition), &self.run_token);
         let mut file = BufWriter::new(File::create(staged)?);
         file.write_all(&backing)?;
         slot.backing = Backing::Spilled(file);
@@ -410,7 +434,7 @@ impl PartitionStore {
                 file.sync_all()?;
                 drop(file);
                 let path = partition_path(&self.dir, index);
-                fs::rename(commit::tmp_path(&path), &path)?;
+                fs::rename(commit::tmp_path_scoped(&path, &self.run_token), &path)?;
                 commit::sync_dir(&self.dir);
                 SealedPayload::Spilled(path)
             }

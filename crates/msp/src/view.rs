@@ -156,6 +156,27 @@ impl<'a> SuperkmerView<'a> {
         (0..self.core_len).map(move |i| Base::from_code(payload[i >> 2] >> (2 * (i & 3))))
     }
 
+    /// The raw 2-bit packed core payload (4 bases per byte, LSB-first;
+    /// `ceil(core_len/4)` bytes, final byte zero-padded).
+    #[inline]
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Word-at-a-time payload decoder: yields the core's 2-bit codes in
+    /// `u64` chunks of 32 codes, LSB-first in push order (code `i` of a
+    /// chunk at bits `2i..2i+2`), with the final chunk zero-padded. One
+    /// 8-byte load replaces 32 per-base byte-index/shift/mask round
+    /// trips — the decode half of the Step-2 word-parallel replay.
+    ///
+    /// The payload layout makes this a straight memory copy: byte `b`
+    /// holds codes `4b..4b+4` LSB-first, so `u64::from_le_bytes` over 8
+    /// consecutive payload bytes is exactly 32 consecutive codes.
+    #[inline]
+    pub fn code_words(&self) -> CodeWords<'a> {
+        CodeWords { payload: self.payload }
+    }
+
     /// Materialises an owned [`Superkmer`], recomputing the minimizer
     /// from the first k-mer exactly as the owned decoder does. This is
     /// the bridge back to the allocating API — used by tests and
@@ -168,6 +189,33 @@ impl<'a> SuperkmerView<'a> {
         let minimizer =
             minimizer_of_kmer(&core.kmer_at(0, self.k).expect("core_len >= k"), p);
         Superkmer::new(core, minimizer, self.k, self.left_ext(), self.right_ext())
+    }
+}
+
+/// Iterator over a superkmer core's packed codes in 32-code `u64` chunks,
+/// created by [`SuperkmerView::code_words`]. Past the end of the payload
+/// it keeps yielding `0` — consumers that eagerly refill one chunk ahead
+/// of the cursor (the replay kernel) never need an end check.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeWords<'a> {
+    payload: &'a [u8],
+}
+
+impl CodeWords<'_> {
+    /// The next 32 codes (zero-padded past the payload end). Infinite by
+    /// design; the caller bounds consumption by `core_len`.
+    #[inline]
+    pub fn next_chunk(&mut self) -> u64 {
+        if self.payload.len() >= 8 {
+            let chunk = u64::from_le_bytes(self.payload[..8].try_into().expect("8 bytes"));
+            self.payload = &self.payload[8..];
+            chunk
+        } else {
+            let mut buf = [0u8; 8];
+            buf[..self.payload.len()].copy_from_slice(self.payload);
+            self.payload = &[];
+            u64::from_le_bytes(buf)
+        }
     }
 }
 
@@ -407,6 +455,35 @@ mod tests {
             encode_superkmer(&sk, &mut buf);
         }
         buf
+    }
+
+    #[test]
+    fn code_words_match_per_base_decode() {
+        // Core lengths around every chunk boundary: sub-word, exactly one
+        // word, one word + tail, several words.
+        for core_len in [5usize, 31, 32, 33, 63, 64, 65, 97] {
+            let read: String =
+                (0..core_len + 2).map(|i| "ACGT".as_bytes()[(i * 7 + 3) % 4] as char).collect();
+            let buf = encode_all(&read, 5, 3);
+            let slices = PartitionSlices::index(&buf, 5, 3).unwrap();
+            for v in slices.iter() {
+                let mut words = v.code_words();
+                let mut chunk = 0u64;
+                for i in 0..v.core_len() {
+                    if i % 32 == 0 {
+                        chunk = words.next_chunk();
+                    }
+                    assert_eq!(
+                        (chunk >> (2 * (i % 32))) & 3,
+                        v.base(i).code() as u64,
+                        "core_len={core_len} i={i}"
+                    );
+                }
+                // Padding past the payload reads as zero, forever.
+                assert_eq!(words.next_chunk(), 0);
+                assert_eq!(words.next_chunk(), 0);
+            }
+        }
     }
 
     #[test]

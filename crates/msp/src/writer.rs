@@ -50,6 +50,9 @@ pub struct PartitionWriter {
     pending: Vec<Vec<u8>>,
     /// Flush a partition's pending buffer once it reaches this many bytes.
     frame_target: usize,
+    /// Run-scope token carried by the staged `*.tmp` names (empty =
+    /// unscoped). See [`pipeline::commit::tmp_path_scoped`].
+    run_token: String,
 }
 
 impl PartitionWriter {
@@ -62,19 +65,39 @@ impl PartitionWriter {
     /// [`MspError::InvalidParams`] for bad `k`/`p`, or an I/O error if the
     /// directory or files cannot be created.
     pub fn create(dir: impl AsRef<Path>, num_partitions: usize, k: usize, p: usize) -> Result<PartitionWriter> {
+        PartitionWriter::create_scoped(dir, num_partitions, k, p, "")
+    }
+
+    /// [`create`](Self::create) with a run-scope token: the long-lived
+    /// staging files are named `part-NNNNN.skm.{token}.tmp`, so a resume
+    /// of *this* run can reclaim them while sweeps scoped to other runs
+    /// in the same directory leave them alone
+    /// ([`pipeline::commit::sweep_tmp_scoped`]). An empty token keeps the
+    /// plain `.tmp` names.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`create`](Self::create).
+    pub fn create_scoped(
+        dir: impl AsRef<Path>,
+        num_partitions: usize,
+        k: usize,
+        p: usize,
+        run_token: &str,
+    ) -> Result<PartitionWriter> {
         if p < 1 || p > k || k > dna::MAX_K {
             return Err(MspError::InvalidParams { k, p });
         }
         let router = PartitionRouter::new(num_partitions)?;
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        // Partition files are staged as `*.skm.tmp` and only renamed to
-        // their final names (fsync file, rename, fsync dir) in
+        // Partition files are staged as `*.skm[.{token}].tmp` and only
+        // renamed to their final names (fsync file, rename, fsync dir) in
         // [`finish`](Self::finish) — a crash mid-run can never leave a
         // half-written file at a name recovery would trust.
         let mut files = Vec::with_capacity(num_partitions);
         for i in 0..num_partitions {
-            let staged = commit::tmp_path(&partition_path(&dir, i));
+            let staged = commit::tmp_path_scoped(&partition_path(&dir, i), run_token);
             files.push(BufWriter::new(File::create(staged)?));
         }
         Ok(PartitionWriter {
@@ -87,6 +110,7 @@ impl PartitionWriter {
             buf: Vec::with_capacity(256),
             pending: vec![Vec::new(); num_partitions],
             frame_target: DEFAULT_FRAME_TARGET,
+            run_token: run_token.to_owned(),
         })
     }
 
@@ -206,7 +230,7 @@ impl PartitionWriter {
             file.sync_all()?;
             drop(file);
             let path = partition_path(&self.dir, i);
-            fs::rename(commit::tmp_path(&path), &path)?;
+            fs::rename(commit::tmp_path_scoped(&path, &self.run_token), &path)?;
         }
         commit::sync_dir(&self.dir);
         let manifest = PartitionManifest {

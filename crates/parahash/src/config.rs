@@ -78,6 +78,9 @@ pub struct ParaHashConfig {
     pub(crate) partition_memory_budget: u64,
     pub(crate) resume: bool,
     pub(crate) devices: Vec<Arc<dyn Device>>,
+    /// Run-scope token for long-lived staging files; set by the system
+    /// entry points from the run fingerprint, empty until then.
+    pub(crate) run_token: String,
 }
 
 impl std::fmt::Debug for ParaHashConfig {
@@ -427,6 +430,7 @@ impl ParaHashConfigBuilder {
             partition_memory_budget: self.partition_memory_budget,
             resume: self.resume,
             devices,
+            run_token: String::new(),
         })
     }
 }

@@ -131,6 +131,22 @@ impl Fingerprint {
         h.sep();
         Ok(h.0)
     }
+
+    /// 16-hex-digit run-scope token derived from the fingerprint. Used
+    /// to suffix long-lived staging files (`part-*.skm.{token}.tmp`) so
+    /// recovery sweeps reclaim only *this* run's leftovers and never a
+    /// concurrent run's live staging in a shared output directory.
+    /// Stable across a crash + resume of the same run (same parameters,
+    /// same input → same token); two runs with identical fingerprints in
+    /// one directory remain unsupported, as before.
+    pub fn token(&self) -> String {
+        let mut h = Fnv::new();
+        for field in [self.k as u64, self.p as u64, self.partitions as u64, self.input_digest] {
+            h.update(&field.to_le_bytes());
+            h.sep();
+        }
+        format!("{:016x}", h.0)
+    }
 }
 
 impl std::fmt::Display for Fingerprint {

@@ -73,7 +73,7 @@ pub fn run_step1(
     io: &ThrottledIo,
 ) -> Result<(PartitionManifest, StepReport)> {
     let dir = config.work_dir.join("superkmers");
-    let mut writer = PartitionWriter::create(&dir, config.partitions, config.k, config.p)?;
+    let mut writer = PartitionWriter::create_scoped(&dir, config.partitions, config.k, config.p, &config.run_token)?;
     let cancel = CancelToken::new();
     match step1_sink_reads(config, reads, io, &cancel, &mut writer) {
         Ok((stats, pipeline_report, peak_batch)) => {
@@ -147,7 +147,7 @@ pub fn run_step1_fastq(
     io: &ThrottledIo,
 ) -> Result<(PartitionManifest, StepReport)> {
     let dir = config.work_dir.join("superkmers");
-    let mut writer = PartitionWriter::create(&dir, config.partitions, config.k, config.p)?;
+    let mut writer = PartitionWriter::create_scoped(&dir, config.partitions, config.k, config.p, &config.run_token)?;
     let cancel = CancelToken::new();
     match step1_sink_fastq(config, path.as_ref(), io, &cancel, &mut writer) {
         Ok((stats, pipeline_report, peak_batch)) => {

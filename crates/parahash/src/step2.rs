@@ -3,8 +3,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use hashgraph::{
-    table_capacity_for, ContentionStats, DeBruijnGraph, HashGraphError, SubGraph, TablePool,
-    VertexTable,
+    table_capacity_for, ContentionStats, DeBruijnGraph, HashGraphError, ReplayKernel, SubGraph,
+    TablePool, VertexTable,
 };
 use hetsim::{Device, DeviceKind};
 use msp::{
@@ -362,6 +362,10 @@ struct Step2Shared<'a> {
     /// partition quarantined) is appended to the run journal so a
     /// crashed run can be resumed without redoing the work.
     journal: Option<&'a RunJournal>,
+    /// The replay dispatcher, built once per step: word-parallel
+    /// single-`u64` fast path for k ≤ 32, scalar cursor otherwise (and
+    /// under `PARAHASH_FORCE_SCALAR`, captured at construction).
+    kernel: ReplayKernel,
 }
 
 impl<'a> Step2Shared<'a> {
@@ -386,6 +390,7 @@ impl<'a> Step2Shared<'a> {
             first_error: OnceError::new(),
             quarantined: Mutex::new(Vec::new()),
             sub_dir,
+            kernel: ReplayKernel::new(config.k),
         })
     }
 
@@ -451,16 +456,24 @@ impl<'a> Step2Shared<'a> {
                 device.transfer_to_device(transfer_in);
             }
             // The kernel: one superkmer per data-parallel item, decoded
-            // in place from the partition buffer. The `OnceError` check
-            // lets surviving items bail out cheaply once any item has
-            // failed.
+            // in place from the partition buffer. Each worker's chunk is
+            // replayed through one software-pipelined [`ReplayPipeline`],
+            // so the slot-prefetch lookahead spans superkmer boundaries.
+            // The `OnceError` check lets surviving chunks bail out
+            // cheaply once any item has failed.
             let kernel_error: OnceError<HashGraphError> = OnceError::new();
-            device.execute(slices.len(), &|i| {
-                if kernel_error.is_set() {
-                    return;
+            device.execute_chunks(slices.len(), &|range| {
+                let mut pipe = hashgraph::ReplayPipeline::new(self.kernel, &*table);
+                for i in range {
+                    if kernel_error.is_set() {
+                        return;
+                    }
+                    if let Err(e) = pipe.record_view(&slices.view(i)) {
+                        kernel_error.set(e);
+                        return;
+                    }
                 }
-                let view = slices.view(i);
-                if let Err(e) = hashgraph::record_superkmer_view(&*table, &view) {
+                if let Err(e) = pipe.flush() {
                     kernel_error.set(e);
                 }
             });

@@ -105,6 +105,7 @@ impl ParaHash {
             }
         }
         let fingerprint = fingerprint_of(&config, Fingerprint::digest_reads(reads));
+        config.run_token = fingerprint.token();
         let plan = ResumePlan::prepare(&config, fingerprint, resume)?;
         two_phase(&config, &io, started, plan, |cfg, io| run_step1(cfg, reads, io))
     }
@@ -125,9 +126,11 @@ impl ParaHash {
         let started = Instant::now();
         // The streamed input is never all in hand, so its digest is the
         // cheap path+length one (see `Fingerprint::digest_path`).
-        let fingerprint = fingerprint_of(&self.config, Fingerprint::digest_path(path)?);
-        let plan = ResumePlan::prepare(&self.config, fingerprint, self.config.resume)?;
-        two_phase(&self.config, &io, started, plan, |cfg, io| run_step1_fastq(cfg, path, io))
+        let mut config = self.config.clone();
+        let fingerprint = fingerprint_of(&config, Fingerprint::digest_path(path)?);
+        config.run_token = fingerprint.token();
+        let plan = ResumePlan::prepare(&config, fingerprint, config.resume)?;
+        two_phase(&config, &io, started, plan, |cfg, io| run_step1_fastq(cfg, path, io))
     }
 
     /// Parses a FASTQ file and runs construction on its reads.
@@ -208,6 +211,7 @@ impl ParaHash {
             }
         }
         let fingerprint = fingerprint_of(&config, Fingerprint::digest_reads(reads));
+        config.run_token = fingerprint.token();
         let plan = ResumePlan::prepare(&config, fingerprint, resume)?;
         fused_run(&config, io, plan, |cfg, io, cancel, store| {
             step1_sink_reads(cfg, reads, io, cancel, store)
@@ -228,9 +232,11 @@ impl ParaHash {
     pub fn run_fused_fastq(&self, path: impl AsRef<Path>) -> Result<RunOutcome> {
         let path = path.as_ref();
         let io = ThrottledIo::with_retry(self.config.io_mode, self.config.retry);
-        let fingerprint = fingerprint_of(&self.config, Fingerprint::digest_path(path)?);
-        let plan = ResumePlan::prepare(&self.config, fingerprint, self.config.resume)?;
-        fused_run(&self.config, &io, plan, |cfg, io, cancel, store| {
+        let mut config = self.config.clone();
+        let fingerprint = fingerprint_of(&config, Fingerprint::digest_path(path)?);
+        config.run_token = fingerprint.token();
+        let plan = ResumePlan::prepare(&config, fingerprint, config.resume)?;
+        fused_run(&config, &io, plan, |cfg, io, cancel, store| {
             step1_sink_fastq(cfg, path, io, cancel, store)
         })
     }
@@ -285,9 +291,12 @@ impl ResumePlan {
         let journal = RunJournal::reopen(&config.work_dir, &state)?;
         // Staged-but-uncommitted artifacts from the crashed run are dead
         // weight (every live artifact lost its `.tmp` suffix at commit):
-        // sweep them so they cannot be mistaken for real files.
-        pipeline::commit::sweep_tmp(&config.work_dir.join("superkmers"));
-        pipeline::commit::sweep_tmp(&config.work_dir.join("subgraphs"));
+        // sweep them so they cannot be mistaken for real files. The sweep
+        // is scoped by the fingerprint token so a concurrent run's live
+        // partition staging in a shared output directory survives.
+        let token = fingerprint.token();
+        pipeline::commit::sweep_tmp_scoped(&config.work_dir.join("superkmers"), &token);
+        pipeline::commit::sweep_tmp_scoped(&config.work_dir.join("subgraphs"), &token);
         let skip_step1 = (0..config.partitions).all(|i| state.sealed.contains(&i))
             && PartitionManifest::load(config.work_dir.join("superkmers")).is_ok();
         // Only trust `subgraph-committed` records whose files verify
@@ -432,12 +441,13 @@ fn fused_run(
         let step2_handle =
             s.spawn(|| run_step2_streaming(config, &feed, io, &cancel, Some(journal), &plan.committed));
         let step1_out = (|| -> Result<Option<Step1Done>> {
-            let mut store = msp::PartitionStore::create(
+            let mut store = msp::PartitionStore::create_scoped(
                 &dir,
                 config.partitions,
                 config.k,
                 config.p,
                 config.partition_memory_budget,
+                &config.run_token,
             )?;
             let (stats, preport, peak_batch) = step1(config, io, &cancel, &mut store)?;
             if cancel.is_cancelled() {

@@ -56,6 +56,94 @@ fn run_streaming(dir: &str, threads: usize, path: &std::path::Path) -> RunOutcom
     out
 }
 
+/// The boundary-fuzz corpus: the random read set plus low-complexity
+/// reads (homopolymers, dinucleotide and triplet repeats) whose rolling
+/// forward/reverse words are maximally self-similar — the inputs most
+/// likely to expose an off-by-one in the k≤32 replay fast path — and
+/// reads of exactly k and k±1 bases at the widest boundary.
+fn boundary_corpus() -> Vec<SeqRead> {
+    let mut reads = corpus();
+    for (i, base) in ["A", "C", "G", "T"].iter().enumerate() {
+        reads.push(SeqRead::from_ascii(format!("homo{i}"), base.repeat(70).as_bytes()));
+    }
+    reads.push(SeqRead::from_ascii("at", "AT".repeat(40).as_bytes()));
+    reads.push(SeqRead::from_ascii("ta", "TA".repeat(40).as_bytes()));
+    reads.push(SeqRead::from_ascii("gc", "GC".repeat(40).as_bytes()));
+    reads.push(SeqRead::from_ascii("acg", "ACG".repeat(25).as_bytes()));
+    let cycle = b"ACGT".repeat(9);
+    for len in [32usize, 33, 34] {
+        reads.push(SeqRead::from_ascii(format!("len{len}"), &cycle[..len]));
+    }
+    reads
+}
+
+/// Full run that persists subgraphs; returns the final graph and every
+/// partition subgraph file's raw bytes.
+fn run_with_subgraphs(
+    dir: &str,
+    k: usize,
+    p: usize,
+    threads: usize,
+    reads: &[SeqRead],
+) -> (hashgraph::DeBruijnGraph, Vec<Vec<u8>>) {
+    let cfg = ParaHashConfig::builder()
+        .k(k)
+        .p(p)
+        .partitions(PARTS)
+        .cpu_threads(threads)
+        .read_batch_bytes(2048)
+        .io_mode(IoMode::Unthrottled)
+        .write_subgraphs(true)
+        .work_dir(std::env::temp_dir().join(dir))
+        .build()
+        .unwrap();
+    let _ = std::fs::remove_dir_all(cfg.work_dir());
+    let work = cfg.work_dir().to_path_buf();
+    let ph = ParaHash::new(cfg).unwrap();
+    let out = ph.run(reads).unwrap();
+    let subs = (0..PARTS)
+        .map(|i| std::fs::read(work.join("subgraphs").join(format!("sub-{i:05}.dbg"))).unwrap())
+        .collect();
+    std::fs::remove_dir_all(&work).unwrap();
+    (out.graph, subs)
+}
+
+/// Differential fuzz across the narrow-word boundary: k = 31 (tail
+/// slack), k = 32 (the single-u64 fast path completely full) and k = 33
+/// (first width that must take the multi-word cursor), crossed with
+/// minimizer lengths at the same boundary. The fast path must leave the
+/// graph *and the persisted subgraph bytes* identical to
+/// `PARAHASH_FORCE_SCALAR=1`; k = 32 is additionally swept over 1/4/8
+/// threads.
+#[test]
+fn replay_fast_path_matches_scalar_at_k_boundaries() {
+    let _guard = dna::simd::override_guard();
+    let reads = boundary_corpus();
+    for (k, p) in [(31, 31), (32, 31), (32, 32), (33, 31), (33, 32), (33, 33)] {
+        dna::simd::set_force_scalar_override(Some(true));
+        let (scalar_graph, scalar_subs) =
+            run_with_subgraphs(&format!("parahash-kp-scalar-{k}-{p}"), k, p, 4, &reads);
+        assert!(scalar_graph.distinct_vertices() > 100, "corpus too small at k={k}");
+        dna::simd::set_force_scalar_override(Some(false));
+        let threads_list: &[usize] = if k == 32 && p == 32 { &[1, 4, 8] } else { &[4] };
+        for &threads in threads_list {
+            let (graph, subs) = run_with_subgraphs(
+                &format!("parahash-kp-fast-{k}-{p}-t{threads}"),
+                k,
+                p,
+                threads,
+                &reads,
+            );
+            assert_eq!(graph, scalar_graph, "graph diverged at k={k} p={p} threads={threads}");
+            assert_eq!(
+                subs, scalar_subs,
+                "subgraph bytes diverged at k={k} p={p} threads={threads}"
+            );
+        }
+        dna::simd::set_force_scalar_override(None);
+    }
+}
+
 #[test]
 fn graph_is_identical_with_and_without_simd() {
     let _guard = dna::simd::override_guard();

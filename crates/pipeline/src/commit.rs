@@ -32,12 +32,40 @@ pub fn tmp_path(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// The staging path for `path` under a *run scope*: `.{token}.tmp`
+/// appended to the file name (`part-00001.skm` →
+/// `part-00001.skm.3fa9c1d2e4b50718.tmp`). Long-lived staging files
+/// (partition files held open for a whole Step 1) carry their run's
+/// token so [`sweep_tmp_scoped`] can reclaim one run's leftovers without
+/// deleting another run's live staging in the same directory. An empty
+/// token degenerates to [`tmp_path`].
+pub fn tmp_path_scoped(path: &Path, token: &str) -> PathBuf {
+    if token.is_empty() {
+        return tmp_path(path);
+    }
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".");
+    name.push(token);
+    name.push(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
 /// Whether `path` names a staging (`*.tmp`) file left by an interrupted
 /// commit. Recovery skips and deletes these.
 pub fn is_tmp(path: &Path) -> bool {
     path.file_name()
         .and_then(|n| n.to_str())
         .is_some_and(|n| n.ends_with(TMP_SUFFIX))
+}
+
+/// Whether the `*.tmp` file name carries *some* run-scope token — i.e.
+/// it matches `*.{16 hex digits}.tmp`. Scoped tmps belong to a specific
+/// run; unscoped ones are the short-lived [`commit_bytes`] staging that
+/// lives only for the milliseconds between write and rename.
+fn tmp_scope_of(name: &str) -> Option<&str> {
+    let stem = name.strip_suffix(TMP_SUFFIX)?;
+    let (_, token) = stem.rsplit_once('.')?;
+    (token.len() == 16 && token.bytes().all(|b| b.is_ascii_hexdigit())).then_some(token)
 }
 
 /// Fsyncs `dir` so a rename inside it is durable. Errors from
@@ -113,6 +141,34 @@ pub fn sweep_tmp(dir: &Path) -> usize {
     removed
 }
 
+/// [`sweep_tmp`] scoped to one run: deletes this run's scoped staging
+/// files (`*.{token}.tmp`) and any *unscoped* `*.tmp` leftovers, but
+/// leaves staging files scoped to **other** runs untouched — those may
+/// belong to a live run sharing the output directory. Unscoped tmps are
+/// safe to reclaim because only [`commit_bytes`]/[`commit_staged`] write
+/// them and both rename within the same call; one that persisted is a
+/// crashed commit, never live staging. Returns how many were removed;
+/// missing directory counts as zero.
+pub fn sweep_tmp_scoped(dir: &Path, token: &str) -> usize {
+    if token.is_empty() {
+        return sweep_tmp(dir);
+    }
+    let Ok(entries) = fs::read_dir(dir) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let p = entry.path();
+        let Some(name) = p.file_name().and_then(|n| n.to_str()) else { continue };
+        if !p.is_file() || !name.ends_with(TMP_SUFFIX) {
+            continue;
+        }
+        let foreign = tmp_scope_of(name).is_some_and(|scope| scope != token);
+        if !foreign && fs::remove_file(&p).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +205,45 @@ mod tests {
         assert!(dir.join("keep.skm").exists());
         assert!(!dir.join("drop.skm.tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scoped_sweep_spares_other_runs() {
+        let dir = std::env::temp_dir().join(format!("plsweep-scoped-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mine = "00c0ffee00c0ffee";
+        let theirs = "deadbeefdeadbeef";
+        let my_tmp = tmp_path_scoped(&dir.join("part-00000.skm"), mine);
+        let their_tmp = tmp_path_scoped(&dir.join("part-00001.skm"), theirs);
+        let plain_tmp = tmp_path(&dir.join("manifest.txt"));
+        // A final name that merely *looks* dotted must not be mistaken
+        // for a scoped tmp of another run.
+        let dotted_plain = dir.join("odd.name.tmp");
+        std::fs::write(&my_tmp, b"mine").unwrap();
+        std::fs::write(&their_tmp, b"theirs").unwrap();
+        std::fs::write(&plain_tmp, b"crashed commit").unwrap();
+        std::fs::write(&dotted_plain, b"crashed commit").unwrap();
+        std::fs::write(dir.join("part-00002.skm"), b"committed").unwrap();
+
+        assert_eq!(sweep_tmp_scoped(&dir, mine), 3, "own + unscoped swept");
+        assert!(!my_tmp.exists(), "own scoped staging reclaimed");
+        assert!(their_tmp.exists(), "another run's live staging survives");
+        assert!(!plain_tmp.exists(), "unscoped crashed commit reclaimed");
+        assert!(!dotted_plain.exists(), "non-hex dotted name is unscoped");
+        assert!(dir.join("part-00002.skm").exists());
+        // Empty token = the legacy sweep-everything behaviour.
+        assert_eq!(sweep_tmp_scoped(&dir, ""), 1);
+        assert!(!their_tmp.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scoped_tmp_path_roundtrips() {
+        let p = Path::new("/x/part-00001.skm");
+        let scoped = tmp_path_scoped(p, "0123456789abcdef");
+        assert_eq!(scoped, Path::new("/x/part-00001.skm.0123456789abcdef.tmp"));
+        assert!(is_tmp(&scoped));
+        assert_eq!(tmp_path_scoped(p, ""), tmp_path(p));
     }
 
     #[test]

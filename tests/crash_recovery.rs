@@ -18,7 +18,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use dna::SeqRead;
-use parahash::{ParaHash, ParaHashConfig, ParaHashError, RunJournal};
+use parahash::{Fingerprint, ParaHash, ParaHashConfig, ParaHashError, RunJournal};
 
 const K: usize = 15;
 const P: usize = 5;
@@ -202,6 +202,23 @@ fn resume_skips_verified_subgraphs_and_redoes_damaged_ones() {
     // Simulate the interruption: drop the journal's trailing
     // `run-complete` record (frame-aware cut), then damage one committed
     // subgraph file. Resume must redo exactly that partition.
+    drop_final_journal_record(&dir);
+    let victim = dir.join("subgraphs").join("sub-00002.dbg");
+    let mut damaged = std::fs::read(&victim).unwrap();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0x20;
+    std::fs::write(&victim, &damaged).unwrap();
+
+    let resumed = ph.resume(&rs).unwrap();
+    assert_eq!(resumed.graph, full.graph);
+    assert_eq!(subgraph_bytes(&dir), before, "damaged partition must be rewritten identically");
+    assert!(RunJournal::replay(&dir).unwrap().complete);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Frame-aware cut of the journal's trailing `run-complete` record, so
+/// the directory reads as an interrupted (resumable) run.
+fn drop_final_journal_record(dir: &Path) {
     let journal_path = dir.join("run.journal");
     let bytes = std::fs::read(&journal_path).unwrap();
     let mut cut = 0usize;
@@ -212,15 +229,46 @@ fn resume_skips_verified_subgraphs_and_redoes_damaged_ones() {
         cut += 8 + len;
     }
     std::fs::write(&journal_path, &bytes[..last]).unwrap();
-    let victim = dir.join("subgraphs").join("sub-00002.dbg");
-    let mut damaged = std::fs::read(&victim).unwrap();
-    let mid = damaged.len() / 2;
-    damaged[mid] ^= 0x20;
-    std::fs::write(&victim, &damaged).unwrap();
+}
+
+/// Two runs interleaved in one output directory: resuming run A must
+/// reclaim only *A's* stale partition staging, never run B's live
+/// staging (scoped `*.{token}.tmp` with a different fingerprint token).
+/// Before sweeps were token-scoped, A's recovery deleted B's open
+/// staging files out from under it.
+#[test]
+fn resume_sweep_spares_a_concurrent_runs_staging() {
+    let dir = fresh_dir("scoped-sweep");
+    let ph = ParaHash::new(config(&dir, false)).unwrap();
+    let rs = reads();
+    let full = ph.run(&rs).unwrap();
+    drop_final_journal_record(&dir);
+
+    // Plant the two kinds of staging a shared directory can hold at
+    // resume time: a leftover scoped to *this* run's token (dead weight
+    // from its crash) and one scoped to a different fingerprint (run B,
+    // still live). Tokens are derived exactly as the system derives them.
+    let own =
+        Fingerprint { k: K, p: P, partitions: PARTITIONS, input_digest: Fingerprint::digest_reads(&rs) }
+            .token();
+    let other = Fingerprint {
+        k: K,
+        p: P,
+        partitions: PARTITIONS,
+        input_digest: !Fingerprint::digest_reads(&rs),
+    }
+    .token();
+    assert_ne!(own, other);
+    let sup = dir.join("superkmers");
+    let stale = pipeline::commit::tmp_path_scoped(&sup.join("part-00000.skm"), &own);
+    let live = pipeline::commit::tmp_path_scoped(&sup.join("part-00001.skm"), &other);
+    std::fs::write(&stale, b"run A's crashed staging").unwrap();
+    std::fs::write(&live, b"run B's live staging").unwrap();
 
     let resumed = ph.resume(&rs).unwrap();
     assert_eq!(resumed.graph, full.graph);
-    assert_eq!(subgraph_bytes(&dir), before, "damaged partition must be rewritten identically");
+    assert!(!stale.exists(), "own-token leftover must be reclaimed by the resume sweep");
+    assert!(live.exists(), "another run's scoped staging must survive the resume sweep");
     assert!(RunJournal::replay(&dir).unwrap().complete);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -5,16 +5,20 @@
 //! producing useful numbers:
 //!
 //! * wall-clock timing with a fixed warm-up iteration followed by
-//!   `sample_size` measured samples; reports mean, min, and max per
-//!   iteration plus throughput when [`BenchmarkGroup::throughput`] was set;
+//!   `sample_size` measured samples; reports min, median, and max per
+//!   iteration plus throughput when [`BenchmarkGroup::throughput`] was
+//!   set. The point estimate (and derived throughput) is the **median**:
+//!   like real criterion's outlier-trimmed estimates, it keeps one
+//!   scheduler hiccup on a shared box from dragging the headline number,
+//!   where a 10-sample mean is defenceless (the mean is still exported);
 //! * `cargo bench -- --test` runs each benchmark exactly once (smoke
 //!   mode), matching real criterion's CI-friendly behaviour;
 //! * positional CLI args act as substring filters on benchmark ids,
 //!   matching real criterion's filter semantics closely enough for
 //!   interactive use;
 //! * when `CRITERION_OUT_JSON` names a file, one JSON object per
-//!   benchmark is appended (`id`, `mean_ns`, `min_ns`, `max_ns`,
-//!   `samples`, `iters_per_sample`, optional `throughput_elems` and
+//!   benchmark is appended (`id`, `median_ns`, `mean_ns`, `min_ns`,
+//!   `max_ns`, `samples`, optional `throughput_elems` and
 //!   `elems_per_sec`), which is how `EXPERIMENTS.md` snapshots such as
 //!   `BENCH_step2.json` are produced without HTML report machinery.
 //!
@@ -256,12 +260,13 @@ fn run_one<F: FnMut(&mut Bencher)>(
 
     let nanos: Vec<u128> = b.samples.iter().map(Duration::as_nanos).collect();
     let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+    let med = median(&nanos);
     let min = *nanos.iter().min().expect("non-empty");
     let max = *nanos.iter().max().expect("non-empty");
 
     let (tput_str, tput_elems, elems_per_sec) = match throughput {
         Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
-            let per_sec = if mean == 0 { 0.0 } else { n as f64 * 1e9 / mean as f64 };
+            let per_sec = if med == 0 { 0.0 } else { n as f64 * 1e9 / med as f64 };
             let unit = match throughput {
                 Some(Throughput::Bytes(_)) => "B/s",
                 _ => "elem/s",
@@ -274,16 +279,30 @@ fn run_one<F: FnMut(&mut Bencher)>(
     println!(
         "{id:<55} time: [{} {} {}]{tput_str}",
         human_time(min),
-        human_time(mean),
+        human_time(med),
         human_time(max)
     );
 
-    export_json(id, mean, min, max, nanos.len(), tput_elems, elems_per_sec);
+    export_json(id, med, mean, min, max, nanos.len(), tput_elems, elems_per_sec);
+}
+
+/// Median of the samples (mean of the two middle values for even counts).
+fn median(nanos: &[u128]) -> u128 {
+    let mut sorted = nanos.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
 }
 
 /// Appends one JSON line per benchmark to `$CRITERION_OUT_JSON` if set.
+#[allow(clippy::too_many_arguments)]
 fn export_json(
     id: &str,
+    median: u128,
     mean: u128,
     min: u128,
     max: u128,
@@ -296,7 +315,7 @@ fn export_json(
         return;
     }
     let mut line = format!(
-        "{{\"id\":\"{}\",\"mean_ns\":{mean},\"min_ns\":{min},\"max_ns\":{max},\"samples\":{samples}",
+        "{{\"id\":\"{}\",\"median_ns\":{median},\"mean_ns\":{mean},\"min_ns\":{min},\"max_ns\":{max},\"samples\":{samples}",
         id.replace('\\', "\\\\").replace('"', "\\\"")
     );
     if let (Some(n), Some(r)) = (throughput_elems, elems_per_sec) {
@@ -391,6 +410,15 @@ mod tests {
         assert!(!cli.matches("group/queue/8"));
         let all = Cli::default();
         assert!(all.matches("anything"));
+    }
+
+    #[test]
+    fn median_resists_outliers() {
+        assert_eq!(median(&[5]), 5);
+        assert_eq!(median(&[1, 2, 100]), 2);
+        assert_eq!(median(&[4, 2, 8, 6]), 5);
+        // One scheduler hiccup must not move the point estimate.
+        assert_eq!(median(&[10, 10, 10, 10, 10, 10, 10, 10, 10, 6000]), 10);
     }
 
     #[test]
