@@ -26,8 +26,29 @@ pub struct DeviceMetrics {
 
 impl DeviceMetrics {
     /// Busy + transfer time: the device's total occupied wall-clock.
+    /// For a GPU this is exactly the paper's Eq.-1 device term
+    /// `T_GPU = T_GPU_compute + T_DH_transfer` — host↔device transfer
+    /// time belongs to the device, **not** to the pipeline's input/output
+    /// (disk) streams.
     pub fn occupied(&self) -> Duration {
         self.busy + self.transfer_time
+    }
+
+    /// Field-wise `self − baseline` (saturating), for per-step accounting
+    /// when one device serves several steps: snapshot at step start, diff
+    /// at step end. `peak_memory` keeps the current absolute peak — a
+    /// high-water mark has no meaningful delta.
+    pub fn delta_since(&self, baseline: &DeviceMetrics) -> DeviceMetrics {
+        DeviceMetrics {
+            kernels: self.kernels.saturating_sub(baseline.kernels),
+            items: self.items.saturating_sub(baseline.items),
+            busy: self.busy.saturating_sub(baseline.busy),
+            bytes_to_device: self.bytes_to_device.saturating_sub(baseline.bytes_to_device),
+            bytes_from_device: self.bytes_from_device.saturating_sub(baseline.bytes_from_device),
+            transfer_time: self.transfer_time.saturating_sub(baseline.transfer_time),
+            warps: self.warps.saturating_sub(baseline.warps),
+            peak_memory: self.peak_memory,
+        }
     }
 
     /// Items per second of busy time (0.0 if never busy).
@@ -139,5 +160,40 @@ mod tests {
     #[test]
     fn zero_busy_throughput_is_zero() {
         assert_eq!(DeviceMetrics::default().throughput(), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_attributes_to_device_not_io() {
+        // The Eq.-1 device term: a metered transfer grows `occupied()`
+        // (T_GPU = compute + transfer) even with zero kernel time.
+        let c = MetricsCell::default();
+        c.record_transfer(1 << 20, Duration::from_millis(7), true);
+        let m = c.snapshot();
+        assert_eq!(m.busy, Duration::ZERO);
+        assert_eq!(m.transfer_time, Duration::from_millis(7));
+        assert_eq!(m.occupied(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn delta_since_isolates_one_step() {
+        let c = MetricsCell::default();
+        c.record_kernel(10, Duration::from_millis(5), 2);
+        c.record_transfer(100, Duration::from_millis(3), true);
+        let baseline = c.snapshot();
+        c.record_kernel(4, Duration::from_millis(2), 1);
+        c.record_transfer(50, Duration::from_millis(1), false);
+        c.reserve(640);
+        let d = c.snapshot().delta_since(&baseline);
+        assert_eq!(d.kernels, 1);
+        assert_eq!(d.items, 4);
+        assert_eq!(d.busy, Duration::from_millis(2));
+        assert_eq!(d.bytes_to_device, 0);
+        assert_eq!(d.bytes_from_device, 50);
+        assert_eq!(d.transfer_time, Duration::from_millis(1));
+        assert_eq!(d.occupied(), Duration::from_millis(3));
+        assert_eq!(d.peak_memory, 640, "peak stays absolute");
+        // A fresh-vs-fresh delta is empty.
+        let zero = DeviceMetrics::default().delta_since(&DeviceMetrics::default());
+        assert_eq!(zero, DeviceMetrics::default());
     }
 }

@@ -3,7 +3,7 @@ use std::sync::Arc;
 
 use hashgraph::SizingParams;
 use hetsim::{CpuDevice, Device, SimGpuConfig, SimGpuDevice};
-use pipeline::{IoMode, RetryPolicy};
+use pipeline::{IoMode, RetryPolicy, SplitPolicy};
 
 use crate::Result;
 
@@ -77,6 +77,7 @@ pub struct ParaHashConfig {
     pub(crate) indexed_fastq: bool,
     pub(crate) partition_memory_budget: u64,
     pub(crate) resume: bool,
+    pub(crate) split: SplitPolicy,
     pub(crate) devices: Vec<Arc<dyn Device>>,
     /// Run-scope token for long-lived staging files; set by the system
     /// entry points from the run fingerprint, empty until then.
@@ -164,6 +165,12 @@ impl ParaHashConfig {
     pub fn resume(&self) -> bool {
         self.resume
     }
+
+    /// The CPU/GPU split policy steering the fused Step-2 stream (see
+    /// [`ParaHashConfigBuilder::split`]).
+    pub fn split(&self) -> SplitPolicy {
+        self.split
+    }
 }
 
 /// Builder for [`ParaHashConfig`].
@@ -203,6 +210,7 @@ pub struct ParaHashConfigBuilder {
     indexed_fastq: bool,
     partition_memory_budget: u64,
     resume: bool,
+    split: Option<SplitPolicy>,
     cpu_threads: Option<usize>,
     gpus: Vec<SimGpuConfig>,
     extra_devices: Vec<Arc<dyn Device>>,
@@ -225,6 +233,7 @@ impl Default for ParaHashConfigBuilder {
             indexed_fastq: false,
             partition_memory_budget: 256 << 20, // 256 MiB resident by default
             resume: false,
+            split: None,
             cpu_threads: Some(0), // 0 = all available
             gpus: Vec::new(),
             extra_devices: Vec::new(),
@@ -352,6 +361,24 @@ impl ParaHashConfigBuilder {
         self
     }
 
+    /// Sets the CPU/GPU split policy for the fused Step-2 stream:
+    /// [`SplitPolicy::Auto`] (the default) lets the online tuner steer the
+    /// partition split toward the Eq. 2 optimum from rolling
+    /// `T_cpu`/`T_gpu`/`T_io` measurements; `SplitPolicy::Static(f)` pins
+    /// the GPU share to `f` (the `--split static:<frac>` escape hatch that
+    /// proves autotuned ≡ static byte-identical); `SplitPolicy::CpuOnly`
+    /// disables offload without changing the roster. When this method is
+    /// not called, the `PARAHASH_SPLIT` environment variable
+    /// (`cpu` / `auto` / `static:<frac>`) is honoured before falling back
+    /// to `Auto` — an unparsable value is ignored. Rosters without a GPU
+    /// degenerate to CPU-only dispatch under every policy. The two-phase
+    /// entry points keep the paper's dynamic work stealing and ignore
+    /// this setting.
+    pub fn split(mut self, policy: SplitPolicy) -> Self {
+        self.split = Some(policy);
+        self
+    }
+
     /// Uses a CPU device with `threads` workers (0 = all available cores).
     /// This is the default; call [`no_cpu`](Self::no_cpu) for GPU-only runs.
     pub fn cpu_threads(mut self, threads: usize) -> Self {
@@ -414,6 +441,12 @@ impl ParaHashConfigBuilder {
         if devices.is_empty() {
             return Err(ConfigError::NoDevices.into());
         }
+        let split = self.split.unwrap_or_else(|| {
+            std::env::var("PARAHASH_SPLIT")
+                .ok()
+                .and_then(|s| SplitPolicy::parse(&s).ok())
+                .unwrap_or(SplitPolicy::Auto)
+        });
         Ok(ParaHashConfig {
             k: self.k,
             p: self.p,
@@ -429,6 +462,7 @@ impl ParaHashConfigBuilder {
             indexed_fastq: self.indexed_fastq,
             partition_memory_budget: self.partition_memory_budget,
             resume: self.resume,
+            split,
             devices,
             run_token: String::new(),
         })
@@ -530,6 +564,16 @@ mod tests {
         assert_eq!(names, ["cpu0", "gpu0", "gpu1"]);
         let gpu_only = base().no_cpu().sim_gpu(SimGpuConfig::default()).build().unwrap();
         assert_eq!(gpu_only.devices().len(), 1);
+    }
+
+    #[test]
+    fn split_policy_defaults_to_auto_and_roundtrips() {
+        // NB: no env manipulation here — PARAHASH_SPLIT is only consulted
+        // when the builder method is absent, and tests run with it unset.
+        assert_eq!(base().build().unwrap().split(), SplitPolicy::Auto);
+        let c = base().split(SplitPolicy::Static(0.25)).build().unwrap();
+        assert_eq!(c.split(), SplitPolicy::Static(0.25));
+        assert_eq!(base().split(SplitPolicy::CpuOnly).build().unwrap().split(), SplitPolicy::CpuOnly);
     }
 
     #[test]

@@ -60,9 +60,10 @@ mod step2;
 mod system;
 
 pub use config::{ConfigError, ParaHashConfig, ParaHashConfigBuilder};
-pub use journal::{Fingerprint, JournalEvent, JournalState, RunJournal};
+pub use journal::{Fingerprint, JournalEvent, JournalState, RunJournal, TunerState};
 pub use once_error::OnceError;
-pub use report::{RunReport, Step1Stats, StepReport};
+pub use pipeline::SplitPolicy;
+pub use report::{CoprocSummary, RunReport, Step1Stats, StepReport};
 pub use step1::{run_step1, run_step1_fastq};
 pub use step2::{decode_subgraph, decode_subgraph_checked, encode_subgraph, run_step2};
 pub use system::{ParaHash, RunOutcome};

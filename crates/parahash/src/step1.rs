@@ -75,10 +75,12 @@ pub fn run_step1(
     let dir = config.work_dir.join("superkmers");
     let mut writer = PartitionWriter::create_scoped(&dir, config.partitions, config.k, config.p, &config.run_token)?;
     let cancel = CancelToken::new();
+    let baselines = device_baselines(config);
     match step1_sink_reads(config, reads, io, &cancel, &mut writer) {
         Ok((stats, pipeline_report, peak_batch)) => {
+            let deltas = device_deltas(config, &baselines);
             let manifest = writer.finish()?;
-            Ok((manifest, step1_report(config, stats, pipeline_report, peak_batch)))
+            Ok((manifest, step1_report(config, stats, pipeline_report, peak_batch, &deltas)))
         }
         Err(e) => {
             // The partition directory holds an inconsistent prefix —
@@ -149,10 +151,12 @@ pub fn run_step1_fastq(
     let dir = config.work_dir.join("superkmers");
     let mut writer = PartitionWriter::create_scoped(&dir, config.partitions, config.k, config.p, &config.run_token)?;
     let cancel = CancelToken::new();
+    let baselines = device_baselines(config);
     match step1_sink_fastq(config, path.as_ref(), io, &cancel, &mut writer) {
         Ok((stats, pipeline_report, peak_batch)) => {
+            let deltas = device_deltas(config, &baselines);
             let manifest = writer.finish()?;
-            Ok((manifest, step1_report(config, stats, pipeline_report, peak_batch)))
+            Ok((manifest, step1_report(config, stats, pipeline_report, peak_batch, &deltas)))
         }
         Err(e) => {
             // Abandon the partial partition directory: it covers an
@@ -456,13 +460,17 @@ fn offset_parse_lines(e: dna::DnaError, prefix: &[u8]) -> dna::DnaError {
 }
 
 /// Assembles Step 1's [`StepReport`] from the pipeline outputs.
+/// `deltas` are the per-device metric deltas for the step window (see
+/// [`device_deltas`]).
 pub(crate) fn step1_report(
     config: &ParaHashConfig,
     stats: Step1Stats,
     pipeline_report: PipelineReport,
     peak_batch: u64,
+    deltas: &[hetsim::DeviceMetrics],
 ) -> StepReport {
-    let (cpu_compute, gpu_compute) = split_device_times(config, &pipeline_report.shares);
+    let (cpu_compute, gpu_compute) =
+        split_device_times(config, &pipeline_report.shares, deltas);
     StepReport {
         step: 1,
         pipeline: pipeline_report,
@@ -475,6 +483,7 @@ pub(crate) fn step1_report(
         peak_table_bytes: 0, // Step 1 allocates no hash tables
         peak_resident_store_bytes: 0, // filled in by the fused driver
         quarantined: Vec::new(),
+        coproc: None, // Step 1 is not split-scheduled
     }
 }
 
@@ -671,18 +680,58 @@ fn take_boundary_slots(pool: &Mutex<Vec<BoundaryRuns>>, n: usize) -> Vec<Boundar
     out
 }
 
-/// Splits per-device busy time into the model's `T_CPU` (sum over CPU
-/// devices) and `T_GPU` (max over GPU devices, paper §IV-B).
+/// Snapshot of every device's cumulative metrics, taken at step start so
+/// per-step times can be diffed out with
+/// [`hetsim::DeviceMetrics::delta_since`] (one device roster serves both
+/// steps of a run).
+pub(crate) fn device_baselines(config: &ParaHashConfig) -> Vec<hetsim::DeviceMetrics> {
+    config.devices().iter().map(|d| d.metrics()).collect()
+}
+
+/// Per-device metric deltas for one step window: current meters minus the
+/// `baselines` snapshot. Callers capture the deltas at the *end* of their
+/// device work (not at report time) so a concurrently running other step
+/// — the fused flow runs both on one roster — cannot leak into the
+/// window.
+pub(crate) fn device_deltas(
+    config: &ParaHashConfig,
+    baselines: &[hetsim::DeviceMetrics],
+) -> Vec<hetsim::DeviceMetrics> {
+    config
+        .devices()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let baseline = baselines.get(i).copied().unwrap_or_default();
+            d.metrics().delta_since(&baseline)
+        })
+        .collect()
+}
+
+/// Splits per-device time into the model's `T_CPU` (sum of wall busy over
+/// CPU devices) and `T_GPU` (max over GPU devices, paper §IV-B).
+///
+/// `T_GPU` is taken from the device's **own meters** for the step window
+/// (`deltas`, see [`device_deltas`]): kernel time plus host↔device
+/// transfer time — exactly the paper's
+/// `T_GPU = T_GPU_compute + T_DH_transfer`. Charging transfers to the
+/// device (instead of letting them blur into the stage wall-clock along
+/// with host-side work) is what lets the regime classifier see a
+/// transfer-starved GPU as a device problem rather than disk I/O.
 pub(crate) fn split_device_times(
     config: &ParaHashConfig,
     shares: &[pipeline::DeviceShare],
+    deltas: &[hetsim::DeviceMetrics],
 ) -> (Duration, Duration) {
     let mut cpu = Duration::ZERO;
     let mut gpu = Duration::ZERO;
-    for (device, share) in config.devices().iter().zip(shares) {
+    for (i, (device, share)) in config.devices().iter().zip(shares).enumerate() {
         match device.kind() {
             DeviceKind::Cpu => cpu += share.busy,
-            DeviceKind::SimGpu => gpu = gpu.max(share.busy),
+            DeviceKind::SimGpu => {
+                let metered = deltas.get(i).copied().unwrap_or_default().occupied();
+                gpu = gpu.max(metered);
+            }
         }
     }
     (cpu, gpu)
@@ -786,6 +835,16 @@ mod tests {
         let gpu_share = &report.pipeline.shares[1];
         if gpu_share.partitions > 0 {
             assert!(gpu_metrics.bytes_to_device > 0, "gpu must pay input transfers");
+            assert!(gpu_metrics.transfer_time > Duration::ZERO);
+            // T_GPU = T_GPU_compute + T_DH_transfer: the metered transfer
+            // time is charged to the device term, not folded into I/O.
+            assert!(
+                report.gpu_compute >= gpu_metrics.transfer_time,
+                "report gpu time {:?} must include transfer time {:?}",
+                report.gpu_compute,
+                gpu_metrics.transfer_time
+            );
+            assert_eq!(report.gpu_compute, gpu_metrics.occupied());
         }
         std::fs::remove_dir_all(cfg.work_dir()).unwrap();
     }

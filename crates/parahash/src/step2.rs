@@ -1,6 +1,7 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use hashgraph::{
     table_capacity_for, ContentionStats, DeBruijnGraph, HashGraphError, ReplayKernel, SubGraph,
@@ -12,13 +13,14 @@ use msp::{
 };
 use parking_lot::Mutex;
 use pipeline::{
-    failpoint, run_coprocessed_streaming, run_coprocessed_with, CancelToken, PipelineReport,
-    SharedCounterQueue, ThrottledIo,
+    failpoint, run_coprocessed_streaming_steered, run_coprocessed_with, CancelToken,
+    PipelineReport, SharedCounterQueue, SplitTuner, ThrottledIo, TunerWarmStart,
 };
 
 use crate::journal::{JournalEvent, RunJournal};
 use crate::once_error::OnceError;
-use crate::step1::split_device_times;
+use crate::report::CoprocSummary;
+use crate::step1::{device_baselines, device_deltas, split_device_times};
 use crate::{ParaHashConfig, ParaHashError, Result, StepReport};
 
 /// Output of one Step-2 compute launch. `None` marks a partition whose
@@ -258,7 +260,7 @@ pub(crate) fn run_step2_with(
         )
     };
 
-    let (graph, report) = shared.finish(pipeline_report, graph)?;
+    let (graph, report) = shared.finish(pipeline_report, graph, None)?;
     if !report.quarantined.is_empty() {
         // Persist the quarantine marks so any later consumer of the
         // partition directory knows which subgraphs are missing.
@@ -279,6 +281,14 @@ pub(crate) fn run_step2_with(
 /// [`run_step2`], except quarantine marks are *not* persisted here — the
 /// fused driver owns the manifest and records them after the run.
 ///
+/// Dispatch is **model-driven**: a [`SplitTuner`] executing the
+/// configured [`crate::ParaHashConfigBuilder::split`] policy routes each
+/// arriving partition to the CPU or GPU device class, feeding its rolling
+/// `T_cpu`/`T_gpu`/`T_io` measurements back into the §IV model as the
+/// stream progresses. `warm` seeds the tuner from a previous run's
+/// journaled state so a resume starts at the converged split. The
+/// tuner's final state is reported in [`StepReport::coproc`].
+///
 /// The caller is responsible for closing `feed` (abort) or finishing it
 /// (end of stream); a fatal error in here cancels the shared token, which
 /// the Step-1 side must observe.
@@ -293,17 +303,22 @@ pub(crate) fn run_step2_streaming(
     cancel: &CancelToken,
     journal: Option<&RunJournal>,
     skip: &BTreeSet<usize>,
+    warm: Option<TunerWarmStart>,
 ) -> Result<(DeBruijnGraph, StepReport)> {
     let shared = Step2Shared::new(config, cancel, journal)?;
     let mut graph = DeBruijnGraph::new(config.k);
+    let n_gpus =
+        config.devices().iter().filter(|d| d.kind() == DeviceKind::SimGpu).count();
+    let tuner = SplitTuner::new(config.split, n_gpus, warm);
 
     let pipeline_report = {
         let shared = &shared;
         let graph = &mut graph;
-        run_coprocessed_streaming(
+        run_coprocessed_streaming_steered(
             feed,
             config.devices(),
             cancel,
+            &tuner,
             // Stage 1: materialise the sealed payload. Resident bytes are
             // handed over by value — the fused win: no disk round-trip.
             // A partition in the resume `skip` set flows through as a
@@ -336,7 +351,7 @@ pub(crate) fn run_step2_streaming(
             |idx, out: Option<Part2Out>| shared.consume(io, graph, idx, out),
         )
     };
-    shared.finish(pipeline_report, graph)
+    shared.finish(pipeline_report, graph, Some(&tuner))
 }
 
 /// The machinery both Step-2 entry points share: failure routing
@@ -366,6 +381,12 @@ struct Step2Shared<'a> {
     /// single-`u64` fast path for k ≤ 32, scalar cursor otherwise (and
     /// under `PARAHASH_FORCE_SCALAR`, captured at construction).
     kernel: ReplayKernel,
+    /// Device-metric snapshots taken at the *first* compute launch (not
+    /// at construction): in the fused flow this struct exists while
+    /// Step 1 still owns the shared device roster, but Step 2's first
+    /// build strictly follows Step 1's last device call — so a lazy
+    /// baseline fences Step 1's meters out of this step's window.
+    baselines: OnceLock<Vec<hetsim::DeviceMetrics>>,
 }
 
 impl<'a> Step2Shared<'a> {
@@ -391,6 +412,7 @@ impl<'a> Step2Shared<'a> {
             quarantined: Mutex::new(Vec::new()),
             sub_dir,
             kernel: ReplayKernel::new(config.k),
+            baselines: OnceLock::new(),
         })
     }
 
@@ -423,6 +445,7 @@ impl<'a> Step2Shared<'a> {
         bytes: &[u8],
         n_kmers: u64,
     ) -> (Option<Part2Out>, u64) {
+        self.baselines.get_or_init(|| device_baselines(self.config));
         self.peak_partition.fetch_max(bytes.len() as u64, Ordering::Relaxed);
         let transfer_in = bytes.len() as u64;
         // Zero-copy decode of the framed bytes: verify every frame's
@@ -564,6 +587,7 @@ impl<'a> Step2Shared<'a> {
         self,
         pipeline_report: PipelineReport,
         graph: DeBruijnGraph,
+        tuner: Option<&SplitTuner>,
     ) -> Result<(DeBruijnGraph, StepReport)> {
         let quarantined = self.quarantined.into_inner();
         if let Some(e) = self.first_error.into_inner() {
@@ -583,7 +607,35 @@ impl<'a> Step2Shared<'a> {
                 journal.append(&JournalEvent::Quarantined(q.index, q.reason.clone()))?;
             }
         }
-        let (cpu_compute, gpu_compute) = split_device_times(self.config, &pipeline_report.shares);
+        let deltas = match self.baselines.get() {
+            Some(baselines) => device_deltas(self.config, baselines),
+            // No partition ever reached the compute stage: the step did
+            // no device work, so its window is empty.
+            None => Vec::new(),
+        };
+        let (cpu_compute, gpu_compute) =
+            split_device_times(self.config, &pipeline_report.shares, &deltas);
+        // Per-class partition counts come from the shares (ground truth of
+        // what each device actually processed), the split target and
+        // regime from the tuner's rolling measurements.
+        let coproc = tuner.map(|t| {
+            let snap = t.snapshot();
+            let mut cpu_partitions = 0;
+            let mut gpu_partitions = 0;
+            for (device, share) in self.config.devices().iter().zip(&pipeline_report.shares) {
+                match device.kind() {
+                    DeviceKind::Cpu => cpu_partitions += share.partitions,
+                    DeviceKind::SimGpu => gpu_partitions += share.partitions,
+                }
+            }
+            CoprocSummary {
+                policy: t.policy().to_string(),
+                cpu_partitions,
+                gpu_partitions,
+                gpu_share: snap.gpu_share,
+                regime: snap.regime,
+            }
+        });
         let report = StepReport {
             step: 2,
             pipeline: pipeline_report,
@@ -596,6 +648,7 @@ impl<'a> Step2Shared<'a> {
             peak_table_bytes: self.peak_table.into_inner(),
             peak_resident_store_bytes: 0,
             quarantined,
+            coproc,
         };
         Ok((graph, report))
     }

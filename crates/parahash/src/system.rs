@@ -9,8 +9,8 @@ use hashgraph::DeBruijnGraph;
 use msp::{PartitionManifest, SealedPayload};
 use pipeline::{CancelToken, PipelineReport, SharedCounterQueue, ThrottledIo};
 
-use crate::journal::{Fingerprint, JournalEvent, RunJournal};
-use crate::step1::{step1_report, step1_sink_fastq, step1_sink_reads};
+use crate::journal::{Fingerprint, JournalEvent, RunJournal, TunerState};
+use crate::step1::{device_baselines, device_deltas, step1_report, step1_sink_fastq, step1_sink_reads};
 use crate::step2::{decode_subgraph_checked, run_step2_streaming, run_step2_with};
 use crate::{
     run_step1, run_step1_fastq, ParaHashConfig, ParaHashError, Result, RunReport, Step1Stats,
@@ -262,11 +262,21 @@ struct ResumePlan {
     /// missing or damaged is silently dropped from this set — the
     /// partition simply re-runs.
     committed: BTreeSet<usize>,
+    /// The interrupted run's final autotuner state (`tuner-state`
+    /// record), if it got far enough to write one. Seeds the resumed
+    /// run's split tuner — and, when the dead run was I/O-bound, its
+    /// partition memory budget — instead of re-probing from scratch.
+    tuner: Option<TunerState>,
 }
 
 impl ResumePlan {
     fn prepare(config: &ParaHashConfig, fingerprint: Fingerprint, resume: bool) -> Result<ResumePlan> {
-        let fresh = |journal| ResumePlan { journal, skip_step1: false, committed: BTreeSet::new() };
+        let fresh = |journal| ResumePlan {
+            journal,
+            skip_step1: false,
+            committed: BTreeSet::new(),
+            tuner: None,
+        };
         // A vacant journal (zero complete records) is the signature of a
         // crash at creation: nothing was journaled, nothing was done —
         // treat it exactly like a missing journal.
@@ -318,7 +328,7 @@ impl ResumePlan {
         } else {
             BTreeSet::new()
         };
-        Ok(ResumePlan { journal, skip_step1, committed })
+        Ok(ResumePlan { journal, skip_step1, committed, tuner: state.tuner })
     }
 
     /// Absorbs the skipped partitions' persisted subgraphs into the
@@ -357,6 +367,7 @@ fn skipped_step1_report() -> StepReport {
         peak_table_bytes: 0,
         peak_resident_store_bytes: 0,
         quarantined: Vec::new(),
+        coproc: None,
     }
 }
 
@@ -435,21 +446,46 @@ fn fused_run(
     // input yields the same per-partition k-mer content, and the
     // canonical subgraph encoding makes the surviving files exact.
     let journal = &plan.journal;
+    // Model-driven resume steering: a journaled `tuner-state` record
+    // seeds the split tuner (below) and, when the dead run was
+    // I/O-bound (Case 2: disk the bottleneck), doubles a finite
+    // partition budget so fewer partitions spill this time. Residency
+    // never changes partition *content*, only where the bytes wait, so
+    // the result stays byte-identical.
+    let warm = plan.tuner.map(|t| t.warm_start());
+    let budget = match plan.tuner {
+        Some(t)
+            if t.regime == pipeline::perfmodel::Regime::IoBound
+                && config.partition_memory_budget > 0
+                && config.partition_memory_budget < u64::MAX =>
+        {
+            config.partition_memory_budget.saturating_mul(2)
+        }
+        _ => config.partition_memory_budget,
+    };
 
-    type Step1Done = (Step1Stats, PipelineReport, u64, u64, msp::PartitionManifest);
+    type Step1Done =
+        (Step1Stats, PipelineReport, u64, u64, msp::PartitionManifest, Vec<hetsim::DeviceMetrics>);
     let (step1_out, step2_out) = std::thread::scope(|s| {
-        let step2_handle =
-            s.spawn(|| run_step2_streaming(config, &feed, io, &cancel, Some(journal), &plan.committed));
+        let step2_handle = s.spawn(|| {
+            run_step2_streaming(config, &feed, io, &cancel, Some(journal), &plan.committed, warm)
+        });
         let step1_out = (|| -> Result<Option<Step1Done>> {
             let mut store = msp::PartitionStore::create_scoped(
                 &dir,
                 config.partitions,
                 config.k,
                 config.p,
-                config.partition_memory_budget,
+                budget,
                 &config.run_token,
             )?;
+            // One device roster serves both steps. Step 2's device work
+            // only begins once sealed partitions appear on the feed
+            // (below), so the window between these two snapshots is
+            // exclusively Step 1's.
+            let baselines = device_baselines(config);
             let (stats, preport, peak_batch) = step1(config, io, &cancel, &mut store)?;
+            let deltas = device_deltas(config, &baselines);
             if cancel.is_cancelled() {
                 // Step 2 failed underneath us; its error wins below.
                 return Ok(None);
@@ -459,7 +495,22 @@ fn fused_run(
             // Hand every partition over — resident ones by value, spilled
             // ones as their file path — then mark end-of-stream so the
             // Step-2 input stage terminates once the queue drains.
-            for i in 0..config.partitions {
+            //
+            // Dispatch order is steered, not index order: spilled
+            // partitions first (their loads overlap compute on the
+            // resident ones, hiding T_IO per §IV Case 2), largest first
+            // within each residency class (longest-processing-time
+            // ordering tightens the Eq. 1 makespan), index as the
+            // deterministic tiebreak. Order affects only scheduling —
+            // each partition's subgraph is canonical regardless.
+            let mut order: Vec<usize> = (0..config.partitions).collect();
+            {
+                let stats = store.stats();
+                order.sort_by_key(|&i| {
+                    (store.is_resident(i), std::cmp::Reverse(stats[i].bytes), i)
+                });
+            }
+            for i in order {
                 let sealed = store.seal(i)?;
                 // Only a *spilled* partition is durable: journaling a
                 // resident one as sealed would claim bytes that exist
@@ -471,7 +522,7 @@ fn fused_run(
                 }
             }
             feed.finish();
-            Ok(Some((stats, preport, peak_batch, peak_resident, manifest)))
+            Ok(Some((stats, preport, peak_batch, peak_resident, manifest, deltas)))
         })();
         if !matches!(step1_out, Ok(Some(_))) {
             // Step-1 failure (or observed cancellation): wake the Step-2
@@ -486,7 +537,7 @@ fn fused_run(
         (step1_out, step2_out)
     });
 
-    let (stats, preport, peak_batch, peak_resident, mut manifest) = match step1_out {
+    let (stats, preport, peak_batch, peak_resident, mut manifest, step1_deltas) = match step1_out {
         Ok(Some(done)) => done,
         Ok(None) => {
             // Step 1 was cancelled by a Step-2 fatal error: the partition
@@ -514,8 +565,16 @@ fn fused_run(
         manifest.save()?;
     }
     plan.absorb_committed(config, &mut graph)?;
+    // Persist the tuner's converged state just before `run-complete`: a
+    // finished run's record is the warm start for the *next* fused run
+    // over the same artifacts, and a crash after this point still leaves
+    // the record for `resume_fused` to seed from.
+    if let Some(coproc) = &step2.coproc {
+        plan.journal
+            .append(&JournalEvent::TunerState(TunerState::quantise(coproc.gpu_share, coproc.regime)))?;
+    }
     plan.journal.append(&JournalEvent::RunComplete)?;
-    let mut step1 = step1_report(config, stats, preport, peak_batch);
+    let mut step1 = step1_report(config, stats, preport, peak_batch, &step1_deltas);
     step1.peak_resident_store_bytes = peak_resident;
     let total_elapsed = started.elapsed();
     let report = RunReport {

@@ -1,0 +1,185 @@
+//! Scheduler-determinism matrix for model-driven co-processing: whatever
+//! split policy steers Step 2's partition dispatch — `cpu` (no offload),
+//! `static:<frac>` (pinned fraction), or `auto` (the §IV Eq. 2 online
+//! tuner) — the built graph **and** the persisted per-partition subgraph
+//! files must be byte-identical, across CPU thread counts and across the
+//! partition-budget spectrum. The policy may only move partitions between
+//! executors; it must never change what any partition contains.
+//!
+//! The CI workflow reruns this suite with `PARAHASH_FORCE_SCALAR=1` (the
+//! SIMD escape hatch) and with `PARAHASH_SPLIT` overriding the policy
+//! from the environment, so the scalar × policy cross-product is covered
+//! without further test code here.
+
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use dna::SeqRead;
+use hetsim::SimGpuConfig;
+use parahash::{ParaHash, ParaHashConfig, SplitPolicy};
+use pipeline::IoMode;
+
+const K: usize = 15;
+const P: usize = 7;
+const PARTS: usize = 12;
+
+fn corpus() -> Vec<SeqRead> {
+    let genome = GenomeSpec::new(3_000).seed(42).repeat_fraction(0.3).generate();
+    let spec = SequencingSpec {
+        read_len: 80,
+        coverage: 5.0,
+        lambda: 1.0,
+        reverse_strand_prob: 0.5,
+        seed: 42,
+    };
+    Sequencer::new(spec).sequence(&genome)
+}
+
+/// A fused-run config with one CPU device, one simulated GPU, and the
+/// given split policy. Subgraphs are persisted so byte-level identity of
+/// the per-partition artifacts can be checked, not just graph equality.
+fn config(dir: &str, threads: usize, budget: u64, split: SplitPolicy) -> ParaHashConfig {
+    let cfg = ParaHashConfig::builder()
+        .k(K)
+        .p(P)
+        .partitions(PARTS)
+        .cpu_threads(threads)
+        .sim_gpu(SimGpuConfig::default())
+        .split(split)
+        .read_batch_bytes(1024)
+        .partition_memory_budget(budget)
+        .write_subgraphs(true)
+        .io_mode(IoMode::Unthrottled)
+        .work_dir(std::env::temp_dir().join(dir))
+        .build()
+        .unwrap();
+    let _ = std::fs::remove_dir_all(cfg.work_dir());
+    cfg
+}
+
+/// Reads every persisted subgraph file back, in partition order.
+fn subgraph_bytes(cfg: &ParaHashConfig) -> Vec<Vec<u8>> {
+    let dir = cfg.work_dir().join("subgraphs");
+    (0..PARTS)
+        .map(|i| std::fs::read(dir.join(format!("sub-{i:05}.dbg"))).unwrap_or_default())
+        .collect()
+}
+
+#[test]
+fn split_policies_build_identical_graphs() {
+    let reads = corpus();
+    // Reference: CPU-only policy (the GPU sits idle even though it is in
+    // the roster) on a mid-sized run.
+    let (ref_graph, ref_subs) = {
+        let cfg = config("parahash-coproc-ref", 4, 0, SplitPolicy::CpuOnly);
+        let ph = ParaHash::new(cfg).unwrap();
+        let out = ph.run_fused(&reads).unwrap();
+        let subs = subgraph_bytes(ph.config());
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+        (out.graph, subs)
+    };
+    assert!(ref_graph.distinct_vertices() > 100, "corpus too small to be meaningful");
+
+    let policies = [
+        ("cpu", SplitPolicy::CpuOnly),
+        ("stat25", SplitPolicy::Static(0.25)),
+        ("stat75", SplitPolicy::Static(0.75)),
+        ("auto", SplitPolicy::Auto),
+    ];
+    for threads in [1usize, 4, 8] {
+        for (bname, budget) in [("spill", 0u64), ("huge", u64::MAX)] {
+            for (pname, policy) in policies {
+                let dir = format!("parahash-coproc-t{threads}-{bname}-{pname}");
+                let cfg = config(&dir, threads, budget, policy);
+                let ph = ParaHash::new(cfg).unwrap();
+                let out = ph.run_fused(&reads).unwrap();
+                assert_eq!(
+                    out.graph, ref_graph,
+                    "policy {pname} (threads={threads}, budget={bname}) changed the graph"
+                );
+                assert_eq!(
+                    subgraph_bytes(ph.config()),
+                    ref_subs,
+                    "policy {pname} (threads={threads}, budget={bname}) changed a subgraph file"
+                );
+
+                // The run report must carry the coproc ledger, and its
+                // executor counts must respect the policy.
+                let coproc = out.report.step2.coproc.as_ref().expect("steered run reports coproc");
+                assert_eq!(coproc.cpu_partitions + coproc.gpu_partitions, PARTS);
+                match policy {
+                    SplitPolicy::CpuOnly => {
+                        assert_eq!(coproc.gpu_partitions, 0, "cpu policy must not offload");
+                        assert_eq!(coproc.gpu_share, 0.0);
+                    }
+                    SplitPolicy::Static(f) => {
+                        // Deficit rounding pins the class sizes exactly.
+                        let want = ((PARTS as f64) * f).round() as usize;
+                        assert!(
+                            coproc.gpu_partitions.abs_diff(want) <= 1,
+                            "static:{f} sent {} partitions to the GPU, wanted ~{want}",
+                            coproc.gpu_partitions
+                        );
+                    }
+                    SplitPolicy::Auto => {
+                        assert!((0.0..=1.0).contains(&coproc.gpu_share));
+                    }
+                }
+                assert!(
+                    out.report.summary().contains("coproc:"),
+                    "summary must surface the split: {}",
+                    out.report.summary()
+                );
+                std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn gpuless_roster_ignores_gpu_hungry_policies() {
+    let reads = corpus();
+    // No `.sim_gpu(...)`: even static:1.0 and auto must degrade to pure
+    // CPU execution without error and without changing the result.
+    let build = |dir: &str, split: SplitPolicy| {
+        let cfg = ParaHashConfig::builder()
+            .k(K)
+            .p(P)
+            .partitions(PARTS)
+            .cpu_threads(2)
+            .split(split)
+            .partition_memory_budget(0)
+            .io_mode(IoMode::Unthrottled)
+            .work_dir(std::env::temp_dir().join(dir))
+            .build()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(cfg.work_dir());
+        let ph = ParaHash::new(cfg).unwrap();
+        let out = ph.run_fused(&reads).unwrap();
+        std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+        out
+    };
+    let cpu = build("parahash-coproc-nogpu-cpu", SplitPolicy::CpuOnly);
+    let greedy = build("parahash-coproc-nogpu-greedy", SplitPolicy::Static(1.0));
+    let auto = build("parahash-coproc-nogpu-auto", SplitPolicy::Auto);
+    assert_eq!(cpu.graph, greedy.graph);
+    assert_eq!(cpu.graph, auto.graph);
+    for out in [&greedy, &auto] {
+        let coproc = out.report.step2.coproc.as_ref().expect("coproc ledger present");
+        assert_eq!(coproc.gpu_partitions, 0, "no GPU in the roster, nothing may offload");
+    }
+}
+
+#[test]
+fn static_split_actually_offloads() {
+    // Sanity for the whole matrix above: with a GPU present and a
+    // half-and-half static split, both executor classes really run.
+    let reads = corpus();
+    let cfg = config("parahash-coproc-offload", 4, u64::MAX, SplitPolicy::Static(0.5));
+    let ph = ParaHash::new(cfg).unwrap();
+    let out = ph.run_fused(&reads).unwrap();
+    let coproc = out.report.step2.coproc.as_ref().unwrap();
+    assert!(coproc.gpu_partitions > 0, "static:0.5 must offload some partitions");
+    assert!(coproc.cpu_partitions > 0, "static:0.5 must keep some partitions on the CPU");
+    let gpu_time: std::time::Duration = out.report.step2.gpu_compute;
+    assert!(gpu_time > std::time::Duration::ZERO, "offloaded work must accrue GPU time");
+    std::fs::remove_dir_all(ph.config().work_dir()).unwrap();
+}

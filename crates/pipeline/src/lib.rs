@@ -21,6 +21,10 @@
 //!   paper's two regimes on any machine: unthrottled ≈ the memory-cached
 //!   file of Case 1, a bandwidth cap ≈ the disk-bound Case 2.
 //! * [`perfmodel`] — Eq. 1 and Eq. 2 estimators used by Fig 13 / Fig 14.
+//! * [`autotune`] + [`run_coprocessed_streaming_steered`] — the §IV model
+//!   executed *online*: rolling `T_cpu`/`T_gpu`/`T_io` measurements steer
+//!   the CPU/GPU partition split toward the Eq. 2 optimum while the
+//!   stream is running, with `static:<frac>` / `cpu` escape hatches.
 //! * [`CancelToken`] + [`run_coprocessed_with`] — the fail-fast layer: the
 //!   first fatal error (or a stage panic, via drop guards) closes both
 //!   queues and drains all workers promptly instead of grinding through
@@ -33,6 +37,7 @@
 //! * [`failpoint`] — deterministic named crash/fault injection sites used
 //!   by the crash-recovery suite (see `docs/RECOVERY.md`).
 
+pub mod autotune;
 mod cancel;
 pub mod commit;
 pub mod failpoint;
@@ -41,10 +46,11 @@ pub mod perfmodel;
 mod queue;
 mod scheduler;
 
+pub use autotune::{SplitPolicy, SplitTuner, Steering, TunerSnapshot, TunerWarmStart};
 pub use cancel::CancelToken;
 pub use io::{IoMode, IoOp, RetryPolicy, ThrottledIo};
 pub use queue::SharedCounterQueue;
 pub use scheduler::{
-    run_coprocessed, run_coprocessed_streaming, run_coprocessed_with, run_sequential, DeviceShare,
-    PipelineReport, Span, Stage,
+    run_coprocessed, run_coprocessed_streaming, run_coprocessed_streaming_steered,
+    run_coprocessed_with, run_sequential, DeviceShare, PipelineReport, Span, Stage,
 };

@@ -31,10 +31,11 @@ pub enum Regime {
     /// Case 1: `T_IO ≪ min{T_CPU, T_GPU}` — compute bound; adding
     /// processors helps per Eq. 2.
     ComputeBound,
-    /// Case 2: `T_IO > max{T_CPU, T_GPU}` — the step degenerates to the
+    /// Case 2: `T_IO ≥ max{T_CPU, T_GPU}` — the step degenerates to the
     /// disk transfer time.
     IoBound,
-    /// Neither inequality holds clearly.
+    /// Neither inequality holds clearly (see
+    /// [`classify_regime`] for the exact boundary policy).
     Mixed,
 }
 
@@ -117,6 +118,24 @@ pub fn eq2_ideal_coprocessing(
 
 /// Classifies a step into the paper's Case 1 / Case 2 regimes with a
 /// slack factor of 2× on "much less than".
+///
+/// Boundary policy (ties are deterministic, in integer nanoseconds — no
+/// float rounding):
+///
+/// * **Case 2 is tie-inclusive**: `T_IO ≥ max{T_CPU, T_GPU}` (and
+///   `T_IO > 0`) is [`Regime::IoBound`]. Equality already means no
+///   compute stream has headroom over the disk — the step degenerates to
+///   the transfer time, which is the defining property of Case 2.
+/// * **Case 1 is tie-exclusive**: `2·T_IO < min{T_CPU, T_GPU}` must hold
+///   *strictly*, because the 2× factor stands in for the paper's
+///   `T_IO ≪ min` — slack that is merely met at the boundary is not
+///   "much less than".
+/// * Everything else — including a step with no measurements at all — is
+///   [`Regime::Mixed`].
+///
+/// A processor with a zero measurement (e.g. no GPU in the roster) is
+/// excluded from the `min` so a CPU-only step can still classify as
+/// compute bound.
 pub fn classify_regime(c: &StepComponents) -> Regime {
     let t_io = c.input.max(c.output);
     let min_compute = if c.gpu.is_zero() {
@@ -127,13 +146,53 @@ pub fn classify_regime(c: &StepComponents) -> Regime {
         c.cpu_compute.min(c.gpu)
     };
     let max_compute = c.cpu_compute.max(c.gpu);
-    if t_io.mul_f64(2.0) < min_compute {
-        Regime::ComputeBound
-    } else if t_io > max_compute {
+    if !t_io.is_zero() && t_io >= max_compute {
         Regime::IoBound
+    } else if t_io.checked_mul(2).is_some_and(|doubled| doubled < min_compute) {
+        Regime::ComputeBound
     } else {
         Regime::Mixed
     }
+}
+
+/// Eq. 2 work split: the fraction of a step's work the GPU roster should
+/// take so every processor finishes together. Processors work at their
+/// individual rates (`1/T`), so the GPU share is
+/// `(N_GPU/T_single_GPU) / (1/T_only_CPU + N_GPU/T_single_GPU)`.
+///
+/// This is the steering target of the online autotuner: feed it the
+/// *measured* per-partition CPU and GPU times and assign that fraction of
+/// the remaining partitions to the GPU. Returns `0.0` when the GPU
+/// contributes no rate (no GPUs, or no measurement yet) and `1.0` when
+/// only the GPU does.
+///
+/// # Examples
+///
+/// ```
+/// use pipeline::perfmodel::eq2_gpu_work_share;
+/// use std::time::Duration;
+///
+/// // GPU twice as fast as the CPU → it should take 2/3 of the work.
+/// let f = eq2_gpu_work_share(Some(Duration::from_secs(12)), Duration::from_secs(6), 1);
+/// assert!((f - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn eq2_gpu_work_share(cpu: Option<Duration>, single_gpu: Duration, n_gpus: usize) -> f64 {
+    let cpu_rate = match cpu {
+        Some(c) if !c.is_zero() => 1.0 / c.as_secs_f64(),
+        _ => 0.0,
+    };
+    let gpu_rate = if n_gpus > 0 && !single_gpu.is_zero() {
+        n_gpus as f64 / single_gpu.as_secs_f64()
+    } else {
+        0.0
+    };
+    if gpu_rate == 0.0 {
+        return 0.0;
+    }
+    if cpu_rate == 0.0 {
+        return 1.0;
+    }
+    gpu_rate / (cpu_rate + gpu_rate)
 }
 
 /// Case-2 estimate: when I/O dominates, the step time approaches
@@ -306,5 +365,116 @@ mod tests {
     fn regime_ignores_missing_gpu() {
         let c = comps(10, 0, 1, 1, 4);
         assert_eq!(classify_regime(&c), Regime::ComputeBound);
+    }
+
+    #[test]
+    fn regime_io_tie_is_io_bound() {
+        // T_IO == max-compute: no compute stream has headroom over the
+        // disk, so the tie belongs to Case 2 (it used to fall into Mixed
+        // while a 1 ns larger T_IO flipped to IoBound).
+        assert_eq!(classify_regime(&comps(10, 8, 10, 2, 4)), Regime::IoBound);
+        assert_eq!(classify_regime(&comps(8, 10, 3, 10, 4)), Regime::IoBound);
+        // One nanosecond of compute headroom breaks the tie back to Mixed.
+        let c = StepComponents {
+            cpu_compute: Duration::from_secs(10) + Duration::from_nanos(1),
+            gpu: Duration::from_secs(8),
+            input: Duration::from_secs(10),
+            output: Duration::from_secs(2),
+            partitions: 4,
+        };
+        assert_eq!(classify_regime(&c), Regime::Mixed);
+    }
+
+    #[test]
+    fn regime_compute_tie_is_mixed() {
+        // 2·T_IO == min-compute: the "much less than" slack is only met
+        // at the boundary, which is not "much less" — stays Mixed.
+        assert_eq!(classify_regime(&comps(10, 8, 4, 2, 8)), Regime::Mixed);
+        // One nanosecond under the slack is ComputeBound; the comparison
+        // is integer-exact, no float rounding at the boundary.
+        let c = StepComponents {
+            cpu_compute: Duration::from_secs(10),
+            gpu: Duration::from_secs(8),
+            input: Duration::from_secs(4) - Duration::from_nanos(1),
+            output: Duration::from_secs(2),
+            partitions: 8,
+        };
+        assert_eq!(classify_regime(&c), Regime::ComputeBound);
+    }
+
+    #[test]
+    fn regime_degenerate_measurements() {
+        // No measurements at all: nothing to classify.
+        assert_eq!(classify_regime(&comps(0, 0, 0, 0, 4)), Regime::Mixed);
+        // Pure compute, no I/O: Case 1 by definition.
+        assert_eq!(classify_regime(&comps(5, 3, 0, 0, 4)), Regime::ComputeBound);
+        // Pure I/O, no compute: Case 2 by definition (tie-inclusive rule;
+        // this used to be Mixed because 0 > 0 never held).
+        assert_eq!(classify_regime(&comps(0, 0, 7, 2, 4)), Regime::IoBound);
+        // Overflow-proof: a near-MAX T_IO cannot be doubled, which must
+        // read as "not compute bound", not a panic.
+        let c = StepComponents {
+            cpu_compute: Duration::MAX,
+            gpu: Duration::MAX,
+            input: Duration::MAX - Duration::from_secs(1),
+            output: Duration::ZERO,
+            partitions: 2,
+        };
+        assert_eq!(classify_regime(&c), Regime::Mixed);
+    }
+
+    #[test]
+    fn eq1_fig14_scale_hand_computed() {
+        // Case-2 numbers at the paper's Fig-14 scale (disk-bound
+        // bumblebee runs, hundreds of seconds of I/O): Eq. 1 must
+        // reproduce the hand computation exactly.
+        // T_IO = (n−1)/n·max{in,out} = 15/16·960 = 900;
+        // steady = max{120, 80, 900} = 900; + (960+320)/16 = 80 → 980.
+        let c = comps(120, 80, 960, 320, 16);
+        assert_eq!(eq1_step_time(&c), Duration::from_secs(980));
+        assert_eq!(io_bound_step_time(&c), Duration::from_secs(980));
+        assert_eq!(classify_regime(&c), Regime::IoBound);
+        // With the I/O stream throttled away (Case 1, Fig-13 setup), the
+        // same compute degenerates to max-compute + fill/drain.
+        // steady = 120; + (16+8)/16 = 1.5 → 121.5.
+        let c1 = comps(120, 80, 16, 8, 16);
+        assert_eq!(eq1_step_time(&c1), Duration::from_millis(121_500));
+        assert_eq!(classify_regime(&c1), Regime::ComputeBound);
+    }
+
+    #[test]
+    fn eq2_fig13_scale_hand_computed() {
+        // Fig-13-scale roster sweep: measured CPU-only 323 s and
+        // single-GPU 259 s. Combined rates, hand-computed:
+        //   CPU+1GPU: 1/(1/323 + 1/259) = 323·259/582  ≈ 143.728 s
+        //   CPU+2GPU: 1/(1/323 + 2/259) = 323·259/905  ≈  92.437 s
+        //   2GPU:     259/2             = 129.5 s
+        let cpu = Duration::from_secs(323);
+        let gpu = Duration::from_secs(259);
+        let close = |d: Duration, secs: f64| (d.as_secs_f64() - secs).abs() < 1e-6;
+        assert!(close(eq2_ideal_coprocessing(Some(cpu), gpu, 1), 323.0 * 259.0 / 582.0));
+        assert!(close(eq2_ideal_coprocessing(Some(cpu), gpu, 2), 323.0 * 259.0 / 905.0));
+        assert!(close(eq2_ideal_coprocessing(None, gpu, 2), 129.5));
+        // And the matching work split: the GPU's rate share.
+        //   1 GPU: (1/259)/(1/323 + 1/259) = 323/582 ≈ 0.5550
+        let f = eq2_gpu_work_share(Some(cpu), gpu, 1);
+        assert!((f - 323.0 / 582.0).abs() < 1e-12);
+        let f2 = eq2_gpu_work_share(Some(cpu), gpu, 2);
+        assert!((f2 - 2.0 * 323.0 / 905.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_work_share_degenerate_rosters() {
+        let t = Duration::from_secs(5);
+        assert_eq!(eq2_gpu_work_share(Some(t), t, 0), 0.0); // no GPU
+        assert_eq!(eq2_gpu_work_share(Some(t), Duration::ZERO, 2), 0.0); // unmeasured GPU
+        assert_eq!(eq2_gpu_work_share(None, t, 1), 1.0); // GPU-only
+        assert_eq!(eq2_gpu_work_share(Some(Duration::ZERO), t, 1), 1.0); // unmeasured CPU
+        // Equal speeds split evenly; shares stay within [0, 1].
+        assert!((eq2_gpu_work_share(Some(t), t, 1) - 0.5).abs() < 1e-12);
+        for n in 0..=8 {
+            let f = eq2_gpu_work_share(Some(t), Duration::from_secs(3), n);
+            assert!((0.0..=1.0).contains(&f));
+        }
     }
 }

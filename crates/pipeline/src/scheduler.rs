@@ -1,9 +1,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hetsim::Device;
+use hetsim::{Device, DeviceKind};
 use parking_lot::Mutex;
 
+use crate::autotune::Steering;
 use crate::{CancelToken, SharedCounterQueue};
 
 /// Which pipeline stage a [`Span`] belongs to.
@@ -499,6 +500,228 @@ where
         if cancel.is_cancelled() {
             feed.close();
             in_queue.close();
+            out_queue.close();
+        }
+        input_time = input_handle.join().expect("input stage panicked");
+    });
+
+    let mut spans = spans.into_inner();
+    spans.sort_by_key(|s| s.start);
+    PipelineReport {
+        elapsed: started.elapsed(),
+        input_time,
+        output_time,
+        shares,
+        partitions: consumed,
+        spans,
+        cancelled: cancel.is_cancelled(),
+    }
+}
+
+/// Closes the feed, both class queues, and the output queue on a panic
+/// unwind — the steered-scheduler counterpart of [`StreamingPanicGuard`].
+struct SteeredPanicGuard<'a, T, A, B> {
+    feed: &'a SharedCounterQueue<T>,
+    cpu_q: &'a SharedCounterQueue<A>,
+    gpu_q: &'a SharedCounterQueue<A>,
+    out_q: &'a SharedCounterQueue<B>,
+    cancel: &'a CancelToken,
+}
+
+impl<T, A, B> Drop for SteeredPanicGuard<'_, T, A, B> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.cancel.cancel();
+            self.feed.close();
+            self.cpu_q.close();
+            self.gpu_q.close();
+            self.out_q.close();
+        }
+    }
+}
+
+/// [`run_coprocessed_streaming`] with **model-driven dispatch**: instead
+/// of one shared input queue that any idle device steals from, partitions
+/// are routed into a *CPU class queue* or a *GPU class queue* as they
+/// arrive, and the routing decision is delegated to a
+/// [`Steering`] policy — in practice the online autotuner
+/// ([`crate::autotune::SplitTuner`]) steering toward the Eq. 2 split, or
+/// its `static:<frac>` / `cpu` escape hatches.
+///
+/// Differences from the work-stealing variant, all deliberate:
+///
+/// * **No cross-class stealing.** A `static:0.3` split must *pin* 30 % of
+///   partitions to the GPU even when that is not the fastest assignment —
+///   otherwise every static split would collapse into the same dynamic
+///   schedule and the split-sweep benchmark would measure nothing.
+///   Within a class, multiple devices of that class still steal from each
+///   other through the shared class queue.
+/// * **Roster clamping beats policy.** A roster with no GPU routes
+///   everything to the CPU class (and vice versa) regardless of what the
+///   policy asks, so a mis-set split can never stall the stream.
+/// * **The policy hears everything.** Per-partition produce time feeds
+///   [`Steering::observe_input`], per-launch compute time and class feed
+///   [`Steering::observe_compute`], and per-result consume time feeds
+///   [`Steering::observe_output`] — the measurements the tuner folds into
+///   [`crate::perfmodel::StepComponents`] while the run progresses.
+///
+/// Cancellation, panic, and termination semantics mirror
+/// [`run_coprocessed_streaming`]: first cancel observer closes the feed
+/// and all queues; the last driver out finishes the output queue; stage
+/// panics trip a guard and re-propagate.
+///
+/// # Panics
+///
+/// Panics if `devices` is empty or if any stage callback panics.
+pub fn run_coprocessed_streaming_steered<T, I, O, FP, FC, FO>(
+    feed: &SharedCounterQueue<T>,
+    devices: &[Arc<dyn Device>],
+    cancel: &CancelToken,
+    steer: &(dyn Steering + '_),
+    produce: FP,
+    process: FC,
+    mut consume: FO,
+) -> PipelineReport
+where
+    T: Send,
+    I: Send,
+    O: Send,
+    FP: FnMut(T) -> (usize, I) + Send,
+    FC: Fn(&dyn Device, usize, I) -> (O, u64) + Sync,
+    FO: FnMut(usize, O) + Send,
+{
+    assert!(!devices.is_empty(), "co-processing needs at least one device");
+    let started = Instant::now();
+    let bound = feed.capacity();
+    let gpu_class: Vec<bool> =
+        devices.iter().map(|d| matches!(d.kind(), DeviceKind::SimGpu)).collect();
+    let has_gpu = gpu_class.iter().any(|&g| g);
+    let has_cpu = gpu_class.iter().any(|&g| !g);
+    let cpu_queue: SharedCounterQueue<(usize, I)> = SharedCounterQueue::new(bound);
+    let gpu_queue: SharedCounterQueue<(usize, I)> = SharedCounterQueue::new(bound);
+    let out_queue: SharedCounterQueue<(usize, O, usize, u64, Duration)> =
+        SharedCounterQueue::new(bound);
+    let spans: Mutex<Vec<Span>> = Mutex::new(Vec::with_capacity(3 * bound));
+    let record = |stage: Stage, worker: &str, partition: usize, t0: Instant| {
+        spans.lock().push(Span {
+            stage,
+            worker: worker.to_owned(),
+            partition,
+            start: t0 - started,
+            end: started.elapsed(),
+        });
+    };
+
+    let mut input_time = Duration::ZERO;
+    let mut output_time = Duration::ZERO;
+    let mut shares: Vec<DeviceShare> = devices
+        .iter()
+        .map(|d| DeviceShare { name: d.name().to_owned(), partitions: 0, work_units: 0, busy: Duration::ZERO })
+        .collect();
+    let mut consumed = 0usize;
+
+    // Drivers still running (both classes); the last one out finishes the
+    // output queue.
+    let active_drivers = std::sync::atomic::AtomicUsize::new(devices.len());
+
+    std::thread::scope(|s| {
+        let cpu_q = &cpu_queue;
+        let gpu_q = &gpu_queue;
+        let out_q = &out_queue;
+        let active = &active_drivers;
+        let record = &record;
+
+        // Stage 1: input, fed by the upstream queue, routing per the
+        // steering policy (clamped to the classes the roster has).
+        let input_handle = s.spawn({
+            let mut produce = produce;
+            move || {
+                let _guard = SteeredPanicGuard { feed, cpu_q, gpu_q, out_q, cancel };
+                let mut spent = Duration::ZERO;
+                while !cancel.is_cancelled() {
+                    let Some(t) = feed.pop() else { break };
+                    let t0 = Instant::now();
+                    let (index, item) = produce(t);
+                    let took = t0.elapsed();
+                    spent += took;
+                    steer.observe_input(took);
+                    record(Stage::Input, "io", index, t0);
+                    let to_gpu = if !has_gpu {
+                        false
+                    } else if !has_cpu {
+                        true
+                    } else {
+                        steer.assign_gpu(index)
+                    };
+                    if to_gpu { gpu_q.push((index, item)) } else { cpu_q.push((index, item)) };
+                }
+                // Graceful end of both class streams.
+                cpu_q.finish();
+                gpu_q.finish();
+                if cancel.is_cancelled() {
+                    feed.close();
+                    cpu_q.close();
+                    gpu_q.close();
+                    out_q.close();
+                }
+                spent
+            }
+        });
+
+        // Stage 2: one driver per device, draining its own class queue.
+        let process = &process;
+        for (dev_idx, device) in devices.iter().enumerate() {
+            let device = Arc::clone(device);
+            let is_gpu = gpu_class[dev_idx];
+            s.spawn(move || {
+                let _guard = SteeredPanicGuard { feed, cpu_q, gpu_q, out_q, cancel };
+                let own_q = if is_gpu { gpu_q } else { cpu_q };
+                while !cancel.is_cancelled() {
+                    let Some((index, item)) = own_q.pop() else { break };
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let (output, work) = process(device.as_ref(), index, item);
+                    let busy = t0.elapsed();
+                    steer.observe_compute(is_gpu, busy, work);
+                    record(Stage::Compute, device.name(), index, t0);
+                    out_q.push((index, output, dev_idx, work, busy));
+                }
+                if active.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                    out_q.finish();
+                }
+                if cancel.is_cancelled() {
+                    feed.close();
+                    cpu_q.close();
+                    gpu_q.close();
+                    out_q.close();
+                }
+            });
+        }
+
+        // Stage 3: output, on the scope owner.
+        let _guard = SteeredPanicGuard { feed, cpu_q, gpu_q, out_q, cancel };
+        while let Some((index, output, dev_idx, work, busy)) = out_queue.pop() {
+            let t0 = Instant::now();
+            consume(index, output);
+            let took = t0.elapsed();
+            output_time += took;
+            steer.observe_output(took);
+            record(Stage::Output, "io", index, t0);
+            let share = &mut shares[dev_idx];
+            share.partitions += 1;
+            share.work_units += work;
+            share.busy += busy;
+            consumed += 1;
+            if cancel.is_cancelled() {
+                break;
+            }
+        }
+        if cancel.is_cancelled() {
+            feed.close();
+            cpu_queue.close();
+            gpu_queue.close();
             out_queue.close();
         }
         input_time = input_handle.join().expect("input stage panicked");
@@ -1013,6 +1236,186 @@ mod tests {
             )
         }));
         assert!(result.is_err(), "panic must propagate, not deadlock");
+    }
+
+    fn fed(n: usize) -> SharedCounterQueue<usize> {
+        let feed = SharedCounterQueue::new(n);
+        for i in 0..n {
+            feed.push(i);
+        }
+        feed.finish();
+        feed
+    }
+
+    fn tuner(policy: crate::autotune::SplitPolicy) -> crate::autotune::SplitTuner {
+        crate::autotune::SplitTuner::new(policy, 1, None)
+    }
+
+    #[test]
+    fn steered_static_split_pins_partitions_to_classes() {
+        use crate::autotune::SplitPolicy;
+        for (frac, want_gpu) in [(0.0, 0usize), (1.0, 40), (0.5, 20)] {
+            let feed = fed(40);
+            let cancel = CancelToken::new();
+            let t = tuner(SplitPolicy::Static(frac));
+            let report = run_coprocessed_streaming_steered(
+                &feed,
+                &[cpu(1), slow_gpu(0)],
+                &cancel,
+                &t,
+                |i| (i, i),
+                |_, _, v| {
+                    std::thread::sleep(Duration::from_micros(100));
+                    (v, 1u64)
+                },
+                |_, _| {},
+            );
+            assert_eq!(report.partitions, 40, "frac {frac}");
+            assert_eq!(report.shares[1].partitions, want_gpu, "frac {frac}");
+            assert_eq!(report.shares[0].partitions, 40 - want_gpu, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn steered_results_match_unsteered() {
+        use crate::autotune::SplitPolicy;
+        let feed = fed(30);
+        let cancel = CancelToken::new();
+        let t = tuner(SplitPolicy::Auto);
+        let seen = Mutex::new(Vec::new());
+        let report = run_coprocessed_streaming_steered(
+            &feed,
+            &[cpu(2), slow_gpu(0)],
+            &cancel,
+            &t,
+            |i| (i, i * 10),
+            |_, _, v| (v + 1, 1u64),
+            |idx, out| seen.lock().push((idx, out)),
+        );
+        let mut got = seen.into_inner();
+        got.sort();
+        assert_eq!(got, (0..30).map(|i| (i, i * 10 + 1)).collect::<Vec<_>>());
+        assert_eq!(report.partitions, 30);
+        assert!(!report.cancelled);
+    }
+
+    #[test]
+    fn steered_gpuless_roster_ignores_a_gpu_hungry_policy() {
+        use crate::autotune::SplitPolicy;
+        let feed = fed(12);
+        let cancel = CancelToken::new();
+        let t = tuner(SplitPolicy::Static(1.0));
+        let report = run_coprocessed_streaming_steered(
+            &feed,
+            &[cpu(1)],
+            &cancel,
+            &t,
+            |i| (i, i),
+            |_, _, v| (v, 1u64),
+            |_, _| {},
+        );
+        assert_eq!(report.partitions, 12);
+        assert_eq!(report.shares[0].partitions, 12, "roster clamp routes all to CPU");
+    }
+
+    #[test]
+    fn steered_cpu_less_roster_routes_everything_to_gpu() {
+        use crate::autotune::SplitPolicy;
+        let feed = fed(8);
+        let cancel = CancelToken::new();
+        let t = tuner(SplitPolicy::CpuOnly);
+        let report = run_coprocessed_streaming_steered(
+            &feed,
+            &[slow_gpu(0)],
+            &cancel,
+            &t,
+            |i| (i, i),
+            |_, _, v| (v, 1u64),
+            |_, _| {},
+        );
+        assert_eq!(report.partitions, 8);
+        assert_eq!(report.shares[0].partitions, 8, "roster clamp beats the cpu policy");
+    }
+
+    #[test]
+    fn steered_cancel_releases_upstream_feeder() {
+        use crate::autotune::SplitPolicy;
+        let feed = SharedCounterQueue::new(32);
+        let cancel = CancelToken::new();
+        let t = tuner(SplitPolicy::Auto);
+        let report = std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..4usize {
+                    feed.push(i);
+                }
+            });
+            run_coprocessed_streaming_steered(
+                &feed,
+                &[cpu(1), slow_gpu(0)],
+                &cancel,
+                &t,
+                |i| (i, i),
+                |_, idx, v| {
+                    if idx == 1 {
+                        cancel.cancel();
+                    }
+                    (v, 1u64)
+                },
+                |_, _| {},
+            )
+        });
+        assert!(report.cancelled);
+        assert!(feed.is_closed(), "cancel must close the upstream feed");
+    }
+
+    #[test]
+    fn steered_panicking_process_propagates() {
+        use crate::autotune::SplitPolicy;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let feed = fed(16);
+            let cancel = CancelToken::new();
+            let t = tuner(SplitPolicy::Static(0.5));
+            run_coprocessed_streaming_steered(
+                &feed,
+                &[cpu(1), slow_gpu(0)],
+                &cancel,
+                &t,
+                |i| (i, i),
+                |_, idx, v: usize| {
+                    if idx == 3 {
+                        panic!("injected steered compute panic");
+                    }
+                    (v, 1u64)
+                },
+                |_, _| {},
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate, not deadlock");
+    }
+
+    #[test]
+    fn steered_policy_hears_io_and_compute() {
+        use crate::autotune::SplitPolicy;
+        let feed = fed(10);
+        let cancel = CancelToken::new();
+        let t = tuner(SplitPolicy::Static(0.5));
+        run_coprocessed_streaming_steered(
+            &feed,
+            &[cpu(1), slow_gpu(0)],
+            &cancel,
+            &t,
+            |i| {
+                std::thread::sleep(Duration::from_micros(200));
+                (i, i)
+            },
+            |_, _, v| (v, 1u64),
+            |_, _| {},
+        );
+        let c = t.components();
+        assert_eq!(c.partitions, 10, "every launch observed");
+        assert!(c.input > Duration::ZERO, "produce time reached the tuner");
+        let snap = t.snapshot();
+        assert_eq!(snap.cpu_assigned + snap.gpu_assigned, 10);
     }
 
     #[test]
