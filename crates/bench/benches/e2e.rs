@@ -60,8 +60,12 @@ const K: usize = 27;
 const P: usize = 11;
 const PARTS: usize = 16;
 
+/// Sized so the construction work dominates the pipeline's fixed
+/// per-thread costs: the earlier 60 kb corpus was small enough that
+/// worker spin-up and stage hand-off overheads outweighed the extra
+/// parallel work at t4, inverting the scaling row on small hosts.
 fn corpus() -> Vec<SeqRead> {
-    let genome = GenomeSpec::new(60_000).seed(11).repeat_fraction(0.2).generate();
+    let genome = GenomeSpec::new(180_000).seed(11).repeat_fraction(0.2).generate();
     Sequencer::new(SequencingSpec {
         read_len: 101,
         coverage: 4.0,

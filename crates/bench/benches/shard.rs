@@ -1,0 +1,86 @@
+//! Sharded-Step-2 benchmark: full construction with the multi-process
+//! `workers(N)` path against the in-process baseline (`w0`), with the
+//! per-table budget unconstrained and then tight enough that the
+//! dataset's tables are several times over budget — the regime the
+//! out-of-core sub-partitioning plus sharding tentpole exists for.
+//!
+//! `main` routes through [`parahash::worker_from_env`] **first**: when
+//! the parent spawns this same binary as a worker (it passes no argv,
+//! only environment), the child must serve its leases and exit instead
+//! of recursively benchmarking.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use datagen::{GenomeSpec, Sequencer, SequencingSpec};
+use dna::SeqRead;
+use parahash::{ParaHash, ParaHashConfig};
+use pipeline::IoMode;
+
+const K: usize = 27;
+const P: usize = 11;
+const PARTS: usize = 16;
+
+/// Tight per-table budget for the constrained arm. The corpus below
+/// projects hundreds of kilobytes of Property-1 table per partition —
+/// several times this — so every partition builds out of core
+/// (dataset ≥ 4× the per-worker table budget, the tentpole's regime).
+const TIGHT_BUDGET: u64 = 64 << 10;
+
+fn corpus() -> Vec<SeqRead> {
+    let genome = GenomeSpec::new(60_000).seed(13).repeat_fraction(0.2).generate();
+    Sequencer::new(SequencingSpec {
+        read_len: 101,
+        coverage: 4.0,
+        seed: 13,
+        ..Default::default()
+    })
+    .sequence(&genome)
+}
+
+fn runner(dir: &str, workers: usize, budget: u64) -> ParaHash {
+    let config = ParaHashConfig::builder()
+        .k(K)
+        .p(P)
+        .partitions(PARTS)
+        .cpu_threads(1)
+        .workers(workers)
+        .table_memory_budget(budget)
+        .io_mode(IoMode::Unthrottled)
+        .work_dir(std::env::temp_dir().join(dir))
+        .build()
+        .unwrap();
+    let _ = std::fs::remove_dir_all(config.work_dir());
+    ParaHash::new(config).unwrap()
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let reads = corpus();
+    let total_kmers: u64 = reads.iter().map(|r| (r.len() - K + 1) as u64).sum();
+
+    let mut g = c.benchmark_group("shard");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total_kmers));
+
+    for (tag, budget) in [("inf", u64::MAX), ("64k", TIGHT_BUDGET)] {
+        // w0 = the in-process Step 2, the baseline every worker count
+        // is compared against (and the byte-identity reference).
+        for workers in [0usize, 1, 2, 4] {
+            g.bench_function(format!("budget-{tag}/w{workers}"), |b| {
+                let ph = runner(&format!("parahash-bench-shard-{tag}-w{workers}"), workers, budget);
+                b.iter(|| ph.run(&reads).unwrap().graph.distinct_vertices());
+                let _ = std::fs::remove_dir_all(ph.config().work_dir());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shard);
+
+fn main() {
+    // Worker children of the benched runs re-enter this binary with no
+    // argv; serve the lease loop and exit before any benchmarking.
+    if parahash::worker_from_env().expect("shard worker run") {
+        return;
+    }
+    benches();
+}

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! dbg build <reads.fastq> --out <graph.dbg> [-k 27] [-p 11] [--partitions 64]
-//!           [--gpus n] [--work-dir dir]
+//!           [--gpus n] [--work-dir dir] [--workers n]
+//!           [--table-memory-budget bytes] [--out-of-core]
 //!     Construct the De Bruijn graph of a FASTQ file and store it.
+//!     `--workers n` shards Step 2 across n child processes (this same
+//!     binary, re-exec'ed); `--table-memory-budget` caps each
+//!     partition's hash table, aborting over-budget partitions unless
+//!     `--out-of-core` lets them build via sub-partitioning.
 //!
 //! dbg stats <graph.dbg> [--spectrum]
 //!     Print graph statistics (and the multiplicity spectrum).
@@ -54,7 +59,23 @@ fn parse_args(takes_value: &[&str]) -> Args {
 }
 
 fn main() {
-    let args = parse_args(&["out", "k", "p", "partitions", "gpus", "work-dir", "min-count"]);
+    // A `--workers n` build re-execs this binary as its Step-2 workers
+    // (socket + worker id travel through the environment, no argv);
+    // serve the lease loop and exit before parsing anything.
+    if parahash::worker_from_env().unwrap_or_else(|e| die(&format!("shard worker failed: {e}"))) {
+        return;
+    }
+    let args = parse_args(&[
+        "out",
+        "k",
+        "p",
+        "partitions",
+        "gpus",
+        "work-dir",
+        "min-count",
+        "workers",
+        "table-memory-budget",
+    ]);
     match args.positional.first().map(String::as_str) {
         Some("build") => build(&args),
         Some("stats") => stats(&args),
@@ -78,6 +99,8 @@ fn build(args: &Args) {
     let p = num(args, "p", 11usize);
     let partitions = num(args, "partitions", 64usize);
     let gpus = num(args, "gpus", 0usize);
+    let workers = num(args, "workers", 0usize);
+    let table_budget = num(args, "table-memory-budget", 0u64);
     let work_dir = args
         .flags
         .get("work-dir")
@@ -88,9 +111,13 @@ fn build(args: &Args) {
     for _ in 0..gpus {
         builder = builder.sim_gpu(hetsim::SimGpuConfig::default());
     }
+    builder = builder.workers(workers).out_of_core(args.switches.contains("out-of-core"));
+    if table_budget > 0 {
+        builder = builder.table_memory_budget(table_budget);
+    }
     let config = builder.build().unwrap_or_else(|e| die(&format!("bad configuration: {e}")));
     let ph = ParaHash::new(config).unwrap_or_else(|e| die(&format!("cannot start: {e}")));
-    eprintln!("building k={k} p={p} partitions={partitions} gpus={gpus} from {input}");
+    eprintln!("building k={k} p={p} partitions={partitions} gpus={gpus} workers={workers} from {input}");
     let outcome = ph
         .run_fastq_streaming(input)
         .unwrap_or_else(|e| die(&format!("construction failed: {e}")));

@@ -77,6 +77,34 @@ pub fn table_capacity_for(n_kmers: u64, params: SizingParams) -> usize {
     (slots.ceil() as usize).max(16)
 }
 
+/// Projected allocation size of the Property-1 table a partition with
+/// `n_kmers` k-mer occurrences would need, in bytes — the §IV-A capacity
+/// rule priced at [`SLOT_BYTES`](crate::SLOT_BYTES) per slot.
+///
+/// This is the out-of-core admission check: it can be computed from the
+/// Step-1 manifest alone, *before* any table is allocated, and it equals
+/// what [`ConcurrentDbgTable::approx_bytes`](crate::ConcurrentDbgTable::approx_bytes)
+/// would report for a table sized by [`table_capacity_for`] — so a
+/// partition that passes the projection also fits the budget once built
+/// (capacity-doubling retries on pathological inputs excepted).
+///
+/// # Examples
+///
+/// ```
+/// use hashgraph::{projected_table_bytes, table_capacity_for, SizingParams};
+///
+/// let params = SizingParams::default();
+/// let projected = projected_table_bytes(1_000_000, params);
+/// assert_eq!(projected, table_capacity_for(1_000_000, params) as u64 * 98);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `(0, 1]` or `lambda` is negative.
+pub fn projected_table_bytes(n_kmers: u64, params: SizingParams) -> u64 {
+    table_capacity_for(n_kmers, params) as u64 * crate::table::SLOT_BYTES as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +162,26 @@ mod tests {
     #[should_panic(expected = "λ cannot be negative")]
     fn negative_lambda_panics() {
         table_capacity_for(10, SizingParams { lambda: -1.0, alpha: 0.5 });
+    }
+
+    #[test]
+    fn projection_matches_allocated_table() {
+        // The admission check and the post-allocation meter must agree:
+        // what the projection promises is what approx_bytes() charges.
+        for n_kmers in [0u64, 3, 1_000, 123_456] {
+            let params = SizingParams::default();
+            let projected = projected_table_bytes(n_kmers, params);
+            let table =
+                crate::ConcurrentDbgTable::new(table_capacity_for(n_kmers, params), 27);
+            assert_eq!(projected, table.approx_bytes() as u64, "n_kmers={n_kmers}");
+        }
+    }
+
+    #[test]
+    fn projection_scales_with_input() {
+        let params = SizingParams::default();
+        let one = projected_table_bytes(1_000_000, params);
+        let two = projected_table_bytes(2_000_000, params);
+        assert!(two >= 2 * one - crate::SLOT_BYTES as u64 && two <= 2 * one);
     }
 }

@@ -62,13 +62,15 @@ pub use build::{
 };
 pub use cleaning::{clip_tips, pop_bubbles};
 pub use contention::ContentionStats;
-pub use estimate::{expected_distinct_vertices, table_capacity_for, SizingParams};
+pub use estimate::{
+    expected_distinct_vertices, projected_table_bytes, table_capacity_for, SizingParams,
+};
 pub use graph::{DeBruijnGraph, EdgeDir, SubGraph, VertexData};
 pub use pool::{PooledTable, TablePool};
 pub use spectrum::Spectrum;
 pub use stats::AssemblyStats;
 pub use store::{load_graph, read_graph, save_graph, write_graph, StoreError};
-pub use table::{ConcurrentDbgTable, VertexTable};
+pub use table::{ConcurrentDbgTable, VertexTable, SLOT_BYTES};
 pub use unitig::{unitigs, unitigs_with, Unitig};
 
 /// Errors from subgraph construction.

@@ -116,6 +116,14 @@ impl SlotCounters {
     }
 }
 
+/// Bytes one table slot costs: the 2-byte tagged state word, the 32-byte
+/// key cell, and the 64-byte-aligned [`SlotCounters`] cache line. This is
+/// the unit price behind [`ConcurrentDbgTable::approx_bytes`] and the
+/// pre-allocation projection [`crate::projected_table_bytes`] — keep the
+/// two accountings on the same constant so a budget check made before a
+/// table exists agrees with the meter charged after it does.
+pub const SLOT_BYTES: usize = 2 + 32 + std::mem::size_of::<SlotCounters>();
+
 /// Best-effort prefetch of the cache line holding `ptr` into all levels.
 /// A no-op on non-x86 targets.
 #[inline]
@@ -270,7 +278,7 @@ impl ConcurrentDbgTable {
     /// (2-byte tagged state word + 32-byte key + one 64-byte counter
     /// cache line per slot).
     pub fn approx_bytes(&self) -> usize {
-        self.capacity * (2 + 32 + std::mem::size_of::<SlotCounters>())
+        self.capacity * SLOT_BYTES
     }
 
     /// Clears the table for reuse without touching its allocations — the

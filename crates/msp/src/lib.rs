@@ -48,6 +48,7 @@ mod reader;
 mod record;
 mod stats;
 mod store;
+mod subsplit;
 mod superkmer;
 mod view;
 mod writer;
@@ -62,6 +63,7 @@ pub use reader::{FastqChunks, PartitionReader};
 pub use record::{decode_superkmer, encode_superkmer, encode_superkmer_slice, encoded_len};
 pub use stats::{DistributionSummary, PartitionStats};
 pub use store::{PartitionSink, PartitionStore, SealedPartition, SealedPayload};
+pub use subsplit::{split_framed, sub_route, SubPartition};
 pub use superkmer::{Superkmer, SuperkmerScanner};
 pub use view::{iter_views, CodeWords, PartitionSlices, SuperkmerView, ViewIter};
 pub use writer::{PartitionManifest, PartitionWriter, QuarantinedPartition};

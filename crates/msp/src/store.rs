@@ -532,6 +532,30 @@ mod tests {
     }
 
     #[test]
+    fn equal_cost_spill_ties_break_by_partition_id() {
+        // Spill-largest must be a total order: when two resident slots
+        // cost exactly the same, the lower partition id is evicted, so
+        // spill order — and with it the largest-first Step-2 dispatch
+        // order derived from residency — is identical run to run.
+        let dir = tmpdir("spilltie");
+        let payload = vec![0u8; 100];
+        let per_slot = payload.len() as u64 + FRAME_HEADER_LEN as u64;
+        let mut store = PartitionStore::create(&dir, 4, 7, 4, 2 * per_slot + 1).unwrap();
+        // Fill partitions 2 then 1 to identical cost (order deliberately
+        // reversed from the tie-break order).
+        store.append_encoded(2, &payload, 1, 1).unwrap();
+        store.append_encoded(1, &payload, 1, 1).unwrap();
+        assert!(store.is_resident(1) && store.is_resident(2));
+        // One more byte of anything overflows the budget; of the tied
+        // victims {1, 2}, partition 1 must be the one spilled.
+        store.append_encoded(3, &payload, 1, 1).unwrap();
+        assert!(!store.is_resident(1), "lowest-id tie loser must spill");
+        assert!(store.is_resident(2), "higher-id tie peer must stay");
+        assert!(store.is_resident(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn zero_budget_spills_everything() {
         let dir = tmpdir("allspill");
         let mut store = PartitionStore::create(&dir, 4, 7, 4, 0).unwrap();

@@ -240,6 +240,7 @@ impl PartitionWriter {
             stats: std::mem::take(&mut self.stats),
             quarantined: Vec::new(),
             residency: None,
+            sub_splits: Vec::new(),
         };
         manifest.save()?;
         Ok(manifest)
@@ -274,6 +275,13 @@ pub struct PartitionManifest {
     /// its `part-NNNNN.skm` file (`false`). `None` for classic all-disk
     /// manifests, where every partition is implicitly on disk.
     residency: Option<Vec<bool>>,
+    /// `(partition, fanout)` marks left by out-of-core Step 2: partition
+    /// `i`'s projected table busted the memory budget and its records
+    /// were split into `fanout` second-level sub-partitions
+    /// ([`split_framed`](crate::split_framed)) before building. Purely
+    /// informational for resume and reporting — the merged subgraph is
+    /// byte-identical either way.
+    sub_splits: Vec<(usize, usize)>,
 }
 
 impl PartitionManifest {
@@ -288,7 +296,7 @@ impl PartitionManifest {
         quarantined: Vec<QuarantinedPartition>,
         residency: Option<Vec<bool>>,
     ) -> PartitionManifest {
-        PartitionManifest { dir, k, p, stats, quarantined, residency }
+        PartitionManifest { dir, k, p, stats, quarantined, residency, sub_splits: Vec::new() }
     }
     /// The directory holding the partition files.
     pub fn dir(&self) -> &Path {
@@ -343,6 +351,23 @@ impl PartitionManifest {
             q.reason = reason;
         } else {
             self.quarantined.push(QuarantinedPartition { index, reason });
+        }
+    }
+
+    /// The sub-partition fanout recorded for partition `index`, if
+    /// out-of-core Step 2 had to split it (`None` = built unsplit).
+    pub fn sub_split(&self, index: usize) -> Option<usize> {
+        self.sub_splits.iter().find(|(i, _)| *i == index).map(|&(_, fanout)| fanout)
+    }
+
+    /// Records that partition `index` was built through `fanout`
+    /// second-level sub-partitions. Call [`save`](Self::save) afterwards
+    /// to persist the mark. Re-marking the same index updates its fanout
+    /// in place.
+    pub fn set_sub_split(&mut self, index: usize, fanout: usize) {
+        match self.sub_splits.iter_mut().find(|(i, _)| *i == index) {
+            Some(entry) => entry.1 = fanout,
+            None => self.sub_splits.push((index, fanout)),
         }
     }
 
@@ -406,6 +431,9 @@ impl PartitionManifest {
             let reason = q.reason.replace(['\n', '\r'], " ");
             writeln!(out, "quarantined {} {reason}", q.index)?;
         }
+        for &(i, fanout) in &self.sub_splits {
+            writeln!(out, "sub-split {i} {fanout}")?;
+        }
         commit::commit_bytes(&Self::manifest_path(&self.dir), &out)?;
         Ok(())
     }
@@ -458,11 +486,13 @@ impl PartitionManifest {
             });
         }
         // Optional trailing lines, in any order: `resident <i>` /
-        // `spilled <i>` residency marks (fused-pipeline manifests) and
-        // `quarantined <i> <reason>` marks. Both are absent in classic
-        // healthy-run manifests.
+        // `spilled <i>` residency marks (fused-pipeline manifests),
+        // `quarantined <i> <reason>` marks, and `sub-split <i> <fanout>`
+        // out-of-core marks. All are absent in classic healthy-run
+        // manifests.
         let mut quarantined = Vec::new();
         let mut residency: Option<Vec<bool>> = None;
+        let mut sub_splits: Vec<(usize, usize)> = Vec::new();
         let mut lineno = 4 + n as u64;
         for line in lines {
             let line = line?;
@@ -502,12 +532,28 @@ impl PartitionManifest {
             } else if let Some(rest) = line.strip_prefix("spilled ") {
                 let index = index_in_range(rest.trim(), "spilled", lineno)?;
                 residency.get_or_insert_with(|| vec![false; n])[index] = false;
+            } else if let Some(rest) = line.strip_prefix("sub-split ") {
+                let (idx, fanout) = rest.trim().split_once(' ').ok_or_else(|| {
+                    corrupt(lineno, format!("expected 'sub-split <i> <fanout>', got {line:?}"))
+                })?;
+                let index = index_in_range(idx, "sub-split", lineno)?;
+                let fanout: usize = fanout
+                    .trim()
+                    .parse()
+                    .map_err(|e| corrupt(lineno, format!("bad sub-split fanout: {e}")))?;
+                if fanout < 2 {
+                    return Err(corrupt(lineno, format!("sub-split fanout {fanout} below 2")));
+                }
+                match sub_splits.iter_mut().find(|(i, _)| *i == index) {
+                    Some(entry) => entry.1 = fanout,
+                    None => sub_splits.push((index, fanout)),
+                }
             } else {
                 return Err(corrupt(lineno, format!("unexpected trailing line {line:?}")));
             }
             lineno += 1;
         }
-        Ok(PartitionManifest { dir, k, p, stats, quarantined, residency })
+        Ok(PartitionManifest { dir, k, p, stats, quarantined, residency, sub_splits })
     }
 }
 
@@ -652,6 +698,43 @@ mod tests {
             loaded.quarantined()[1].reason,
             "checksum mismatch after retries"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sub_split_marks_roundtrip_through_save_and_load() {
+        let dir = tmpdir("subsplit");
+        let w = PartitionWriter::create(&dir, 4, 5, 3).unwrap();
+        let mut manifest = w.finish().unwrap();
+        assert_eq!(manifest.sub_split(1), None);
+        manifest.set_sub_split(1, 4);
+        manifest.set_sub_split(3, 2);
+        manifest.set_sub_split(1, 8); // updates in place
+        // Sub-split marks coexist with quarantine marks.
+        manifest.quarantine(2, "simulated");
+        manifest.save().unwrap();
+
+        let loaded = PartitionManifest::load(&dir).unwrap();
+        assert_eq!(loaded, manifest);
+        assert_eq!(loaded.sub_split(1), Some(8));
+        assert_eq!(loaded.sub_split(3), Some(2));
+        assert_eq!(loaded.sub_split(0), None);
+        assert!(loaded.is_quarantined(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_sub_split_lines_are_rejected() {
+        let dir = tmpdir("subsplit-bad");
+        fs::create_dir_all(&dir).unwrap();
+        let head = "parahash-msp-manifest v1\nk 5\np 3\npartitions 1\npart 0 0 0 0\n";
+        for bad in ["sub-split 0\n", "sub-split 9 4\n", "sub-split 0 1\n", "sub-split 0 x\n"] {
+            fs::write(dir.join("manifest.txt"), format!("{head}{bad}")).unwrap();
+            assert!(
+                matches!(PartitionManifest::load(&dir), Err(MspError::CorruptRecord { .. })),
+                "accepted {bad:?}"
+            );
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

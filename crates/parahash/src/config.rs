@@ -76,12 +76,25 @@ pub struct ParaHashConfig {
     pub(crate) retry: RetryPolicy,
     pub(crate) indexed_fastq: bool,
     pub(crate) partition_memory_budget: u64,
+    pub(crate) table_memory_budget: u64,
+    pub(crate) out_of_core: bool,
+    pub(crate) workers: usize,
+    /// Argv passed to the self-exec'ed worker processes of the sharded
+    /// Step 2 (after the program path). Empty for production binaries
+    /// whose `main` calls [`crate::worker_from_env`] first; test binaries
+    /// set it to route the child into their worker-entry test.
+    pub(crate) worker_args: Vec<String>,
     pub(crate) resume: bool,
     pub(crate) split: SplitPolicy,
     pub(crate) devices: Vec<Arc<dyn Device>>,
     /// Run-scope token for long-lived staging files; set by the system
     /// entry points from the run fingerprint, empty until then.
     pub(crate) run_token: String,
+    /// Input digest of the run's fingerprint; set alongside
+    /// [`run_token`](Self::run_token) by the system entry points so the
+    /// sharded Step 2 can embed the full fingerprint in worker journals.
+    /// Zero until then.
+    pub(crate) input_digest: u64,
 }
 
 impl std::fmt::Debug for ParaHashConfig {
@@ -160,6 +173,24 @@ impl ParaHashConfig {
         self.partition_memory_budget
     }
 
+    /// Byte budget for one partition's Property-1 hash table (see
+    /// [`ParaHashConfigBuilder::table_memory_budget`]).
+    pub fn table_memory_budget(&self) -> u64 {
+        self.table_memory_budget
+    }
+
+    /// Whether over-budget partitions are sub-partitioned out of core
+    /// (see [`ParaHashConfigBuilder::out_of_core`]).
+    pub fn out_of_core(&self) -> bool {
+        self.out_of_core
+    }
+
+    /// Number of Step-2 worker processes (see
+    /// [`ParaHashConfigBuilder::workers`]); `0` = in-process Step 2.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// Whether runs should resume from the work directory's `run.journal`
     /// when one exists (see [`ParaHashConfigBuilder::resume`]).
     pub fn resume(&self) -> bool {
@@ -209,6 +240,10 @@ pub struct ParaHashConfigBuilder {
     retry: RetryPolicy,
     indexed_fastq: bool,
     partition_memory_budget: u64,
+    table_memory_budget: u64,
+    out_of_core: bool,
+    workers: usize,
+    worker_args: Vec<String>,
     resume: bool,
     split: Option<SplitPolicy>,
     cpu_threads: Option<usize>,
@@ -232,6 +267,10 @@ impl Default for ParaHashConfigBuilder {
             retry: RetryPolicy::default(),
             indexed_fastq: false,
             partition_memory_budget: 256 << 20, // 256 MiB resident by default
+            table_memory_budget: u64::MAX,      // unlimited: never sub-partition
+            out_of_core: true,
+            workers: 0,
+            worker_args: Vec::new(),
             resume: false,
             split: None,
             cpu_threads: Some(0), // 0 = all available
@@ -343,6 +382,65 @@ impl ParaHashConfigBuilder {
     /// ignore this setting.
     pub fn partition_memory_budget(mut self, bytes: u64) -> Self {
         self.partition_memory_budget = bytes;
+        self
+    }
+
+    /// Sets the byte budget for a single partition's Property-1 hash
+    /// table in Step 2. A partition whose projected table
+    /// ([`hashgraph::projected_table_bytes`] from its manifest k-mer
+    /// count) exceeds this budget is split by a second-level minimizer
+    /// hash into sub-partitions, each built with its own (budget-sized)
+    /// table and merged — byte-identical to the unsplit build. The
+    /// default (`u64::MAX`) never splits. With
+    /// [`out_of_core(false)`](Self::out_of_core), an over-budget
+    /// partition aborts the run with
+    /// [`crate::ParaHashError::TableOverBudget`] instead.
+    pub fn table_memory_budget(mut self, bytes: u64) -> Self {
+        self.table_memory_budget = bytes;
+        self
+    }
+
+    /// Enables (`true`, the default) or disables out-of-core
+    /// sub-partitioning of partitions whose projected table exceeds
+    /// [`table_memory_budget`](Self::table_memory_budget). When disabled,
+    /// an over-budget partition is a hard
+    /// [`crate::ParaHashError::TableOverBudget`] error — the pre-PR-9
+    /// behaviour of any run that outgrew its memory.
+    pub fn out_of_core(mut self, yes: bool) -> Self {
+        self.out_of_core = yes;
+        self
+    }
+
+    /// Runs Step 2 across `n` child **worker processes** instead of in
+    /// process: the parent runs Step 1, seals the partitions, then
+    /// spawns `n` self-exec'ed workers that claim partitions
+    /// largest-first over a Unix-socket protocol, build subgraphs
+    /// locally (each with its own journal), and commit them to
+    /// `work_dir/subgraphs/`; the parent verifies and absorbs the
+    /// committed files and reassigns the leases of any worker that dies.
+    /// `0` (the default) keeps the classic in-process Step 2. Applies to
+    /// the two-phase flows ([`crate::ParaHash::run`]); the fused
+    /// pipeline ignores it. The process `main` (or test harness entry)
+    /// of the spawned binary must call [`crate::worker_from_env`] before
+    /// doing anything else — see
+    /// [`worker_spawn_args`](Self::worker_spawn_args).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Extra argv for the self-exec'ed worker processes. Production
+    /// binaries need none (their `main` calls [`crate::worker_from_env`]
+    /// unconditionally); test binaries pass
+    /// `["<worker-entry-test>", "--exact", "--nocapture"]` so the libtest
+    /// harness routes the child into the test function that hosts the
+    /// worker loop — the `tests/crash_recovery.rs` self-exec idiom.
+    pub fn worker_spawn_args<I, S>(mut self, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.worker_args = args.into_iter().map(Into::into).collect();
         self
     }
 
@@ -461,10 +559,15 @@ impl ParaHashConfigBuilder {
             retry: self.retry,
             indexed_fastq: self.indexed_fastq,
             partition_memory_budget: self.partition_memory_budget,
+            table_memory_budget: self.table_memory_budget,
+            out_of_core: self.out_of_core,
+            workers: self.workers,
+            worker_args: self.worker_args,
             resume: self.resume,
             split,
             devices,
             run_token: String::new(),
+            input_digest: 0,
         })
     }
 }
@@ -540,6 +643,25 @@ mod tests {
     fn resume_flag_roundtrips() {
         assert!(!base().build().unwrap().resume(), "fresh runs by default");
         assert!(base().resume(true).build().unwrap().resume());
+    }
+
+    #[test]
+    fn out_of_core_and_sharding_knobs() {
+        let c = base().build().unwrap();
+        assert_eq!(c.table_memory_budget(), u64::MAX, "unlimited by default");
+        assert!(c.out_of_core(), "splitting enabled by default");
+        assert_eq!(c.workers(), 0, "in-process Step 2 by default");
+        let c = base()
+            .table_memory_budget(64 << 10)
+            .out_of_core(false)
+            .workers(4)
+            .worker_spawn_args(["worker_entry", "--exact"])
+            .build()
+            .unwrap();
+        assert_eq!(c.table_memory_budget(), 64 << 10);
+        assert!(!c.out_of_core());
+        assert_eq!(c.workers(), 4);
+        assert_eq!(c.worker_args, ["worker_entry", "--exact"]);
     }
 
     #[test]

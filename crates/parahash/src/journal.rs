@@ -176,6 +176,19 @@ pub enum JournalEvent {
     /// thousandths and the classified regime. A resumed run warm-starts
     /// its tuner (and its memory budget) from this instead of re-probing.
     TunerState(TunerState),
+    /// Partition `i`'s projected table busted the memory budget and its
+    /// build went out of core through `fanout` second-level
+    /// sub-partitions. Informational: the merged subgraph is
+    /// byte-identical either way, so resume needs no special handling —
+    /// the record explains memory behaviour post hoc and lets reports
+    /// attribute the extra split work.
+    SubSplit(usize, usize),
+    /// The sharded Step 2 leased partition `i` to worker `w`. Appended
+    /// by the parent *before* the assignment is sent, so a journal
+    /// replay after a crash shows exactly which partitions were in
+    /// flight (their `subgraph-committed` records are what prove
+    /// completion, exactly as in-process).
+    WorkerLease(usize, usize),
     /// The run finished; every artifact the config asked for exists.
     RunComplete,
 }
@@ -235,6 +248,8 @@ impl JournalEvent {
             JournalEvent::TunerState(t) => {
                 format!("tuner-state {} {}", t.gpu_share_milli, regime_tag(t.regime))
             }
+            JournalEvent::SubSplit(i, fanout) => format!("sub-split {i} {fanout}"),
+            JournalEvent::WorkerLease(worker, i) => format!("worker-lease {worker} {i}"),
             JournalEvent::RunComplete => "run-complete".to_string(),
         }
     }
@@ -256,6 +271,14 @@ pub struct JournalState {
     /// The last `tuner-state` record, if the run got far enough to write
     /// one (the tuner's converged split + regime, for warm starts).
     pub tuner: Option<TunerState>,
+    /// `sub-split` marks in append order: `(partition, fanout)` pairs
+    /// recording which partitions went out of core (a later mark for the
+    /// same partition overrides an earlier one, e.g. a retry that picked
+    /// a different fanout).
+    pub sub_splits: Vec<(usize, usize)>,
+    /// `worker-lease` marks in append order: `(worker, partition)` pairs
+    /// from the sharded Step 2's assignment log.
+    pub leases: Vec<(usize, usize)>,
     /// Whether a `run-complete` record was found.
     pub complete: bool,
     /// Length of the valid record prefix, in bytes. Equal to the file
@@ -414,6 +437,8 @@ impl RunJournal {
             committed: BTreeSet::new(),
             quarantined: Vec::new(),
             tuner: None,
+            sub_splits: Vec::new(),
+            leases: Vec::new(),
             complete: false,
             valid_bytes,
             torn_tail,
@@ -454,6 +479,28 @@ impl RunJournal {
                 let regime = parse_regime_tag(tag)
                     .ok_or_else(|| journal_err(off, format!("unknown tuner-state regime {tag:?}")))?;
                 state.tuner = Some(TunerState { gpu_share_milli, regime });
+            } else if let Some(rest) = line.strip_prefix("sub-split ") {
+                let (idx, fanout) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| journal_err(off, format!("bad sub-split record {rest:?}")))?;
+                let i = index_in_range(idx, off, "sub-split")?;
+                let fanout: usize = fanout
+                    .trim()
+                    .parse()
+                    .map_err(|e| journal_err(off, format!("bad sub-split fanout: {e}")))?;
+                if fanout < 2 {
+                    return Err(journal_err(off, format!("sub-split fanout {fanout} below 2")));
+                }
+                state.sub_splits.push((i, fanout));
+            } else if let Some(rest) = line.strip_prefix("worker-lease ") {
+                let (worker, idx) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| journal_err(off, format!("bad worker-lease record {rest:?}")))?;
+                let worker: usize = worker
+                    .parse()
+                    .map_err(|e| journal_err(off, format!("bad worker-lease worker: {e}")))?;
+                let i = index_in_range(idx.trim(), off, "worker-lease")?;
+                state.leases.push((worker, i));
             } else if line == "run-complete" {
                 state.complete = true;
             } else {
@@ -541,6 +588,40 @@ mod tests {
         assert!(!state.torn_tail);
         assert_eq!(state.valid_bytes, std::fs::metadata(RunJournal::path_in(&dir)).unwrap().len());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sub_split_and_worker_lease_roundtrip() {
+        let dir = tmpdir("shard-events");
+        let j = RunJournal::create(&dir, fp()).unwrap();
+        j.append(&JournalEvent::WorkerLease(0, 5)).unwrap();
+        j.append(&JournalEvent::WorkerLease(1, 2)).unwrap();
+        j.append(&JournalEvent::SubSplit(5, 4)).unwrap();
+        j.append(&JournalEvent::WorkerLease(0, 2)).unwrap(); // reassignment after death
+        drop(j);
+        let state = RunJournal::replay(&dir).unwrap();
+        assert_eq!(state.sub_splits, vec![(5, 4)]);
+        assert_eq!(state.leases, vec![(0, 5), (1, 2), (0, 2)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_shard_records_are_hard_errors() {
+        // CRC-valid but semantically bad records are damage a crash
+        // cannot explain; replay must refuse them like any other event.
+        for bad in
+            ["sub-split 0", "sub-split 9 4", "sub-split 0 1", "worker-lease 0", "worker-lease 0 9"]
+        {
+            let dir = tmpdir(&format!("shard-bad-{}", bad.len()));
+            let j = RunJournal::create(&dir, fp()).unwrap();
+            j.append_line(bad).unwrap();
+            drop(j);
+            assert!(
+                matches!(RunJournal::replay(&dir), Err(ParaHashError::Journal { .. })),
+                "accepted {bad:?}"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

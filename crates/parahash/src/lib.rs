@@ -54,6 +54,7 @@ mod config;
 mod journal;
 mod once_error;
 mod report;
+mod shard;
 mod staging;
 mod step1;
 mod step2;
@@ -64,6 +65,7 @@ pub use journal::{Fingerprint, JournalEvent, JournalState, RunJournal, TunerStat
 pub use once_error::OnceError;
 pub use pipeline::SplitPolicy;
 pub use report::{CoprocSummary, RunReport, Step1Stats, StepReport};
+pub use shard::worker_from_env;
 pub use step1::{run_step1, run_step1_fastq};
 pub use step2::{decode_subgraph, decode_subgraph_checked, encode_subgraph, run_step2};
 pub use system::{ParaHash, RunOutcome};
@@ -102,6 +104,21 @@ pub enum ParaHashError {
         /// Fingerprint of the config/input the resume was asked to use.
         current: Fingerprint,
     },
+    /// A partition's projected Property-1 table exceeds
+    /// [`table_memory_budget`](ParaHashConfigBuilder::table_memory_budget)
+    /// and out-of-core sub-partitioning is disabled
+    /// ([`out_of_core(false)`](ParaHashConfigBuilder::out_of_core)).
+    TableOverBudget {
+        /// The over-budget partition.
+        partition: usize,
+        /// Bytes the §IV-A sizing rule projects for its table.
+        projected_bytes: u64,
+        /// The configured per-table budget it busted.
+        budget: u64,
+    },
+    /// The multi-process sharded Step 2 failed: a wire-protocol fault,
+    /// or a partition that exhausted its worker attempts in strict mode.
+    Shard(String),
 }
 
 impl std::fmt::Display for ParaHashError {
@@ -122,6 +139,13 @@ impl std::fmt::Display for ParaHashError {
                  current run's fingerprint {current} (config or input changed since the \
                  interrupted run — start a fresh run instead)"
             ),
+            ParaHashError::TableOverBudget { partition, projected_bytes, budget } => write!(
+                f,
+                "partition {partition}'s projected hash table of {projected_bytes} bytes \
+                 exceeds the {budget}-byte table budget and out-of-core sub-partitioning \
+                 is disabled"
+            ),
+            ParaHashError::Shard(msg) => write!(f, "sharded step 2 failed: {msg}"),
         }
     }
 }

@@ -98,6 +98,13 @@ pub struct StepReport {
     /// Partitions set aside after repeated failures instead of aborting
     /// the run (non-strict mode only; always empty in strict mode).
     pub quarantined: Vec<msp::QuarantinedPartition>,
+    /// Step-2 only: `(partition, fanout)` for every partition whose
+    /// projected Property-1 table busted
+    /// [`table_memory_budget`](crate::ParaHashConfigBuilder::table_memory_budget)
+    /// and was built out of core through second-level sub-partitions.
+    /// Sorted by partition index (the build order is nondeterministic
+    /// under multithreading; the report is not).
+    pub sub_splits: Vec<(usize, usize)>,
     /// Model-driven dispatch accounting when the steered scheduler ran
     /// this step (fused Step 2); `None` on the work-stealing paths.
     pub coproc: Option<CoprocSummary>,
@@ -238,6 +245,7 @@ mod tests {
             peak_table_bytes: 0,
             peak_resident_store_bytes: 0,
             quarantined: Vec::new(),
+        sub_splits: Vec::new(),
             coproc: None,
         }
     }

@@ -1,0 +1,670 @@
+//! Multi-process Step-2 sharding: the parent/worker drivers behind
+//! [`workers(N)`](crate::ParaHashConfigBuilder::workers).
+//!
+//! The parent runs Step 1 as usual and seals the partition directory;
+//! then, instead of building subgraphs in-process, it binds a Unix
+//! socket in the work directory, spawns `N` copies of its own
+//! executable (the `tests/crash_recovery.rs` self-exec pattern), and
+//! leases partitions to them one at a time in LPT (largest-first)
+//! order over the [`pipeline::shard`] wire protocol. Each worker builds
+//! its leased partition with [`build_and_commit_partition`] — read,
+//! budget-admit (sub-partitioning out of core when projected over
+//! budget), hash-construct, atomically commit `sub-<i>.dbg` — and
+//! journals into its own `worker-<id>/run.journal`. The **committed
+//! subgraph file is the result channel**: the parent re-reads and
+//! CRC-verifies every file a worker reports before trusting it, then
+//! absorbs them all into the final graph. Byte-identity with the
+//! in-process build therefore holds by construction — both paths
+//! funnel through the same canonical-order [`crate::encode_subgraph`].
+//!
+//! Failure handling: a worker that dies mid-lease drops its socket; the
+//! parent requeues its partitions (bounded by the board's attempt cap,
+//! so a partition that *crashes* builders cannot re-lease forever).
+//! Partitions still unbuilt after every worker exits — all workers
+//! died, or a lease exhausted its attempts — are built in-process by
+//! the parent as a fallback; only when that too fails does the run
+//! abort (strict) or quarantine (non-strict).
+//!
+//! Worker processes are CPU-only and run with unthrottled I/O: the
+//! sharded path exists for real multi-process throughput (separate
+//! address spaces, separate page caches, overlapped fsyncs), not for
+//! the simulated-device regimes, which remain in-process features.
+
+use std::collections::BTreeSet;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use hashgraph::DeBruijnGraph;
+use hetsim::DeviceKind;
+use msp::{PartitionManifest, QuarantinedPartition};
+use parking_lot::Mutex;
+use pipeline::shard::{read_frame, write_frame, LeaseBoard, WireMsg};
+use pipeline::{IoMode, PipelineReport, ThrottledIo};
+
+use crate::journal::{Fingerprint, JournalEvent, RunJournal};
+use crate::step2::{build_and_commit_partition, decode_subgraph_checked};
+use crate::{ParaHashConfig, ParaHashError, Result, StepReport};
+
+/// Environment variable carrying the parent's socket path into workers.
+pub(crate) const ENV_SOCKET: &str = "PARAHASH_SHARD_SOCKET";
+/// Environment variable carrying the worker's parent-assigned id.
+pub(crate) const ENV_WORKER: &str = "PARAHASH_SHARD_WORKER";
+/// Fault-injection hook for the worker-death tests: `"<worker>@<nth>"`
+/// makes worker `<worker>` abort immediately before building its
+/// `<nth>` assignment (1-based). Inherited by workers from the parent's
+/// environment, like the failpoint variables.
+pub(crate) const ENV_KILL: &str = "PARAHASH_SHARD_KILL";
+
+/// How many times one partition may be leased before it is given up on
+/// (worker crashes and polite failures both consume attempts).
+const MAX_LEASE_ATTEMPTS: usize = 2;
+
+/// Socket filename inside the work directory.
+const SOCKET_FILE: &str = "shard.sock";
+
+fn shard_err(msg: impl Into<String>) -> ParaHashError {
+    ParaHashError::Shard(msg.into())
+}
+
+// ---------------------------------------------------------------------
+// Config blob: how the parent's build configuration crosses the wire.
+// ---------------------------------------------------------------------
+
+/// Serialises the subset of the configuration a worker needs, as
+/// `key value` lines. Floats travel as `f64::to_bits` hex so the worker
+/// reconstructs bit-identical sizing parameters (a decimal round-trip
+/// could move a table capacity by one and break byte-identity of the
+/// resize accounting). `work-dir` is last and consumes the rest of its
+/// line — paths may contain spaces.
+fn config_blob(config: &ParaHashConfig) -> String {
+    let threads = config
+        .devices()
+        .iter()
+        .find(|d| d.kind() == DeviceKind::Cpu)
+        .map_or(1, |d| d.parallelism());
+    let token = if config.run_token.is_empty() { "-" } else { &config.run_token };
+    format!(
+        "k {}\np {}\npartitions {}\nlambda {:016x}\nalpha {:016x}\n\
+         table-memory-budget {}\nout-of-core {}\nthreads {}\ndigest {:016x}\n\
+         run-token {}\nwork-dir {}",
+        config.k,
+        config.p,
+        config.partitions,
+        config.sizing.lambda.to_bits(),
+        config.sizing.alpha.to_bits(),
+        config.table_memory_budget,
+        config.out_of_core as u8,
+        threads,
+        config.input_digest,
+        token,
+        config.work_dir.display(),
+    )
+}
+
+/// Parses [`config_blob`] back into a worker-side configuration: same
+/// build parameters, but CPU-only, strict (every failure must surface
+/// as a wire `failed` message — quarantine policy belongs to the
+/// parent), and with subgraph persistence forced on (the committed file
+/// is the result channel).
+fn config_from_blob(blob: &str) -> Result<(ParaHashConfig, Fingerprint)> {
+    let mut k = None;
+    let mut p = None;
+    let mut partitions = None;
+    let mut lambda = None;
+    let mut alpha = None;
+    let mut budget = None;
+    let mut out_of_core = None;
+    let mut threads = None;
+    let mut digest = None;
+    let mut token = None;
+    let mut work_dir = None;
+    for line in blob.lines() {
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| shard_err(format!("config blob line without a value: `{line}`")))?;
+        let int = |what: &str| -> Result<u64> {
+            value.parse().map_err(|e| shard_err(format!("config blob: bad {what}: {e}")))
+        };
+        let bits = |what: &str| -> Result<f64> {
+            u64::from_str_radix(value, 16)
+                .map(f64::from_bits)
+                .map_err(|e| shard_err(format!("config blob: bad {what}: {e}")))
+        };
+        match key {
+            "k" => k = Some(int("k")? as usize),
+            "p" => p = Some(int("p")? as usize),
+            "partitions" => partitions = Some(int("partitions")? as usize),
+            "lambda" => lambda = Some(bits("lambda")?),
+            "alpha" => alpha = Some(bits("alpha")?),
+            "table-memory-budget" => budget = Some(int("table-memory-budget")?),
+            "out-of-core" => out_of_core = Some(int("out-of-core")? != 0),
+            "threads" => threads = Some(int("threads")? as usize),
+            "digest" => {
+                digest = Some(
+                    u64::from_str_radix(value, 16)
+                        .map_err(|e| shard_err(format!("config blob: bad digest: {e}")))?,
+                )
+            }
+            "run-token" => token = Some(if value == "-" { String::new() } else { value.into() }),
+            "work-dir" => work_dir = Some(PathBuf::from(value)),
+            other => return Err(shard_err(format!("config blob: unknown key `{other}`"))),
+        }
+    }
+    let missing = |what: &str| shard_err(format!("config blob is missing `{what}`"));
+    let (k, p, partitions) = (
+        k.ok_or_else(|| missing("k"))?,
+        p.ok_or_else(|| missing("p"))?,
+        partitions.ok_or_else(|| missing("partitions"))?,
+    );
+    let mut config = ParaHashConfig::builder()
+        .k(k)
+        .p(p)
+        .partitions(partitions)
+        .sizing(hashgraph::SizingParams {
+            lambda: lambda.ok_or_else(|| missing("lambda"))?,
+            alpha: alpha.ok_or_else(|| missing("alpha"))?,
+        })
+        .table_memory_budget(budget.ok_or_else(|| missing("table-memory-budget"))?)
+        .out_of_core(out_of_core.ok_or_else(|| missing("out-of-core"))?)
+        .cpu_threads(threads.ok_or_else(|| missing("threads"))?)
+        .work_dir(work_dir.ok_or_else(|| missing("work-dir"))?)
+        .write_subgraphs(true)
+        .strict(true)
+        .build()?;
+    config.run_token = token.ok_or_else(|| missing("run-token"))?;
+    let fingerprint =
+        Fingerprint { k, p, partitions, input_digest: digest.ok_or_else(|| missing("digest"))? };
+    config.input_digest = fingerprint.input_digest;
+    Ok((config, fingerprint))
+}
+
+// ---------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------
+
+/// Routes a process into the shard-worker loop when the parent's
+/// environment marks it as one. **Call this first in `main`** (or in
+/// the dedicated worker-entry test of a test binary): a production
+/// binary spawned as a worker then serves its leases and exits instead
+/// of running its own workload.
+///
+/// Returns `Ok(false)` immediately in an ordinary process (the
+/// variables are absent), `Ok(true)` after a completed worker run.
+///
+/// # Errors
+///
+/// Connection, protocol, or configuration failures inside the worker
+/// loop. Build failures of individual partitions are *not* errors here
+/// — they are reported to the parent as `failed` messages and retried
+/// or quarantined there.
+pub fn worker_from_env() -> Result<bool> {
+    let Ok(socket) = std::env::var(ENV_SOCKET) else { return Ok(false) };
+    let Ok(worker) = std::env::var(ENV_WORKER) else { return Ok(false) };
+    let worker: usize = worker
+        .parse()
+        .map_err(|e| shard_err(format!("{ENV_WORKER}=`{worker}` is not a worker id: {e}")))?;
+    run_worker(Path::new(&socket), worker)?;
+    Ok(true)
+}
+
+/// Parses [`ENV_KILL`] for this worker: `Some(nth)` when this worker
+/// must abort before building its `nth` assignment.
+fn kill_before(worker: usize) -> Option<usize> {
+    let spec = std::env::var(ENV_KILL).ok()?;
+    let (w, nth) = spec.split_once('@')?;
+    if w.parse::<usize>().ok()? != worker {
+        return None;
+    }
+    nth.parse().ok()
+}
+
+fn send(stream: &mut UnixStream, msg: &WireMsg) -> Result<()> {
+    write_frame(stream, &msg.encode()).map_err(ParaHashError::Io)
+}
+
+/// The worker loop: hello, receive the config, then claim-build-report
+/// until the parent says `finished`.
+fn run_worker(socket: &Path, worker: usize) -> Result<()> {
+    let mut stream = UnixStream::connect(socket).map_err(ParaHashError::Io)?;
+    send(&mut stream, &WireMsg::Hello(worker))?;
+    let Some(frame) = read_frame(&mut stream).map_err(ParaHashError::Io)? else {
+        return Ok(()); // parent went away before configuring us
+    };
+    let WireMsg::Config(blob) = WireMsg::decode(&frame).map_err(ParaHashError::Io)? else {
+        return Err(shard_err("parent's first message was not `config`"));
+    };
+    let (config, fingerprint) = config_from_blob(&blob)?;
+    let manifest = PartitionManifest::load(config.work_dir.join("superkmers"))?;
+    // The worker's own journal, in its own subdirectory: `sub-split` and
+    // `subgraph-committed` records for the leases it built, replayable
+    // for post-mortems without racing the parent's `run.journal`.
+    let journal =
+        RunJournal::create(&config.work_dir.join(format!("worker-{worker}")), fingerprint)?;
+    let io = ThrottledIo::new(IoMode::Unthrottled);
+    let kill = kill_before(worker);
+    let mut assigned = 0usize;
+    loop {
+        send(&mut stream, &WireMsg::Claim(worker))?;
+        let Some(frame) = read_frame(&mut stream).map_err(ParaHashError::Io)? else {
+            return Ok(()); // parent died; nothing useful left to do
+        };
+        match WireMsg::decode(&frame).map_err(ParaHashError::Io)? {
+            WireMsg::Assign(p) => {
+                assigned += 1;
+                if kill == Some(assigned) {
+                    // Die exactly as a crashed worker would: no unwind,
+                    // no cleanup, the lease left dangling.
+                    std::process::abort();
+                }
+                let built = build_and_commit_partition(
+                    &config,
+                    p,
+                    &manifest.partition_path(p),
+                    manifest.stats()[p].kmers,
+                    &io,
+                    Some(&journal),
+                );
+                let reply = match built {
+                    Ok(out) => WireMsg::Result(
+                        p,
+                        format!("ok {} {} {}", out.resizes, out.peak_table_bytes, out.fanout),
+                    ),
+                    Err(e) => WireMsg::Failed(p, e.to_string().replace(['\n', '\r'], " ")),
+                };
+                send(&mut stream, &reply)?;
+            }
+            WireMsg::Finished => return Ok(()),
+            other => return Err(shard_err(format!("unexpected message from parent: {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parent side.
+// ---------------------------------------------------------------------
+
+/// What the connection handlers accumulate across workers.
+#[derive(Default)]
+struct ShardStats {
+    resizes: usize,
+    peak_table_bytes: u64,
+    sub_splits: Vec<(usize, usize)>,
+    built: BTreeSet<usize>,
+}
+
+/// Step 2 as a multi-process shard: spawn
+/// [`workers`](crate::ParaHashConfigBuilder::workers) child processes,
+/// lease them partitions largest-first, verify and absorb their
+/// committed subgraphs. Drop-in replacement for
+/// [`run_step2_with`](crate::step2::run_step2_with) on the two-phase
+/// path — same signature, same journal records in the parent's
+/// `run.journal`, byte-identical subgraph files and graph.
+///
+/// # Errors
+///
+/// Socket/spawn failures, a partition that exhausted its lease attempts
+/// *and* the in-process fallback (strict mode), or any error of the
+/// fallback builds.
+pub(crate) fn run_step2_sharded(
+    config: &ParaHashConfig,
+    manifest: &PartitionManifest,
+    io: &ThrottledIo,
+    journal: Option<&RunJournal>,
+    skip: &BTreeSet<usize>,
+) -> Result<(DeBruijnGraph, StepReport)> {
+    debug_assert!(config.workers > 0);
+    let started = Instant::now();
+    let n = manifest.num_partitions();
+    let sub_dir = config.work_dir.join("subgraphs");
+    std::fs::create_dir_all(&sub_dir)?;
+
+    // LPT dispatch order, as in the in-process scheduler: the biggest
+    // partitions start first so the tail stays short. Ties break to the
+    // lower index for deterministic assignment logs.
+    let mut order: Vec<usize> = (0..n).filter(|i| !skip.contains(i)).collect();
+    order.sort_by(|&a, &b| {
+        manifest.stats()[b].bytes.cmp(&manifest.stats()[a].bytes).then(a.cmp(&b))
+    });
+
+    let socket_path = config.work_dir.join(SOCKET_FILE);
+    let _ = std::fs::remove_file(&socket_path);
+    let listener = UnixListener::bind(&socket_path).map_err(|e| {
+        shard_err(format!("binding worker socket {}: {e}", socket_path.display()))
+    })?;
+
+    let exe = std::env::current_exe().map_err(ParaHashError::Io)?;
+    let mut children = Vec::with_capacity(config.workers);
+    for w in 0..config.workers {
+        let child = std::process::Command::new(&exe)
+            .args(&config.worker_args)
+            .env(ENV_SOCKET, &socket_path)
+            .env(ENV_WORKER, w.to_string())
+            .spawn()
+            .map_err(|e| shard_err(format!("spawning worker {w}: {e}")))?;
+        children.push(child);
+    }
+
+    let board = Mutex::new(LeaseBoard::new(order, n, MAX_LEASE_ATTEMPTS));
+    let stats = Mutex::new(ShardStats::default());
+    let blob = config_blob(config);
+    let shutdown = AtomicBool::new(false);
+    let mut handler_faults: Vec<ParaHashError> = Vec::new();
+
+    std::thread::scope(|s| {
+        let accept = s.spawn(|| {
+            let mut handlers = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                handlers.push(s.spawn(|| {
+                    serve_worker(stream, &board, &stats, &blob, &sub_dir, journal)
+                }));
+            }
+            handlers.into_iter().filter_map(|h| h.join().ok().and_then(|r| r.err())).collect()
+        });
+        // Workers exit when the board drains (`finished`) or they die;
+        // either way every child terminates, and only then is it safe
+        // to stop serving the socket.
+        for child in &mut children {
+            let _ = child.wait();
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = UnixStream::connect(&socket_path); // unblock accept()
+        handler_faults = accept.join().unwrap_or_default();
+    });
+    let _ = std::fs::remove_file(&socket_path);
+
+    // A handler fault is a *parent-side* failure (journal append,
+    // protocol corruption) — the affected worker's leases were requeued
+    // on its EOF, but a journaling failure must abort like in-process.
+    if let Some(e) = handler_faults.into_iter().next() {
+        if config.strict {
+            let _ = std::fs::remove_dir_all(&sub_dir);
+            return Err(e);
+        }
+    }
+
+    let mut board = board.into_inner();
+    let mut stats = stats.into_inner();
+    let mut quarantined: Vec<QuarantinedPartition> = Vec::new();
+
+    // Leases that burned every attempt: strict runs abort, non-strict
+    // runs set the partition aside exactly like an in-process read
+    // failure would.
+    for x in board.exhausted() {
+        if config.strict {
+            let _ = std::fs::remove_dir_all(&sub_dir);
+            return Err(shard_err(format!(
+                "partition {} failed {} worker attempt(s): {}",
+                x.partition, x.attempts, x.reason
+            )));
+        }
+        quarantined.push(QuarantinedPartition {
+            index: x.partition,
+            reason: format!("{} (after {} worker attempts)", x.reason, x.attempts),
+        });
+    }
+
+    // Orphans — partitions still pending after every worker exited
+    // (workers all died, or all drew `finished` while a failure was
+    // requeueing) — fall back to in-process builds by the parent.
+    let mut orphans = Vec::new();
+    while let Some(p) = board.claim(usize::MAX) {
+        orphans.push(p);
+    }
+    if !orphans.is_empty() {
+        let mut local = config.clone();
+        local.workers = 0;
+        local.strict = true;
+        local.write_subgraphs = true;
+        for p in orphans {
+            match build_and_commit_partition(
+                &local,
+                p,
+                &manifest.partition_path(p),
+                manifest.stats()[p].kmers,
+                io,
+                journal,
+            ) {
+                Ok(out) => {
+                    stats.resizes += out.resizes;
+                    stats.peak_table_bytes = stats.peak_table_bytes.max(out.peak_table_bytes);
+                    if out.fanout >= 2 {
+                        stats.sub_splits.push((p, out.fanout));
+                    }
+                    stats.built.insert(p);
+                }
+                Err(e) if config.strict => {
+                    let _ = std::fs::remove_dir_all(&sub_dir);
+                    return Err(e);
+                }
+                Err(e) => {
+                    quarantined
+                        .push(QuarantinedPartition { index: p, reason: e.to_string() });
+                }
+            }
+        }
+    }
+
+    // Absorb what this step built (resume-skipped partitions are
+    // absorbed by the driver, as on the in-process path). Files were
+    // already verified when the worker reported them; fallback builds
+    // are trusted like in-process commits.
+    let mut graph = DeBruijnGraph::new(config.k);
+    let mut peak_partition = 0u64;
+    for &p in &stats.built {
+        let bytes = std::fs::read(sub_dir.join(format!("sub-{p:05}.dbg")))?;
+        graph.absorb(decode_subgraph_checked(&bytes, Some(p))?);
+        peak_partition = peak_partition.max(manifest.stats()[p].bytes);
+    }
+
+    stats.sub_splits.sort_unstable();
+    stats.sub_splits.dedup();
+    if let Some(journal) = journal {
+        for q in &quarantined {
+            journal.append(&JournalEvent::Quarantined(q.index, q.reason.clone()))?;
+        }
+    }
+    if !quarantined.is_empty() || !stats.sub_splits.is_empty() {
+        let mut marked = manifest.clone();
+        for q in &quarantined {
+            marked.quarantine(q.index, q.reason.clone());
+        }
+        for &(i, fanout) in &stats.sub_splits {
+            marked.set_sub_split(i, fanout);
+        }
+        marked.save()?;
+    }
+    if !config.write_subgraphs {
+        // The files were only ever the wire's result channel; the user
+        // asked for none. (The resume skip-set is always empty in this
+        // configuration, so nothing downstream reads them.)
+        std::fs::remove_dir_all(&sub_dir)?;
+    }
+
+    let partitions_built = stats.built.len();
+    let report = StepReport {
+        step: 2,
+        pipeline: PipelineReport {
+            elapsed: started.elapsed(),
+            input_time: Duration::ZERO,
+            output_time: Duration::ZERO,
+            shares: Vec::new(),
+            partitions: partitions_built,
+            spans: Vec::new(),
+            cancelled: false,
+        },
+        // Device meters live in the worker processes; the parent's own
+        // devices did no Step-2 work (fallback builds excepted, whose
+        // compute is folded into `elapsed`).
+        cpu_compute: Duration::ZERO,
+        gpu_compute: Duration::ZERO,
+        contention: None,
+        step1_stats: None,
+        resizes: stats.resizes,
+        peak_partition_bytes: peak_partition,
+        peak_table_bytes: stats.peak_table_bytes,
+        peak_resident_store_bytes: 0,
+        quarantined,
+        sub_splits: stats.sub_splits,
+        coproc: None,
+    };
+    Ok((graph, report))
+}
+
+/// One connection's server loop: configure the worker, lease it
+/// partitions, verify what it reports back. EOF (clean or crash) frees
+/// the worker's outstanding leases.
+fn serve_worker(
+    mut stream: UnixStream,
+    board: &Mutex<LeaseBoard>,
+    stats: &Mutex<ShardStats>,
+    blob: &str,
+    sub_dir: &Path,
+    journal: Option<&RunJournal>,
+) -> Result<()> {
+    let Some(frame) = read_frame(&mut stream).map_err(ParaHashError::Io)? else {
+        return Ok(()); // the shutdown dummy connection
+    };
+    let WireMsg::Hello(worker) = WireMsg::decode(&frame).map_err(ParaHashError::Io)? else {
+        return Err(shard_err("worker's first message was not `hello`"));
+    };
+    send(&mut stream, &WireMsg::Config(blob.to_string()))?;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean exit and crash look the same from here: requeue
+            // whatever the worker still held (crash) — a no-op after a
+            // clean `finished` exit (it held nothing).
+            Ok(None) | Err(_) => {
+                board.lock().release_worker(worker);
+                return Ok(());
+            }
+        };
+        match WireMsg::decode(&frame).map_err(ParaHashError::Io)? {
+            WireMsg::Claim(w) => {
+                let leased = board.lock().claim(w);
+                match leased {
+                    Some(p) => {
+                        // Journaled *before* the assignment goes out:
+                        // after a parent crash, replay shows exactly
+                        // which partitions were in flight.
+                        if let Some(journal) = journal {
+                            journal.append(&JournalEvent::WorkerLease(w, p))?;
+                        }
+                        send(&mut stream, &WireMsg::Assign(p))?;
+                    }
+                    None => send(&mut stream, &WireMsg::Finished)?,
+                }
+            }
+            WireMsg::Result(p, detail) => {
+                // Trust nothing: the committed file must exist and pass
+                // its end-to-end checks before the lease completes.
+                let verified = std::fs::read(sub_dir.join(format!("sub-{p:05}.dbg")))
+                    .map_err(ParaHashError::Io)
+                    .and_then(|bytes| decode_subgraph_checked(&bytes, Some(p)).map(|_| ()));
+                match verified {
+                    Ok(()) => {
+                        let mut board = board.lock();
+                        board.complete(p);
+                        drop(board);
+                        if let Some(journal) = journal {
+                            journal.append(&JournalEvent::SubgraphCommitted(p))?;
+                        }
+                        let mut st = stats.lock();
+                        st.built.insert(p);
+                        let mut fields = detail.split_whitespace();
+                        if fields.next() == Some("ok") {
+                            if let (Some(r), Some(t), Some(f)) = (
+                                fields.next().and_then(|v| v.parse::<usize>().ok()),
+                                fields.next().and_then(|v| v.parse::<u64>().ok()),
+                                fields.next().and_then(|v| v.parse::<usize>().ok()),
+                            ) {
+                                st.resizes += r;
+                                st.peak_table_bytes = st.peak_table_bytes.max(t);
+                                if f >= 2 {
+                                    st.sub_splits.push((p, f));
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        board.lock().fail(
+                            p,
+                            &format!("worker {worker} reported success but the file fails: {e}"),
+                        );
+                    }
+                }
+            }
+            WireMsg::Failed(p, detail) => {
+                board.lock().fail(p, &detail);
+            }
+            other => {
+                board.lock().release_worker(worker);
+                return Err(shard_err(format!("unexpected message from worker: {other:?}")));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(dir: &str) -> ParaHashConfig {
+        ParaHashConfig::builder()
+            .k(9)
+            .p(5)
+            .partitions(8)
+            .cpu_threads(3)
+            .table_memory_budget(1 << 20)
+            .out_of_core(true)
+            .work_dir(std::env::temp_dir().join(dir))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn config_blob_roundtrips_bit_exact() {
+        let cfg = config("parahash-shard-blob");
+        let (back, fp) = config_from_blob(&config_blob(&cfg)).unwrap();
+        assert_eq!(back.k, cfg.k);
+        assert_eq!(back.p, cfg.p);
+        assert_eq!(back.partitions, cfg.partitions);
+        assert_eq!(back.sizing.lambda.to_bits(), cfg.sizing.lambda.to_bits());
+        assert_eq!(back.sizing.alpha.to_bits(), cfg.sizing.alpha.to_bits());
+        assert_eq!(back.table_memory_budget, cfg.table_memory_budget);
+        assert_eq!(back.out_of_core, cfg.out_of_core);
+        assert_eq!(back.work_dir, cfg.work_dir);
+        assert_eq!(back.devices()[0].parallelism(), 3, "thread count crosses the wire");
+        assert!(back.strict && back.write_subgraphs, "worker invariants forced on");
+        assert_eq!(fp.k, 9);
+        assert_eq!(fp.input_digest, 0, "no digest set on a bare config");
+    }
+
+    #[test]
+    fn config_blob_rejects_damage() {
+        let cfg = config("parahash-shard-blob-bad");
+        let blob = config_blob(&cfg);
+        assert!(config_from_blob(&blob.replace("k 9", "k nine")).is_err());
+        assert!(config_from_blob(&blob.replace("digest", "digets")).is_err());
+        let missing: String =
+            blob.lines().filter(|l| !l.starts_with("alpha")).collect::<Vec<_>>().join("\n");
+        assert!(config_from_blob(&missing).is_err(), "missing key must be rejected");
+    }
+
+    #[test]
+    fn kill_spec_parses_and_scopes_to_the_worker() {
+        // Uses a scoped fake env because the real one is process-global.
+        std::env::set_var(ENV_KILL, "2@3");
+        assert_eq!(kill_before(2), Some(3));
+        assert_eq!(kill_before(1), None);
+        std::env::set_var(ENV_KILL, "junk");
+        assert_eq!(kill_before(2), None);
+        std::env::remove_var(ENV_KILL);
+        assert_eq!(kill_before(2), None);
+    }
+}

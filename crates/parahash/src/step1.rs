@@ -483,6 +483,7 @@ pub(crate) fn step1_report(
         peak_table_bytes: 0, // Step 1 allocates no hash tables
         peak_resident_store_bytes: 0, // filled in by the fused driver
         quarantined: Vec::new(),
+        sub_splits: Vec::new(),
         coproc: None, // Step 1 is not split-scheduled
     }
 }

@@ -36,6 +36,14 @@ struct Part2Out {
 /// count, 8 edge counters).
 const VERTEX_BYTES: usize = 32 + 4 + 32;
 
+/// Hard cap on the out-of-core sub-partition fanout. A tiny table budget
+/// against a huge partition would otherwise ask for thousands of
+/// sub-buffers whose per-sub framing and bookkeeping dwarf the split's
+/// benefit; past this point each sub-table simply runs over budget (the
+/// split is best-effort, never recursive — see
+/// [`Step2Shared::build_split`]).
+const MAX_SUB_FANOUT: usize = 256;
+
 /// Serialises a subgraph to the on-disk format: little-endian,
 /// fixed-width records preceded by a u64 count and a u8 k, followed by a
 /// u32 CRC32 trailer over everything before it (so bit-rot in a persisted
@@ -261,12 +269,16 @@ pub(crate) fn run_step2_with(
     };
 
     let (graph, report) = shared.finish(pipeline_report, graph, None)?;
-    if !report.quarantined.is_empty() {
-        // Persist the quarantine marks so any later consumer of the
-        // partition directory knows which subgraphs are missing.
+    if !report.quarantined.is_empty() || !report.sub_splits.is_empty() {
+        // Persist the quarantine and sub-split marks so any later
+        // consumer of the partition directory knows which subgraphs are
+        // missing and which were built out of core.
         let mut marked = manifest.clone();
         for q in &report.quarantined {
             marked.quarantine(q.index, q.reason.clone());
+        }
+        for &(i, fanout) in &report.sub_splits {
+            marked.set_sub_split(i, fanout);
         }
         marked.save()?;
     }
@@ -372,6 +384,10 @@ struct Step2Shared<'a> {
     peak_partition: AtomicU64,
     first_error: OnceError<ParaHashError>,
     quarantined: Mutex<Vec<QuarantinedPartition>>,
+    /// `(partition, fanout)` for every partition whose projected table
+    /// busted [`table_memory_budget`](crate::ParaHashConfigBuilder::table_memory_budget)
+    /// and was built out of core through second-level sub-partitions.
+    sub_splits: Mutex<Vec<(usize, usize)>>,
     sub_dir: PathBuf,
     /// When set, every durable state change (subgraph committed,
     /// partition quarantined) is appended to the run journal so a
@@ -410,6 +426,7 @@ impl<'a> Step2Shared<'a> {
             peak_partition: AtomicU64::new(0),
             first_error: OnceError::new(),
             quarantined: Mutex::new(Vec::new()),
+            sub_splits: Mutex::new(Vec::new()),
             sub_dir,
             kernel: ReplayKernel::new(config.k),
             baselines: OnceLock::new(),
@@ -435,9 +452,10 @@ impl<'a> Step2Shared<'a> {
         }
     }
 
-    /// The compute stage: index the framed partition bytes once, then
-    /// hash-construct with pooled tables, retrying with a bigger checkout
-    /// if the Property-1 estimate under-sized the table.
+    /// The compute stage: admit the partition against the per-table
+    /// memory budget, then hash-construct — in one table when the
+    /// Property-1 projection fits, or out of core through second-level
+    /// sub-partitions when it does not.
     fn build(
         &self,
         device: &dyn Device,
@@ -447,6 +465,101 @@ impl<'a> Step2Shared<'a> {
     ) -> (Option<Part2Out>, u64) {
         self.baselines.get_or_init(|| device_baselines(self.config));
         self.peak_partition.fetch_max(bytes.len() as u64, Ordering::Relaxed);
+        let projected = hashgraph::projected_table_bytes(n_kmers, self.config.sizing);
+        let budget = self.config.table_memory_budget;
+        if projected > budget {
+            if !self.config.out_of_core {
+                self.fatal(ParaHashError::TableOverBudget {
+                    partition: idx,
+                    projected_bytes: projected,
+                    budget,
+                });
+                return (None, 0);
+            }
+            return self.build_split(device, idx, bytes, projected);
+        }
+        match self.build_one_table(device, idx, bytes, n_kmers) {
+            Some((subgraph, contention, resizes)) => {
+                let work = subgraph.len() as u64;
+                (Some(Part2Out { subgraph, contention, resizes }), work)
+            }
+            None => (None, 0),
+        }
+    }
+
+    /// Out-of-core build of one over-budget partition: split its records
+    /// by the second-level minimizer hash ([`msp::split_framed`]), build
+    /// each sub-partition with its own budget-sized table (one live at a
+    /// time — that is the point), and concatenate the sub-entries. The
+    /// sub-tables are key-disjoint because every copy of a k-mer shares a
+    /// minimizer, so the merged entry set — and after the canonical sort
+    /// in [`encode_subgraph`], the persisted bytes — is identical to the
+    /// unsplit build's.
+    ///
+    /// The fanout is `ceil(projected / budget)`, clamped to
+    /// [`MAX_SUB_FANOUT`]; splitting happens **exactly once** (sub-builds
+    /// are never re-admitted against the budget), because a single
+    /// minimizer's load is the atomic unit of routing — a sub-partition
+    /// that is still over budget (one pathologically hot minimizer, or a
+    /// fanout clamped by the cap) builds with an over-budget table rather
+    /// than recursing forever.
+    fn build_split(
+        &self,
+        device: &dyn Device,
+        idx: usize,
+        bytes: &[u8],
+        projected: u64,
+    ) -> (Option<Part2Out>, u64) {
+        let fanout = projected
+            .div_ceil(self.config.table_memory_budget.max(1))
+            .clamp(2, MAX_SUB_FANOUT as u64) as usize;
+        let subs = match msp::split_framed(bytes, self.config.k, self.config.p, fanout, idx) {
+            Ok(subs) => subs,
+            Err(e) => {
+                self.partition_failed(idx, e.into());
+                return (None, 0);
+            }
+        };
+        self.sub_splits.lock().push((idx, fanout));
+        if let Some(journal) = self.journal {
+            if let Err(e) = journal.append(&JournalEvent::SubSplit(idx, fanout)) {
+                self.fatal(e);
+                return (None, 0);
+            }
+        }
+        let mut entries = Vec::new();
+        let mut contention = ContentionStats::default();
+        let mut resizes = 0usize;
+        for sub in &subs {
+            if sub.superkmers == 0 {
+                continue;
+            }
+            let Some((subgraph, sub_contention, sub_resizes)) =
+                self.build_one_table(device, idx, &sub.bytes, sub.kmers)
+            else {
+                return (None, 0);
+            };
+            contention.merge(&sub_contention);
+            resizes += sub_resizes;
+            entries.extend(subgraph.into_entries());
+        }
+        let subgraph = SubGraph::new(self.config.k, entries);
+        let work = subgraph.len() as u64;
+        (Some(Part2Out { subgraph, contention, resizes }), work)
+    }
+
+    /// One table build: index the framed bytes once, then hash-construct
+    /// with pooled tables, retrying with a bigger checkout if the
+    /// Property-1 estimate under-sized the table. `None` means the
+    /// failure was already routed through
+    /// [`partition_failed`](Self::partition_failed) / [`fatal`](Self::fatal).
+    fn build_one_table(
+        &self,
+        device: &dyn Device,
+        idx: usize,
+        bytes: &[u8],
+        n_kmers: u64,
+    ) -> Option<(SubGraph, ContentionStats, usize)> {
         let transfer_in = bytes.len() as u64;
         // Zero-copy decode of the framed bytes: verify every frame's
         // CRC32 once, index the record boundaries, then replay borrowed
@@ -458,7 +571,7 @@ impl<'a> Step2Shared<'a> {
             Ok(slices) => slices,
             Err(e) => {
                 self.partition_failed(idx, e.into());
-                return (None, 0);
+                return None;
             }
         };
         let mut capacity = table_capacity_for(n_kmers, self.config.sizing);
@@ -474,7 +587,7 @@ impl<'a> Step2Shared<'a> {
             if is_gpu {
                 if let Err(e) = device.alloc(table_bytes) {
                     self.fatal(e.into());
-                    return (None, 0);
+                    return None;
                 }
                 device.transfer_to_device(transfer_in);
             }
@@ -507,15 +620,7 @@ impl<'a> Step2Shared<'a> {
                         device.transfer_from_device((subgraph.len() * VERTEX_BYTES) as u64);
                         device.free(table_bytes);
                     }
-                    let work = subgraph.len() as u64;
-                    return (
-                        Some(Part2Out {
-                            subgraph,
-                            contention: table.contention(),
-                            resizes,
-                        }),
-                        work,
-                    );
+                    return Some((subgraph, table.contention(), resizes));
                 }
                 Some(HashGraphError::CapacityExhausted { .. }) => {
                     if is_gpu {
@@ -532,7 +637,7 @@ impl<'a> Step2Shared<'a> {
                         device.free(table_bytes);
                     }
                     self.fatal(e.into());
-                    return (None, 0);
+                    return None;
                 }
             }
         }
@@ -590,6 +695,11 @@ impl<'a> Step2Shared<'a> {
         tuner: Option<&SplitTuner>,
     ) -> Result<(DeBruijnGraph, StepReport)> {
         let quarantined = self.quarantined.into_inner();
+        // Compute-stage completion order is nondeterministic under
+        // multithreading; the report (and everything derived from it,
+        // like manifest marks) must not be.
+        let mut sub_splits = self.sub_splits.into_inner();
+        sub_splits.sort_unstable();
         if let Some(e) = self.first_error.into_inner() {
             // Abort path: whatever subgraph files were persisted describe
             // a partial run — delete them so nothing downstream mistakes
@@ -648,10 +758,61 @@ impl<'a> Step2Shared<'a> {
             peak_table_bytes: self.peak_table.into_inner(),
             peak_resident_store_bytes: 0,
             quarantined,
+            sub_splits,
             coproc,
         };
         Ok((graph, report))
     }
+}
+
+/// What [`build_and_commit_partition`] measured while building one
+/// partition — the payload of a shard worker's `result` wire message.
+pub(crate) struct StandaloneOutcome {
+    /// Capacity-retry rebuilds this partition needed.
+    pub resizes: usize,
+    /// Peak hash-table bytes (the largest sub-table when split).
+    pub peak_table_bytes: u64,
+    /// Out-of-core fanout: 0 when the partition fit its budget and was
+    /// built in one table, ≥ 2 when it was sub-partitioned.
+    pub fanout: usize,
+}
+
+/// Builds **one** partition end to end — read, budget-admit (splitting
+/// out of core if projected over budget), hash-construct, and commit the
+/// encoded subgraph as `subgraphs/sub-<idx>.dbg` — outside any pipeline.
+/// This is the unit of work a shard worker executes per lease: the
+/// committed file *is* the result channel back to the parent, so the
+/// caller's config must have `write_subgraphs` forced on, and `strict`
+/// on so every failure surfaces as an error (the parent owns
+/// quarantine policy, not the worker).
+///
+/// # Errors
+///
+/// Any read, frame, device, or commit failure for this partition.
+pub(crate) fn build_and_commit_partition(
+    config: &ParaHashConfig,
+    idx: usize,
+    path: &std::path::Path,
+    n_kmers: u64,
+    io: &ThrottledIo,
+    journal: Option<&RunJournal>,
+) -> Result<StandaloneOutcome> {
+    debug_assert!(config.strict && config.write_subgraphs);
+    let cancel = CancelToken::new();
+    let shared = Step2Shared::new(config, &cancel, journal)?;
+    let bytes = io.read_file(path).map_err(ParaHashError::Io)?;
+    let (out, _) = shared.build(config.devices()[0].as_ref(), idx, &bytes, n_kmers);
+    let mut graph = DeBruijnGraph::new(config.k);
+    shared.consume(io, &mut graph, idx, out);
+    if let Some(e) = shared.first_error.into_inner() {
+        return Err(e);
+    }
+    let splits = shared.sub_splits.into_inner();
+    Ok(StandaloneOutcome {
+        resizes: shared.total_resizes.into_inner(),
+        peak_table_bytes: shared.peak_table.into_inner(),
+        fanout: splits.first().map_or(0, |&(_, f)| f),
+    })
 }
 
 #[cfg(test)]

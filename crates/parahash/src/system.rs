@@ -106,6 +106,7 @@ impl ParaHash {
         }
         let fingerprint = fingerprint_of(&config, Fingerprint::digest_reads(reads));
         config.run_token = fingerprint.token();
+        config.input_digest = fingerprint.input_digest;
         let plan = ResumePlan::prepare(&config, fingerprint, resume)?;
         two_phase(&config, &io, started, plan, |cfg, io| run_step1(cfg, reads, io))
     }
@@ -129,6 +130,7 @@ impl ParaHash {
         let mut config = self.config.clone();
         let fingerprint = fingerprint_of(&config, Fingerprint::digest_path(path)?);
         config.run_token = fingerprint.token();
+        config.input_digest = fingerprint.input_digest;
         let plan = ResumePlan::prepare(&config, fingerprint, config.resume)?;
         two_phase(&config, &io, started, plan, |cfg, io| run_step1_fastq(cfg, path, io))
     }
@@ -212,6 +214,7 @@ impl ParaHash {
         }
         let fingerprint = fingerprint_of(&config, Fingerprint::digest_reads(reads));
         config.run_token = fingerprint.token();
+        config.input_digest = fingerprint.input_digest;
         let plan = ResumePlan::prepare(&config, fingerprint, resume)?;
         fused_run(&config, io, plan, |cfg, io, cancel, store| {
             step1_sink_reads(cfg, reads, io, cancel, store)
@@ -235,6 +238,7 @@ impl ParaHash {
         let mut config = self.config.clone();
         let fingerprint = fingerprint_of(&config, Fingerprint::digest_path(path)?);
         config.run_token = fingerprint.token();
+        config.input_digest = fingerprint.input_digest;
         let plan = ResumePlan::prepare(&config, fingerprint, config.resume)?;
         fused_run(&config, &io, plan, |cfg, io, cancel, store| {
             step1_sink_fastq(cfg, path, io, cancel, store)
@@ -367,6 +371,7 @@ fn skipped_step1_report() -> StepReport {
         peak_table_bytes: 0,
         peak_resident_store_bytes: 0,
         quarantined: Vec::new(),
+        sub_splits: Vec::new(),
         coproc: None,
     }
 }
@@ -395,8 +400,14 @@ fn two_phase(
         }
         out
     };
-    let (mut graph, step2) =
-        run_step2_with(config, &manifest, io, Some(&plan.journal), &plan.committed)?;
+    // `workers(N)` swaps the in-process Step 2 for the multi-process
+    // shard; the two produce byte-identical subgraphs and graphs (see
+    // `crate::shard`), so everything downstream is oblivious.
+    let (mut graph, step2) = if config.workers > 0 {
+        crate::shard::run_step2_sharded(config, &manifest, io, Some(&plan.journal), &plan.committed)?
+    } else {
+        run_step2_with(config, &manifest, io, Some(&plan.journal), &plan.committed)?
+    };
     plan.absorb_committed(config, &mut graph)?;
     plan.journal.append(&JournalEvent::RunComplete)?;
     let total_elapsed = started.elapsed();

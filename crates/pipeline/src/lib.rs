@@ -45,6 +45,7 @@ mod io;
 pub mod perfmodel;
 mod queue;
 mod scheduler;
+pub mod shard;
 
 pub use autotune::{SplitPolicy, SplitTuner, Steering, TunerSnapshot, TunerWarmStart};
 pub use cancel::CancelToken;

@@ -1,0 +1,461 @@
+//! Multi-process Step-2 sharding: the wire protocol and the lease board.
+//!
+//! The parent process runs Step 1, seals the partition directory, then
+//! spawns N worker processes. Each worker connects back over a Unix
+//! socket and *claims* partitions one at a time; the parent hands out
+//! leases in LPT (largest-processing-time-first) order — the same
+//! largest-first heuristic the in-process scheduler uses — so the
+//! biggest partitions start earliest and the tail stays short.
+//!
+//! This module is deliberately policy-free plumbing: a length-prefixed,
+//! CRC-checked frame codec over any `Read`/`Write` pair, a tiny
+//! line-oriented message grammar, and a [`LeaseBoard`] that tracks who
+//! holds what with bounded retries. Everything ParaHash-specific (what a
+//! partition *is*, how a worker builds it, journaling) lives in the
+//! `parahash` crate; everything here is testable without processes.
+//!
+//! # Wire format
+//!
+//! Every message is one frame: `u32 len LE | u32 crc32 LE | payload`,
+//! the same framing as the superkmer partition files (independently
+//! implemented here — this crate sits *below* `msp` in the dependency
+//! order). The payload is UTF-8 text, first line the message tag:
+//!
+//! ```text
+//! hello <worker-id>            worker → parent, once, on connect
+//! config\n<blob>               parent → worker, once; blob is opaque here
+//! claim <worker-id>            worker → parent: give me work
+//! assign <partition>           parent → worker: build this one
+//! finished                     parent → worker: no work left, exit cleanly
+//! result <partition> <detail>  worker → parent: built and committed
+//! failed <partition> <detail>  worker → parent: build failed, re-lease it
+//! ```
+//!
+//! A worker that dies mid-lease simply drops its connection; the parent
+//! observes EOF and requeues the worker's outstanding leases.
+
+use std::io::{Read, Write};
+
+/// Upper bound on a single wire frame. Messages are short text (the
+/// config blob is the largest, well under a kilobyte); anything bigger
+/// is a corrupt or hostile peer, not a real message.
+const MAX_FRAME: u32 = 1 << 20;
+
+/// CRC32 (ISO-HDLC, the zlib polynomial) — bitwise, no table. Wire
+/// messages are tens of bytes; simplicity beats throughput here. Kept
+/// local because `pipeline` must not depend on `msp` (the dependency
+/// points the other way).
+pub fn wire_crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Writes one length-prefixed, checksummed frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write failure (typically a broken pipe
+/// when the peer died).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&wire_crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF *between* frames — the
+/// peer closed its end deliberately (or died; the lease board treats
+/// both the same). EOF *inside* a frame, a length over [`MAX_FRAME`],
+/// or a checksum mismatch are hard [`std::io::ErrorKind::InvalidData`]
+/// errors: the stream can't be resynchronised, so the connection is
+/// dead either way.
+///
+/// # Errors
+///
+/// Read failures, torn frames, oversized lengths, CRC mismatches.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("torn wire frame: EOF after {filled} of 8 header bytes"),
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+    let stored = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("wire frame claims {len} bytes (cap {MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("torn wire frame: {e} reading {len}-byte payload"),
+        )
+    })?;
+    let computed = wire_crc32(&payload);
+    if computed != stored {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("wire frame checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"),
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// The shard protocol's message set. See the module docs for the grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Worker's first message: its parent-assigned id.
+    Hello(usize),
+    /// Parent's reply to `hello`: the opaque run-config blob the worker
+    /// needs to reconstruct the build configuration.
+    Config(String),
+    /// Worker asks for its next lease.
+    Claim(usize),
+    /// Parent leases one partition to the asking worker.
+    Assign(usize),
+    /// Parent: nothing left (or nothing this worker may have) — exit.
+    Finished,
+    /// Worker built and committed the partition; `detail` is opaque
+    /// accounting text relayed into the parent's report.
+    Result(usize, String),
+    /// Worker failed the partition; `detail` says why. The parent
+    /// re-leases it (bounded by the board's attempt cap).
+    Failed(usize, String),
+}
+
+impl WireMsg {
+    /// Serialises to the text payload of one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WireMsg::Hello(id) => format!("hello {id}").into_bytes(),
+            WireMsg::Config(blob) => format!("config\n{blob}").into_bytes(),
+            WireMsg::Claim(id) => format!("claim {id}").into_bytes(),
+            WireMsg::Assign(p) => format!("assign {p}").into_bytes(),
+            WireMsg::Finished => b"finished".to_vec(),
+            WireMsg::Result(p, detail) => format!("result {p} {detail}").into_bytes(),
+            WireMsg::Failed(p, detail) => format!("failed {p} {detail}").into_bytes(),
+        }
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::ErrorKind::InvalidData`] naming the malformed payload —
+    /// an unknown tag or a missing/non-numeric field. The shard protocol
+    /// has no version negotiation; both ends are the same binary, so any
+    /// parse failure is corruption, not skew.
+    pub fn decode(payload: &[u8]) -> std::io::Result<WireMsg> {
+        let bad = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| bad(format!("non-UTF-8 wire message: {e}")))?;
+        let (first, rest) = match text.split_once('\n') {
+            Some((f, r)) => (f, Some(r)),
+            None => (text, None),
+        };
+        let mut words = first.split_whitespace();
+        let tag = words.next().unwrap_or("");
+        let mut num = |what: &str| -> std::io::Result<usize> {
+            words
+                .next()
+                .ok_or_else(|| bad(format!("wire message `{tag}` is missing its {what}")))?
+                .parse()
+                .map_err(|e| bad(format!("wire message `{tag}`: bad {what}: {e}")))
+        };
+        match tag {
+            "hello" => Ok(WireMsg::Hello(num("worker id")?)),
+            "config" => Ok(WireMsg::Config(rest.unwrap_or("").to_string())),
+            "claim" => Ok(WireMsg::Claim(num("worker id")?)),
+            "assign" => Ok(WireMsg::Assign(num("partition")?)),
+            "finished" => Ok(WireMsg::Finished),
+            "result" | "failed" => {
+                let p = num("partition")?;
+                let detail = words.collect::<Vec<_>>().join(" ");
+                if tag == "result" {
+                    Ok(WireMsg::Result(p, detail))
+                } else {
+                    Ok(WireMsg::Failed(p, detail))
+                }
+            }
+            other => Err(bad(format!("unknown wire message tag `{other}`"))),
+        }
+    }
+}
+
+/// One permanently failed partition: leased `attempts` times, failed
+/// every time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExhaustedLease {
+    /// The partition that kept failing.
+    pub partition: usize,
+    /// Lease attempts consumed.
+    pub attempts: usize,
+    /// The *last* failure's detail text.
+    pub reason: String,
+}
+
+/// Who may build what: the parent's single source of truth for lease
+/// state. Pure bookkeeping — no I/O, no processes — so every corner
+/// (retry exhaustion, worker death mid-lease, claim-after-drain) is
+/// unit-testable.
+///
+/// Partitions are handed out in the order given to [`LeaseBoard::new`]
+/// (the caller passes an LPT order: largest first). A failed partition
+/// goes to the *front* of the queue — it has already burned wall-clock
+/// once, so it restarts before fresh work. A worker's death requeues
+/// all its outstanding leases the same way. A partition that fails
+/// `max_attempts` times moves to the exhausted list and is never
+/// leased again.
+#[derive(Debug)]
+pub struct LeaseBoard {
+    /// Partitions awaiting a lease, front = next out.
+    pending: std::collections::VecDeque<usize>,
+    /// `(partition, worker)` pairs currently leased.
+    leased: Vec<(usize, usize)>,
+    /// Lease attempts consumed per partition (indexed by partition id).
+    attempts: Vec<usize>,
+    /// Last failure reason per partition (empty = never failed).
+    last_reason: Vec<String>,
+    /// Partitions that hit the attempt cap.
+    exhausted: Vec<ExhaustedLease>,
+    /// Completed partitions.
+    done: Vec<usize>,
+    max_attempts: usize,
+}
+
+impl LeaseBoard {
+    /// A fresh board. `order` is the dispatch order (LPT: largest
+    /// first); `n` the total partition-id space (ids in `order` must be
+    /// `< n`); `max_attempts ≥ 1` the per-partition lease cap.
+    pub fn new(order: Vec<usize>, n: usize, max_attempts: usize) -> LeaseBoard {
+        debug_assert!(order.iter().all(|&p| p < n));
+        debug_assert!(max_attempts >= 1);
+        LeaseBoard {
+            pending: order.into(),
+            leased: Vec::new(),
+            attempts: vec![0; n],
+            last_reason: vec![String::new(); n],
+            exhausted: Vec::new(),
+            done: Vec::new(),
+            max_attempts,
+        }
+    }
+
+    /// Leases the next pending partition to `worker`, consuming one
+    /// attempt. `None` when nothing is pending — which the caller must
+    /// *not* read as "all done": partitions may still be leased to other
+    /// workers (and may yet fail back into the queue). Use
+    /// [`remaining`](Self::remaining) for the done test.
+    pub fn claim(&mut self, worker: usize) -> Option<usize> {
+        let p = self.pending.pop_front()?;
+        self.attempts[p] += 1;
+        self.leased.push((p, worker));
+        Some(p)
+    }
+
+    /// Marks a leased partition built. Unknown/unleased partitions are
+    /// ignored (a dead worker's late message races its requeue).
+    pub fn complete(&mut self, partition: usize) {
+        if let Some(at) = self.leased.iter().position(|&(p, _)| p == partition) {
+            self.leased.swap_remove(at);
+            self.done.push(partition);
+        }
+    }
+
+    /// Marks a leased partition failed: requeued at the *front* while
+    /// attempts remain, moved to the exhausted list once the cap is hit.
+    pub fn fail(&mut self, partition: usize, reason: &str) {
+        let Some(at) = self.leased.iter().position(|&(p, _)| p == partition) else {
+            return;
+        };
+        self.leased.swap_remove(at);
+        self.last_reason[partition] = reason.to_string();
+        if self.attempts[partition] >= self.max_attempts {
+            self.exhausted.push(ExhaustedLease {
+                partition,
+                attempts: self.attempts[partition],
+                reason: reason.to_string(),
+            });
+        } else {
+            self.pending.push_front(partition);
+        }
+    }
+
+    /// Requeues every partition `worker` holds — the worker died (EOF on
+    /// its connection). Death consumes the lease attempt the claim spent:
+    /// a partition whose workers keep dying hits the same cap as one
+    /// that keeps failing politely (a poison partition that *crashes*
+    /// builders must not re-lease forever).
+    pub fn release_worker(&mut self, worker: usize) {
+        let mut held: Vec<usize> = Vec::new();
+        self.leased.retain(|&(p, w)| {
+            if w == worker {
+                held.push(p);
+                false
+            } else {
+                true
+            }
+        });
+        for p in held {
+            if self.attempts[p] >= self.max_attempts {
+                self.exhausted.push(ExhaustedLease {
+                    partition: p,
+                    attempts: self.attempts[p],
+                    reason: format!("worker {worker} died holding the lease"),
+                });
+            } else {
+                self.pending.push_front(p);
+            }
+        }
+    }
+
+    /// Partitions not yet built or exhausted (pending + leased). Zero
+    /// means the run is settled.
+    pub fn remaining(&self) -> usize {
+        self.pending.len() + self.leased.len()
+    }
+
+    /// Partitions that hit the attempt cap, in exhaustion order.
+    pub fn exhausted(&self) -> &[ExhaustedLease] {
+        &self.exhausted
+    }
+
+    /// Completed partitions, in completion order.
+    pub fn done(&self) -> &[usize] {
+        &self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_reject_corruption() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello 3").unwrap();
+        write_frame(&mut buf, b"claim 3").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello 3");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"claim 3");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF between frames");
+
+        // Flip a payload byte: checksum must catch it.
+        let mut bent = buf.clone();
+        bent[8] ^= 0x01;
+        let err = read_frame(&mut &bent[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncate mid-frame: torn, not clean EOF.
+        let mut r = &buf[..buf.len() - 3];
+        assert!(read_frame(&mut r).unwrap().is_some());
+        let err = read_frame(&mut r).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+    }
+
+    #[test]
+    fn messages_roundtrip() {
+        let msgs = [
+            WireMsg::Hello(2),
+            WireMsg::Config("k 31\np 8\n".to_string()),
+            WireMsg::Claim(2),
+            WireMsg::Assign(17),
+            WireMsg::Finished,
+            WireMsg::Result(17, "ok 1 4096 0".to_string()),
+            WireMsg::Failed(9, "checksum mismatch".to_string()),
+        ];
+        for m in &msgs {
+            assert_eq!(&WireMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        for bad in [&b"launch 3"[..], b"assign", b"claim abc", b"hello -1", b"\xff\xfe"] {
+            assert!(WireMsg::decode(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn board_leases_in_given_order() {
+        let mut board = LeaseBoard::new(vec![2, 0, 1], 3, 2);
+        assert_eq!(board.claim(0), Some(2));
+        assert_eq!(board.claim(1), Some(0));
+        assert_eq!(board.claim(0), Some(1));
+        assert_eq!(board.claim(1), None, "drained");
+        assert_eq!(board.remaining(), 3, "all three still leased");
+        board.complete(2);
+        board.complete(0);
+        board.complete(1);
+        assert_eq!(board.remaining(), 0);
+        assert!(board.exhausted().is_empty());
+        assert_eq!(board.done(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn failed_partition_retries_then_exhausts() {
+        let mut board = LeaseBoard::new(vec![0, 1], 2, 2);
+        assert_eq!(board.claim(0), Some(0));
+        board.fail(0, "boom");
+        // Requeued at the front: it restarts before fresh partition 1.
+        assert_eq!(board.claim(0), Some(0));
+        board.fail(0, "boom again");
+        // Second failure hits the cap: exhausted, never leased again.
+        assert_eq!(board.claim(0), Some(1));
+        assert_eq!(board.claim(0), None);
+        assert_eq!(board.exhausted().len(), 1);
+        assert_eq!(board.exhausted()[0].partition, 0);
+        assert_eq!(board.exhausted()[0].attempts, 2);
+        assert_eq!(board.exhausted()[0].reason, "boom again");
+        board.complete(1);
+        assert_eq!(board.remaining(), 0);
+    }
+
+    #[test]
+    fn dead_worker_requeues_its_leases() {
+        let mut board = LeaseBoard::new(vec![0, 1, 2], 3, 3);
+        assert_eq!(board.claim(7), Some(0));
+        assert_eq!(board.claim(7), Some(1));
+        assert_eq!(board.claim(8), Some(2));
+        board.release_worker(7);
+        // Worker 8's lease is untouched; 7's two come back pending.
+        assert_eq!(board.remaining(), 3);
+        let requeued: Vec<_> = std::iter::from_fn(|| board.claim(8)).collect();
+        assert_eq!(requeued.len(), 2);
+        assert!(requeued.contains(&0) && requeued.contains(&1));
+    }
+
+    #[test]
+    fn repeated_worker_death_exhausts_the_partition() {
+        let mut board = LeaseBoard::new(vec![0], 1, 2);
+        assert_eq!(board.claim(0), Some(0));
+        board.release_worker(0);
+        assert_eq!(board.claim(1), Some(0));
+        board.release_worker(1);
+        assert_eq!(board.claim(2), None, "poison partition must not re-lease forever");
+        assert_eq!(board.exhausted().len(), 1);
+        assert!(board.exhausted()[0].reason.contains("died"), "{:?}", board.exhausted());
+    }
+}
