@@ -36,8 +36,8 @@ fn corpus() -> Vec<SeqRead> {
     .sequence(&genome)
 }
 
-fn runner(dir: &str, workers: usize, budget: u64) -> ParaHash {
-    let config = ParaHashConfig::builder()
+fn runner(dir: &str, workers: usize, budget: u64, tcp: bool) -> ParaHash {
+    let mut builder = ParaHashConfig::builder()
         .k(K)
         .p(P)
         .partitions(PARTS)
@@ -45,9 +45,11 @@ fn runner(dir: &str, workers: usize, budget: u64) -> ParaHash {
         .workers(workers)
         .table_memory_budget(budget)
         .io_mode(IoMode::Unthrottled)
-        .work_dir(std::env::temp_dir().join(dir))
-        .build()
-        .unwrap();
+        .work_dir(std::env::temp_dir().join(dir));
+    if tcp {
+        builder = builder.listen("127.0.0.1:0");
+    }
+    let config = builder.build().unwrap();
     let _ = std::fs::remove_dir_all(config.work_dir());
     ParaHash::new(config).unwrap()
 }
@@ -65,11 +67,24 @@ fn bench_shard(c: &mut Criterion) {
         // is compared against (and the byte-identity reference).
         for workers in [0usize, 1, 2, 4] {
             g.bench_function(format!("budget-{tag}/w{workers}"), |b| {
-                let ph = runner(&format!("parahash-bench-shard-{tag}-w{workers}"), workers, budget);
+                let ph =
+                    runner(&format!("parahash-bench-shard-{tag}-w{workers}"), workers, budget, false);
                 b.iter(|| ph.run(&reads).unwrap().graph.distinct_vertices());
                 let _ = std::fs::remove_dir_all(ph.config().work_dir());
             });
         }
+    }
+
+    // The loopback-TCP transport, wire mode: the same build with the
+    // partition payloads framed out to the workers and the subgraphs
+    // framed (and re-verified) back — the cost of the remote path when
+    // the network itself is free.
+    for workers in [1usize, 2] {
+        g.bench_function(format!("tcp/w{workers}"), |b| {
+            let ph = runner(&format!("parahash-bench-shard-tcp-w{workers}"), workers, u64::MAX, true);
+            b.iter(|| ph.run(&reads).unwrap().graph.distinct_vertices());
+            let _ = std::fs::remove_dir_all(ph.config().work_dir());
+        });
     }
     g.finish();
 }

@@ -2,13 +2,21 @@
 //!
 //! ```text
 //! dbg build <reads.fastq> --out <graph.dbg> [-k 27] [-p 11] [--partitions 64]
-//!           [--gpus n] [--work-dir dir] [--workers n]
+//!           [--gpus n] [--work-dir dir] [--workers n] [--listen addr:port]
 //!           [--table-memory-budget bytes] [--out-of-core]
 //!     Construct the De Bruijn graph of a FASTQ file and store it.
 //!     `--workers n` shards Step 2 across n child processes (this same
-//!     binary, re-exec'ed); `--table-memory-budget` caps each
+//!     binary, re-exec'ed); `--listen addr:port` additionally accepts
+//!     remote workers over TCP (see `dbg worker`), shipping partition
+//!     payloads over the wire; `--table-memory-budget` caps each
 //!     partition's hash table, aborting over-budget partitions unless
 //!     `--out-of-core` lets them build via sub-partitioning.
+//!
+//! dbg worker --connect <addr:port> [--id n]
+//!     Join a remote parent's shard cluster: claim partition leases,
+//!     build them in a scratch directory, stream the subgraphs back.
+//!     Run one per machine (or more) against the parent's `--listen`
+//!     address; exits when the parent finishes the run.
 //!
 //! dbg stats <graph.dbg> [--spectrum]
 //!     Print graph statistics (and the multiplicity spectrum).
@@ -75,14 +83,30 @@ fn main() {
         "min-count",
         "workers",
         "table-memory-budget",
+        "listen",
+        "connect",
+        "id",
     ]);
     match args.positional.first().map(String::as_str) {
         Some("build") => build(&args),
         Some("stats") => stats(&args),
         Some("unitigs") => unitigs_cmd(&args),
         Some("diff") => diff(&args),
-        _ => die("usage: dbg <build|stats|unitigs|diff> ... (see the binary's doc comment)"),
+        Some("worker") => worker(&args),
+        _ => die("usage: dbg <build|stats|unitigs|diff|worker> ... (see the binary's doc comment)"),
     }
+}
+
+fn worker(args: &Args) {
+    let addr = args
+        .flags
+        .get("connect")
+        .unwrap_or_else(|| die("worker: --connect <addr:port> required"));
+    let id = num(args, "id", std::process::id() as usize);
+    eprintln!("joining shard cluster at {addr} as worker {id}");
+    parahash::run_remote_worker(addr, id)
+        .unwrap_or_else(|e| die(&format!("remote worker failed: {e}")));
+    eprintln!("worker {id} finished");
 }
 
 fn num<T: std::str::FromStr>(args: &Args, name: &str, default: T) -> T {
@@ -112,6 +136,9 @@ fn build(args: &Args) {
         builder = builder.sim_gpu(hetsim::SimGpuConfig::default());
     }
     builder = builder.workers(workers).out_of_core(args.switches.contains("out-of-core"));
+    if let Some(listen) = args.flags.get("listen") {
+        builder = builder.listen(listen.clone());
+    }
     if table_budget > 0 {
         builder = builder.table_memory_budget(table_budget);
     }

@@ -79,6 +79,11 @@ pub struct ParaHashConfig {
     pub(crate) table_memory_budget: u64,
     pub(crate) out_of_core: bool,
     pub(crate) workers: usize,
+    /// TCP listen address for the sharded Step 2 (`None` = Unix socket
+    /// in the work directory). `host:0` binds an ephemeral port. With a
+    /// listen address the parent also accepts *remote* workers
+    /// (`dbg worker --connect <addr>`) beyond its spawned children.
+    pub(crate) listen: Option<String>,
     /// Argv passed to the self-exec'ed worker processes of the sharded
     /// Step 2 (after the program path). Empty for production binaries
     /// whose `main` calls [`crate::worker_from_env`] first; test binaries
@@ -191,6 +196,12 @@ impl ParaHashConfig {
         self.workers
     }
 
+    /// TCP listen address of the sharded Step 2, when TCP transport was
+    /// requested (see [`ParaHashConfigBuilder::listen`]).
+    pub fn listen(&self) -> Option<&str> {
+        self.listen.as_deref()
+    }
+
     /// Whether runs should resume from the work directory's `run.journal`
     /// when one exists (see [`ParaHashConfigBuilder::resume`]).
     pub fn resume(&self) -> bool {
@@ -243,6 +254,7 @@ pub struct ParaHashConfigBuilder {
     table_memory_budget: u64,
     out_of_core: bool,
     workers: usize,
+    listen: Option<String>,
     worker_args: Vec<String>,
     resume: bool,
     split: Option<SplitPolicy>,
@@ -270,6 +282,7 @@ impl Default for ParaHashConfigBuilder {
             table_memory_budget: u64::MAX,      // unlimited: never sub-partition
             out_of_core: true,
             workers: 0,
+            listen: None,
             worker_args: Vec::new(),
             resume: false,
             split: None,
@@ -429,6 +442,21 @@ impl ParaHashConfigBuilder {
         self
     }
 
+    /// Serves the sharded Step 2 over **TCP** at `addr` (for example
+    /// `0.0.0.0:7700`, or `127.0.0.1:0` to pick a free loopback port)
+    /// instead of the default Unix socket. Spawned child workers connect
+    /// to the resolved address like remote ones would; additional
+    /// machines join with `dbg worker --connect <addr>` and get their
+    /// partition payloads shipped over the wire (and ship their subgraph
+    /// results back). Implies the sharded Step 2 even when
+    /// [`workers`](Self::workers) is `0` — a listen-only parent waits
+    /// (bounded by `PARAHASH_SHARD_WAIT_MS`) for remote workers and
+    /// falls back to the in-process build if none show up.
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = Some(addr.into());
+        self
+    }
+
     /// Extra argv for the self-exec'ed worker processes. Production
     /// binaries need none (their `main` calls [`crate::worker_from_env`]
     /// unconditionally); test binaries pass
@@ -562,6 +590,7 @@ impl ParaHashConfigBuilder {
             table_memory_budget: self.table_memory_budget,
             out_of_core: self.out_of_core,
             workers: self.workers,
+            listen: self.listen,
             worker_args: self.worker_args,
             resume: self.resume,
             split,

@@ -368,6 +368,26 @@ impl RunJournal {
         Ok(())
     }
 
+    /// Reopens the journal in `work_dir` when it belongs to this run
+    /// (same fingerprint, replayable), otherwise starts a fresh one.
+    /// This is how a *reconnecting* shard worker keeps its committed
+    /// records across connection drops: `create` would truncate them,
+    /// destroying exactly the evidence cluster-wide resume aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of whichever path is taken.
+    pub fn open_or_create(work_dir: &Path, fingerprint: Fingerprint) -> Result<RunJournal> {
+        if Self::exists(work_dir) {
+            if let Ok(state) = Self::replay(work_dir) {
+                if state.fingerprint == fingerprint {
+                    return Self::reopen(work_dir, &state);
+                }
+            }
+        }
+        Self::create(work_dir, fingerprint)
+    }
+
     /// Whether a journal exists in `work_dir`.
     pub fn exists(work_dir: &Path) -> bool {
         Self::path_in(work_dir).is_file()
@@ -509,6 +529,45 @@ impl RunJournal {
         }
         Ok(state)
     }
+}
+
+/// Aggregates the per-worker journals under `work_dir` (every
+/// `worker-<id>/run.journal` the sharded Step 2 leaves behind) into the
+/// set of partitions those workers durably committed, filtered to
+/// journals whose fingerprint matches `fingerprint`.
+///
+/// This is the cluster-wide half of resume: when the *parent* crashed
+/// mid-distribution, its own `run.journal` may be missing
+/// `subgraph-committed` records for partitions a worker finished and
+/// journaled but never got to report. Merging the worker journals in
+/// means those partitions are not re-shipped or rebuilt — the committed
+/// subgraph files are still re-verified byte-for-byte by the resume
+/// planner before being trusted, exactly like the parent's own records.
+///
+/// Best-effort by design: an unreadable, torn-beyond-repair, or
+/// foreign-fingerprint worker journal contributes nothing (resume then
+/// simply rebuilds those partitions), so this never fails.
+pub fn worker_committed(work_dir: &Path, fingerprint: &Fingerprint) -> BTreeSet<usize> {
+    let mut committed = BTreeSet::new();
+    let Ok(entries) = std::fs::read_dir(work_dir) else { return committed };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with("worker-") || !name["worker-".len()..].chars().all(|c| c.is_ascii_digit())
+        {
+            continue;
+        }
+        let dir = entry.path();
+        if !RunJournal::exists(&dir) {
+            continue;
+        }
+        if let Ok(state) = RunJournal::replay(&dir) {
+            if state.fingerprint == *fingerprint {
+                committed.extend(state.committed.iter().copied());
+            }
+        }
+    }
+    committed
 }
 
 /// Frame-scans raw journal bytes: returns the longest valid record
@@ -769,6 +828,50 @@ mod tests {
         assert_ne!(a, c);
         assert_ne!(b, c);
         assert_eq!(a, Fingerprint::digest_bytes([b"ab".as_slice(), b"c".as_slice()]));
+    }
+
+    #[test]
+    fn open_or_create_preserves_matching_journals_only() {
+        let dir = tmpdir("open-or-create");
+        let j = RunJournal::create(&dir, fp()).unwrap();
+        j.append(&JournalEvent::SubgraphCommitted(2)).unwrap();
+        drop(j);
+        // Same fingerprint: records survive the reopen (and more append).
+        let j = RunJournal::open_or_create(&dir, fp()).unwrap();
+        j.append(&JournalEvent::SubgraphCommitted(3)).unwrap();
+        drop(j);
+        let state = RunJournal::replay(&dir).unwrap();
+        assert_eq!(state.committed, BTreeSet::from([2, 3]));
+        // Different fingerprint: the stale journal is replaced.
+        let other = Fingerprint { k: 11, ..fp() };
+        drop(RunJournal::open_or_create(&dir, other).unwrap());
+        let state = RunJournal::replay(&dir).unwrap();
+        assert_eq!(state.fingerprint, other);
+        assert!(state.committed.is_empty(), "stale records must not leak into a new run");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_journals_aggregate_by_fingerprint() {
+        let dir = tmpdir("aggregate");
+        let j = RunJournal::create(&dir.join("worker-0"), fp()).unwrap();
+        j.append(&JournalEvent::SubgraphCommitted(1)).unwrap();
+        j.append(&JournalEvent::SubgraphCommitted(4)).unwrap();
+        drop(j);
+        let j = RunJournal::create(&dir.join("worker-1"), fp()).unwrap();
+        j.append(&JournalEvent::SubgraphCommitted(2)).unwrap();
+        drop(j);
+        // A worker journal from a *different* run contributes nothing.
+        let foreign = Fingerprint { input_digest: 99, ..fp() };
+        let j = RunJournal::create(&dir.join("worker-2"), foreign).unwrap();
+        j.append(&JournalEvent::SubgraphCommitted(5)).unwrap();
+        drop(j);
+        // Non-worker directories and junk are ignored.
+        std::fs::create_dir_all(dir.join("worker-x")).unwrap();
+        std::fs::create_dir_all(dir.join("subgraphs")).unwrap();
+        assert_eq!(worker_committed(&dir, &fp()), BTreeSet::from([1, 2, 4]));
+        assert_eq!(worker_committed(&dir.join("nonexistent"), &fp()), BTreeSet::new());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -108,6 +108,13 @@ pub struct StepReport {
     /// Model-driven dispatch accounting when the steered scheduler ran
     /// this step (fused Step 2); `None` on the work-stealing paths.
     pub coproc: Option<CoprocSummary>,
+    /// Sharded Step 2 only: partitions whose leases burned every worker
+    /// attempt — who held the last lease, how many attempts, and the
+    /// final failure reason. Empty on non-sharded paths and on healthy
+    /// sharded runs. In strict mode exhaustion aborts instead, so this
+    /// is only ever populated alongside
+    /// [`quarantined`](Self::quarantined) entries.
+    pub exhausted_leases: Vec<pipeline::shard::ExhaustedLease>,
 }
 
 impl StepReport {
@@ -210,6 +217,12 @@ impl RunReport {
         if q > 0 {
             s.push_str(&format!(" | {q} partition(s) QUARANTINED — graph is incomplete"));
         }
+        for x in &self.step2.exhausted_leases {
+            s.push_str(&format!(
+                " | partition {} exhausted {} lease attempt(s) (last holder worker {}): {}",
+                x.partition, x.attempts, x.worker, x.reason
+            ));
+        }
         s
     }
 }
@@ -245,8 +258,9 @@ mod tests {
             peak_table_bytes: 0,
             peak_resident_store_bytes: 0,
             quarantined: Vec::new(),
-        sub_splits: Vec::new(),
+            sub_splits: Vec::new(),
             coproc: None,
+            exhausted_leases: Vec::new(),
         }
     }
 
@@ -349,5 +363,33 @@ mod tests {
         assert_eq!(r.quarantined_partitions(), 1);
         let s = r.summary();
         assert!(s.contains("1 partition(s) QUARANTINED"), "{s}");
+    }
+
+    #[test]
+    fn summary_names_exhausted_leases() {
+        let mut r = RunReport {
+            step1: fake_step(10, 0, 1, 1, 2),
+            step2: fake_step(20, 0, 1, 1, 2),
+            total_elapsed: Duration::from_millis(35),
+            distinct_vertices: 10,
+            total_kmers: 50,
+            peak_host_bytes: 4 << 20,
+            partition_bytes: 1234,
+        };
+        assert!(!r.summary().contains("exhausted"), "healthy runs stay quiet");
+        r.step2.exhausted_leases.push(pipeline::shard::ExhaustedLease {
+            partition: 3,
+            worker: 1,
+            attempts: 2,
+            reason: "sent no heartbeat within 600ms; evicted as hung".into(),
+        });
+        let s = r.summary();
+        assert!(
+            s.contains(
+                "partition 3 exhausted 2 lease attempt(s) (last holder worker 1): \
+                 sent no heartbeat within 600ms; evicted as hung"
+            ),
+            "{s}"
+        );
     }
 }

@@ -485,6 +485,7 @@ pub(crate) fn step1_report(
         quarantined: Vec::new(),
         sub_splits: Vec::new(),
         coproc: None, // Step 1 is not split-scheduled
+        exhausted_leases: Vec::new(),
     }
 }
 

@@ -760,6 +760,7 @@ impl<'a> Step2Shared<'a> {
             quarantined,
             sub_splits,
             coproc,
+            exhausted_leases: Vec::new(),
         };
         Ok((graph, report))
     }

@@ -313,13 +313,22 @@ impl ResumePlan {
         pipeline::commit::sweep_tmp_scoped(&config.work_dir.join("subgraphs"), &token);
         let skip_step1 = (0..config.partitions).all(|i| state.sealed.contains(&i))
             && PartitionManifest::load(config.work_dir.join("superkmers")).is_ok();
-        // Only trust `subgraph-committed` records whose files verify
-        // end-to-end right now: the journal says the rename happened,
-        // the CRC trailer says the bytes are still whole.
+        // Cluster-wide resume: a sharded parent that crashed
+        // mid-distribution may have workers whose own journals recorded
+        // commits the parent never saw (the worker journaled and
+        // committed, the parent died before its `subgraph-committed`
+        // record). Aggregate every same-fingerprint `worker-<id>`
+        // journal under the work directory into the committed set —
+        // each candidate still has to pass the on-disk verification
+        // below, so a stale or lying record costs nothing but a check.
+        let mut claimed = state.committed.clone();
+        claimed.extend(crate::journal::worker_committed(&config.work_dir, &fingerprint));
+        // Only trust commit records whose files verify end-to-end right
+        // now: the journal says the rename happened, the CRC trailer
+        // says the bytes are still whole.
         let committed = if config.write_subgraphs {
             let sub_dir = config.work_dir.join("subgraphs");
-            state
-                .committed
+            claimed
                 .iter()
                 .copied()
                 .filter(|&i| {
@@ -373,6 +382,7 @@ fn skipped_step1_report() -> StepReport {
         quarantined: Vec::new(),
         sub_splits: Vec::new(),
         coproc: None,
+        exhausted_leases: Vec::new(),
     }
 }
 
@@ -403,7 +413,7 @@ fn two_phase(
     // `workers(N)` swaps the in-process Step 2 for the multi-process
     // shard; the two produce byte-identical subgraphs and graphs (see
     // `crate::shard`), so everything downstream is oblivious.
-    let (mut graph, step2) = if config.workers > 0 {
+    let (mut graph, step2) = if config.workers > 0 || config.listen.is_some() {
         crate::shard::run_step2_sharded(config, &manifest, io, Some(&plan.journal), &plan.committed)?
     } else {
         run_step2_with(config, &manifest, io, Some(&plan.journal), &plan.committed)?

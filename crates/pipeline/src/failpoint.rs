@@ -126,9 +126,28 @@ pub const SITES: &[&str] = &[
     "journal.append",
 ];
 
+/// Network failpoint sites consulted by the shard wire layer (see
+/// [`crate::shard`]). Kept *out* of [`SITES`] on purpose: the
+/// crash-recovery matrix iterates `SITES` and aborts at each entry,
+/// which would never fire for network sites in non-sharded flows.
+/// The shard chaos suite drives these directly instead:
+///
+/// - `shard.net.drop`   — the armed [`write_frame`](crate::shard::write_frame)
+///   call silently discards its frame (a lost packet / half-open link).
+/// - `shard.net.delay`  — the armed send (or a worker's pre-build hook)
+///   stalls for `PARAHASH_SHARD_DELAY_MS` before proceeding.
+/// - `shard.net.garble` — the armed frame goes out with a flipped
+///   payload byte, so the receiver's CRC check rejects it.
+pub const NET_SITES: &[&str] = &["shard.net.drop", "shard.net.delay", "shard.net.garble"];
+
 /// The canonical list of registered failpoint sites.
 pub fn sites() -> &'static [&'static str] {
     SITES
+}
+
+/// The network (shard wire) failpoint sites.
+pub fn net_sites() -> &'static [&'static str] {
+    NET_SITES
 }
 
 /// Arms `site` to fire `action` on the `trigger`-th hit (1-based).

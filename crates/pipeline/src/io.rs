@@ -14,8 +14,10 @@ pub enum IoOp {
     Write,
 }
 
-/// Bounded retry with exponential backoff for *transient* filesystem
-/// errors (`Interrupted`, `WouldBlock`, `TimedOut`).
+/// Bounded retry with capped exponential backoff and deterministic
+/// jitter, for *transient* filesystem errors (`Interrupted`,
+/// `WouldBlock`, `TimedOut`) — and, since the TCP shard transport,
+/// for reconnect pacing in [`crate::shard`].
 ///
 /// Permanent errors (missing file, permission denied, corrupt data) are
 /// never retried — re-reading the same wrong bytes cannot help, and
@@ -25,22 +27,68 @@ pub struct RetryPolicy {
     /// Total attempts per operation (1 = no retry). The operation fails
     /// with the last error once attempts are exhausted.
     pub attempts: u32,
-    /// Sleep before the first retry; doubles after each failed attempt.
+    /// Base backoff: the (pre-jitter) sleep before the first retry. Each
+    /// further retry doubles it, up to [`max_backoff`](Self::max_backoff).
     pub backoff: Duration,
+    /// Ceiling on the doubled backoff. `Duration::ZERO` means uncapped
+    /// (pure doubling), which only [`none`](Self::none) uses — every
+    /// real policy should bound its worst-case sleep.
+    pub max_backoff: Duration,
 }
 
 impl Default for RetryPolicy {
-    /// Three attempts, 1 ms initial backoff — cheap insurance against
-    /// spurious `EINTR`-class failures without masking real outages.
+    /// Three attempts, 1 ms base backoff, 100 ms cap — cheap insurance
+    /// against spurious `EINTR`-class failures without masking real
+    /// outages. The total-wait envelope (1 + 2 = 3 ms nominal, ±25%
+    /// jitter) matches the pre-jitter policy closely enough that no
+    /// timing-sensitive caller notices.
     fn default() -> RetryPolicy {
-        RetryPolicy { attempts: 3, backoff: Duration::from_millis(1) }
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+        }
     }
 }
 
 impl RetryPolicy {
     /// A policy that never retries (single attempt).
     pub fn none() -> RetryPolicy {
-        RetryPolicy { attempts: 1, backoff: Duration::ZERO }
+        RetryPolicy { attempts: 1, backoff: Duration::ZERO, max_backoff: Duration::ZERO }
+    }
+
+    /// A fully specified policy: `attempts` total tries, exponential
+    /// backoff from `backoff` capped at `max_backoff`.
+    pub fn capped(attempts: u32, backoff: Duration, max_backoff: Duration) -> RetryPolicy {
+        RetryPolicy { attempts, backoff, max_backoff }
+    }
+
+    /// The sleep before the retry that follows failed attempt `attempt`
+    /// (1-based): `backoff · 2^(attempt−1)`, capped at
+    /// [`max_backoff`](Self::max_backoff) (when non-zero), then jittered
+    /// to 75–125 % by a hash of `(seed, attempt)`.
+    ///
+    /// The jitter is *deterministic*: the same `(policy, seed, attempt)`
+    /// always sleeps the same time, so tests and replayed runs stay
+    /// reproducible, while distinct seeds (e.g. shard-worker ids
+    /// reconnecting after a parent hiccup) spread their retries out
+    /// instead of stampeding in lockstep.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        if self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(32);
+        let mut d = self.backoff.saturating_mul(1u32 << exp.min(31));
+        if !self.max_backoff.is_zero() {
+            d = d.min(self.max_backoff);
+        }
+        // SplitMix64 of (seed, attempt) → jitter factor in [0.75, 1.25).
+        let mut z = seed ^ (u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = 0.75 + (z >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        Duration::from_secs_f64(d.as_secs_f64() * jitter)
     }
 }
 
@@ -174,7 +222,13 @@ impl ThrottledIo {
         op: IoOp,
         f: impl Fn(&Path) -> std::io::Result<T>,
     ) -> std::io::Result<T> {
-        let mut backoff = self.retry.backoff;
+        // Jitter seed from the path: the same path always retries with
+        // the same cadence (reproducible), different paths decorrelate.
+        let seed = path
+            .as_os_str()
+            .as_encoded_bytes()
+            .iter()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
         for attempt in 1..=self.retry.attempts {
             let injected = self.fault_hook.lock().as_ref().and_then(|h| h(path, op, attempt));
             let result = match injected {
@@ -185,9 +239,9 @@ impl ThrottledIo {
                 Ok(v) => return Ok(v),
                 Err(e) if is_transient(&e) && attempt < self.retry.attempts => {
                     self.retries.fetch_add(1, Ordering::Relaxed);
-                    if backoff > Duration::ZERO {
-                        std::thread::sleep(backoff);
-                        backoff = backoff.saturating_mul(2);
+                    let sleep = self.retry.delay(attempt, seed);
+                    if sleep > Duration::ZERO {
+                        std::thread::sleep(sleep);
                     }
                 }
                 Err(e) => return Err(e),
@@ -339,7 +393,7 @@ mod tests {
         use std::sync::Arc;
         let io = ThrottledIo::with_retry(
             IoMode::Unthrottled,
-            RetryPolicy { attempts: 3, backoff: Duration::ZERO },
+            RetryPolicy { attempts: 3, backoff: Duration::ZERO, max_backoff: Duration::ZERO },
         );
         let path = std::env::temp_dir().join(format!("throttled-retry-{}.bin", std::process::id()));
         std::fs::write(&path, b"payload").unwrap();
@@ -364,7 +418,7 @@ mod tests {
     fn exhausted_retries_surface_the_last_error() {
         let io = ThrottledIo::with_retry(
             IoMode::Unthrottled,
-            RetryPolicy { attempts: 2, backoff: Duration::ZERO },
+            RetryPolicy { attempts: 2, backoff: Duration::ZERO, max_backoff: Duration::ZERO },
         );
         io.set_fault_hook(Box::new(|_, _, _| {
             Some(std::io::Error::new(std::io::ErrorKind::TimedOut, "always down"))
@@ -378,7 +432,7 @@ mod tests {
     fn permanent_errors_are_not_retried() {
         let io = ThrottledIo::with_retry(
             IoMode::Unthrottled,
-            RetryPolicy { attempts: 5, backoff: Duration::ZERO },
+            RetryPolicy { attempts: 5, backoff: Duration::ZERO, max_backoff: Duration::ZERO },
         );
         io.set_fault_hook(Box::new(|_, _, _| {
             Some(std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope"))
@@ -391,8 +445,32 @@ mod tests {
     fn zero_attempts_clamp_to_one() {
         let io = ThrottledIo::with_retry(
             IoMode::Unthrottled,
-            RetryPolicy { attempts: 0, backoff: Duration::ZERO },
+            RetryPolicy { attempts: 0, backoff: Duration::ZERO, max_backoff: Duration::ZERO },
         );
         assert_eq!(io.retry_policy().attempts, 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_cap_and_jitter() {
+        let p = RetryPolicy::capped(8, Duration::from_millis(10), Duration::from_millis(50));
+        // Deterministic: same (attempt, seed) → same delay.
+        assert_eq!(p.delay(1, 42), p.delay(1, 42));
+        // Jitter keeps every delay within ±25 % of the nominal value.
+        let nominal = [10.0, 20.0, 40.0, 50.0, 50.0]; // ms; capped at 50
+        for (i, &nom) in nominal.iter().enumerate() {
+            let attempt = i as u32 + 1;
+            let ms = p.delay(attempt, 7).as_secs_f64() * 1e3;
+            assert!(
+                ms >= nom * 0.75 && ms < nom * 1.25,
+                "attempt {attempt}: {ms} ms outside jitter band of {nom} ms"
+            );
+        }
+        // Distinct seeds decorrelate (overwhelmingly likely to differ).
+        assert_ne!(p.delay(3, 1), p.delay(3, 2));
+        // Zero base backoff stays zero regardless of attempt.
+        assert_eq!(RetryPolicy::none().delay(5, 9), Duration::ZERO);
+        // Huge attempt numbers don't overflow.
+        let far = p.delay(u32::MAX, 3);
+        assert!(far <= Duration::from_millis(63));
     }
 }

@@ -137,7 +137,7 @@ fn transient_read_faults_are_retried_to_success() {
     let ph = ParaHash::new(config).unwrap();
     let io = ThrottledIo::with_retry(
         IoMode::Unthrottled,
-        RetryPolicy { attempts: 3, backoff: std::time::Duration::ZERO },
+        RetryPolicy { attempts: 3, backoff: std::time::Duration::ZERO, max_backoff: std::time::Duration::ZERO },
     );
     let (manifest, _) = run_step1(ph.config(), &data.reads, &io).unwrap();
     // Every partition read fails its first two attempts with a transient
@@ -168,7 +168,7 @@ fn exhausted_retries_poison_the_partition_in_non_strict_mode() {
     let ph = ParaHash::new(config).unwrap();
     let io = ThrottledIo::with_retry(
         IoMode::Unthrottled,
-        RetryPolicy { attempts: 3, backoff: std::time::Duration::ZERO },
+        RetryPolicy { attempts: 3, backoff: std::time::Duration::ZERO, max_backoff: std::time::Duration::ZERO },
     );
     let (manifest, _) = run_step1(ph.config(), &data.reads, &io).unwrap();
     // Partition 0 never recovers: every read attempt fails transiently,
